@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 7(a)'s BP column: cost of 5 message-passing
+//! rounds of standard BP (per-edge k-vectors — the baseline LinBP beats).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsbp::prelude::*;
+use lsbp_bench::kronecker_style_beliefs;
+use lsbp_graph::generators::kronecker_graph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_5iter");
+    group.sample_size(10);
+    let ho = CouplingMatrix::fig6b_residual();
+    let h_raw = CouplingMatrix::from_residual(&ho, 0.0005).unwrap();
+    for m in [5u32, 6] {
+        let graph = kronecker_graph(m);
+        let adj = graph.adjacency();
+        let n = graph.num_nodes();
+        let e = kronecker_style_beliefs(n, 3, n / 20, m as u64, false);
+        let opts = BpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("bp", n), &n, |b, _| {
+            b.iter(|| bp(&adj, &e, h_raw.raw(), &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

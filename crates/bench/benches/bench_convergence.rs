@@ -1,0 +1,44 @@
+//! Benches for the convergence machinery (Lemma 8/9 and Appendix G):
+//! spectral radii (matrix-free power iteration), εH bisection, norm
+//! bounds, Mooij constant, edge-matrix radius.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsbp::convergence::{
+    mooij_constant, rho_edge_matrix, spectral_radius_linbp_operator,
+};
+use lsbp::prelude::*;
+use lsbp_graph::generators::{fig5c_torus, kronecker_graph};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_criteria");
+    group.sample_size(10);
+    let coupling = CouplingMatrix::fig1c().unwrap();
+    let ho = coupling.residual();
+    let graph = kronecker_graph(6);
+    let adj = graph.adjacency();
+
+    group.bench_function("rho_adjacency_59k_edges", |b| b.iter(|| adj.spectral_radius()));
+    let h = ho.scale(0.01);
+    group.bench_function("rho_linbp_operator", |b| {
+        b.iter(|| spectral_radius_linbp_operator(&adj, &h, true))
+    });
+    group.bench_function("rho_edge_matrix", |b| b.iter(|| rho_edge_matrix(&adj)));
+    group.bench_function("norm_bounds_lemma9", |b| {
+        b.iter(|| eps_max_sufficient_linbp(&ho, &adj))
+    });
+    group.bench_function("mooij_constant_k3", |b| {
+        let raw = coupling.raw_at_scale(0.1);
+        b.iter(|| mooij_constant(&raw))
+    });
+
+    // The full bisection only on the small torus (it runs many power
+    // iterations).
+    let torus = fig5c_torus().adjacency();
+    group.bench_function("eps_bisection_torus", |b| {
+        b.iter(|| eps_max_exact_linbp(&ho, &torus, 1e-4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

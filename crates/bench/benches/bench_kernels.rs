@@ -1,0 +1,76 @@
+//! Ablation benches for DESIGN.md's design decision #1: why is LinBP
+//! fast? Compares the two possible update kernels on the same graph —
+//!
+//! * beliefs-as-matrix: one CSR SpMM + a k×k matmul per iteration
+//!   (what LinBP does),
+//! * messages-as-edges: 2|E| per-edge k-vector updates per iteration
+//!   (what standard BP does),
+//!
+//! plus the primitive kernels (SpMM, SpMV, dense matmul) they decompose
+//! into.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsbp::linbp::linbp_step;
+use lsbp::prelude::*;
+use lsbp_bench::kronecker_style_beliefs;
+use lsbp_graph::generators::kronecker_graph;
+use lsbp_linalg::Mat;
+
+fn bench(c: &mut Criterion) {
+    let ho = CouplingMatrix::fig6b_residual();
+    let h = ho.scale(0.0005);
+    let h_raw = CouplingMatrix::from_residual(&ho, 0.0005).unwrap();
+
+    let mut group = c.benchmark_group("update_kernels_per_iteration");
+    group.sample_size(10);
+    for m in [6u32, 7] {
+        let graph = kronecker_graph(m);
+        let adj = graph.adjacency();
+        let n = graph.num_nodes();
+        let e = kronecker_style_beliefs(n, 3, n / 20, m as u64, false);
+
+        // One LinBP step (beliefs-as-matrix).
+        let h2 = h.matmul(&h);
+        let degrees = adj.squared_weight_degrees();
+        let e_hat = e.residual_matrix().clone();
+        let b0 = e_hat.clone();
+        group.bench_with_input(BenchmarkId::new("beliefs_matrix_step", n), &n, |bch, _| {
+            let mut scratch = Mat::zeros(n, 3);
+            let mut out = Mat::zeros(n, 3);
+            bch.iter(|| {
+                linbp_step(&adj, &e_hat, &b0, &h, Some(&h2), &degrees, &mut scratch, &mut out);
+            })
+        });
+
+        // One BP round (messages-as-edges) — measured as 1 iteration of bp.
+        let opts = BpOptions { max_iter: 1, tol: 0.0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("messages_edges_round", n), &n, |bch, _| {
+            bch.iter(|| bp(&adj, &e, h_raw.raw(), &opts).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("primitive_kernels");
+    group.sample_size(20);
+    let graph = kronecker_graph(7);
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let b = Mat::from_fn(n, 3, |r, c| ((r * 3 + c) % 17) as f64 * 0.01);
+    group.bench_function("spmm_nx3", |bch| {
+        let mut out = Mat::zeros(n, 3);
+        bch.iter(|| adj.spmm_into(&b, &mut out))
+    });
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.1).collect();
+    group.bench_function("spmv", |bch| {
+        let mut y = vec![0.0; n];
+        bch.iter(|| adj.spmv_into(&x, &mut y))
+    });
+    group.bench_function("dense_matmul_nx3_3x3", |bch| {
+        let k3 = Mat::from_fn(3, 3, |r, c| 0.1 * (r + c) as f64);
+        bch.iter(|| b.matmul(&k3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 7(a)'s LinBP column: cost of 5 LinBP /
+//! LinBP\* iterations across Kronecker graph scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsbp::prelude::*;
+use lsbp_bench::kronecker_style_beliefs;
+use lsbp_graph::generators::kronecker_graph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linbp_5iter");
+    group.sample_size(10);
+    let ho = CouplingMatrix::fig6b_residual();
+    let h = ho.scale(0.0005);
+    for m in [5u32, 6, 7] {
+        let graph = kronecker_graph(m);
+        let adj = graph.adjacency();
+        let n = graph.num_nodes();
+        let e = kronecker_style_beliefs(n, 3, n / 20, m as u64, false);
+        let opts = LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("linbp", n), &n, |b, _| {
+            b.iter(|| linbp(&adj, &e, &h, &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("linbp_star", n), &n, |b, _| {
+            b.iter(|| linbp_star(&adj, &e, &h, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

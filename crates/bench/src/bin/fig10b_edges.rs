@@ -1,0 +1,52 @@
+//! Fig. 10(b): incremental edge insertion (ΔSBP, Algorithm 4) vs full
+//! SBP recomputation, varying the fraction of new edges.
+//!
+//! Paper's Result 6: incremental wins below ≈ 3% new edges; beyond ~10%
+//! the cascading updates make recomputation cheaper. Relational engine,
+//! 10% explicit beliefs fixed, graph `--graph 4` by default (paper: #5).
+//! `cargo run --release -p lsbp-bench --bin fig10b_edges`
+
+use lsbp::prelude::*;
+use lsbp_bench::{arg_usize, fmt_duration, random_labels, time_once};
+use lsbp_graph::generators::{kronecker_graph, kronecker_schedule};
+use lsbp_reldb::SqlDb;
+
+fn main() {
+    let id = arg_usize("--graph", 4).clamp(1, 9);
+    let scale = kronecker_schedule()[id - 1];
+    let full_graph = kronecker_graph(scale.exponent);
+    let n = full_graph.num_nodes();
+    let total_edges = full_graph.num_edges();
+    let ho = CouplingMatrix::fig6b_residual();
+    let labels = random_labels(n, 3, n / 10, 3);
+    println!("graph #{id}: {n} nodes, {total_edges} undirected edges, 10% explicit");
+    println!("{:>10} {:>8} {:>12} {:>12} {:>8}", "new frac", "edges", "ΔSBP", "SBP(scratch)", "Δ/full");
+
+    for pct_tenths in [5usize, 10, 20, 30, 50, 80, 100] {
+        // pct_tenths is in ‰ of final edges: 5‰ = 0.5% … 100‰ = 10%.
+        let new_count = (total_edges * pct_tenths / 1000).max(1);
+        let keep = total_edges - new_count;
+        let (base, extra) = full_graph.split_edges(keep);
+        let new_edges: Vec<_> = extra.edges().collect();
+
+        let mut db = SqlDb::new(&base, &labels, &ho);
+        let mut state = db.sbp();
+        let (_, t_delta) = time_once(|| db.sbp_add_edges(&mut state, &new_edges));
+
+        let db_full = SqlDb::new(&full_graph, &labels, &ho);
+        let (_, t_full) = time_once(|| db_full.sbp());
+        println!(
+            "{:>9.1}% {:>8} {:>12} {:>12} {:>8.2}",
+            pct_tenths as f64 / 10.0,
+            new_count,
+            fmt_duration(t_delta),
+            fmt_duration(t_full),
+            t_delta.as_secs_f64() / t_full.as_secs_f64()
+        );
+    }
+    println!(
+        "\nShape check vs paper: ΔSBP cheaper for small batches, crossing the flat\n\
+         recompute cost in the low single-digit percent range (Result 6); the\n\
+         beneficial range is narrower than for belief updates (Fig. 7e)."
+    );
+}

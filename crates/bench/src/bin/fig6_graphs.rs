@@ -1,0 +1,42 @@
+//! Fig. 6(a): the synthetic Kronecker graph schedule.
+//!
+//! Regenerates the table — number of nodes, edges (directed entries),
+//! edge/node ratio and the 5% / 1‰ explicit-belief counts — and verifies
+//! the generated graphs match it. By default builds graphs #1–#6
+//! (`--max 9` builds the full schedule; #9 needs ~8 GB and minutes).
+//! `cargo run --release -p lsbp-bench --bin fig6_graphs`
+
+use lsbp_bench::arg_usize;
+use lsbp_graph::generators::{kronecker_graph, kronecker_schedule};
+
+fn main() {
+    let max_id = arg_usize("--max", 6).min(9);
+    println!("{:>2} {:>12} {:>12} {:>6} {:>8} {:>6}   built?", "#", "nodes n", "edges e", "e/n", "5%", "1‰");
+    for scale in kronecker_schedule() {
+        let five_pct = scale.nodes / 20;
+        let one_permille = (scale.nodes as f64 / 1000.0).round() as usize;
+        let built = if scale.id <= max_id {
+            let g = kronecker_graph(scale.exponent);
+            assert_eq!(g.num_nodes(), scale.nodes, "node count mismatch");
+            assert_eq!(g.num_directed_edges(), scale.directed_edges, "edge count mismatch");
+            format!("✓ ({} components)", g.num_components())
+        } else {
+            "(skipped — raise --max)".to_string()
+        };
+        println!(
+            "{:>2} {:>12} {:>12} {:>6.1} {:>8} {:>6}   {}",
+            scale.id,
+            scale.nodes,
+            scale.directed_edges,
+            scale.directed_edges as f64 / scale.nodes as f64,
+            five_pct,
+            one_permille,
+            built
+        );
+    }
+    println!("\nUnscaled residual coupling matrix Ĥo (Fig. 6b):");
+    let ho = lsbp::coupling::CouplingMatrix::fig6b_residual();
+    for r in 0..3 {
+        println!("  [{:>4} {:>4} {:>4}]", ho[(r, 0)], ho[(r, 1)], ho[(r, 2)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 7(a) + the main-memory columns of Fig. 7(c): scalability of the
+//! in-memory BP and LinBP implementations.
+//!
+//! Protocol follows Sect. 7: 5 iterations of each method, k = 3 classes,
+//! Fig. 6b coupling, 5% explicit beliefs; timing excludes graph
+//! generation and matrix setup. Graphs #1–#6 by default (`--max 8` for
+//! more; #8 takes minutes for BP).
+//! `cargo run --release -p lsbp-bench --bin fig7a_memory`
+
+use lsbp::prelude::*;
+use lsbp_bench::{arg_usize, fmt_duration, kronecker_style_beliefs, time_once};
+use lsbp_graph::generators::{kronecker_graph, kronecker_schedule};
+
+fn main() {
+    let max_id = arg_usize("--max", 6).min(9);
+    let eps = 0.0005; // inside the convergence region for all scales run here
+    let ho = CouplingMatrix::fig6b_residual();
+    let h_res = ho.scale(eps);
+    let h_raw = CouplingMatrix::from_residual(&ho, eps).unwrap();
+
+    println!("5 iterations each, k = 3, εH = {eps}, 5% explicit beliefs");
+    println!(
+        "{:>2} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8} {:>9} {:>14}",
+        "#", "nodes", "edges", "BP(naive)", "BP(cached)", "LinBP", "BPn/Lin", "BPc/Lin", "LinBP edges/s"
+    );
+    for scale in kronecker_schedule().into_iter().filter(|s| s.id <= max_id) {
+        let graph = kronecker_graph(scale.exponent);
+        let adj = graph.adjacency();
+        let n = graph.num_nodes();
+        let e = kronecker_style_beliefs(n, 3, n / 20, scale.id as u64, false);
+
+        // Naive BP: the straightforward per-edge implementation (O(deg²·k)
+        // per node) — the kind of baseline the paper compares against.
+        let naive_opts =
+            BpOptions { max_iter: 5, tol: 0.0, naive_products: true, ..Default::default() };
+        let (_, naive_time) = time_once(|| bp(&adj, &e, h_raw.raw(), &naive_opts).unwrap());
+        // Cached BP: the same messages via product caching (O(deg·k)).
+        let bp_opts = BpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let (bp_result, bp_time) = time_once(|| bp(&adj, &e, h_raw.raw(), &bp_opts).unwrap());
+        let lin_opts = LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let (lin_result, lin_time) = time_once(|| linbp(&adj, &e, &h_res, &lin_opts).unwrap());
+        assert_eq!(bp_result.iterations, 5);
+        assert_eq!(lin_result.iterations, 5);
+
+        let eps_per_sec = scale.directed_edges as f64 * 5.0 / lin_time.as_secs_f64();
+        println!(
+            "{:>2} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8.0} {:>9.0} {:>14.2e}",
+            scale.id,
+            n,
+            scale.directed_edges,
+            fmt_duration(naive_time),
+            fmt_duration(bp_time),
+            fmt_duration(lin_time),
+            naive_time.as_secs_f64() / lin_time.as_secs_f64(),
+            bp_time.as_secs_f64() / lin_time.as_secs_f64(),
+            eps_per_sec
+        );
+    }
+    println!(
+        "\nPaper's qualitative claims to compare against: LinBP scales ~linearly in edges\n\
+         (reference line: 100k edges/s on 2011 hardware); straightforward BP is orders of\n\
+         magnitude slower and its gap *grows* with graph size (Fig. 7c: 60 → 642), because\n\
+         Kronecker max degree grows with size and naive message products cost O(deg²).\n\
+         The BP(cached) column isolates how much of that gap is the product-caching\n\
+         optimization vs. the beliefs-as-matrix reformulation itself."
+    );
+}

@@ -1,0 +1,441 @@
+//! Standard multi-class loopy Belief Propagation — the baseline the paper
+//! linearizes (Sect. 2, Eqs. 1–3).
+//!
+//! Faithful to the paper's formulation:
+//!
+//! * messages are `k`-dimensional, kept normalized so their entries sum to
+//!   `k` (i.e. centered around 1 — Eq. 3's `Z_st`),
+//! * the message from `s` to `t` excludes what `t` itself sent
+//!   (`u ∈ N(s)\t` in Eq. 2 — the "echo cancellation" that LinBP models
+//!   with the `D·B̂·Ĥ²` term),
+//! * beliefs are `b_s(i) ∝ e_s(i)·Π_u m_us(i)`, normalized to 1 (Eq. 1).
+//!
+//! Updates are synchronous (all new messages computed from the previous
+//! round), matching the matrix semantics LinBP is derived from.
+//!
+//! Priors must be strictly positive probability vectors. Explicit residual
+//! beliefs are mapped to priors `e_s = 1/k + s·ê_s` with an automatic
+//! down-scaling `s` when a residual row would push a prior negative —
+//! justified by Corollary 13 (scaling `Ê` does not change the standardized
+//! belief assignment).
+
+use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
+use lsbp_linalg::Mat;
+use lsbp_sparse::CsrMatrix;
+
+/// Options for [`bp`].
+#[derive(Clone, Copy, Debug)]
+pub struct BpOptions {
+    /// Maximum number of message-passing rounds.
+    pub max_iter: usize,
+    /// Convergence threshold on the largest absolute message change;
+    /// set to 0.0 to always run exactly `max_iter` rounds (timing mode).
+    pub tol: f64,
+    /// Explicit scaling of residual priors, or `None` to auto-scale to the
+    /// largest factor (≤ 1) keeping all priors strictly positive with a
+    /// 10% margin.
+    pub prior_scale: Option<f64>,
+    /// Message damping in `[0, 1)`: `m ← (1−λ)·m_new + λ·m_old`. 0 is the
+    /// paper's plain update; small values can rescue oscillating runs.
+    pub damping: f64,
+    /// Compute the `Π_{u∈N(s)\t}` products naively per outgoing edge
+    /// (`O(deg²·k)` per node) instead of caching the full product and
+    /// dividing (`O(deg·k)`). The naive form is what straightforward BP
+    /// implementations (like the paper's JAVA baseline behaves as) do; it
+    /// is the ablation behind the growing BP/LinBP gap in Fig. 7a/7c,
+    /// since Kronecker graphs grow their maximum degree with size.
+    pub naive_products: bool,
+}
+
+impl Default for BpOptions {
+    fn default() -> Self {
+        Self { max_iter: 100, tol: 1e-9, prior_scale: None, damping: 0.0, naive_products: false }
+    }
+}
+
+/// Result of a BP run.
+#[derive(Clone, Debug)]
+pub struct BpResult {
+    /// Final beliefs in residual form (`b − 1/k`), one row per node.
+    pub beliefs: BeliefMatrix,
+    /// Whether the messages met `tol` before `max_iter`.
+    pub converged: bool,
+    /// Rounds actually executed.
+    pub iterations: usize,
+    /// Largest absolute message change in the final round.
+    pub final_delta: f64,
+}
+
+/// Errors from [`bp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BpError {
+    /// Adjacency and explicit-belief node counts differ.
+    DimensionMismatch,
+    /// The coupling matrix arity differs from the explicit beliefs' `k`.
+    CouplingArityMismatch,
+    /// The coupling matrix has a non-positive entry (BP needs positive
+    /// potentials; reduce the εH scale).
+    NonPositiveCoupling,
+    /// The adjacency matrix is not structurally symmetric.
+    AsymmetricAdjacency,
+}
+
+impl std::fmt::Display for BpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BpError::DimensionMismatch => write!(f, "adjacency/beliefs node count mismatch"),
+            BpError::CouplingArityMismatch => write!(f, "coupling matrix arity mismatch"),
+            BpError::NonPositiveCoupling => {
+                write!(f, "coupling matrix must be strictly positive for BP")
+            }
+            BpError::AsymmetricAdjacency => write!(f, "adjacency must be structurally symmetric"),
+        }
+    }
+}
+
+impl std::error::Error for BpError {}
+
+/// Runs standard loopy BP with raw coupling matrix `h_raw`
+/// (`k × k`, strictly positive, doubly stochastic).
+///
+/// Edge weights are ignored — standard BP has no notion of weighted
+/// pairwise potentials in the paper's formulation; all its BP baselines run
+/// on unweighted graphs.
+pub fn bp(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_raw: &Mat,
+    opts: &BpOptions,
+) -> Result<BpResult, BpError> {
+    let n = explicit.n();
+    let k = explicit.k();
+    if adj.n_rows() != n || adj.n_cols() != n {
+        return Err(BpError::DimensionMismatch);
+    }
+    if h_raw.rows() != k || h_raw.cols() != k {
+        return Err(BpError::CouplingArityMismatch);
+    }
+    if h_raw.as_slice().iter().any(|&x| x <= 0.0) {
+        return Err(BpError::NonPositiveCoupling);
+    }
+
+    // Priors: e_s = 1/k + scale · ê_s, strictly positive.
+    let scale = opts.prior_scale.unwrap_or_else(|| auto_prior_scale(explicit));
+    let uniform = 1.0 / k as f64;
+    let priors = Mat::from_fn(n, k, |r, c| uniform + scale * explicit.row(r)[c]);
+    debug_assert!(priors.as_slice().iter().all(|&x| x > 0.0), "priors must be positive");
+
+    // Directed edge table + reverse-edge index (u→v stored entry e; rev[e]
+    // is the entry of v→u).
+    let m_edges = adj.nnz();
+    let mut rev = vec![0u32; m_edges];
+    {
+        let mut e = 0usize;
+        for u in 0..n {
+            for &v in adj.row_cols(u) {
+                let r = adj.entry_index(v, u).ok_or(BpError::AsymmetricAdjacency)?;
+                rev[e] = r as u32;
+                e += 1;
+            }
+        }
+    }
+
+    // Messages, initialized to all-ones (centered), indexed [edge][class].
+    let mut msgs = vec![1.0f64; m_edges * k];
+    let mut new_msgs = vec![0.0f64; m_edges * k];
+    let mut prod = vec![0.0f64; k];
+    let mut term = vec![0.0f64; k];
+
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut final_delta = f64::INFINITY;
+    for _round in 0..opts.max_iter {
+        iterations += 1;
+        let mut max_delta = 0.0f64;
+        let mut e = 0usize;
+        for s in 0..n {
+            // prod_s(j) = e_s(j) · Π over in-edges (u→s) of m_us(j), with
+            // periodic rescaling against overflow/underflow (the common
+            // scale cancels in Z_st). Skipped in naive mode.
+            let deg = adj.row_nnz(s);
+            if !opts.naive_products {
+                prod.copy_from_slice(priors.row(s));
+                for idx in 0..deg {
+                    let in_edge = rev[e + idx] as usize;
+                    let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
+                    for (p, &mi) in prod.iter_mut().zip(m_in) {
+                        *p *= mi;
+                    }
+                    let max = prod.iter().fold(0.0f64, |a, &x| a.max(x));
+                    if !(1e-100..=1e100).contains(&max) && max > 0.0 {
+                        let inv = 1.0 / max;
+                        prod.iter_mut().for_each(|p| *p *= inv);
+                    }
+                }
+            }
+            // Outgoing messages: m_st(i) ∝ Σ_j H(j,i)·prod_s(j)/m_ts(j).
+            for idx in 0..deg {
+                let out = e + idx;
+                let back = rev[out] as usize;
+                if opts.naive_products {
+                    // Direct Π over N(s)\t — quadratic in the degree.
+                    term.copy_from_slice(priors.row(s));
+                    for idx2 in 0..deg {
+                        let in_edge = rev[e + idx2] as usize;
+                        if in_edge == back {
+                            continue;
+                        }
+                        let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
+                        for (t, &mi) in term.iter_mut().zip(m_in) {
+                            *t *= mi;
+                        }
+                        let max = term.iter().fold(0.0f64, |a, &x| a.max(x));
+                        if !(1e-100..=1e100).contains(&max) && max > 0.0 {
+                            let inv = 1.0 / max;
+                            term.iter_mut().for_each(|t| *t *= inv);
+                        }
+                    }
+                } else {
+                    let m_back = &msgs[back * k..(back + 1) * k];
+                    for j in 0..k {
+                        term[j] = prod[j] / m_back[j].max(1e-300);
+                    }
+                }
+                let dst = &mut new_msgs[out * k..(out + 1) * k];
+                let mut sum = 0.0;
+                for i in 0..k {
+                    let mut acc = 0.0;
+                    for (j, &t) in term.iter().enumerate() {
+                        acc += h_raw[(j, i)] * t;
+                    }
+                    dst[i] = acc;
+                    sum += acc;
+                }
+                // Normalize so entries sum to k (Eq. 3).
+                let z = k as f64 / sum.max(1e-300);
+                let old = &msgs[out * k..(out + 1) * k];
+                for (i, d) in dst.iter_mut().enumerate() {
+                    *d *= z;
+                    if opts.damping > 0.0 {
+                        *d = (1.0 - opts.damping) * *d + opts.damping * old[i];
+                    }
+                    max_delta = max_delta.max((*d - old[i]).abs());
+                }
+            }
+            e += deg;
+        }
+        std::mem::swap(&mut msgs, &mut new_msgs);
+        final_delta = max_delta;
+        if opts.tol > 0.0 && max_delta < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // Beliefs: b_s(i) ∝ e_s(i)·Π m_us(i), normalized to 1, returned as
+    // residuals b − 1/k.
+    let mut beliefs = Mat::zeros(n, k);
+    let mut e = 0usize;
+    for s in 0..n {
+        prod.copy_from_slice(priors.row(s));
+        let deg = adj.row_nnz(s);
+        for idx in 0..deg {
+            let in_edge = rev[e + idx] as usize;
+            let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
+            for (p, &mi) in prod.iter_mut().zip(m_in) {
+                *p *= mi;
+            }
+            let max = prod.iter().fold(0.0f64, |a, &x| a.max(x));
+            if !(1e-100..=1e100).contains(&max) && max > 0.0 {
+                let inv = 1.0 / max;
+                prod.iter_mut().for_each(|p| *p *= inv);
+            }
+        }
+        e += deg;
+        let sum: f64 = prod.iter().sum();
+        let row = beliefs.row_mut(s);
+        for (b, &p) in row.iter_mut().zip(&prod) {
+            *b = p / sum.max(1e-300) - uniform;
+        }
+    }
+
+    Ok(BpResult { beliefs: BeliefMatrix::from_mat(beliefs), converged, iterations, final_delta })
+}
+
+/// Largest factor (≤ 1) mapping residuals into strictly positive priors
+/// with a 10% margin: `1/k + s·ê > 0.1/k`.
+fn auto_prior_scale(explicit: &ExplicitBeliefs) -> f64 {
+    let k = explicit.k() as f64;
+    let most_negative = explicit
+        .residual_matrix()
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &x| m.min(x));
+    if most_negative >= 0.0 {
+        return 1.0;
+    }
+    (0.9 / k / (-most_negative)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::CouplingMatrix;
+    use lsbp_graph::generators::{cycle, path};
+
+    fn explicit_path(n: usize) -> ExplicitBeliefs {
+        let mut e = ExplicitBeliefs::new(n, 2);
+        e.set_residual(0, &[0.1, -0.1]).unwrap();
+        e
+    }
+
+    /// On a tree (path), BP is exact and converges; homophily must pull
+    /// every node toward the seed's class.
+    #[test]
+    fn homophily_on_path() {
+        let g = path(5);
+        let adj = g.adjacency();
+        let e = explicit_path(5);
+        let h = CouplingMatrix::fig1a().unwrap();
+        let r = bp(&adj, &e, h.raw(), &BpOptions::default()).unwrap();
+        assert!(r.converged, "BP should converge on a tree");
+        for v in 0..5 {
+            assert!(r.beliefs.row(v)[0] > 0.0, "node {v} should lean class 0");
+            assert_eq!(r.beliefs.top_beliefs(v, 1e-9), vec![0]);
+        }
+        // Influence decays with distance.
+        assert!(r.beliefs.row(1)[0] > r.beliefs.row(2)[0]);
+        assert!(r.beliefs.row(2)[0] > r.beliefs.row(4)[0]);
+    }
+
+    /// Heterophily alternates labels along a path.
+    #[test]
+    fn heterophily_alternates() {
+        let g = path(4);
+        let adj = g.adjacency();
+        let e = explicit_path(4);
+        let h = CouplingMatrix::fig1b().unwrap();
+        let r = bp(&adj, &e, h.raw(), &BpOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.beliefs.top_beliefs(0, 1e-9), vec![0]);
+        assert_eq!(r.beliefs.top_beliefs(1, 1e-9), vec![1]);
+        assert_eq!(r.beliefs.top_beliefs(2, 1e-9), vec![0]);
+        assert_eq!(r.beliefs.top_beliefs(3, 1e-9), vec![1]);
+    }
+
+    /// Beliefs rows are residuals: they sum to 0.
+    #[test]
+    fn beliefs_are_centered() {
+        let g = cycle(6);
+        let adj = g.adjacency();
+        let e = explicit_path(6);
+        let h = CouplingMatrix::fig1a().unwrap();
+        let r = bp(&adj, &e, h.raw(), &BpOptions::default()).unwrap();
+        for v in 0..6 {
+            assert!(r.beliefs.row(v).iter().sum::<f64>().abs() < 1e-9);
+        }
+    }
+
+    /// With no explicit beliefs, everything stays uniform (zero residual).
+    #[test]
+    fn uniform_without_evidence() {
+        let g = cycle(5);
+        let adj = g.adjacency();
+        let e = ExplicitBeliefs::new(5, 3);
+        // fig1c at full scale has a zero entry; any smaller scale is a
+        // strictly positive potential.
+        let h = CouplingMatrix::fig1c().unwrap().raw_at_scale(0.5);
+        let r = bp(&adj, &e, &h, &BpOptions::default()).unwrap();
+        assert!(r.converged);
+        assert!(r.beliefs.residual().max_abs() < 1e-12);
+    }
+
+    /// Strong priors like [2, −1, −1] are auto-scaled into valid
+    /// probability space instead of crashing.
+    #[test]
+    fn auto_scaling_strong_priors() {
+        let g = path(3);
+        let adj = g.adjacency();
+        let mut e = ExplicitBeliefs::new(3, 3);
+        e.set_residual(0, &[2.0, -1.0, -1.0]).unwrap();
+        let h = CouplingMatrix::fig1c().unwrap();
+        // fig1c has a 0.0 entry: positivity check must reject the raw
+        // matrix...
+        assert!(matches!(
+            bp(&adj, &e, h.raw(), &BpOptions::default()),
+            Err(BpError::NonPositiveCoupling)
+        ));
+        // ...but a scaled-down version (as used in every experiment) works.
+        let h_eps = h.raw_at_scale(0.3);
+        let r = bp(&adj, &e, &h_eps, &BpOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.beliefs.top_beliefs(0, 1e-9), vec![0]);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let g = path(3);
+        let adj = g.adjacency();
+        let e = ExplicitBeliefs::new(4, 2);
+        let h = CouplingMatrix::fig1a().unwrap();
+        assert!(matches!(
+            bp(&adj, &e, h.raw(), &BpOptions::default()),
+            Err(BpError::DimensionMismatch)
+        ));
+        let e3 = ExplicitBeliefs::new(3, 3);
+        assert!(matches!(
+            bp(&adj, &e3, h.raw(), &BpOptions::default()),
+            Err(BpError::CouplingArityMismatch)
+        ));
+    }
+
+    /// Fixed-iteration timing mode: tol = 0 runs exactly max_iter rounds.
+    #[test]
+    fn timing_mode_runs_all_rounds() {
+        let g = path(4);
+        let adj = g.adjacency();
+        let e = explicit_path(4);
+        let h = CouplingMatrix::fig1a().unwrap();
+        let r = bp(&adj, &e, h.raw(), &BpOptions { max_iter: 5, tol: 0.0, ..Default::default() })
+            .unwrap();
+        assert_eq!(r.iterations, 5);
+        assert!(!r.converged);
+    }
+
+    /// Naive (quadratic) product mode computes the same messages as the
+    /// cached (divide) mode.
+    #[test]
+    fn naive_products_match_cached() {
+        let g = lsbp_graph::generators::erdos_renyi_gnm(25, 60, 4);
+        let adj = g.adjacency();
+        let mut e = ExplicitBeliefs::new(25, 3);
+        e.set_residual(0, &[0.1, -0.04, -0.06]).unwrap();
+        e.set_residual(13, &[-0.05, 0.1, -0.05]).unwrap();
+        let h = CouplingMatrix::fig1c().unwrap().raw_at_scale(0.4);
+        let fast = bp(&adj, &e, &h, &BpOptions::default()).unwrap();
+        let naive =
+            bp(&adj, &e, &h, &BpOptions { naive_products: true, ..Default::default() }).unwrap();
+        assert_eq!(fast.converged, naive.converged);
+        assert!(fast.beliefs.residual().max_abs_diff(naive.beliefs.residual()) < 1e-9);
+    }
+
+    /// Damping preserves the fixed point: a converged run with and without
+    /// damping lands on the same beliefs.
+    #[test]
+    fn damping_same_fixed_point() {
+        let g = cycle(6);
+        let adj = g.adjacency();
+        let e = explicit_path(6);
+        let h = CouplingMatrix::fig1a().unwrap();
+        let plain = bp(&adj, &e, h.raw(), &BpOptions::default()).unwrap();
+        let damped = bp(
+            &adj,
+            &e,
+            h.raw(),
+            &BpOptions { damping: 0.3, max_iter: 500, ..Default::default() },
+        )
+        .unwrap();
+        assert!(plain.converged && damped.converged);
+        assert!(plain.beliefs.residual().max_abs_diff(damped.beliefs.residual()) < 1e-6);
+    }
+}

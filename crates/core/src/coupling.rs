@@ -1,0 +1,306 @@
+//! Coupling ("heterophily") matrices — Fig. 1 and Sect. 2 of the paper.
+//!
+//! A coupling matrix `H` is `k × k`, **doubly stochastic** (every row and
+//! column sums to 1 — required by the linearization) and **symmetric**
+//! (follows from undirected edges). `H(j, i)` is the relative influence of
+//! class `j` of a node on class `i` of its neighbor.
+//!
+//! The linearized algorithms work with the *residual* matrix
+//! `Ĥ = H − 1/k` (centered around 1/k, Definition 3) and its scalings
+//! `Ĥ = εH · Ĥo` (Sect. 6.2): the relative structure `Ĥo` is fixed while
+//! the absolute scale `εH` controls convergence and the SBP limit.
+
+use lsbp_linalg::Mat;
+
+/// Validation errors for coupling matrices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CouplingError {
+    /// The matrix is not square or is empty.
+    NotSquare,
+    /// A row or column does not sum to 1 (raw form) or 0 (residual form).
+    NotStochastic,
+    /// The matrix is not symmetric.
+    NotSymmetric,
+}
+
+impl std::fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CouplingError::NotSquare => write!(f, "coupling matrix must be square and non-empty"),
+            CouplingError::NotStochastic => {
+                write!(f, "coupling matrix must be doubly stochastic (rows/columns sum to 1)")
+            }
+            CouplingError::NotSymmetric => write!(f, "coupling matrix must be symmetric"),
+        }
+    }
+}
+
+impl std::error::Error for CouplingError {}
+
+const STOCHASTIC_TOL: f64 = 1e-9;
+
+/// A validated coupling matrix, stored in raw (doubly stochastic) form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CouplingMatrix {
+    raw: Mat,
+}
+
+impl CouplingMatrix {
+    /// Validates and wraps a raw doubly-stochastic symmetric matrix.
+    pub fn new(raw: Mat) -> Result<Self, CouplingError> {
+        if !raw.is_square() || raw.rows() == 0 {
+            return Err(CouplingError::NotSquare);
+        }
+        let k = raw.rows();
+        for r in 0..k {
+            if (raw.row(r).iter().sum::<f64>() - 1.0).abs() > STOCHASTIC_TOL {
+                return Err(CouplingError::NotStochastic);
+            }
+        }
+        for c in 0..k {
+            if (raw.col(c).iter().sum::<f64>() - 1.0).abs() > STOCHASTIC_TOL {
+                return Err(CouplingError::NotStochastic);
+            }
+        }
+        if !raw.is_symmetric(STOCHASTIC_TOL) {
+            return Err(CouplingError::NotSymmetric);
+        }
+        Ok(Self { raw })
+    }
+
+    /// Builds a coupling matrix from an *unscaled residual* matrix `Ĥo`
+    /// (rows/columns summing to 0, symmetric) at scale `eps`:
+    /// `H = 1/k + eps · Ĥo`. Fails if the result would not be a valid raw
+    /// coupling matrix (e.g. rows not summing to 0).
+    pub fn from_residual(residual: &Mat, eps: f64) -> Result<Self, CouplingError> {
+        if !residual.is_square() || residual.rows() == 0 {
+            return Err(CouplingError::NotSquare);
+        }
+        let k = residual.rows();
+        for r in 0..k {
+            if residual.row(r).iter().sum::<f64>().abs() > STOCHASTIC_TOL {
+                return Err(CouplingError::NotStochastic);
+            }
+        }
+        let raw = Mat::from_fn(k, k, |r, c| 1.0 / k as f64 + eps * residual[(r, c)]);
+        Self::new(raw)
+    }
+
+    /// Number of classes `k`.
+    pub fn k(&self) -> usize {
+        self.raw.rows()
+    }
+
+    /// The raw doubly-stochastic matrix `H`.
+    pub fn raw(&self) -> &Mat {
+        &self.raw
+    }
+
+    /// The residual matrix `Ĥ = H − 1/k` (Definition 3).
+    pub fn residual(&self) -> Mat {
+        let k = self.k() as f64;
+        Mat::from_fn(self.k(), self.k(), |r, c| self.raw[(r, c)] - 1.0 / k)
+    }
+
+    /// The scaled residual `εH · Ĥ` used to sweep coupling strength
+    /// (Sect. 6.2). With this convention `self` plays the role of the
+    /// *unscaled* matrix: `scaled_residual(1.0) == residual()`.
+    pub fn scaled_residual(&self, eps: f64) -> Mat {
+        self.residual().scale(eps)
+    }
+
+    /// The raw coupling matrix at residual scale `eps`:
+    /// `H(ε) = 1/k + ε·Ĥ`. This is what standard BP consumes when sweeping
+    /// εH. Entries can leave `[0, 1]` for large `eps`; BP requires
+    /// positivity, so callers should respect [`CouplingMatrix::max_positive_eps`].
+    pub fn raw_at_scale(&self, eps: f64) -> Mat {
+        let k = self.k() as f64;
+        let res = self.residual();
+        Mat::from_fn(self.k(), self.k(), |r, c| 1.0 / k + eps * res[(r, c)])
+    }
+
+    /// Largest `eps` keeping every entry of `raw_at_scale(eps)` strictly
+    /// positive (BP's potentials must be positive).
+    pub fn max_positive_eps(&self) -> f64 {
+        let k = self.k() as f64;
+        let res = self.residual();
+        let mut worst = f64::INFINITY;
+        for r in 0..self.k() {
+            for c in 0..self.k() {
+                let h = res[(r, c)];
+                if h < 0.0 {
+                    worst = worst.min((1.0 / k) / (-h));
+                }
+            }
+        }
+        worst
+    }
+
+    // ---------------------------------------------------------------
+    // Presets from the paper.
+    // ---------------------------------------------------------------
+
+    /// Fig. 1a: binary homophily (Democrats/Republicans),
+    /// `[[0.8, 0.2], [0.2, 0.8]]`.
+    pub fn fig1a() -> Result<Self, CouplingError> {
+        Self::new(Mat::from_rows(&[&[0.8, 0.2], &[0.2, 0.8]]))
+    }
+
+    /// Fig. 1b: binary heterophily (Talkative/Silent),
+    /// `[[0.3, 0.7], [0.7, 0.3]]`.
+    pub fn fig1b() -> Result<Self, CouplingError> {
+        Self::new(Mat::from_rows(&[&[0.3, 0.7], &[0.7, 0.3]]))
+    }
+
+    /// Fig. 1c: the general 3-class case (Honest/Accomplice/Fraudster),
+    /// `[[0.6, 0.3, 0.1], [0.3, 0.0, 0.7], [0.1, 0.7, 0.2]]` — mixes
+    /// homophily (H–H) with heterophily (A–F).
+    pub fn fig1c() -> Result<Self, CouplingError> {
+        Self::new(Mat::from_rows(&[&[0.6, 0.3, 0.1], &[0.3, 0.0, 0.7], &[0.1, 0.7, 0.2]]))
+    }
+
+    /// `k`-class homophily: diagonal `p`, off-diagonal `(1−p)/(k−1)`.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2` and `p ∈ (1/k, 1]` (below 1/k it would be
+    /// heterophily; use [`CouplingMatrix::heterophily`]).
+    pub fn homophily(k: usize, p: f64) -> Result<Self, CouplingError> {
+        assert!(k >= 2, "homophily needs at least two classes");
+        assert!(p > 1.0 / k as f64 && p <= 1.0, "diagonal must exceed 1/k");
+        let off = (1.0 - p) / (k as f64 - 1.0);
+        Self::new(Mat::from_fn(k, k, |r, c| if r == c { p } else { off }))
+    }
+
+    /// `k`-class heterophily: diagonal `p < 1/k`, off-diagonal
+    /// `(1−p)/(k−1)`.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2` and `p ∈ [0, 1/k)`.
+    pub fn heterophily(k: usize, p: f64) -> Result<Self, CouplingError> {
+        assert!(k >= 2, "heterophily needs at least two classes");
+        assert!((0.0..1.0 / k as f64).contains(&p), "diagonal must be below 1/k");
+        let off = (1.0 - p) / (k as f64 - 1.0);
+        Self::new(Mat::from_fn(k, k, |r, c| if r == c { p } else { off }))
+    }
+
+    /// The unscaled residual matrix `Ĥo` of Fig. 6b (the synthetic-data
+    /// experiments): `[[10, −4, −6], [−4, 7, −3], [−6, −3, 9]]`.
+    /// Returned as a residual (rows sum to 0); pair with
+    /// [`CouplingMatrix::from_residual`] / εH-scaling as the experiments do.
+    pub fn fig6b_residual() -> Mat {
+        Mat::from_rows(&[&[10.0, -4.0, -6.0], &[-4.0, 7.0, -3.0], &[-6.0, -3.0, 9.0]])
+    }
+
+    /// The unscaled residual matrix of Fig. 11a (the DBLP experiment):
+    /// 4-class homophily `diag 6, off −2`.
+    pub fn fig11a_residual() -> Mat {
+        Mat::from_fn(4, 4, |r, c| if r == c { 6.0 } else { -2.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for m in [CouplingMatrix::fig1a(), CouplingMatrix::fig1b(), CouplingMatrix::fig1c()] {
+            assert!(m.is_ok());
+        }
+        assert_eq!(CouplingMatrix::fig1c().unwrap().k(), 3);
+    }
+
+    #[test]
+    fn residual_rows_and_cols_sum_to_zero() {
+        let h = CouplingMatrix::fig1c().unwrap();
+        let res = h.residual();
+        for r in 0..3 {
+            assert!(res.row(r).iter().sum::<f64>().abs() < 1e-12);
+            assert!(res.col(r).iter().sum::<f64>().abs() < 1e-12);
+        }
+        // Example 20: Ĥo(0,0) = 0.6 − 1/3.
+        assert!((res[(0, 0)] - (0.6 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_stochastic() {
+        let m = Mat::from_rows(&[&[0.9, 0.2], &[0.2, 0.8]]);
+        assert_eq!(CouplingMatrix::new(m), Err(CouplingError::NotStochastic));
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        // Doubly stochastic but not symmetric.
+        let m = Mat::from_rows(&[
+            &[0.5, 0.3, 0.2],
+            &[0.2, 0.5, 0.3],
+            &[0.3, 0.2, 0.5],
+        ]);
+        assert_eq!(CouplingMatrix::new(m), Err(CouplingError::NotSymmetric));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert_eq!(CouplingMatrix::new(Mat::zeros(2, 3)), Err(CouplingError::NotSquare));
+        assert_eq!(CouplingMatrix::new(Mat::zeros(0, 0)), Err(CouplingError::NotSquare));
+    }
+
+    #[test]
+    fn scaled_residual_scales_linearly() {
+        let h = CouplingMatrix::fig1a().unwrap();
+        let r1 = h.scaled_residual(1.0);
+        let r2 = h.scaled_residual(0.5);
+        assert!((r1[(0, 0)] - 0.3).abs() < 1e-12);
+        assert!((r2[(0, 0)] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_residual_round_trip() {
+        let ho = CouplingMatrix::fig6b_residual();
+        let eps = 0.01;
+        let h = CouplingMatrix::from_residual(&ho, eps).unwrap();
+        let back = h.residual();
+        let expect = ho.scale(eps);
+        assert!(back.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn from_residual_rejects_uncentered() {
+        let bad = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(
+            CouplingMatrix::from_residual(&bad, 0.1),
+            Err(CouplingError::NotStochastic)
+        );
+    }
+
+    #[test]
+    fn homophily_heterophily_builders() {
+        let hom = CouplingMatrix::homophily(4, 0.7).unwrap();
+        assert!((hom.raw()[(0, 0)] - 0.7).abs() < 1e-12);
+        assert!((hom.raw()[(0, 1)] - 0.1).abs() < 1e-12);
+        let het = CouplingMatrix::heterophily(2, 0.3).unwrap();
+        assert_eq!(het.raw(), CouplingMatrix::fig1b().unwrap().raw());
+    }
+
+    #[test]
+    fn max_positive_eps_fig6b() {
+        let h = CouplingMatrix::from_residual(&CouplingMatrix::fig6b_residual(), 0.001).unwrap();
+        // Residual at eps has entries 0.001·(−6) = −0.006; positivity bound
+        // of the *unit-scale* residual: (1/3)/6 ≈ 0.0556 relative to Ĥo.
+        let unit = CouplingMatrix::from_residual(&CouplingMatrix::fig6b_residual(), 0.01).unwrap();
+        let eps_max = unit.max_positive_eps();
+        assert!(eps_max > 0.0);
+        // fig1c: most negative residual is 0.0 − 1/3 → eps_max = 1.
+        let fig1c = CouplingMatrix::fig1c().unwrap();
+        assert!((fig1c.max_positive_eps() - 1.0).abs() < 1e-9);
+        let _ = h;
+    }
+
+    #[test]
+    fn fig11a_residual_centered() {
+        let m = CouplingMatrix::fig11a_residual();
+        for r in 0..4 {
+            assert!(m.row(r).iter().sum::<f64>().abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! LinBP and LinBP\* — the paper's core contribution (Theorem 4).
+//!
+//! Iterative updates (Eqs. 6/7):
+//!
+//! ```text
+//! B̂(l+1) ← Ê + A·B̂(l)·Ĥ − D·B̂(l)·Ĥ²      (LinBP — with echo cancellation)
+//! B̂(l+1) ← Ê + A·B̂(l)·Ĥ                   (LinBP* — without)
+//! ```
+//!
+//! where `A` is the (weighted) adjacency matrix, `D = diag(d)` with
+//! `d_s = Σ_t w(s,t)²` (Sect. 5.2) and `Ĥ` is the *scaled residual*
+//! coupling matrix. Beliefs are computed directly from beliefs — no
+//! messages — which is exactly why a LinBP iteration is one sparse
+//! matrix × dense matrix product (`O(nnz·k + n·k²)`).
+//!
+//! Convergence is governed by Lemma 8 (ρ(Ĥ⊗A − Ĥ²⊗D) < 1); the iterative
+//! process here reports divergence when belief magnitudes blow past a
+//! guard threshold.
+
+use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
+use lsbp_linalg::Mat;
+use lsbp_sparse::CsrMatrix;
+
+/// Options for [`linbp`] / [`linbp_star`].
+#[derive(Clone, Copy, Debug)]
+pub struct LinBpOptions {
+    /// Maximum number of update rounds.
+    pub max_iter: usize,
+    /// Convergence threshold on the largest absolute belief change; 0.0
+    /// runs exactly `max_iter` rounds (timing mode, like the paper's 5).
+    pub tol: f64,
+    /// Belief magnitude beyond which the run is declared divergent.
+    pub divergence_guard: f64,
+}
+
+impl Default for LinBpOptions {
+    fn default() -> Self {
+        Self { max_iter: 200, tol: 1e-12, divergence_guard: 1e12 }
+    }
+}
+
+/// Result of a LinBP/LinBP\* run.
+#[derive(Clone, Debug)]
+pub struct LinBpResult {
+    /// Final residual beliefs `B̂`.
+    pub beliefs: BeliefMatrix,
+    /// Whether the update met `tol` before `max_iter`.
+    pub converged: bool,
+    /// `true` when the divergence guard tripped (spectral radius ≥ 1).
+    pub diverged: bool,
+    /// Rounds executed.
+    pub iterations: usize,
+    /// Largest absolute belief change in the final round.
+    pub final_delta: f64,
+}
+
+/// Errors from the LinBP family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinBpError {
+    /// Adjacency and explicit-belief node counts differ.
+    DimensionMismatch,
+    /// Residual coupling arity differs from the beliefs' `k`.
+    CouplingArityMismatch,
+}
+
+impl std::fmt::Display for LinBpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinBpError::DimensionMismatch => write!(f, "adjacency/beliefs node count mismatch"),
+            LinBpError::CouplingArityMismatch => write!(f, "coupling arity mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinBpError {}
+
+/// Runs **LinBP** (Eq. 6, with echo cancellation).
+///
+/// `h_residual` is the scaled residual coupling matrix `Ĥ = εH·Ĥo`.
+pub fn linbp(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<LinBpResult, LinBpError> {
+    run(adj, explicit, h_residual, opts, true)
+}
+
+/// Runs **LinBP\*** (Eq. 7, echo cancellation dropped).
+pub fn linbp_star(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<LinBpResult, LinBpError> {
+    run(adj, explicit, h_residual, opts, false)
+}
+
+/// Applies one update step `out = Ê + A·B·Ĥ [− D·B·Ĥ²]`, re-using the
+/// provided scratch matrix for the SpMM result. Exposed for the per-
+/// iteration instrumentation of Fig. 7d and the closed-form Jacobi solver.
+#[allow(clippy::too_many_arguments)] // mirrors the terms of Eq. 6 one-to-one
+pub fn linbp_step(
+    adj: &CsrMatrix,
+    e_hat: &Mat,
+    b: &Mat,
+    h: &Mat,
+    h2: Option<&Mat>,
+    degrees: &[f64],
+    scratch: &mut Mat,
+    out: &mut Mat,
+) {
+    // scratch = A·B   (n×k);   out = Ê + scratch·Ĥ
+    adj.spmm_into(b, scratch);
+    *out = scratch.matmul(h);
+    out.add_assign(e_hat);
+    if let Some(h2) = h2 {
+        // out -= (D·B)·Ĥ²  — row s of D·B is d_s · b_s.
+        let db = Mat::from_fn(b.rows(), b.cols(), |r, c| degrees[r] * b[(r, c)]);
+        out.sub_assign(&db.matmul(h2));
+    }
+}
+
+fn run(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+) -> Result<LinBpResult, LinBpError> {
+    let n = explicit.n();
+    let k = explicit.k();
+    if adj.n_rows() != n || adj.n_cols() != n {
+        return Err(LinBpError::DimensionMismatch);
+    }
+    if h_residual.rows() != k || h_residual.cols() != k {
+        return Err(LinBpError::CouplingArityMismatch);
+    }
+
+    let e_hat = explicit.residual_matrix();
+    let h2 = if echo { Some(h_residual.matmul(h_residual)) } else { None };
+    let degrees = if echo { adj.squared_weight_degrees() } else { vec![0.0; n] };
+
+    // B̂(0) = Ê (starting from the explicit beliefs, like Algorithm 1).
+    let mut b = e_hat.clone();
+    let mut next = Mat::zeros(n, k);
+    let mut scratch = Mat::zeros(n, k);
+
+    let mut converged = false;
+    let mut diverged = false;
+    let mut iterations = 0;
+    let mut final_delta = f64::INFINITY;
+    for _ in 0..opts.max_iter {
+        iterations += 1;
+        linbp_step(adj, e_hat, &b, h_residual, h2.as_ref(), &degrees, &mut scratch, &mut next);
+        final_delta = next.max_abs_diff(&b);
+        std::mem::swap(&mut b, &mut next);
+        if b.max_abs() > opts.divergence_guard || !final_delta.is_finite() {
+            diverged = true;
+            break;
+        }
+        if opts.tol > 0.0 && final_delta < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(LinBpResult {
+        beliefs: BeliefMatrix::from_mat(b),
+        converged,
+        diverged,
+        iterations,
+        final_delta,
+    })
+}
+
+/// Incremental LinBP under explicit-belief changes — the Sect. 8 "future
+/// work" item (LINVIEW-style maintenance), solved here by linearity:
+///
+/// Since `vec(B̂) = (I − M)⁻¹·vec(Ê)` is *linear* in `Ê` (Proposition 7),
+/// a change `Ê → Ê + ΔÊ` changes the solution by exactly the LinBP
+/// fixpoint of `ΔÊ` alone:
+///
+/// ```text
+/// B̂(Ê + ΔÊ) = B̂(Ê) + B̂(ΔÊ)
+/// ```
+///
+/// So the update runs LinBP with the (typically very sparse) delta as the
+/// only explicit beliefs and adds the result onto the previous beliefs —
+/// no recomputation of the full system, and updates compose/commute. The
+/// convergence criteria are unchanged (they depend only on `A` and `Ĥ`).
+///
+/// Note the contrast with ΔSBP (Algorithm 3): SBP needs bookkeeping
+/// (geodesic numbers) because its semantics is non-linear in the label
+/// *set*; LinBP's linearity makes incremental maintenance exact and
+/// stateless.
+pub fn linbp_update(
+    adj: &CsrMatrix,
+    previous: &BeliefMatrix,
+    delta_explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+) -> Result<LinBpResult, LinBpError> {
+    if previous.n() != delta_explicit.n() || previous.k() != delta_explicit.k() {
+        return Err(LinBpError::DimensionMismatch);
+    }
+    let delta_run = run(adj, delta_explicit, h_residual, opts, echo)?;
+    if delta_run.diverged {
+        return Ok(delta_run);
+    }
+    let mut updated = previous.residual().clone();
+    updated.add_assign(delta_run.beliefs.residual());
+    Ok(LinBpResult { beliefs: BeliefMatrix::from_mat(updated), ..delta_run })
+}
+
+/// The binary-case (`k = 2`) reduction of Appendix E: LinBP specializes to
+/// the FABP-style scalar system
+/// `b̂ = (I − c₁·A + c₂·D)⁻¹ ê` with `c₁ = 2ĥ/(1−4ĥ²)`, `c₂ = 4ĥ²/(1−4ĥ²)`,
+/// where `ĥ` is the scalar residual (`Ĥ = [[ĥ, −ĥ], [−ĥ, ĥ]]`) and `b̂`/`ê`
+/// hold the first belief dimension per node.
+pub mod binary {
+    /// The coefficients `(c₁, c₂)` of the Appendix E scalar system.
+    pub fn fabp_coefficients(h_hat: f64) -> (f64, f64) {
+        let denom = 1.0 - 4.0 * h_hat * h_hat;
+        (2.0 * h_hat / denom, 4.0 * h_hat * h_hat / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coupling::CouplingMatrix;
+    use lsbp_graph::generators::{cycle, fig5c_torus, path};
+
+    fn seed(n: usize, k: usize) -> ExplicitBeliefs {
+        let mut e = ExplicitBeliefs::new(n, k);
+        e.set_label(0, 0, 0.1).unwrap();
+        e
+    }
+
+    #[test]
+    fn converges_on_path_homophily() {
+        let adj = path(6).adjacency();
+        let e = seed(6, 2);
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.2);
+        let r = linbp(&adj, &e, &h, &LinBpOptions::default()).unwrap();
+        assert!(r.converged && !r.diverged);
+        for v in 0..6 {
+            assert_eq!(r.beliefs.top_beliefs(v, 1e-9), vec![0], "node {v}");
+        }
+    }
+
+    #[test]
+    fn heterophily_alternates() {
+        let adj = path(4).adjacency();
+        let e = seed(4, 2);
+        let h = CouplingMatrix::fig1b().unwrap().scaled_residual(0.2);
+        let r = linbp(&adj, &e, &h, &LinBpOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.beliefs.top_beliefs(0, 1e-9), vec![0]);
+        assert_eq!(r.beliefs.top_beliefs(1, 1e-9), vec![1]);
+        assert_eq!(r.beliefs.top_beliefs(2, 1e-9), vec![0]);
+        assert_eq!(r.beliefs.top_beliefs(3, 1e-9), vec![1]);
+    }
+
+    /// The fixed point satisfies the implicit equation
+    /// `B̂ = Ê + A·B̂·Ĥ − D·B̂·Ĥ²` (Eq. 4).
+    #[test]
+    fn fixed_point_satisfies_equation() {
+        let adj = fig5c_torus().adjacency();
+        let mut e = ExplicitBeliefs::new(8, 3);
+        e.set_residual(0, &[2.0, -1.0, -1.0]).unwrap();
+        e.set_residual(1, &[-1.0, 2.0, -1.0]).unwrap();
+        e.set_residual(2, &[-1.0, -1.0, 2.0]).unwrap();
+        let coupling = CouplingMatrix::fig1c().unwrap();
+        let h = coupling.scaled_residual(0.2);
+        let r = linbp(&adj, &e, &h, &LinBpOptions { max_iter: 2000, ..Default::default() })
+            .unwrap();
+        assert!(r.converged);
+        let b = r.beliefs.residual();
+        // Recompute the RHS and compare.
+        let h2 = h.matmul(&h);
+        let degrees = adj.squared_weight_degrees();
+        let mut scratch = Mat::zeros(8, 3);
+        let mut rhs = Mat::zeros(8, 3);
+        linbp_step(&adj, e.residual_matrix(), b, &h, Some(&h2), &degrees, &mut scratch, &mut rhs);
+        assert!(b.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    /// Above the spectral threshold, LinBP diverges and says so.
+    #[test]
+    fn divergence_detected() {
+        let adj = cycle(8).adjacency();
+        let e = seed(8, 2);
+        // ρ(A) = 2 for a cycle; residual fig1a at scale 1.0 has ρ(Ĥ) = 0.6
+        // → ρ = 1.2 > 1: must diverge.
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(1.0);
+        let r = linbp_star(&adj, &e, &h, &LinBpOptions { max_iter: 2000, ..Default::default() })
+            .unwrap();
+        assert!(r.diverged);
+        assert!(!r.converged);
+    }
+
+    /// Lemma 12: scaling Ê scales B̂ linearly.
+    #[test]
+    fn scaling_explicit_scales_beliefs() {
+        let adj = path(5).adjacency();
+        let e = seed(5, 2);
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.2);
+        let opts = LinBpOptions { max_iter: 5000, tol: 1e-14, ..Default::default() };
+        let r1 = linbp(&adj, &e, &h, &opts).unwrap();
+        let r2 = linbp(&adj, &e.scaled(7.0), &h, &opts).unwrap();
+        let scaled = r1.beliefs.residual().scale(7.0);
+        assert!(scaled.max_abs_diff(r2.beliefs.residual()) < 1e-8);
+    }
+
+    /// LinBP* equals LinBP with the echo term removed: on a star graph with
+    /// tiny εH both give nearly identical labels but different magnitudes.
+    #[test]
+    fn star_vs_echo_differ_in_magnitude() {
+        let adj = lsbp_graph::generators::star(6).adjacency();
+        let e = seed(6, 2);
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.2);
+        let with_echo = linbp(&adj, &e, &h, &LinBpOptions::default()).unwrap();
+        let without = linbp_star(&adj, &e, &h, &LinBpOptions::default()).unwrap();
+        assert!(with_echo.converged && without.converged);
+        assert!(
+            with_echo.beliefs.residual().max_abs_diff(without.beliefs.residual()) > 1e-9,
+            "echo cancellation must change magnitudes"
+        );
+        assert_eq!(
+            with_echo.beliefs.top_belief_assignment(1e-9),
+            without.beliefs.top_belief_assignment(1e-9)
+        );
+    }
+
+    #[test]
+    fn timing_mode_runs_fixed_rounds() {
+        let adj = path(4).adjacency();
+        let e = seed(4, 2);
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.1);
+        let r = linbp(&adj, &e, &h, &LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() })
+            .unwrap();
+        assert_eq!(r.iterations, 5);
+    }
+
+    #[test]
+    fn error_cases() {
+        let adj = path(3).adjacency();
+        let e = ExplicitBeliefs::new(4, 2);
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.1);
+        assert!(matches!(
+            linbp(&adj, &e, &h, &LinBpOptions::default()),
+            Err(LinBpError::DimensionMismatch)
+        ));
+        let e3 = ExplicitBeliefs::new(3, 3);
+        assert!(matches!(
+            linbp(&adj, &e3, &h, &LinBpOptions::default()),
+            Err(LinBpError::CouplingArityMismatch)
+        ));
+    }
+
+    /// Weighted graphs: a heavier edge pulls the label harder (Sect. 5.2).
+    #[test]
+    fn weighted_edges_scale_influence() {
+        // Node 1 is connected to seeds 0 (weight 3) and 2 (weight 1) with
+        // opposite labels; the heavier neighbor wins.
+        let mut g = lsbp_graph::Graph::new(3);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(1, 2, 1.0);
+        let adj = g.adjacency();
+        let mut e = ExplicitBeliefs::new(3, 2);
+        e.set_label(0, 0, 0.1).unwrap();
+        e.set_label(2, 1, 0.1).unwrap();
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.05);
+        let r = linbp(&adj, &e, &h, &LinBpOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.beliefs.top_beliefs(1, 1e-9), vec![0]);
+    }
+
+    /// Incremental LinBP (linearity) equals recomputation from scratch.
+    #[test]
+    fn incremental_update_matches_scratch() {
+        let adj = lsbp_graph::generators::erdos_renyi_gnm(40, 100, 6).adjacency();
+        let coupling = CouplingMatrix::fig1c().unwrap();
+        let h = coupling.scaled_residual(0.03);
+        let opts = LinBpOptions { max_iter: 50_000, tol: 1e-14, ..Default::default() };
+        let mut base = ExplicitBeliefs::new(40, 3);
+        base.set_label(0, 0, 1.0).unwrap();
+        base.set_label(9, 1, 1.0).unwrap();
+        let prev = linbp(&adj, &base, &h, &opts).unwrap();
+        assert!(prev.converged);
+
+        // Delta: one new label + one label *change* (expressed as the
+        // residual difference new − old).
+        let mut delta = ExplicitBeliefs::new(40, 3);
+        delta.set_label(25, 2, 1.0).unwrap();
+        let old_row: Vec<f64> = base.row(9).to_vec();
+        let new_row = crate::beliefs::centered_one_hot(3, 2, 1.0);
+        let diff: Vec<f64> = new_row.iter().zip(&old_row).map(|(n, o)| n - o).collect();
+        delta.set_residual(9, &diff).unwrap();
+
+        let incremental =
+            linbp_update(&adj, &prev.beliefs, &delta, &h, &opts, true).unwrap();
+
+        let mut full = base.clone();
+        full.set_label(25, 2, 1.0).unwrap();
+        full.set_label(9, 2, 1.0).unwrap();
+        let scratch = linbp(&adj, &full, &h, &opts).unwrap();
+        assert!(
+            incremental.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-9
+        );
+    }
+
+    /// Incremental updates compose: applying two deltas sequentially equals
+    /// applying their sum.
+    #[test]
+    fn incremental_updates_compose() {
+        let adj = lsbp_graph::generators::grid_2d(5, 5).adjacency();
+        let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.1);
+        let opts = LinBpOptions { max_iter: 50_000, tol: 1e-14, ..Default::default() };
+        let base = ExplicitBeliefs::new(25, 2);
+        let prev = linbp(&adj, &base, &h, &opts).unwrap();
+        let mut d1 = ExplicitBeliefs::new(25, 2);
+        d1.set_label(3, 0, 1.0).unwrap();
+        let mut d2 = ExplicitBeliefs::new(25, 2);
+        d2.set_label(21, 1, 1.0).unwrap();
+        let seq = {
+            let s1 = linbp_update(&adj, &prev.beliefs, &d1, &h, &opts, true).unwrap();
+            linbp_update(&adj, &s1.beliefs, &d2, &h, &opts, true).unwrap()
+        };
+        let mut both = ExplicitBeliefs::new(25, 2);
+        both.set_label(3, 0, 1.0).unwrap();
+        both.set_label(21, 1, 1.0).unwrap();
+        let combined = linbp_update(&adj, &prev.beliefs, &both, &h, &opts, true).unwrap();
+        assert!(
+            seq.beliefs.residual().max_abs_diff(combined.beliefs.residual()) < 1e-9
+        );
+    }
+
+    #[test]
+    fn binary_coefficients() {
+        let (c1, c2) = binary::fabp_coefficients(0.1);
+        assert!((c1 - 0.2 / 0.96).abs() < 1e-12);
+        assert!((c2 - 0.04 / 0.96).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Classification-quality metrics (Sect. 7, "Measuring classification
+//! quality").
+//!
+//! Top-belief assignments are *sets* per node (ties allowed). Given a
+//! ground-truth method GT and a comparison method O with belief sets
+//! `B_GT` and `B_O` over all (node, class) pairs:
+//!
+//! * recall `r = |B_GT ∩ B_O| / |B_GT|`,
+//! * precision `p = |B_GT ∩ B_O| / |B_O|`,
+//! * "accuracy" (the paper's term) = F1 = harmonic mean of p and r.
+//!
+//! This set semantics naturally penalizes spurious ties (they hurt
+//! precision) and missed ties (they hurt recall) — the exact effect
+//! discussed around Fig. 7g.
+
+/// A precision/recall/F1 triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityReport {
+    /// Portion of ground-truth top beliefs recovered.
+    pub recall: f64,
+    /// Portion of reported top beliefs that are correct.
+    pub precision: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+fn intersection_size(a: &[usize], b: &[usize]) -> usize {
+    // Top-belief sets are tiny (≤ k) and sorted ascending by construction.
+    let mut count = 0;
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Precision and recall of `other` against `ground_truth` (per-node top
+/// belief sets; both from [`crate::beliefs::BeliefMatrix::top_belief_assignment`]).
+///
+/// # Panics
+/// Panics if the two assignments cover different node counts.
+pub fn precision_recall(
+    ground_truth: &[Vec<usize>],
+    other: &[Vec<usize>],
+) -> (f64, f64) {
+    assert_eq!(ground_truth.len(), other.len(), "assignments over different node sets");
+    let mut inter = 0usize;
+    let mut gt_total = 0usize;
+    let mut other_total = 0usize;
+    for (g, o) in ground_truth.iter().zip(other) {
+        inter += intersection_size(g, o);
+        gt_total += g.len();
+        other_total += o.len();
+    }
+    let recall = if gt_total == 0 { 1.0 } else { inter as f64 / gt_total as f64 };
+    let precision = if other_total == 0 { 1.0 } else { inter as f64 / other_total as f64 };
+    (precision, recall)
+}
+
+/// Like [`precision_recall`] but restricted to nodes where `mask` is true
+/// (e.g. only unlabeled nodes).
+pub fn precision_recall_masked(
+    ground_truth: &[Vec<usize>],
+    other: &[Vec<usize>],
+    mask: &[bool],
+) -> (f64, f64) {
+    assert_eq!(ground_truth.len(), other.len(), "assignments over different node sets");
+    assert_eq!(ground_truth.len(), mask.len(), "mask over different node set");
+    let gt: Vec<Vec<usize>> = ground_truth
+        .iter()
+        .zip(mask)
+        .filter(|(_, &m)| m)
+        .map(|(g, _)| g.clone())
+        .collect();
+    let ot: Vec<Vec<usize>> =
+        other.iter().zip(mask).filter(|(_, &m)| m).map(|(o, _)| o.clone()).collect();
+    precision_recall(&gt, &ot)
+}
+
+/// Harmonic mean of precision and recall.
+pub fn f1_score(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// The paper's "overall accuracy": F1 of `other` against `ground_truth`.
+pub fn accuracy(ground_truth: &[Vec<usize>], other: &[Vec<usize>]) -> f64 {
+    let (p, r) = precision_recall(ground_truth, other);
+    f1_score(p, r)
+}
+
+/// Convenience: full report in one call.
+pub fn quality(ground_truth: &[Vec<usize>], other: &[Vec<usize>]) -> QualityReport {
+    let (precision, recall) = precision_recall(ground_truth, other);
+    QualityReport { precision, recall, f1: f1_score(precision, recall) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example from Sect. 7: GT assigns {c1},{c2},{c3} to three
+    /// nodes; the comparison method assigns {c1,c2},{c2},{c2}; then
+    /// r = 2/3 and p = 2/4.
+    #[test]
+    fn paper_worked_example() {
+        let gt = vec![vec![0], vec![1], vec![2]];
+        let other = vec![vec![0, 1], vec![1], vec![1]];
+        let (p, r) = precision_recall(&gt, &other);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let a = vec![vec![0], vec![1, 2], vec![2]];
+        let (p, r) = precision_recall(&a, &a.clone());
+        assert_eq!((p, r), (1.0, 1.0));
+        assert_eq!(accuracy(&a, &a.clone()), 1.0);
+    }
+
+    #[test]
+    fn total_disagreement() {
+        let gt = vec![vec![0], vec![0]];
+        let other = vec![vec![1], vec![1]];
+        let (p, r) = precision_recall(&gt, &other);
+        assert_eq!((p, r), (0.0, 0.0));
+        assert_eq!(f1_score(p, r), 0.0);
+    }
+
+    #[test]
+    fn ties_hurt_precision_not_recall() {
+        let gt = vec![vec![0]; 4];
+        let tied = vec![vec![0, 1]; 4];
+        let (p, r) = precision_recall(&gt, &tied);
+        assert_eq!(r, 1.0);
+        assert_eq!(p, 0.5);
+        let f1 = f1_score(p, r);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_restriction() {
+        let gt = vec![vec![0], vec![1], vec![2]];
+        let other = vec![vec![1], vec![1], vec![1]]; // only node 1 agrees
+        let mask = vec![false, true, false];
+        let (p, r) = precision_recall_masked(&gt, &other, &mask);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (p, r) = precision_recall(&[], &[]);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different node sets")]
+    fn mismatched_lengths_panic() {
+        let _ = precision_recall(&[vec![0]], &[]);
+    }
+
+    #[test]
+    fn intersection_of_sorted_sets() {
+        assert_eq!(intersection_size(&[0, 2, 5], &[1, 2, 5]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[3], &[3]), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Textbook graphs with known spectra and geodesics — the backbone of the
+//! unit and property tests (paths and stars are trees, so BP is exact on
+//! them; cycles are the minimal loopy case).
+
+use crate::graph::Graph;
+
+/// Path graph `P_n`: 0–1–2–…–(n−1).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        g.add_edge_unweighted(i - 1, i);
+    }
+    g
+}
+
+/// Cycle graph `C_n` (requires `n ≥ 3`).
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge_unweighted(n - 1, 0);
+    g
+}
+
+/// Star `K_{1,n−1}`: node 0 is the hub.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        g.add_edge_unweighted(0, i);
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge_unweighted(i, j);
+        }
+    }
+    g
+}
+
+/// `rows × cols` 2-D grid (no wraparound). Node `(r, c)` is `r·cols + c`.
+pub fn grid_2d(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::with_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge_unweighted(v, v + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge_unweighted(v, v + cols);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_components(), 1);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).num_edges(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_spectral_radius_two() {
+        let rho = cycle(7).adjacency().spectral_radius();
+        assert!((rho - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_spectral_radius() {
+        // ρ(K_{1,n−1}) = √(n−1).
+        let rho = star(10).adjacency().spectral_radius();
+        assert!((rho - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        let rho = g.adjacency().spectral_radius();
+        assert!((rho - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid_2d(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // 17
+        assert_eq!(g.num_components(), 1);
+        let a = g.adjacency();
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(0, 4), 1.0);
+        assert_eq!(a.get(0, 5), 0.0);
+    }
+}

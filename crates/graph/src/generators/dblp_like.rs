@@ -1,0 +1,266 @@
+//! Synthetic heterogeneous bibliographic network ("DBLP-like").
+//!
+//! The paper's Appendix F.2 experiment uses a DBLP subset from Ji et al.
+//! (reference \[20\] in the paper): 36,138 nodes (papers, authors, conferences, terms), 341,564
+//! directed edges, 4 classes (AI, DB, DM, IR), 10.4% explicitly labeled.
+//! That data set is not shipped here, so this generator produces a network
+//! of the same *shape*: papers connect to their authors, one conference
+//! and their title terms; every entity has a ground-truth area; authors
+//! and conferences are strongly area-pure while terms are noisier —
+//! exactly the homophilous 4-class structure the experiment stresses.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What kind of entity a node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A publication (connects to authors, one conference, several terms).
+    Paper,
+    /// An author (home research area; occasionally publishes outside it).
+    Author,
+    /// A conference (belongs to exactly one area).
+    Conference,
+    /// A title term (drawn from an area-specific pool plus a shared pool).
+    Term,
+}
+
+/// Configuration for [`dblp_like`].
+#[derive(Clone, Copy, Debug)]
+pub struct DblpConfig {
+    /// Number of papers.
+    pub n_papers: usize,
+    /// Number of authors.
+    pub n_authors: usize,
+    /// Number of conferences (split evenly across areas).
+    pub n_conferences: usize,
+    /// Number of area-specific terms per area.
+    pub n_terms_per_area: usize,
+    /// Number of shared (area-agnostic) terms.
+    pub n_shared_terms: usize,
+    /// Number of research areas (classes); the paper uses 4.
+    pub n_areas: usize,
+    /// Authors per paper range (inclusive).
+    pub authors_per_paper: (usize, usize),
+    /// Terms per paper range (inclusive).
+    pub terms_per_paper: (usize, usize),
+    /// Probability that a paper's author is drawn from outside the paper's
+    /// area (cross-area collaboration noise).
+    pub cross_area_author_prob: f64,
+    /// Probability that a term of a paper is drawn from the shared pool.
+    pub shared_term_prob: f64,
+}
+
+impl Default for DblpConfig {
+    /// Sizes chosen so the default network matches the paper's DBLP subset
+    /// in node count (≈36k) and directed edge count (≈342k).
+    fn default() -> Self {
+        Self {
+            n_papers: 14_000,
+            n_authors: 14_000,
+            n_conferences: 20,
+            n_terms_per_area: 1_800,
+            n_shared_terms: 900,
+            n_areas: 4,
+            authors_per_paper: (1, 4),
+            terms_per_paper: (8, 11),
+            cross_area_author_prob: 0.08,
+            shared_term_prob: 0.25,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// A miniature variant (hundreds of nodes) for tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_papers: 120,
+            n_authors: 80,
+            n_conferences: 8,
+            n_terms_per_area: 30,
+            n_shared_terms: 20,
+            n_areas: 4,
+            authors_per_paper: (1, 3),
+            terms_per_paper: (3, 6),
+            cross_area_author_prob: 0.08,
+            shared_term_prob: 0.25,
+        }
+    }
+
+    /// Total node count implied by the configuration.
+    pub fn total_nodes(&self) -> usize {
+        self.n_papers
+            + self.n_authors
+            + self.n_conferences
+            + self.n_areas * self.n_terms_per_area
+            + self.n_shared_terms
+    }
+}
+
+/// A generated bibliographic network.
+#[derive(Clone, Debug)]
+pub struct DblpNetwork {
+    /// The (unweighted) heterogeneous graph.
+    pub graph: Graph,
+    /// Ground-truth area per node (`0 .. n_areas`). Shared terms are
+    /// assigned the area most of their papers came from.
+    pub classes: Vec<usize>,
+    /// Entity kind per node.
+    pub kinds: Vec<NodeKind>,
+}
+
+/// Generates the network. Node layout: papers, then authors, then
+/// conferences, then area terms (grouped by area), then shared terms.
+pub fn dblp_like(cfg: &DblpConfig, seed: u64) -> DblpNetwork {
+    assert!(cfg.n_areas >= 2, "need at least two areas");
+    assert!(cfg.n_conferences >= cfg.n_areas, "need at least one conference per area");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.total_nodes();
+    let paper0 = 0;
+    let author0 = paper0 + cfg.n_papers;
+    let conf0 = author0 + cfg.n_authors;
+    let term0 = conf0 + cfg.n_conferences;
+    let shared0 = term0 + cfg.n_areas * cfg.n_terms_per_area;
+
+    let mut classes = vec![0usize; n];
+    let mut kinds = vec![NodeKind::Paper; n];
+    kinds[author0..conf0].iter_mut().for_each(|k| *k = NodeKind::Author);
+    kinds[conf0..term0].iter_mut().for_each(|k| *k = NodeKind::Conference);
+    kinds[term0..n].iter_mut().for_each(|k| *k = NodeKind::Term);
+
+    // Assign areas: authors and conferences round-robin, area terms by block.
+    for (i, class) in classes[author0..conf0].iter_mut().enumerate() {
+        *class = i % cfg.n_areas;
+    }
+    for (i, class) in classes[conf0..term0].iter_mut().enumerate() {
+        *class = i % cfg.n_areas;
+    }
+    for a in 0..cfg.n_areas {
+        let start = term0 + a * cfg.n_terms_per_area;
+        classes[start..start + cfg.n_terms_per_area].iter_mut().for_each(|c| *c = a);
+    }
+
+    let avg_deg = (cfg.authors_per_paper.1 + cfg.terms_per_paper.1 + 1) * cfg.n_papers;
+    let mut g = Graph::with_capacity(n, avg_deg);
+    // Tally which area uses each shared term most, to give it a class label.
+    let mut shared_votes = vec![vec![0usize; cfg.n_areas]; cfg.n_shared_terms];
+
+    #[allow(clippy::needless_range_loop)] // p is an edge endpoint, not just an index
+    for p in 0..cfg.n_papers {
+        let area = rng.gen_range(0..cfg.n_areas);
+        classes[p] = area;
+        // Conference of the paper's area.
+        let confs_in_area: Vec<usize> =
+            (0..cfg.n_conferences).filter(|c| c % cfg.n_areas == area).collect();
+        let conf = conf0 + confs_in_area[rng.gen_range(0..confs_in_area.len())];
+        g.add_edge_unweighted(p, conf);
+        // Authors (distinct per paper).
+        let n_auth = rng.gen_range(cfg.authors_per_paper.0..=cfg.authors_per_paper.1);
+        let mut chosen = Vec::with_capacity(n_auth);
+        while chosen.len() < n_auth {
+            let a_area = if rng.gen_bool(cfg.cross_area_author_prob) {
+                rng.gen_range(0..cfg.n_areas)
+            } else {
+                area
+            };
+            // Authors of a given area occupy indices ≡ a_area (mod n_areas).
+            let per_area = cfg.n_authors / cfg.n_areas;
+            if per_area == 0 {
+                break;
+            }
+            let author = author0 + rng.gen_range(0..per_area) * cfg.n_areas + a_area;
+            if author < conf0 && !chosen.contains(&author) {
+                chosen.push(author);
+                g.add_edge_unweighted(p, author);
+            }
+        }
+        // Terms (distinct per paper).
+        let n_terms = rng.gen_range(cfg.terms_per_paper.0..=cfg.terms_per_paper.1);
+        let mut terms = Vec::with_capacity(n_terms);
+        let mut guard = 0;
+        while terms.len() < n_terms && guard < 10 * n_terms {
+            guard += 1;
+            let term = if rng.gen_bool(cfg.shared_term_prob) && cfg.n_shared_terms > 0 {
+                let t = rng.gen_range(0..cfg.n_shared_terms);
+                shared_votes[t][area] += 1;
+                shared0 + t
+            } else {
+                term0 + area * cfg.n_terms_per_area + rng.gen_range(0..cfg.n_terms_per_area)
+            };
+            if !terms.contains(&term) {
+                terms.push(term);
+                g.add_edge_unweighted(p, term);
+            }
+        }
+    }
+
+    for (t, votes) in shared_votes.iter().enumerate() {
+        let best = votes.iter().enumerate().max_by_key(|&(_, v)| *v).map_or(0, |(a, _)| a);
+        classes[shared0 + t] = best;
+    }
+
+    DblpNetwork { graph: g, classes, kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_network_shape() {
+        let net = dblp_like(&DblpConfig::tiny(), 1);
+        let cfg = DblpConfig::tiny();
+        assert_eq!(net.graph.num_nodes(), cfg.total_nodes());
+        assert_eq!(net.classes.len(), cfg.total_nodes());
+        assert_eq!(net.kinds.len(), cfg.total_nodes());
+        assert!(net.graph.num_edges() > cfg.n_papers * 4);
+        // All classes in range.
+        assert!(net.classes.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = dblp_like(&DblpConfig::tiny(), 9);
+        let b = dblp_like(&DblpConfig::tiny(), 9);
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    fn papers_only_connect_to_entities() {
+        let cfg = DblpConfig::tiny();
+        let net = dblp_like(&cfg, 2);
+        for (s, t, _) in net.graph.edges() {
+            // Every edge is incident to exactly one paper (bipartite-ish
+            // heterogeneous structure: papers never connect to papers).
+            let s_is_paper = matches!(net.kinds[s], NodeKind::Paper);
+            let t_is_paper = matches!(net.kinds[t], NodeKind::Paper);
+            assert!(s_is_paper ^ t_is_paper, "edge {s}-{t} violates star schema");
+        }
+    }
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let cfg = DblpConfig::default();
+        // ~36k nodes like the paper's 36,138.
+        let total = cfg.total_nodes();
+        assert!((30_000..45_000).contains(&total), "total = {total}");
+    }
+
+    #[test]
+    fn homophily_dominates() {
+        // Most edges connect same-class endpoints (the experiment assumes
+        // homophily, Fig. 11a).
+        let net = dblp_like(&DblpConfig::tiny(), 3);
+        let (mut same, mut diff) = (0usize, 0usize);
+        for (s, t, _) in net.graph.edges() {
+            if net.classes[s] == net.classes[t] {
+                same += 1;
+            } else {
+                diff += 1;
+            }
+        }
+        assert!(same > 2 * diff, "same={same} diff={diff}");
+    }
+}

@@ -1,0 +1,180 @@
+//! eBay-style auction fraud network (the motivating example of the
+//! paper's introduction and Fig. 1c).
+//!
+//! Three roles: honest users (H), accomplices (A) and fraudsters (F).
+//! The generative rules follow the paper's description verbatim:
+//!
+//! * honest people trade with other honest people and with accomplices,
+//! * accomplices interact with honest people (to build reputation) and
+//!   with fraudsters, but *never* with other accomplices,
+//! * fraudsters interact primarily with accomplices, forming
+//!   near-bipartite cores, and only rarely with honest people (the final
+//!   defrauding transactions).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Class index of honest users.
+pub const CLASS_HONEST: usize = 0;
+/// Class index of accomplices.
+pub const CLASS_ACCOMPLICE: usize = 1;
+/// Class index of fraudsters.
+pub const CLASS_FRAUDSTER: usize = 2;
+
+/// Configuration for [`fraud_network`].
+#[derive(Clone, Copy, Debug)]
+pub struct FraudConfig {
+    /// Number of honest users.
+    pub n_honest: usize,
+    /// Number of accomplices.
+    pub n_accomplices: usize,
+    /// Number of fraudsters.
+    pub n_fraudsters: usize,
+    /// Average trades of an honest user with other honest users.
+    pub honest_honest_deg: usize,
+    /// Average trades of an accomplice with honest users.
+    pub accomplice_honest_deg: usize,
+    /// Average trades of an accomplice with fraudsters.
+    pub accomplice_fraud_deg: usize,
+    /// Average (rare) trades of a fraudster with honest users.
+    pub fraud_honest_deg: usize,
+}
+
+impl Default for FraudConfig {
+    fn default() -> Self {
+        Self {
+            n_honest: 800,
+            n_accomplices: 120,
+            n_fraudsters: 80,
+            honest_honest_deg: 4,
+            accomplice_honest_deg: 5,
+            accomplice_fraud_deg: 4,
+            fraud_honest_deg: 1,
+        }
+    }
+}
+
+/// A generated auction network with ground-truth roles.
+#[derive(Clone, Debug)]
+pub struct FraudNetwork {
+    /// The trading graph.
+    pub graph: Graph,
+    /// Ground-truth class per node (`CLASS_HONEST` / `CLASS_ACCOMPLICE` /
+    /// `CLASS_FRAUDSTER`).
+    pub classes: Vec<usize>,
+}
+
+/// Generates the network. Node layout: honest users first, then
+/// accomplices, then fraudsters.
+pub fn fraud_network(cfg: &FraudConfig, seed: u64) -> FraudNetwork {
+    assert!(cfg.n_honest >= 2, "need at least two honest users");
+    assert!(cfg.n_accomplices >= 1 && cfg.n_fraudsters >= 1, "need both fraud roles");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.n_honest + cfg.n_accomplices + cfg.n_fraudsters;
+    let honest = 0..cfg.n_honest;
+    let acc0 = cfg.n_honest;
+    let fraud0 = cfg.n_honest + cfg.n_accomplices;
+
+    let mut classes = vec![CLASS_HONEST; n];
+    classes[acc0..fraud0].iter_mut().for_each(|c| *c = CLASS_ACCOMPLICE);
+    classes[fraud0..].iter_mut().for_each(|c| *c = CLASS_FRAUDSTER);
+
+    let mut g = Graph::new(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut add_unique = |g: &mut Graph, s: usize, t: usize| {
+        if s == t {
+            return;
+        }
+        let key = if s < t { (s, t) } else { (t, s) };
+        if seen.insert(key) {
+            g.add_edge_unweighted(s, t);
+        }
+    };
+
+    // Honest–honest trades.
+    for h in honest.clone() {
+        for _ in 0..cfg.honest_honest_deg {
+            let other = rng.gen_range(honest.clone());
+            add_unique(&mut g, h, other);
+        }
+    }
+    // Accomplices: reputation-building with honest users + fraud cores.
+    for a in acc0..fraud0 {
+        for _ in 0..cfg.accomplice_honest_deg {
+            let h = rng.gen_range(honest.clone());
+            add_unique(&mut g, a, h);
+        }
+        for _ in 0..cfg.accomplice_fraud_deg {
+            let f = fraud0 + rng.gen_range(0..cfg.n_fraudsters);
+            add_unique(&mut g, a, f);
+        }
+    }
+    // Fraudsters' rare trades with honest users (the defrauding step).
+    for f in fraud0..n {
+        for _ in 0..cfg.fraud_honest_deg {
+            let h = rng.gen_range(honest.clone());
+            add_unique(&mut g, f, h);
+        }
+    }
+
+    FraudNetwork { graph: g, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_layout() {
+        let cfg = FraudConfig { n_honest: 10, n_accomplices: 4, n_fraudsters: 3, ..Default::default() };
+        let net = fraud_network(&cfg, 0);
+        assert_eq!(net.classes.len(), 17);
+        assert_eq!(net.classes[0], CLASS_HONEST);
+        assert_eq!(net.classes[10], CLASS_ACCOMPLICE);
+        assert_eq!(net.classes[14], CLASS_FRAUDSTER);
+    }
+
+    #[test]
+    fn no_accomplice_accomplice_or_fraud_fraud_edges() {
+        let net = fraud_network(&FraudConfig::default(), 5);
+        for (s, t, _) in net.graph.edges() {
+            let (cs, ct) = (net.classes[s], net.classes[t]);
+            assert!(
+                !(cs == CLASS_ACCOMPLICE && ct == CLASS_ACCOMPLICE),
+                "accomplices never interact"
+            );
+            assert!(!(cs == CLASS_FRAUDSTER && ct == CLASS_FRAUDSTER), "fraudsters never interact");
+        }
+    }
+
+    #[test]
+    fn fraud_honest_edges_are_rare() {
+        let net = fraud_network(&FraudConfig::default(), 5);
+        let mut fh = 0usize;
+        let mut af = 0usize;
+        for (s, t, _) in net.graph.edges() {
+            let mut pair = [net.classes[s], net.classes[t]];
+            pair.sort_unstable();
+            match pair {
+                [CLASS_HONEST, CLASS_FRAUDSTER] => fh += 1,
+                [CLASS_ACCOMPLICE, CLASS_FRAUDSTER] => af += 1,
+                _ => {}
+            }
+        }
+        assert!(af > 2 * fh, "fraudsters should mostly trade with accomplices: af={af} fh={fh}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fraud_network(&FraudConfig::default(), 11);
+        let b = fraud_network(&FraudConfig::default(), 11);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    fn simple_graph() {
+        let net = fraud_network(&FraudConfig::default(), 1);
+        assert!(net.graph.is_simple());
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic graph generators for the paper's experiments.
+//!
+//! * [`torus`] — the 8-node "torus" of Fig. 5c (Example 20),
+//! * [`kronecker`] — the deterministic Kronecker graph family of Fig. 6a,
+//! * [`classic`] — paths, cycles, stars, cliques, 2-D grids (tests and
+//!   property-based invariants),
+//! * [`random`] — Erdős–Rényi G(n, m),
+//! * [`mod@dblp_like`] — the heterogeneous bibliographic network standing in
+//!   for the paper's DBLP subset (Appendix F.2),
+//! * [`fraud`] — an eBay-style honest/accomplice/fraudster network
+//!   matching the motivating example of the introduction (Fig. 1c).
+
+pub mod classic;
+pub mod dblp_like;
+pub mod fraud;
+pub mod kronecker;
+pub mod random;
+pub mod torus;
+
+pub use classic::{complete, cycle, grid_2d, path, star};
+pub use dblp_like::{dblp_like, DblpConfig, DblpNetwork, NodeKind};
+pub use fraud::{fraud_network, FraudConfig, FraudNetwork};
+pub use kronecker::{kronecker_graph, kronecker_schedule, KroneckerScale};
+pub use random::erdos_renyi_gnm;
+pub use torus::{fig5c_torus, TORUS_EXPLICIT_NODES, TORUS_N, TORUS_V4};

@@ -1,0 +1,65 @@
+//! Erdős–Rényi `G(n, m)` graphs (uniform over edge sets of size `m`).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Samples a simple undirected graph with exactly `m` distinct edges,
+/// uniformly at random, deterministically from `seed`.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(n, m);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s == t {
+            continue;
+        }
+        let key = if s < t { (s as u32, t as u32) } else { (t as u32, s as u32) };
+        if seen.insert(key) {
+            g.add_edge_unweighted(key.0 as usize, key.1 as usize);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_and_simplicity() {
+        let g = erdos_renyi_gnm(50, 120, 7);
+        assert_eq!(g.num_edges(), 120);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<_> = erdos_renyi_gnm(30, 40, 3).edges().collect();
+        let b: Vec<_> = erdos_renyi_gnm(30, 40, 3).edges().collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = erdos_renyi_gnm(30, 40, 4).edges().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_graph() {
+        let g = erdos_renyi_gnm(6, 15, 0);
+        assert_eq!(g.num_edges(), 15); // K6
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn too_many_edges_rejected() {
+        let _ = erdos_renyi_gnm(4, 7, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The 8-node "torus" of Fig. 5c / Example 20.
+//!
+//! The paper does not spell out the edge list, but Example 20 pins the
+//! graph down uniquely (up to relabeling):
+//!
+//! * ρ(A) ≈ 2.414 — i.e. exactly 1 + √2,
+//! * node v4 has geodesic number 3 with *exactly two* shortest paths from
+//!   the explicit nodes {v1, v2, v3}: `v1→v5→v8→v4` and `v3→v7→v8→v4`,
+//! * v2 is strictly further than 3 hops from v4.
+//!
+//! A brute-force search over all 8-node graphs containing the path edges
+//! (recorded in `tools/` of the repo history) leaves one graph matching
+//! all three constraints and the drawn layout: the **corona of C4** —
+//! an inner 4-cycle v5–v6–v7–v8 with one pendant on each inner node
+//! (v1→v5, v2→v6, v3→v7, v4→v8). Its spectral radius is 1 + √2 exactly,
+//! and every quantity of Example 20 reproduces on it (see
+//! `tests/torus_example.rs`).
+
+use crate::graph::Graph;
+
+/// Number of nodes of the Fig. 5c torus.
+pub const TORUS_N: usize = 8;
+
+/// 0-based ids of the explicitly labeled nodes v1, v2, v3 of Example 20.
+pub const TORUS_EXPLICIT_NODES: [usize; 3] = [0, 1, 2];
+
+/// 0-based id of node v4, the node Example 20 tracks.
+pub const TORUS_V4: usize = 3;
+
+/// Builds the 8-node torus graph of Fig. 5c (unweighted).
+///
+/// Node mapping: paper's `v{i}` is node `i − 1`. Inner cycle:
+/// v5(4)–v6(5)–v7(6)–v8(7); pendants v1(0)→v5, v2(1)→v6, v3(2)→v7,
+/// v4(3)→v8.
+pub fn fig5c_torus() -> Graph {
+    let mut g = Graph::with_capacity(TORUS_N, 8);
+    // Inner 4-cycle.
+    g.add_edge_unweighted(4, 5);
+    g.add_edge_unweighted(5, 6);
+    g.add_edge_unweighted(6, 7);
+    g.add_edge_unweighted(7, 4);
+    // Pendants.
+    g.add_edge_unweighted(0, 4);
+    g.add_edge_unweighted(1, 5);
+    g.add_edge_unweighted(2, 6);
+    g.add_edge_unweighted(3, 7);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::geodesic_numbers;
+
+    #[test]
+    fn structure() {
+        let g = fig5c_torus();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.is_simple());
+        assert_eq!(g.num_components(), 1);
+    }
+
+    /// ρ(A) = 1 + √2 — the "ρ(A) ≈ 2.414" of Example 20.
+    #[test]
+    fn spectral_radius_is_one_plus_sqrt2() {
+        let rho = fig5c_torus().adjacency().spectral_radius();
+        assert!((rho - (1.0 + 2.0f64.sqrt())).abs() < 1e-6, "rho = {rho}");
+    }
+
+    /// v4 has geodesic number 3 and v2 is 4 hops away (so only v1 and v3
+    /// feed its SBP belief).
+    #[test]
+    fn v4_geodesics() {
+        let g = fig5c_torus();
+        let adj = g.adjacency();
+        let geo = geodesic_numbers(&adj, &TORUS_EXPLICIT_NODES);
+        assert_eq!(geo.g[TORUS_V4], 3);
+        let from_v2 = geodesic_numbers(&adj, &[1]);
+        assert_eq!(from_v2.g[TORUS_V4], 4);
+        let from_v1 = geodesic_numbers(&adj, &[0]);
+        assert_eq!(from_v1.g[TORUS_V4], 3);
+    }
+}

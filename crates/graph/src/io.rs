@@ -1,0 +1,248 @@
+//! Plain-text I/O: whitespace-separated edge lists (the de-facto exchange
+//! format of SNAP/Konect-style graph repositories) and node-label files.
+//!
+//! Formats:
+//!
+//! * **edge list** — one `src dst [weight]` triple per line; `#`-prefixed
+//!   lines are comments; missing weights default to 1.0. Node ids are
+//!   0-based; the node count is `max id + 1` unless a larger count is
+//!   forced.
+//! * **labels** — one `node class` pair per line, same comment rules.
+
+use crate::graph::Graph;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// I/O errors with line context.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader. `min_nodes` forces at least that
+/// many nodes (for graphs with isolated high-numbered nodes).
+pub fn read_edge_list(reader: impl Read, min_nodes: usize) -> Result<Graph, IoError> {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_node = |tok: Option<&str>, what: &str| -> Result<usize, IoError> {
+            tok.ok_or_else(|| IoError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|_| IoError::Parse {
+                line: lineno + 1,
+                message: format!("invalid {what}"),
+            })
+        };
+        let s = parse_node(parts.next(), "source node")?;
+        let t = parse_node(parts.next(), "target node")?;
+        let w: f64 = match parts.next() {
+            None => 1.0,
+            Some(tok) => tok.parse().map_err(|_| IoError::Parse {
+                line: lineno + 1,
+                message: "invalid weight".into(),
+            })?,
+        };
+        if s == t {
+            return Err(IoError::Parse { line: lineno + 1, message: "self-loop".into() });
+        }
+        if w <= 0.0 || !w.is_finite() {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: "weight must be positive and finite".into(),
+            });
+        }
+        max_node = max_node.max(s).max(t);
+        edges.push((s, t, w));
+    }
+    let n = min_nodes.max(if edges.is_empty() { 0 } else { max_node + 1 });
+    let mut g = Graph::with_capacity(n, edges.len());
+    for (s, t, w) in edges {
+        g.add_edge(s, t, w);
+    }
+    Ok(g)
+}
+
+/// Writes a graph as an edge list (weights included only when ≠ 1).
+pub fn write_edge_list(graph: &Graph, writer: impl Write) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# {} nodes, {} undirected edges", graph.num_nodes(), graph.num_edges())?;
+    for (s, t, weight) in graph.edges() {
+        if weight == 1.0 {
+            writeln!(w, "{s} {t}")?;
+        } else {
+            writeln!(w, "{s} {t} {weight}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a `node class` label file into a per-node option vector of length
+/// `n`.
+pub fn read_labels(reader: impl Read, n: usize) -> Result<Vec<Option<usize>>, IoError> {
+    let mut labels = vec![None; n];
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let err = |message: &str| IoError::Parse { line: lineno + 1, message: message.into() };
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| err("missing node id"))?
+            .parse()
+            .map_err(|_| err("invalid node id"))?;
+        let c: usize = parts
+            .next()
+            .ok_or_else(|| err("missing class"))?
+            .parse()
+            .map_err(|_| err("invalid class"))?;
+        if v >= n {
+            return Err(err("node id out of range"));
+        }
+        labels[v] = Some(c);
+    }
+    Ok(labels)
+}
+
+/// Writes labels (`Some` entries only) as a `node class` file.
+pub fn write_labels(labels: &[Option<usize>], writer: impl Write) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    for (v, label) in labels.iter().enumerate() {
+        if let Some(c) = label {
+            writeln!(w, "{v} {c}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Convenience: read an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    read_edge_list(std::fs::File::open(path)?, 0)
+}
+
+/// Convenience: write an edge list to a file path.
+pub fn write_edge_list_file(graph: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_unweighted() {
+        let mut g = Graph::new(4);
+        g.add_edge_unweighted(0, 1);
+        g.add_edge_unweighted(2, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(back.num_nodes(), 4);
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = back.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 2, 2.5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(back.edges().next(), Some((0, 2, 2.5)));
+    }
+
+    #[test]
+    fn comments_blanks_and_default_weight() {
+        let text = "# a comment\n\n0 1\n1 2 3.0\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges[0], (0, 1, 1.0));
+        assert_eq!(edges[1], (1, 2, 3.0));
+    }
+
+    #[test]
+    fn min_nodes_forces_isolated() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn parse_errors_with_line_numbers() {
+        let bad = read_edge_list("0 1\nx 2\n".as_bytes(), 0);
+        match bad {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(read_edge_list("3 3\n".as_bytes(), 0).is_err()); // self-loop
+        assert!(read_edge_list("0 1 -2\n".as_bytes(), 0).is_err()); // bad weight
+        assert!(read_edge_list("0\n".as_bytes(), 0).is_err()); // missing target
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let labels = vec![Some(0), None, Some(2), None];
+        let mut buf = Vec::new();
+        write_labels(&labels, &mut buf).unwrap();
+        let back = read_labels(buf.as_slice(), 4).unwrap();
+        assert_eq!(back, labels);
+    }
+
+    #[test]
+    fn labels_validation() {
+        assert!(read_labels("5 0\n".as_bytes(), 3).is_err()); // out of range
+        assert!(read_labels("0\n".as_bytes(), 3).is_err()); // missing class
+        assert!(read_labels("# ok\n".as_bytes(), 3).is_ok());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut g = Graph::new(5);
+        g.add_edge(1, 4, 1.5);
+        let path = std::env::temp_dir().join("lsbp_io_test_edges.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let back = read_edge_list_file(&path).unwrap();
+        assert_eq!(back.edges().next(), Some((1, 4, 1.5)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,477 @@
+//! Row-major dense matrix.
+//!
+//! [`Mat`] is the workhorse container for belief matrices (`n × k`, one row
+//! per node) and coupling matrices (`k × k`). It stores data contiguously in
+//! row-major order so that a node's belief vector is a contiguous slice —
+//! the access pattern of every kernel in the workspace (SpMM walks rows).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a closure mapping `(row, col)` to a value.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged (different lengths).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "ragged rows in Mat::from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: nrows, cols: ncols, data }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Mat::from_vec length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` iff the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The flat row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major backing slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing vector (row-major).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Dense matrix product `self · other`.
+    ///
+    /// Uses the classic ikj loop order so the inner loop streams over
+    /// contiguous rows of `other` and the output.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                let o_row = out.row_mut(i);
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Mat) -> Mat {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// `self += other` in place.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other` in place.
+    pub fn sub_assign(&mut self, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// Returns `self` scaled by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x * s).collect() }
+    }
+
+    /// Scales in place.
+    pub fn scale_assign(&mut self, s: f64) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    fn zip_with(&self, other: &Mat, f: impl Fn(f64, f64) -> f64) -> Mat {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "element-wise op shape mismatch"
+        );
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Largest absolute entry (the `max` norm); 0 for empty matrices.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "max_abs_diff shape");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// `true` iff the matrix equals its transpose up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Vectorization `vec(X)`: stacks *columns* underneath each other
+    /// (the convention of Proposition 7).
+    pub fn vectorize(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.rows * self.cols);
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                v.push(self[(r, c)]);
+            }
+        }
+        v
+    }
+
+    /// Inverse of [`Mat::vectorize`]: rebuilds a `rows × cols` matrix from a
+    /// column-stacked vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != rows * cols`.
+    pub fn from_vectorized(rows: usize, cols: usize, v: &[f64]) -> Mat {
+        assert_eq!(v.len(), rows * cols, "from_vectorized length mismatch");
+        Mat::from_fn(rows, cols, |r, c| v[c * rows + r])
+    }
+
+    /// Kronecker product `self ⊗ other` (dense; for tests and the dense
+    /// closed-form path on small systems only).
+    pub fn kronecker(&self, other: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let s = self[(i, j)];
+                if s == 0.0 {
+                    continue;
+                }
+                for p in 0..other.rows {
+                    for q in 0..other.cols {
+                        out[(i * other.rows + p, j * other.cols + q)] = s * other[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "Mat index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "Mat index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = Mat::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Mat::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Mat::identity(2);
+        assert_eq!(i.matmul(&m), m);
+        assert_eq!(m.matmul(&i), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Mat::from_rows(&[&[1.0, 0.0, 2.0]]); // 1x3
+        let b = Mat::from_rows(&[&[1.0], &[1.0], &[10.0]]); // 3x1
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c[(0, 0)], 21.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = vec![5.0, -1.0];
+        assert_eq!(a.matvec(&x), vec![3.0, 11.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, -1.0]]);
+        assert_eq!(a.add(&b), Mat::from_rows(&[&[4.0, 1.0]]));
+        assert_eq!(a.sub(&b), Mat::from_rows(&[&[-2.0, 3.0]]));
+        assert_eq!(a.scale(2.0), Mat::from_rows(&[&[2.0, 4.0]]));
+        let mut c = a.clone();
+        c.add_assign(&b);
+        c.sub_assign(&b);
+        assert!(c.max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let s = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]);
+        let ns = Mat::from_rows(&[&[1.0, 2.0], &[2.5, 3.0]]);
+        assert!(s.is_symmetric(0.0));
+        assert!(!ns.is_symmetric(1e-9));
+        assert!(ns.is_symmetric(1.0));
+        assert!(!Mat::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn vectorize_stacks_columns() {
+        let m = Mat::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]);
+        assert_eq!(m.vectorize(), vec![1.0, 2.0, 3.0, 4.0]);
+        let back = Mat::from_vectorized(2, 2, &m.vectorize());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn kronecker_2x2() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[0.0, 5.0], &[6.0, 7.0]]);
+        let k = a.kronecker(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k[(0, 1)], 5.0); // 1 * 5
+        assert_eq!(k[(1, 0)], 6.0); // 1 * 6
+        assert_eq!(k[(2, 3)], 4.0 * 5.0); // a[1,1] * b[0,1]
+        assert_eq!(k[(3, 2)], 4.0 * 6.0); // a[1,1] * b[1,0]
+        assert_eq!(k[(0, 3)], 2.0 * 5.0); // a[0,1] * b[0,1]
+    }
+
+    /// Roth's column lemma: vec(X·Y·Z) = (Zᵀ ⊗ X)·vec(Y). This identity is
+    /// the bridge from the LinBP matrix equation to its Kronecker closed
+    /// form (Proposition 7), so we check it on a concrete instance.
+    #[test]
+    fn roth_column_lemma() {
+        let x = Mat::from_rows(&[&[1.0, 2.0], &[0.0, -1.0], &[3.0, 1.0]]); // 3x2
+        let y = Mat::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, -1.0, 4.0]]); // 2x3
+        let z = Mat::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[-1.0, 0.5]]); // 3x2
+        let lhs = x.matmul(&y).matmul(&z).vectorize();
+        let kron = z.transpose().kronecker(&x);
+        let rhs = kron.matvec(&y.vectorize());
+        for (a, b) in lhs.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn max_abs_and_diff() {
+        let a = Mat::from_rows(&[&[1.0, -7.0], &[3.0, 4.0]]);
+        assert_eq!(a.max_abs(), 7.0);
+        let b = Mat::from_rows(&[&[1.0, -7.0], &[3.0, 14.0]]);
+        assert_eq!(a.max_abs_diff(&b), 10.0);
+    }
+
+    #[test]
+    fn fill_zero_keeps_shape() {
+        let mut a = Mat::from_rows(&[&[1.0, 2.0]]);
+        a.fill_zero();
+        assert_eq!(a, Mat::zeros(1, 2));
+    }
+}

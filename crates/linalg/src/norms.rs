@@ -1,0 +1,98 @@
+//! Sub-multiplicative matrix norms.
+//!
+//! Lemma 9 of the paper bounds the spectral radius by *any*
+//! sub-multiplicative norm and recommends taking the minimum over a set `M`
+//! of three cheap ones: the Frobenius norm, the induced-1 norm (max absolute
+//! column sum) and the induced-∞ norm (max absolute row sum).
+
+use crate::matrix::Mat;
+
+/// Frobenius norm: `sqrt(Σ x_ij²)` — the element-wise 2-norm.
+pub fn frobenius_norm(m: &Mat) -> f64 {
+    m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Induced 1-norm: maximum absolute column sum.
+pub fn induced_1_norm(m: &Mat) -> f64 {
+    let mut col_sums = vec![0.0f64; m.cols()];
+    for r in 0..m.rows() {
+        for (c, &x) in m.row(r).iter().enumerate() {
+            col_sums[c] += x.abs();
+        }
+    }
+    col_sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Induced ∞-norm: maximum absolute row sum.
+pub fn induced_inf_norm(m: &Mat) -> f64 {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// The minimum over the paper's recommended norm set
+/// `M = {Frobenius, induced-1, induced-∞}` (Lemma 9: every member bounds
+/// ρ(·), so the minimum is the tightest of the three).
+pub fn min_submultiplicative_norm(m: &Mat) -> f64 {
+    frobenius_norm(m).min(induced_1_norm(m)).min(induced_inf_norm(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Mat {
+        Mat::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn frobenius_known_value() {
+        assert!((frobenius_norm(&example()) - (30.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_1_is_max_col_sum() {
+        assert_eq!(induced_1_norm(&example()), 6.0); // |−2|+|4| = 6
+    }
+
+    #[test]
+    fn induced_inf_is_max_row_sum() {
+        assert_eq!(induced_inf_norm(&example()), 7.0); // |3|+|4| = 7
+    }
+
+    #[test]
+    fn min_norm_picks_smallest() {
+        let m = example();
+        let mn = min_submultiplicative_norm(&m);
+        assert!((mn - (30.0f64).sqrt()).abs() < 1e-12); // sqrt(30) ≈ 5.48 < 6 < 7
+    }
+
+    #[test]
+    fn norms_of_identity() {
+        let i = Mat::identity(3);
+        assert_eq!(induced_1_norm(&i), 1.0);
+        assert_eq!(induced_inf_norm(&i), 1.0);
+        assert!((frobenius_norm(&i) - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    /// All three norms are sub-multiplicative: ||AB|| ≤ ||A||·||B||.
+    #[test]
+    fn submultiplicativity_spot_check() {
+        let a = Mat::from_rows(&[&[0.5, -1.5], &[2.0, 0.25]]);
+        let b = Mat::from_rows(&[&[-1.0, 3.0], &[0.5, 0.5]]);
+        let ab = a.matmul(&b);
+        for norm in [frobenius_norm, induced_1_norm, induced_inf_norm] {
+            assert!(norm(&ab) <= norm(&a) * norm(&b) + 1e-12);
+        }
+    }
+
+    /// Every norm upper-bounds the spectral radius (here: a matrix with
+    /// known eigenvalues 3 and 1).
+    #[test]
+    fn norms_bound_spectral_radius() {
+        let m = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]); // eigs {3, 1}
+        for norm in [frobenius_norm, induced_1_norm, induced_inf_norm] {
+            assert!(norm(&m) >= 3.0 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The closed form of Proposition 7 inverts `I_nk − Ĥ⊗A + Ĥ²⊗D`. For small
+//! systems (`n·k` up to a few thousand) we materialize that matrix and solve
+//! it directly — this is the correctness oracle the iterative LinBP updates
+//! are validated against in the integration tests.
+
+use crate::matrix::Mat;
+
+/// Errors from dense solving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is singular (a pivot below tolerance was encountered).
+    Singular,
+    /// Dimension mismatch between the matrix and the right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::Singular => write!(f, "matrix is singular to working precision"),
+            LuError::DimensionMismatch => write!(f, "dimension mismatch in linear solve"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// In-place LU decomposition with partial pivoting.
+/// Returns the permutation (row i of LU corresponds to row perm[i] of A).
+fn lu_decompose(a: &mut Mat) -> Result<Vec<usize>, LuError> {
+    let n = a.rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Pivot: largest absolute value in this column at or below the diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = a[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = a[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(LuError::Singular);
+        }
+        if pivot_row != col {
+            perm.swap(col, pivot_row);
+            for c in 0..n {
+                let tmp = a[(col, c)];
+                a[(col, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+        }
+        let inv_pivot = 1.0 / a[(col, col)];
+        for r in (col + 1)..n {
+            let factor = a[(r, col)] * inv_pivot;
+            a[(r, col)] = factor; // store L below the diagonal
+            if factor != 0.0 {
+                for c in (col + 1)..n {
+                    let v = a[(col, c)];
+                    a[(r, c)] -= factor * v;
+                }
+            }
+        }
+    }
+    Ok(perm)
+}
+
+/// Solves `A x = b` by LU with partial pivoting.
+///
+/// `A` must be square; `b.len()` must equal `A.rows()`.
+pub fn lu_solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LuError> {
+    if !a.is_square() || a.rows() != b.len() {
+        return Err(LuError::DimensionMismatch);
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let perm = lu_decompose(&mut lu)?;
+    // Forward substitution on the permuted RHS (L has unit diagonal).
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[perm[i]];
+        for j in 0..i {
+            sum -= lu[(i, j)] * y[j];
+        }
+        y[i] = sum;
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= lu[(i, j)] * x[j];
+        }
+        x[i] = sum / lu[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Matrix inverse via LU (column-by-column solve). Only intended for the
+/// small `k × k` coupling matrices, e.g. `(I_k − Ĥ²)⁻¹` in Lemma 6.
+pub fn lu_inverse(a: &Mat) -> Result<Mat, LuError> {
+    if !a.is_square() {
+        return Err(LuError::DimensionMismatch);
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let perm = lu_decompose(&mut lu)?;
+    let mut inv = Mat::zeros(n, n);
+    let mut y = vec![0.0; n];
+    for col in 0..n {
+        // Solve A x = e_col re-using the single factorization.
+        for i in 0..n {
+            let mut sum = if perm[i] == col { 1.0 } else { 0.0 };
+            for j in 0..i {
+                sum -= lu[(i, j)] * y[j];
+            }
+            y[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= lu[(i, j)] * inv[(j, col)];
+            }
+            inv[(i, col)] = sum / lu[(i, i)];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let i = Mat::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        assert_eq!(lu_solve(&i, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [[2,1],[1,3]] x = [5, 10] → x = [1, 3]
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = lu_solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the first diagonal entry — fails without partial pivoting.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(LuError::Singular));
+        assert_eq!(lu_inverse(&a), Err(LuError::Singular));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0]), Err(LuError::DimensionMismatch));
+        assert_eq!(lu_solve(&Mat::zeros(2, 3), &[1.0, 2.0]), Err(LuError::DimensionMismatch));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Mat::from_rows(&[&[4.0, 7.0, 1.0], &[2.0, 6.0, 0.0], &[1.0, -1.0, 3.0]]);
+        let inv = lu_inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Mat::identity(3)) < 1e-10);
+        let prod2 = inv.matmul(&a);
+        assert!(prod2.max_abs_diff(&Mat::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn solve_residual_small_random() {
+        // Deterministic pseudo-random 8x8 system; check the residual.
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a = Mat::from_fn(8, 8, |r, c| next() + if r == c { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..8).map(|_| next()).collect();
+        let x = lu_solve(&a, &b).unwrap();
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Standardization ζ (Definition 11 of the paper).
+//!
+//! `ζ(x)` maps a vector to its z-scores using the *population* standard
+//! deviation (divide by k, not k−1) — this is what reproduces the paper's
+//! worked examples: `ζ([1,0]) = [1,−1]` and
+//! `ζ([1,0,0,0,0]) = [2,−0.5,−0.5,−0.5,−0.5]`.
+//!
+//! Theorem 19 is stated in terms of standardized beliefs: as εH → 0⁺ the
+//! standardized LinBP beliefs converge to the standardized SBP beliefs, so
+//! this map is how the two semantics are compared everywhere in the
+//! experiments.
+
+/// Arithmetic mean of a slice; 0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population standard deviation (√(Σ(x−μ)²/k)); 0 for an empty slice.
+pub fn population_std(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mu = mean(x);
+    (x.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// The standardization `ζ(x)` of Definition 11: `(x_i − μ)/σ`, or the zero
+/// vector when σ = 0 (e.g. `ζ([1,1,1]) = [0,0,0]`).
+pub fn standardize(x: &[f64]) -> Vec<f64> {
+    let sigma = population_std(x);
+    if sigma == 0.0 {
+        return vec![0.0; x.len()];
+    }
+    let mu = mean(x);
+    x.iter().map(|v| (v - mu) / sigma).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    /// The three worked examples directly under Definition 11.
+    #[test]
+    fn paper_examples() {
+        assert_close(&standardize(&[1.0, 0.0]), &[1.0, -1.0]);
+        assert_close(&standardize(&[1.0, 1.0, 1.0]), &[0.0, 0.0, 0.0]);
+        assert_close(&standardize(&[1.0, 0.0, 0.0, 0.0, 0.0]), &[2.0, -0.5, -0.5, -0.5, -0.5]);
+    }
+
+    /// The example under Definition 11: two belief vectors that differ by a
+    /// scale factor have identical standardizations.
+    #[test]
+    fn scale_invariance() {
+        let bs = [4.0, -1.0, -1.0, -1.0, -1.0];
+        let bt: Vec<f64> = bs.iter().map(|x| x * 10.0).collect();
+        assert_close(&standardize(&bs), &standardize(&bt));
+        assert_close(&standardize(&bs), &[2.0, -0.5, -0.5, -0.5, -0.5]);
+    }
+
+    #[test]
+    fn std_of_scaled_vector() {
+        let bs = [4.0, -1.0, -1.0, -1.0, -1.0];
+        assert!((population_std(&bs) - 2.0).abs() < 1e-12);
+        let bt: Vec<f64> = bs.iter().map(|x| x * 10.0).collect();
+        assert!((population_std(&bt) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardized_vector_has_zero_mean_unit_std() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let z = standardize(&x);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((population_std(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(population_std(&[]), 0.0);
+        assert_eq!(standardize(&[]), Vec::<f64>::new());
+        assert_eq!(standardize(&[7.0]), vec![0.0]);
+    }
+
+    /// Standardization is invariant under any positive affine map a·x (a>0)
+    /// — but flips sign for a<0.
+    #[test]
+    fn affine_behaviour() {
+        let x = [1.0, 2.0, 5.0];
+        let pos: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+        let neg: Vec<f64> = x.iter().map(|v| -3.0 * v).collect();
+        assert_close(&standardize(&x), &standardize(&pos));
+        let flipped: Vec<f64> = standardize(&x).iter().map(|v| -v).collect();
+        assert_close(&flipped, &standardize(&neg));
+    }
+}

@@ -1,0 +1,444 @@
+//! The relational operators.
+//!
+//! Deliberately small: just enough standard-SQL vocabulary (selection,
+//! projection, equi-join, anti-join, grouped aggregation, union) to express
+//! Algorithms 1–4 of the paper, with hash joins keyed on integer columns —
+//! node ids and class ids, exactly like the paper's `A(s,t,w)`,
+//! `E(v,c,b)`, `H(c1,c2,h)` schemas.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A cell value: SQL `BIGINT` or `DOUBLE PRECISION`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// Integer (node ids, class ids, geodesic numbers).
+    Int(i64),
+    /// Float (weights, coupling strengths, beliefs).
+    Float(f64),
+}
+
+impl Value {
+    /// Integer content.
+    ///
+    /// # Panics
+    /// Panics when the value is a float (a schema bug in the caller).
+    #[inline]
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::Float(f) => panic!("expected Int, found Float({f})"),
+        }
+    }
+
+    /// Float content (ints widen losslessly for small magnitudes).
+    #[inline]
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(f) => f,
+            Value::Int(i) => i as f64,
+        }
+    }
+}
+
+/// Aggregate functions (the paper's algorithms need `SUM` over float
+/// expressions and `MIN` over integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFun {
+    /// `SUM(expr)` over floats.
+    SumFloat,
+    /// `MIN(expr)` over integers.
+    MinInt,
+}
+
+/// An in-memory relation: named columns, row-major storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name (diagnostics only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row access.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Resolves a column name to its index.
+    ///
+    /// # Panics
+    /// Panics on an unknown column (schema bug).
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("table {}: no column named {name}", self.name))
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Reserves capacity for `n` additional rows.
+    pub fn reserve(&mut self, n: usize) {
+        self.rows.reserve(n);
+    }
+
+    /// `SELECT * WHERE pred(row)`.
+    pub fn filter(&self, name: &str, pred: impl Fn(&[Value]) -> bool) -> Table {
+        Table {
+            name: name.into(),
+            columns: self.columns.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// `SELECT expr₁, expr₂, … FROM self` — projection with computed
+    /// columns.
+    pub fn project(
+        &self,
+        name: &str,
+        out_columns: &[&str],
+        f: impl Fn(&[Value]) -> Vec<Value>,
+    ) -> Table {
+        let mut out = Table::new(name, out_columns);
+        out.reserve(self.len());
+        for r in &self.rows {
+            out.push(f(r));
+        }
+        out
+    }
+
+    fn key_of(row: &[Value], key_idx: &[usize]) -> Vec<i64> {
+        key_idx.iter().map(|&i| row[i].as_int()).collect()
+    }
+
+    /// Hash equi-join with fused projection:
+    /// `SELECT f(l, r) FROM self l JOIN other r ON l.keys = r.keys`.
+    ///
+    /// Join keys must be integer columns. The projection closure receives
+    /// the matched `(left_row, right_row)` pair and emits an output row.
+    pub fn join_map(
+        &self,
+        other: &Table,
+        self_keys: &[&str],
+        other_keys: &[&str],
+        name: &str,
+        out_columns: &[&str],
+        f: impl Fn(&[Value], &[Value]) -> Vec<Value>,
+    ) -> Table {
+        assert_eq!(self_keys.len(), other_keys.len(), "join key arity mismatch");
+        let self_idx: Vec<usize> = self_keys.iter().map(|k| self.col(k)).collect();
+        let other_idx: Vec<usize> = other_keys.iter().map(|k| other.col(k)).collect();
+        // Build on the smaller side.
+        let mut out = Table::new(name, out_columns);
+        if other.len() <= self.len() {
+            let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(other.len());
+            for (i, r) in other.rows.iter().enumerate() {
+                index.entry(Self::key_of(r, &other_idx)).or_default().push(i);
+            }
+            for l in &self.rows {
+                if let Some(matches) = index.get(&Self::key_of(l, &self_idx)) {
+                    for &i in matches {
+                        out.push(f(l, &other.rows[i]));
+                    }
+                }
+            }
+        } else {
+            let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(self.len());
+            for (i, r) in self.rows.iter().enumerate() {
+                index.entry(Self::key_of(r, &self_idx)).or_default().push(i);
+            }
+            for r in &other.rows {
+                if let Some(matches) = index.get(&Self::key_of(r, &other_idx)) {
+                    for &i in matches {
+                        out.push(f(&self.rows[i], r));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Anti-join: `SELECT * FROM self WHERE NOT EXISTS (SELECT 1 FROM other
+    /// WHERE other.keys = self.keys)` — the `¬G(t, …)` constructs of
+    /// Algorithms 2–4.
+    pub fn anti_join(&self, other: &Table, self_keys: &[&str], other_keys: &[&str]) -> Table {
+        let self_idx: Vec<usize> = self_keys.iter().map(|k| self.col(k)).collect();
+        let other_idx: Vec<usize> = other_keys.iter().map(|k| other.col(k)).collect();
+        let index: std::collections::HashSet<Vec<i64>> =
+            other.rows.iter().map(|r| Self::key_of(r, &other_idx)).collect();
+        Table {
+            name: format!("{}∖{}", self.name, other.name),
+            columns: self.columns.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| !index.contains(&Self::key_of(r, &self_idx)))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// `GROUP BY keys` with a single aggregate over `expr(row)`.
+    /// Output columns: the key columns followed by `agg_name`.
+    pub fn group_by_agg(
+        &self,
+        name: &str,
+        keys: &[&str],
+        agg_name: &str,
+        fun: AggFun,
+        expr: impl Fn(&[Value]) -> Value,
+    ) -> Table {
+        let key_idx: Vec<usize> = keys.iter().map(|k| self.col(k)).collect();
+        let mut groups: HashMap<Vec<i64>, Value> = HashMap::new();
+        for r in &self.rows {
+            let key = Self::key_of(r, &key_idx);
+            let v = expr(r);
+            groups
+                .entry(key)
+                .and_modify(|acc| match fun {
+                    AggFun::SumFloat => *acc = Value::Float(acc.as_float() + v.as_float()),
+                    AggFun::MinInt => *acc = Value::Int(acc.as_int().min(v.as_int())),
+                })
+                .or_insert(v);
+        }
+        let mut out_cols: Vec<&str> = keys.to_vec();
+        out_cols.push(agg_name);
+        let mut out = Table::new(name, &out_cols);
+        out.reserve(groups.len());
+        // Deterministic output order: sort by key.
+        let mut entries: Vec<(Vec<i64>, Value)> = groups.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, v) in entries {
+            let mut row: Vec<Value> = key.into_iter().map(Value::Int).collect();
+            row.push(v);
+            out.push(row);
+        }
+        out
+    }
+
+    /// `UNION ALL` (schemas must have the same arity; column names are
+    /// taken from `self`).
+    pub fn union_all(&self, other: &Table) -> Table {
+        assert_eq!(
+            self.columns.len(),
+            other.columns.len(),
+            "UNION ALL arity mismatch: {} vs {}",
+            self.name,
+            other.name
+        );
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Table { name: format!("{}∪{}", self.name, other.name), columns: self.columns.clone(), rows }
+    }
+
+    /// Upsert by integer key columns: rows of `updates` replace any
+    /// existing rows of `self` with the same key, otherwise insert — the
+    /// paper's `!T(…)` notation (Fig. 9d: `DELETE … WHERE key IN updates;
+    /// INSERT updates`).
+    pub fn upsert(&mut self, updates: &Table, keys: &[&str]) {
+        assert_eq!(self.columns.len(), updates.columns.len(), "upsert arity mismatch");
+        let self_idx: Vec<usize> = keys.iter().map(|k| self.col(k)).collect();
+        let upd_idx: Vec<usize> = keys.iter().map(|k| updates.col(k)).collect();
+        let updated: std::collections::HashSet<Vec<i64>> =
+            updates.rows.iter().map(|r| Self::key_of(r, &upd_idx)).collect();
+        self.rows.retain(|r| !updated.contains(&Self::key_of(r, &self_idx)));
+        self.rows.extend(updates.rows.iter().cloned());
+    }
+
+    /// Distinct values of one integer column.
+    pub fn distinct_ints(&self, column: &str) -> Vec<i64> {
+        let idx = self.col(column);
+        let mut vals: Vec<i64> = self.rows.iter().map(|r| r[idx].as_int()).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}({})", self.name, self.columns.join(", "))?;
+        for r in self.rows.iter().take(20) {
+            let cells: Vec<String> = r
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => i.to_string(),
+                    Value::Float(x) => format!("{x:.6}"),
+                })
+                .collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … ({} rows total)", self.rows.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Table {
+        let mut t = Table::new("A", &["s", "t", "w"]);
+        t.push(vec![Value::Int(0), Value::Int(1), Value::Float(1.0)]);
+        t.push(vec![Value::Int(1), Value::Int(0), Value::Float(1.0)]);
+        t.push(vec![Value::Int(1), Value::Int(2), Value::Float(2.0)]);
+        t.push(vec![Value::Int(2), Value::Int(1), Value::Float(2.0)]);
+        t
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let a = edges();
+        let from1 = a.filter("f", |r| r[0].as_int() == 1);
+        assert_eq!(from1.len(), 2);
+        let doubled = a.project("p", &["s", "w2"], |r| {
+            vec![r[0], Value::Float(r[2].as_float() * 2.0)]
+        });
+        assert_eq!(doubled.rows()[2][1], Value::Float(4.0));
+    }
+
+    #[test]
+    fn join_map_basic() {
+        let a = edges();
+        let mut labels = Table::new("E", &["v", "b"]);
+        labels.push(vec![Value::Int(1), Value::Float(0.5)]);
+        // Join edges with source labels: propagate b·w to targets.
+        let out = a.join_map(&labels, &["s"], &["v"], "V", &["t", "bw"], |l, r| {
+            vec![l[1], Value::Float(l[2].as_float() * r[1].as_float())]
+        });
+        assert_eq!(out.len(), 2); // edges (1,0) and (1,2)
+        let mut targets = out.distinct_ints("t");
+        targets.sort_unstable();
+        assert_eq!(targets, vec![0, 2]);
+    }
+
+    #[test]
+    fn join_builds_on_smaller_side_consistently() {
+        // Same result regardless of which side is larger.
+        let a = edges();
+        let mut big = Table::new("big", &["v", "x"]);
+        for i in 0..100 {
+            big.push(vec![Value::Int(i % 3), Value::Float(i as f64)]);
+        }
+        let j1 = a.join_map(&big, &["s"], &["v"], "j", &["s", "x"], |l, r| vec![l[0], r[1]]);
+        let j2 = big.join_map(&a, &["v"], &["s"], "j", &["s", "x"], |l, r| vec![r[0], l[1]]);
+        assert_eq!(j1.len(), j2.len());
+    }
+
+    #[test]
+    fn anti_join_not_exists() {
+        let a = edges();
+        let mut seen = Table::new("G", &["v"]);
+        seen.push(vec![Value::Int(0)]);
+        let unseen = a.anti_join(&seen, &["t"], &["v"]);
+        // Rows whose target is NOT node 0: (0,1), (1,2), (2,1).
+        assert_eq!(unseen.len(), 3);
+    }
+
+    #[test]
+    fn group_by_sum() {
+        let a = edges();
+        let deg = a.group_by_agg("D", &["s"], "d", AggFun::SumFloat, |r| {
+            let w = r[2].as_float();
+            Value::Float(w * w)
+        });
+        assert_eq!(deg.len(), 3);
+        // Deterministic order by key.
+        assert_eq!(deg.rows()[0], vec![Value::Int(0), Value::Float(1.0)]);
+        assert_eq!(deg.rows()[1], vec![Value::Int(1), Value::Float(5.0)]);
+        assert_eq!(deg.rows()[2], vec![Value::Int(2), Value::Float(4.0)]);
+    }
+
+    #[test]
+    fn group_by_min() {
+        let mut g = Table::new("G", &["v", "g"]);
+        g.push(vec![Value::Int(7), Value::Int(4)]);
+        g.push(vec![Value::Int(7), Value::Int(2)]);
+        g.push(vec![Value::Int(8), Value::Int(1)]);
+        let m = g.group_by_agg("Gm", &["v"], "g", AggFun::MinInt, |r| r[1]);
+        assert_eq!(m.rows()[0], vec![Value::Int(7), Value::Int(2)]);
+        assert_eq!(m.rows()[1], vec![Value::Int(8), Value::Int(1)]);
+    }
+
+    #[test]
+    fn union_and_upsert() {
+        let mut b = Table::new("B", &["v", "c", "b"]);
+        b.push(vec![Value::Int(0), Value::Int(0), Value::Float(1.0)]);
+        b.push(vec![Value::Int(0), Value::Int(1), Value::Float(-1.0)]);
+        b.push(vec![Value::Int(1), Value::Int(0), Value::Float(0.5)]);
+        let mut upd = Table::new("Bn", &["v", "c", "b"]);
+        upd.push(vec![Value::Int(0), Value::Int(0), Value::Float(9.0)]);
+        upd.push(vec![Value::Int(0), Value::Int(1), Value::Float(-9.0)]);
+        b.upsert(&upd, &["v"]);
+        // Node 0 fully replaced, node 1 untouched.
+        assert_eq!(b.len(), 3);
+        let node0: Vec<f64> = b
+            .rows()
+            .iter()
+            .filter(|r| r[0].as_int() == 0)
+            .map(|r| r[2].as_float())
+            .collect();
+        assert_eq!(node0, vec![9.0, -9.0]);
+        let u = b.union_all(&upd);
+        assert_eq!(u.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn unknown_column_panics() {
+        let a = edges();
+        let _ = a.col("nope");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(4).as_float(), 4.0);
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert_eq!(Value::Int(4).as_int(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn float_as_int_panics() {
+        let _ = Value::Float(1.5).as_int();
+    }
+}

@@ -1,0 +1,758 @@
+//! Executor for the SQL dialect of [`crate::parser`], over a named-table
+//! [`Database`].
+//!
+//! The planner is intentionally simple and predictable: comma-joins become
+//! hash equi-joins on the WHERE equality predicates that connect a new
+//! source to the already-joined prefix (cross products only when no such
+//! predicate exists); remaining predicates become post-filters; `[NOT] IN
+//! (SELECT …)` becomes a hashed semi/anti-join; `GROUP BY` hashes group
+//! keys and folds `SUM`/`MIN`/`MAX`.
+
+use crate::engine::{Table, Value};
+use crate::parser::{
+    parse, parse_script, AggregateFun, ColumnRef, Expr, ParseError, Predicate, Select,
+    SelectItem, Statement, TableRef,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Execution errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlError {
+    /// The statement failed to parse.
+    Parse(ParseError),
+    /// Unknown table name.
+    UnknownTable(String),
+    /// Column could not be resolved (unknown or ambiguous).
+    UnknownColumn(String),
+    /// A table with this name already exists (CREATE TABLE).
+    TableExists(String),
+    /// INSERT arity differs from the target table.
+    ArityMismatch {
+        /// Target table name.
+        table: String,
+        /// Column count of the target table.
+        expected: usize,
+        /// Column count of the SELECT result.
+        found: usize,
+    },
+    /// Anything else (with a message).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown or ambiguous column {c}"),
+            SqlError::TableExists(t) => write!(f, "table {t} already exists"),
+            SqlError::ArityMismatch { table, expected, found } => {
+                write!(f, "insert into {table}: expected {expected} columns, found {found}")
+            }
+            SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+
+/// A named collection of tables with a SQL front end.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+/// Schema of an intermediate row set: `(source alias, column name)` pairs.
+type BoundSchema = Vec<(String, String)>;
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table under `name`.
+    pub fn insert_table(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Fetches a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Parses and executes one statement. `SELECT` returns `Some(result)`;
+    /// DDL/DML return `None`.
+    pub fn execute(&mut self, sql: &str) -> Result<Option<Table>, SqlError> {
+        let stmt = parse(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Executes a `;`-separated script, returning the result of the final
+    /// `SELECT` (if any).
+    pub fn execute_script(&mut self, sql: &str) -> Result<Option<Table>, SqlError> {
+        let mut last = None;
+        for stmt in parse_script(sql)? {
+            if let Some(t) = self.execute_statement(&stmt)? {
+                last = Some(t);
+            }
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(&mut self, stmt: &Statement) -> Result<Option<Table>, SqlError> {
+        match stmt {
+            Statement::Select(sel) => Ok(Some(self.run_select(sel, "result")?)),
+            Statement::CreateTableAs { name, query } => {
+                if self.tables.contains_key(name) {
+                    return Err(SqlError::TableExists(name.clone()));
+                }
+                let t = self.run_select(query, name)?;
+                self.tables.insert(name.clone(), t);
+                Ok(None)
+            }
+            Statement::InsertSelect { table, query } => {
+                let rows = self.run_select(query, "insert")?;
+                let target =
+                    self.tables.get_mut(table).ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+                if rows.columns().len() != target.columns().len() {
+                    return Err(SqlError::ArityMismatch {
+                        table: table.clone(),
+                        expected: target.columns().len(),
+                        found: rows.columns().len(),
+                    });
+                }
+                for r in rows.rows() {
+                    target.push(r.clone());
+                }
+                Ok(None)
+            }
+            Statement::Delete { table, predicates } => {
+                let source = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| SqlError::UnknownTable(table.clone()))?
+                    .clone();
+                let schema: BoundSchema = source
+                    .columns()
+                    .iter()
+                    .map(|c| (table.clone(), c.clone()))
+                    .collect();
+                // Pre-evaluate IN-subqueries.
+                let filters = self.compile_predicates(predicates, &schema)?;
+                let keep: Vec<Vec<Value>> = source
+                    .rows()
+                    .iter()
+                    .filter(|r| !filters.iter().all(|f| f(r)))
+                    .cloned()
+                    .collect();
+                let mut rebuilt =
+                    Table::new(table.clone(), &source.columns().iter().map(String::as_str).collect::<Vec<_>>());
+                for r in keep {
+                    rebuilt.push(r);
+                }
+                self.tables.insert(table.clone(), rebuilt);
+                Ok(None)
+            }
+            Statement::DropTable { name } => {
+                self.tables
+                    .remove(name)
+                    .ok_or_else(|| SqlError::UnknownTable(name.clone()))?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Runs a SELECT and materializes its result under `out_name`.
+    pub fn run_select(&self, sel: &Select, out_name: &str) -> Result<Table, SqlError> {
+        // 1. Bind FROM sources.
+        let mut sources: Vec<(String, Table)> = Vec::with_capacity(sel.from.len());
+        for tr in &sel.from {
+            match tr {
+                TableRef::Named { name, alias } => {
+                    let t = self
+                        .tables
+                        .get(name)
+                        .ok_or_else(|| SqlError::UnknownTable(name.clone()))?;
+                    sources.push((alias.clone().unwrap_or_else(|| name.clone()), t.clone()));
+                }
+                TableRef::Subquery { query, alias } => {
+                    let t = self.run_select(query, alias)?;
+                    sources.push((alias.clone(), t.clone()));
+                }
+            }
+        }
+
+        // 2. Join left-to-right using connecting equality predicates.
+        let mut consumed = vec![false; sel.predicates.len()];
+        let (first_alias, first_table) = &sources[0];
+        let mut schema: BoundSchema = first_table
+            .columns()
+            .iter()
+            .map(|c| (first_alias.clone(), c.clone()))
+            .collect();
+        let mut rows: Vec<Vec<Value>> = first_table.rows().to_vec();
+        for (alias, table) in sources.iter().skip(1) {
+            let new_schema: BoundSchema =
+                table.columns().iter().map(|c| (alias.clone(), c.clone())).collect();
+            // Find equality predicates bridging the current prefix and the
+            // new source.
+            let mut left_keys: Vec<usize> = Vec::new();
+            let mut right_keys: Vec<usize> = Vec::new();
+            for (pi, pred) in sel.predicates.iter().enumerate() {
+                if consumed[pi] {
+                    continue;
+                }
+                if let Predicate::Compare(Expr::Column(a), op, Expr::Column(b)) = pred {
+                    if op != "=" {
+                        continue;
+                    }
+                    let a_left = resolve(&schema, a).ok();
+                    let a_right = resolve(&new_schema, a).ok();
+                    let b_left = resolve(&schema, b).ok();
+                    let b_right = resolve(&new_schema, b).ok();
+                    if let (Some(l), Some(r)) = (a_left, b_right) {
+                        left_keys.push(l);
+                        right_keys.push(r);
+                        consumed[pi] = true;
+                    } else if let (Some(l), Some(r)) = (b_left, a_right) {
+                        left_keys.push(l);
+                        right_keys.push(r);
+                        consumed[pi] = true;
+                    }
+                }
+            }
+            rows = hash_join(&rows, table.rows(), &left_keys, &right_keys);
+            schema.extend(new_schema);
+        }
+
+        // 3. Remaining predicates as filters.
+        let remaining: Vec<&Predicate> = sel
+            .predicates
+            .iter()
+            .enumerate()
+            .filter(|(pi, _)| !consumed[*pi])
+            .map(|(_, p)| p)
+            .collect();
+        if !remaining.is_empty() {
+            let filters = self.compile_predicate_refs(&remaining, &schema)?;
+            rows.retain(|r| filters.iter().all(|f| f(r)));
+        }
+
+        // 4. Project / aggregate.
+        let has_aggregate = sel
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+        if has_aggregate || !sel.group_by.is_empty() {
+            self.project_grouped(sel, &schema, &rows, out_name)
+        } else {
+            self.project_plain(sel, &schema, &rows, out_name)
+        }
+    }
+
+    fn project_plain(
+        &self,
+        sel: &Select,
+        schema: &BoundSchema,
+        rows: &[Vec<Value>],
+        out_name: &str,
+    ) -> Result<Table, SqlError> {
+        let (names, evals) = self.compile_items(sel, schema)?;
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut out = Table::new(out_name, &name_refs);
+        out.reserve(rows.len());
+        for r in rows {
+            let mut row = Vec::with_capacity(evals.len());
+            for ev in &evals {
+                match ev {
+                    ItemEval::Scalar(f) => row.push(f(r)),
+                    ItemEval::All => row.extend(r.iter().copied()),
+                    ItemEval::Agg(..) => unreachable!("plain projection"),
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    fn project_grouped(
+        &self,
+        sel: &Select,
+        schema: &BoundSchema,
+        rows: &[Vec<Value>],
+        out_name: &str,
+    ) -> Result<Table, SqlError> {
+        let (names, evals) = self.compile_items(sel, schema)?;
+        if evals.iter().any(|e| matches!(e, ItemEval::All)) {
+            return Err(SqlError::Unsupported("SELECT * with GROUP BY".into()));
+        }
+        let key_idx: Vec<usize> = sel
+            .group_by
+            .iter()
+            .map(|c| resolve(schema, c))
+            .collect::<Result<_, _>>()?;
+        // Group rows (keys hashed by canonical f64 bits).
+        let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+        for (ri, r) in rows.iter().enumerate() {
+            let key: Vec<u64> = key_idx.iter().map(|&i| r[i].as_float().to_bits()).collect();
+            groups.entry(key).or_default().push(ri);
+        }
+        // Aggregate-only queries over zero rows produce zero rows (like the
+        // engine's group_by_agg; good enough for our algorithms).
+        let mut entries: Vec<(Vec<u64>, Vec<usize>)> = groups.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut out = Table::new(out_name, &name_refs);
+        out.reserve(entries.len());
+        for (_, members) in entries {
+            let first = &rows[members[0]];
+            let mut row = Vec::with_capacity(evals.len());
+            for ev in &evals {
+                match ev {
+                    ItemEval::Scalar(f) => row.push(f(first)),
+                    ItemEval::Agg(fun, f) => {
+                        let mut acc: Option<Value> = None;
+                        for &ri in &members {
+                            let v = f(&rows[ri]);
+                            acc = Some(match (acc, fun) {
+                                (None, AggregateFun::Sum) => Value::Float(v.as_float()),
+                                (None, _) => v,
+                                (Some(a), AggregateFun::Sum) => {
+                                    Value::Float(a.as_float() + v.as_float())
+                                }
+                                (Some(a), AggregateFun::Min) => {
+                                    if v.as_float() < a.as_float() {
+                                        v
+                                    } else {
+                                        a
+                                    }
+                                }
+                                (Some(a), AggregateFun::Max) => {
+                                    if v.as_float() > a.as_float() {
+                                        v
+                                    } else {
+                                        a
+                                    }
+                                }
+                            });
+                        }
+                        row.push(acc.expect("groups are non-empty"));
+                    }
+                    ItemEval::All => unreachable!(),
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Compiles SELECT items to output names + evaluators.
+    #[allow(clippy::type_complexity)]
+    fn compile_items(
+        &self,
+        sel: &Select,
+        schema: &BoundSchema,
+    ) -> Result<(Vec<String>, Vec<ItemEval>), SqlError> {
+        let mut names = Vec::new();
+        let mut evals = Vec::new();
+        for (i, item) in sel.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, col) in schema {
+                        names.push(col.clone());
+                    }
+                    evals.push(ItemEval::All);
+                }
+                SelectItem::Expr { expr, alias } => {
+                    names.push(alias.clone().unwrap_or_else(|| default_name(expr, i)));
+                    evals.push(ItemEval::Scalar(compile_expr(expr, schema)?));
+                }
+                SelectItem::Aggregate { fun, arg, alias } => {
+                    names.push(alias.clone().unwrap_or_else(|| format!("agg{i}")));
+                    evals.push(ItemEval::Agg(*fun, compile_expr(arg, schema)?));
+                }
+            }
+        }
+        Ok((names, evals))
+    }
+
+    fn compile_predicates(
+        &self,
+        preds: &[Predicate],
+        schema: &BoundSchema,
+    ) -> Result<Vec<RowPredicate>, SqlError> {
+        let refs: Vec<&Predicate> = preds.iter().collect();
+        self.compile_predicate_refs(&refs, schema)
+    }
+
+    fn compile_predicate_refs(
+        &self,
+        preds: &[&Predicate],
+        schema: &BoundSchema,
+    ) -> Result<Vec<RowPredicate>, SqlError> {
+        let mut out: Vec<RowPredicate> = Vec::with_capacity(preds.len());
+        for pred in preds {
+            match pred {
+                Predicate::Compare(lhs, op, rhs) => {
+                    let l = compile_expr(lhs, schema)?;
+                    let r = compile_expr(rhs, schema)?;
+                    let op = op.clone();
+                    out.push(Box::new(move |row| {
+                        let a = l(row).as_float();
+                        let b = r(row).as_float();
+                        match op.as_str() {
+                            "=" => a == b,
+                            "<" => a < b,
+                            ">" => a > b,
+                            "<=" => a <= b,
+                            ">=" => a >= b,
+                            "<>" => a != b,
+                            _ => unreachable!("parser only emits known operators"),
+                        }
+                    }));
+                }
+                Predicate::InSubquery { expr, query, negated } => {
+                    let sub = self.run_select(query, "in")?;
+                    if sub.columns().is_empty() {
+                        return Err(SqlError::Unsupported("IN over zero-column subquery".into()));
+                    }
+                    let set: HashSet<u64> =
+                        sub.rows().iter().map(|r| r[0].as_float().to_bits()).collect();
+                    let e = compile_expr(expr, schema)?;
+                    let negated = *negated;
+                    out.push(Box::new(move |row| {
+                        let hit = set.contains(&e(row).as_float().to_bits());
+                        hit != negated
+                    }));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+type RowPredicate = Box<dyn Fn(&[Value]) -> bool>;
+type RowExpr = Box<dyn Fn(&[Value]) -> Value>;
+
+enum ItemEval {
+    Scalar(RowExpr),
+    Agg(AggregateFun, RowExpr),
+    All,
+}
+
+fn default_name(expr: &Expr, index: usize) -> String {
+    match expr {
+        Expr::Column(c) => c.column.clone(),
+        _ => format!("expr{index}"),
+    }
+}
+
+/// Resolves a column reference against a bound schema.
+fn resolve(schema: &BoundSchema, col: &ColumnRef) -> Result<usize, SqlError> {
+    let matches: Vec<usize> = schema
+        .iter()
+        .enumerate()
+        .filter(|(_, (alias, name))| {
+            name == &col.column && col.table.as_ref().is_none_or(|t| t == alias)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [i] => Ok(*i),
+        [] => Err(SqlError::UnknownColumn(format_col(col))),
+        _ => Err(SqlError::UnknownColumn(format!("{} (ambiguous)", format_col(col)))),
+    }
+}
+
+fn format_col(col: &ColumnRef) -> String {
+    match &col.table {
+        Some(t) => format!("{t}.{}", col.column),
+        None => col.column.clone(),
+    }
+}
+
+/// Compiles a scalar expression to a closure over joined rows.
+fn compile_expr(expr: &Expr, schema: &BoundSchema) -> Result<RowExpr, SqlError> {
+    Ok(match expr {
+        Expr::Column(c) => {
+            let idx = resolve(schema, c)?;
+            Box::new(move |row| row[idx])
+        }
+        Expr::Literal(v) => {
+            // Integral literals stay integers so ids/geodesic numbers keep
+            // their type through INSERT ... SELECT '1' (Fig. 9c).
+            let value = if v.fract() == 0.0 && v.abs() < 9e15 {
+                Value::Int(*v as i64)
+            } else {
+                Value::Float(*v)
+            };
+            Box::new(move |_| value)
+        }
+        Expr::Binary(lhs, op, rhs) => {
+            let l = compile_expr(lhs, schema)?;
+            let r = compile_expr(rhs, schema)?;
+            let op = *op;
+            Box::new(move |row| {
+                let a = l(row);
+                let b = r(row);
+                // Integer arithmetic when both sides are integers (except
+                // division); float otherwise.
+                match (a, b, op) {
+                    (Value::Int(x), Value::Int(y), '+') => Value::Int(x + y),
+                    (Value::Int(x), Value::Int(y), '-') => Value::Int(x - y),
+                    (Value::Int(x), Value::Int(y), '*') => Value::Int(x * y),
+                    (a, b, '+') => Value::Float(a.as_float() + b.as_float()),
+                    (a, b, '-') => Value::Float(a.as_float() - b.as_float()),
+                    (a, b, '*') => Value::Float(a.as_float() * b.as_float()),
+                    (a, b, '/') => Value::Float(a.as_float() / b.as_float()),
+                    _ => unreachable!("parser only emits + - * /"),
+                }
+            })
+        }
+    })
+}
+
+/// Hash join of materialized row sets on canonical-f64 keys; with no keys
+/// it degrades to the cross product (comma-join without a bridge).
+fn hash_join(
+    left: &[Vec<Value>],
+    right: &[Vec<Value>],
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Vec<Value>> {
+    if left_keys.is_empty() {
+        let mut out = Vec::with_capacity(left.len() * right.len());
+        for l in left {
+            for r in right {
+                let mut row = l.clone();
+                row.extend(r.iter().copied());
+                out.push(row);
+            }
+        }
+        return out;
+    }
+    let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(right.len());
+    for (i, r) in right.iter().enumerate() {
+        let key: Vec<u64> = right_keys.iter().map(|&k| r[k].as_float().to_bits()).collect();
+        index.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for l in left {
+        let key: Vec<u64> = left_keys.iter().map(|&k| l[k].as_float().to_bits()).collect();
+        if let Some(matches) = index.get(&key) {
+            for &i in matches {
+                let mut row = l.clone();
+                row.extend(right[i].iter().copied());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_edges() -> Database {
+        let mut db = Database::new();
+        let mut a = Table::new("A", &["s", "t", "w"]);
+        for (s, t, w) in [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 2.0), (2, 1, 2.0)] {
+            a.push(vec![Value::Int(s), Value::Int(t), Value::Float(w)]);
+        }
+        db.insert_table("A", a);
+        let mut e = Table::new("E", &["v", "c", "b"]);
+        e.push(vec![Value::Int(0), Value::Int(0), Value::Float(0.1)]);
+        e.push(vec![Value::Int(0), Value::Int(1), Value::Float(-0.1)]);
+        db.insert_table("E", e);
+        db
+    }
+
+    #[test]
+    fn select_filter_project() {
+        let mut db = db_with_edges();
+        let r = db.execute("select s, w * 2 as w2 from A where s = 1").unwrap().unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.columns(), &["s".to_string(), "w2".to_string()]);
+        assert_eq!(r.rows()[0][1], Value::Float(2.0));
+    }
+
+    #[test]
+    fn join_via_where_equality() {
+        let mut db = db_with_edges();
+        let r = db
+            .execute("select A.t, E.b from A, E where A.s = E.v")
+            .unwrap()
+            .unwrap();
+        // E has node 0 only; A rows with s = 0: (0,1). Two E rows (classes).
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn cross_product_without_bridge() {
+        let mut db = db_with_edges();
+        let r = db.execute("select A.s, E.c from A, E").unwrap().unwrap();
+        assert_eq!(r.len(), 4 * 2);
+    }
+
+    #[test]
+    fn group_by_sum_matches_engine() {
+        let mut db = db_with_edges();
+        let r = db
+            .execute("select s, sum(w * w) as d from A group by s")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        // Node 1 has edges of weight 1 and 2 → d = 5.
+        let d1 = r
+            .rows()
+            .iter()
+            .find(|row| row[0] == Value::Int(1))
+            .unwrap()[1];
+        assert_eq!(d1, Value::Float(5.0));
+    }
+
+    /// Fig. 9a end-to-end: CREATE TABLE H2 AS the Ĥ² self-join.
+    #[test]
+    fn fig9a_h_squared() {
+        let mut db = Database::new();
+        let mut h = Table::new("H", &["c1", "c2", "h"]);
+        let vals = [[0.2, -0.1], [-0.1, 0.2]];
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                h.push(vec![Value::Int(i as i64), Value::Int(j as i64), Value::Float(v)]);
+            }
+        }
+        db.insert_table("H", h);
+        db.execute(
+            "create table H2 as select H1.c1, H2.c2, sum(H1.h*H2.h) as h \
+             from H H1, H H2 where H1.c2 = H2.c1 group by H1.c1, H2.c2",
+        )
+        .unwrap();
+        let h2 = db.table("H2").unwrap();
+        assert_eq!(h2.len(), 4);
+        // (Ĥ²)(0,0) = 0.2·0.2 + (−0.1)·(−0.1) = 0.05.
+        let v00 = h2
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::Int(0) && r[1] == Value::Int(0))
+            .unwrap()[2];
+        assert!((v00.as_float() - 0.05).abs() < 1e-12);
+    }
+
+    /// Fig. 9b end-to-end: top-belief assignment via FROM-subquery.
+    #[test]
+    fn fig9b_top_beliefs() {
+        let mut db = Database::new();
+        let mut b = Table::new("B", &["v", "c", "b"]);
+        for (v, c, val) in [(0, 0, 0.4), (0, 1, -0.4), (1, 0, -0.2), (1, 1, 0.2)] {
+            b.push(vec![Value::Int(v), Value::Int(c), Value::Float(val)]);
+        }
+        db.insert_table("B", b);
+        let top = db
+            .execute(
+                "select B.v, B.c from B, \
+                 (select B2.v, max(B2.b) as b from B B2 group by B2.v) as X \
+                 where B.v = X.v and B.b = X.b",
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(top.len(), 2);
+        let classes: HashMap<i64, i64> =
+            top.rows().iter().map(|r| (r[0].as_int(), r[1].as_int())).collect();
+        assert_eq!(classes[&0], 0);
+        assert_eq!(classes[&1], 1);
+    }
+
+    /// Fig. 9c end-to-end: the BFS step with NOT IN.
+    #[test]
+    fn fig9c_bfs_step() {
+        let mut db = db_with_edges();
+        let mut g = Table::new("G", &["v", "g"]);
+        g.push(vec![Value::Int(0), Value::Int(0)]);
+        db.insert_table("G", g);
+        db.execute(
+            "insert into G (select A.t, '1' from G, A where G.v = A.s and G.g = '0' \
+             and A.t not in (select G.v from G))",
+        )
+        .unwrap();
+        let g = db.table("G").unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g
+            .rows()
+            .iter()
+            .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(1)));
+    }
+
+    /// Fig. 9d end-to-end: the upsert as DELETE + INSERT.
+    #[test]
+    fn fig9d_upsert() {
+        let mut db = Database::new();
+        let mut b = Table::new("B", &["v", "c", "b"]);
+        b.push(vec![Value::Int(0), Value::Int(0), Value::Float(1.0)]);
+        b.push(vec![Value::Int(1), Value::Int(0), Value::Float(2.0)]);
+        db.insert_table("B", b);
+        let mut bn = Table::new("Bn", &["v", "c", "b"]);
+        bn.push(vec![Value::Int(1), Value::Int(0), Value::Float(9.0)]);
+        db.insert_table("Bn", bn);
+        db.execute_script(
+            "delete from B where v in (select Bn.v from Bn); insert into B select * from Bn;",
+        )
+        .unwrap();
+        let b = db.table("B").unwrap();
+        assert_eq!(b.len(), 2);
+        let v1 = b.rows().iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(v1[2], Value::Float(9.0));
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut db = db_with_edges();
+        assert!(matches!(
+            db.execute("select x from A"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("select s from Nope"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.execute("create table A as select s from A"),
+            Err(SqlError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.execute("insert into E select s from A"),
+            Err(SqlError::ArityMismatch { .. })
+        ));
+        assert!(matches!(db.execute("drop table Nope"), Err(SqlError::UnknownTable(_))));
+        // Ambiguous unqualified column across a self-join.
+        assert!(matches!(
+            db.execute("select s from A A1, A A2 where A1.s = A2.t"),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn integer_literal_typing() {
+        let mut db = db_with_edges();
+        let r = db.execute("select s, '1' from A where s = 0").unwrap().unwrap();
+        assert_eq!(r.rows()[0][1], Value::Int(1));
+        let r2 = db.execute("select 1.5 from A where s = 0").unwrap().unwrap();
+        assert_eq!(r2.rows()[0][0], Value::Float(1.5));
+    }
+}

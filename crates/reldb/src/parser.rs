@@ -1,0 +1,669 @@
+//! A small SQL dialect: tokenizer, AST and recursive-descent parser.
+//!
+//! Covers exactly what the paper's SQL formulations need (Sect. 5.3,
+//! Sect. 6.3, Appendix D):
+//!
+//! * `SELECT expr [AS name], …` with `SUM`/`MIN`/`MAX` aggregates,
+//! * `FROM table [alias], …` including parenthesized subqueries
+//!   (`(SELECT …) AS x` — Fig. 9b),
+//! * `WHERE` conjunctions of comparisons and `[NOT] IN (SELECT …)`
+//!   (Fig. 9c's anti-join),
+//! * `GROUP BY col, …`,
+//! * `CREATE TABLE t AS SELECT …` (Fig. 9a),
+//! * `INSERT INTO t SELECT … / (SELECT …)`,
+//! * `DELETE FROM t WHERE col IN (SELECT …)` (Fig. 9d),
+//! * arithmetic `+ − * /` over columns and numeric literals; quoted
+//!   numeric literals (`'0'`, `'1'`) are accepted as integers, as the
+//!   paper writes them.
+
+use std::fmt;
+
+/// Tokens of the dialect.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched case-
+    /// insensitively; identifiers keep their original spelling).
+    Ident(String),
+    /// Numeric literal (integer or float; also produced by quoted numbers).
+    Number(f64),
+    /// `.` `,` `(` `)` `*` `+` `-` `/` `=` `<` `>` `<=` `>=` `<>` `;`
+    Symbol(String),
+}
+
+/// Parse errors with a human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit()
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || chars[i] == '.'
+                    || chars[i] == 'e'
+                    || chars[i] == 'E'
+                    || ((chars[i] == '+' || chars[i] == '-')
+                        && matches!(chars[i - 1], 'e' | 'E')))
+            {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value: f64 =
+                text.parse().map_err(|_| ParseError(format!("bad number literal '{text}'")))?;
+            tokens.push(Token::Number(value));
+        } else if c == '\'' {
+            // Quoted literal — the paper quotes integers ('0', '1').
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(ParseError("unterminated string literal".into()));
+            }
+            let text: String = chars[start..i].iter().collect();
+            i += 1; // closing quote
+            let value: f64 = text
+                .parse()
+                .map_err(|_| ParseError(format!("only numeric quoted literals supported: '{text}'")))?;
+            tokens.push(Token::Number(value));
+        } else if c == '<' && i + 1 < chars.len() && (chars[i + 1] == '=' || chars[i + 1] == '>') {
+            tokens.push(Token::Symbol(format!("<{}", chars[i + 1])));
+            i += 2;
+        } else if c == '>' && i + 1 < chars.len() && chars[i + 1] == '=' {
+            tokens.push(Token::Symbol(">=".into()));
+            i += 2;
+        } else if "().,*+-/=<>;".contains(c) {
+            tokens.push(Token::Symbol(c.to_string()));
+            i += 1;
+        } else {
+            return Err(ParseError(format!("unexpected character '{c}'")));
+        }
+    }
+    Ok(tokens)
+}
+
+/// A (possibly qualified) column reference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnRef {
+    /// Table alias, if written as `alias.column`.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Scalar expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Numeric literal.
+    Literal(f64),
+    /// Binary arithmetic: `+ - * /`.
+    Binary(Box<Expr>, char, Box<Expr>),
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateFun {
+    /// `SUM(expr)`
+    Sum,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+/// One item of a SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Scalar expression with optional alias.
+    Expr {
+        /// The expression to evaluate per row.
+        expr: Expr,
+        /// Output column name (`AS name`).
+        alias: Option<String>,
+    },
+    /// Aggregate with optional alias.
+    Aggregate {
+        /// Aggregate function.
+        fun: AggregateFun,
+        /// Argument expression.
+        arg: Expr,
+        /// Output column name (`AS name`).
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableRef {
+    /// Base table with optional alias.
+    Named {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `(SELECT …) [AS] alias`
+    Subquery {
+        /// The inner query.
+        query: Box<Select>,
+        /// Mandatory alias naming the derived table.
+        alias: String,
+    },
+}
+
+/// WHERE predicates (conjunction members).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// `expr op expr` with op ∈ {=, <, >, <=, >=, <>}.
+    Compare(Expr, String, Expr),
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Probe expression.
+        expr: Expr,
+        /// The subquery whose first column is the membership set.
+        query: Box<Select>,
+        /// `true` for `NOT IN`.
+        negated: bool,
+    },
+}
+
+/// A SELECT statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM sources (comma-joined, like the paper's SQL).
+    pub from: Vec<TableRef>,
+    /// Conjunctive WHERE predicates.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+}
+
+/// Top-level statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `SELECT …`
+    Select(Select),
+    /// `CREATE TABLE name AS SELECT …`
+    CreateTableAs {
+        /// New table name.
+        name: String,
+        /// Defining query.
+        query: Select,
+    },
+    /// `INSERT INTO name [(]SELECT …[)]`
+    InsertSelect {
+        /// Target table.
+        table: String,
+        /// Source query.
+        query: Select,
+    },
+    /// `DELETE FROM name WHERE predicates`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunctive deletion condition.
+        predicates: Vec<Predicate>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table to remove.
+        name: String,
+    },
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(";"); // optional
+    if p.pos != p.tokens.len() {
+        return Err(ParseError(format!("trailing tokens after statement: {:?}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    sql.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected '{sym}', found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_keyword("select") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_keyword("create") {
+            self.expect_keyword("table")?;
+            let name = self.ident()?;
+            self.expect_keyword("as")?;
+            let parenthesized = self.eat_symbol("(");
+            let query = self.select()?;
+            if parenthesized {
+                self.expect_symbol(")")?;
+            }
+            Ok(Statement::CreateTableAs { name, query })
+        } else if self.eat_keyword("insert") {
+            self.expect_keyword("into")?;
+            let table = self.ident()?;
+            let parenthesized = self.eat_symbol("(");
+            let query = self.select()?;
+            if parenthesized {
+                self.expect_symbol(")")?;
+            }
+            Ok(Statement::InsertSelect { table, query })
+        } else if self.eat_keyword("delete") {
+            self.expect_keyword("from")?;
+            let table = self.ident()?;
+            let predicates = if self.eat_keyword("where") {
+                self.predicates()?
+            } else {
+                Vec::new()
+            };
+            Ok(Statement::Delete { table, predicates })
+        } else if self.eat_keyword("drop") {
+            self.expect_keyword("table")?;
+            let name = self.ident()?;
+            Ok(Statement::DropTable { name })
+        } else {
+            Err(ParseError(format!("expected a statement, found {:?}", self.peek())))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_keyword("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_symbol(",") {
+            from.push(self.table_ref()?);
+        }
+        let predicates =
+            if self.eat_keyword("where") { self.predicates()? } else { Vec::new() };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.column_ref()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        Ok(Select { items, from, predicates, group_by })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate?
+        for (kw, fun) in [
+            ("sum", AggregateFun::Sum),
+            ("min", AggregateFun::Min),
+            ("max", AggregateFun::Max),
+        ] {
+            if self.peek_keyword(kw)
+                && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(s)) if s == "(")
+            {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                let arg = self.expr()?;
+                self.expect_symbol(")")?;
+                let alias = self.optional_alias()?;
+                return Ok(SelectItem::Aggregate { fun, arg, alias });
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword("as") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat_symbol("(") {
+            let query = Box::new(self.select()?);
+            self.expect_symbol(")")?;
+            self.eat_keyword("as");
+            let alias = self.ident()?;
+            Ok(TableRef::Subquery { query, alias })
+        } else {
+            let name = self.ident()?;
+            // An alias is any identifier that is not a clause keyword.
+            let alias = match self.peek() {
+                Some(Token::Ident(s))
+                    if !["where", "group", "on", "inner", "join", "order"]
+                        .iter()
+                        .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+                {
+                    Some(self.ident()?)
+                }
+                _ => None,
+            };
+            Ok(TableRef::Named { name, alias })
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = vec![self.predicate()?];
+        while self.eat_keyword("and") {
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let lhs = self.expr()?;
+        // [NOT] IN (SELECT …)
+        if self.eat_keyword("not") {
+            self.expect_keyword("in")?;
+            self.expect_symbol("(")?;
+            let query = Box::new(self.select()?);
+            self.expect_symbol(")")?;
+            return Ok(Predicate::InSubquery { expr: lhs, query, negated: true });
+        }
+        if self.eat_keyword("in") {
+            self.expect_symbol("(")?;
+            let query = Box::new(self.select()?);
+            self.expect_symbol(")")?;
+            return Ok(Predicate::InSubquery { expr: lhs, query, negated: false });
+        }
+        let op = match self.next() {
+            Some(Token::Symbol(s)) if ["=", "<", ">", "<=", ">=", "<>"].contains(&s.as_str()) => s,
+            other => return Err(ParseError(format!("expected comparison, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        Ok(Predicate::Compare(lhs, op, rhs))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat_symbol("+") {
+                lhs = Expr::Binary(Box::new(lhs), '+', Box::new(self.term()?));
+            } else if self.eat_symbol("-") {
+                lhs = Expr::Binary(Box::new(lhs), '-', Box::new(self.term()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat_symbol("*") {
+                lhs = Expr::Binary(Box::new(lhs), '*', Box::new(self.factor()?));
+            } else if self.eat_symbol("/") {
+                lhs = Expr::Binary(Box::new(lhs), '/', Box::new(self.factor()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_symbol("(") {
+            let e = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        if self.eat_symbol("-") {
+            let e = self.factor()?;
+            return Ok(Expr::Binary(Box::new(Expr::Literal(0.0)), '-', Box::new(e)));
+        }
+        match self.next() {
+            Some(Token::Number(v)) => Ok(Expr::Literal(v)),
+            Some(Token::Ident(name)) => {
+                if self.eat_symbol(".") {
+                    let column = self.ident()?;
+                    Ok(Expr::Column(ColumnRef { table: Some(name), column }))
+                } else {
+                    Ok(Expr::Column(ColumnRef { table: None, column: name }))
+                }
+            }
+            other => Err(ParseError(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let column = self.ident()?;
+            Ok(ColumnRef { table: Some(first), column })
+        } else {
+            Ok(ColumnRef { table: None, column: first })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_basics() {
+        let t = tokenize("select a.b, 1.5e2 from T where x <> '0';").unwrap();
+        assert!(t.contains(&Token::Number(150.0)));
+        assert!(t.contains(&Token::Symbol("<>".into())));
+        assert!(t.contains(&Token::Number(0.0)));
+    }
+
+    #[test]
+    fn tokenizer_rejects_garbage() {
+        assert!(tokenize("select @").is_err());
+        assert!(tokenize("select 'abc' from t").is_err()); // non-numeric literal
+        assert!(tokenize("select 'unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_simple_select() {
+        let s = parse("select v, b from B where b > 0.5").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.from.len(), 1);
+        assert_eq!(sel.predicates.len(), 1);
+    }
+
+    /// Fig. 9a verbatim: the H² computation.
+    #[test]
+    fn parse_fig9a() {
+        let s = parse(
+            "create table H2 as select H1.c1, H2.c2, sum(H1.h*H2.h) as h \
+             from H H1, H H2 where H1.c2 = H2.c1 group by H1.c1, H2.c2",
+        )
+        .unwrap();
+        let Statement::CreateTableAs { name, query } = s else { panic!() };
+        assert_eq!(name, "H2");
+        assert_eq!(query.from.len(), 2);
+        assert_eq!(query.group_by.len(), 2);
+        assert!(matches!(query.items[2], SelectItem::Aggregate { fun: AggregateFun::Sum, .. }));
+    }
+
+    /// Fig. 9b verbatim: top-belief assignment with a FROM subquery.
+    #[test]
+    fn parse_fig9b() {
+        let s = parse(
+            "(select B.v, B.c from B, (select B2.v, max(B2.b) as b from B B2 group by B2.v) as X \
+             where B.v = X.v and B.b = X.b)",
+        );
+        // Outer parentheses around a bare SELECT are not a statement; strip
+        // them like the paper's display and parse the inner statement.
+        assert!(s.is_err());
+        let inner = parse(
+            "select B.v, B.c from B, (select B2.v, max(B2.b) as b from B B2 group by B2.v) as X \
+             where B.v = X.v and B.b = X.b",
+        )
+        .unwrap();
+        let Statement::Select(sel) = inner else { panic!() };
+        assert!(matches!(&sel.from[1], TableRef::Subquery { alias, .. } if alias == "X"));
+        assert_eq!(sel.predicates.len(), 2);
+    }
+
+    /// Fig. 9c verbatim: NOT IN anti-join with quoted numeric literals.
+    #[test]
+    fn parse_fig9c() {
+        let s = parse(
+            "insert into G (select A.s, '1' from G, A where G.v = A.s and G.g = '0' \
+             and A.t not in (select G.v from G))",
+        )
+        .unwrap();
+        let Statement::InsertSelect { table, query } = s else { panic!() };
+        assert_eq!(table, "G");
+        assert!(matches!(
+            query.predicates.last(),
+            Some(Predicate::InSubquery { negated: true, .. })
+        ));
+    }
+
+    /// Fig. 9d verbatim: the upsert as DELETE + INSERT.
+    #[test]
+    fn parse_fig9d() {
+        let script = parse_script(
+            "delete from B where v in (select Bn.v from Bn); insert into B select * from Bn;",
+        )
+        .unwrap();
+        assert_eq!(script.len(), 2);
+        assert!(matches!(&script[0], Statement::Delete { .. }));
+        let Statement::InsertSelect { query, .. } = &script[1] else { panic!() };
+        assert!(matches!(query.items[0], SelectItem::Wildcard));
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let s = parse("select a + b * c - 2 from T").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        // ((a + (b*c)) - 2)
+        let Expr::Binary(lhs, '-', _) = expr else { panic!("{expr:?}") };
+        let Expr::Binary(_, '+', mul) = lhs.as_ref() else { panic!() };
+        assert!(matches!(mul.as_ref(), Expr::Binary(_, '*', _)));
+    }
+
+    #[test]
+    fn parse_unary_minus() {
+        let s = parse("select -b from T").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(matches!(&sel.items[0], SelectItem::Expr { .. }));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("select from T").is_err());
+        assert!(parse("select a T").is_err());
+        assert!(parse("delete B").is_err());
+        assert!(parse("select a from T where a ==").is_err());
+        assert!(parse("select a from T group a").is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        assert!(matches!(
+            parse("drop table Bn").unwrap(),
+            Statement::DropTable { name } if name == "Bn"
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix under construction: an unordered list of
+/// `(row, col, value)` triplets. Duplicate coordinates are *summed* when
+/// converting to CSR — the natural semantics for accumulating parallel
+/// edges / weighted multi-edges (Sect. 5.2 of the paper: "we have to add up
+/// parallel paths").
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `n_rows × n_cols` builder.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Self { n_rows, n_cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty builder with space reserved for `cap` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        Self { n_rows, n_cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "COO coordinate out of bounds");
+        self.entries.push((row, col, value));
+    }
+
+    /// Adds `value` at `(row, col)` *and* `(col, row)` — an undirected edge.
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value);
+        if row != col {
+            self.push(col, row, value);
+        }
+    }
+
+    /// Converts to CSR, sorting triplets and summing duplicates.
+    /// Entries whose merged value is exactly 0.0 are kept (callers that want
+    /// them pruned can use [`CsrMatrix::prune_zeros`]); this keeps the
+    /// structure of "explicit zeros" deterministic.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates in place.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx: Vec<usize> = merged.iter().map(|e| e.1).collect();
+        let values: Vec<f64> = merged.iter().map(|e| e.2).collect();
+        CsrMatrix::from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder() {
+        let coo = CooMatrix::new(3, 3);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.n_rows(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 5.0);
+        assert_eq!(csr.get(1, 0), 1.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn push_symmetric_adds_both_directions() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 2, 1.5);
+        coo.push_symmetric(1, 1, 7.0); // self-loop pushed once
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 2), 1.5);
+        assert_eq!(csr.get(2, 0), 1.5);
+        assert_eq!(csr.get(1, 1), 7.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_sorted_in_csr() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(2, 3, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(0, 0, 4.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_cols(0), &[0, 1]);
+        assert_eq!(csr.row_cols(2), &[0, 3]);
+        assert_eq!(csr.row_values(2), &[3.0, 1.0]);
+    }
+}

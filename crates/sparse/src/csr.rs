@@ -1,0 +1,443 @@
+//! Compressed sparse row matrix.
+//!
+//! The single data structure behind every large-graph computation in this
+//! workspace: adjacency matrices are stored once in CSR and shared by BP
+//! (neighbor iteration), LinBP (SpMM), SBP (BFS layering) and the spectral
+//! convergence criteria (SpMV inside power iteration).
+
+use lsbp_linalg::Mat;
+
+/// A sparse `n_rows × n_cols` matrix in compressed sparse row format.
+///
+/// Invariants (maintained by all constructors):
+/// * `row_ptr.len() == n_rows + 1`, `row_ptr[0] == 0`, non-decreasing;
+/// * column indices within each row are strictly increasing;
+/// * `col_idx.len() == values.len() == row_ptr[n_rows]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the CSR invariants do not hold (sizes, monotone `row_ptr`,
+    /// strictly increasing in-row columns, in-bounds column indices).
+    pub fn from_raw_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end / col_idx length");
+        assert_eq!(col_idx.len(), values.len(), "col_idx / values length");
+        for r in 0..n_rows {
+            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be non-decreasing");
+            let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                assert!(w[0] < w[1], "columns within a row must be strictly increasing");
+            }
+            if let Some(&last) = cols.last() {
+                assert!(last < n_cols, "column index out of bounds");
+            }
+        }
+        Self { n_rows, n_cols, row_ptr, col_idx, values }
+    }
+
+    /// An `n × n` matrix with no stored entries.
+    pub fn empty(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr: vec![0; n_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `r` (sorted ascending).
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r`, parallel to [`CsrMatrix::row_cols`].
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f64] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Iterates `(col, value)` pairs of row `r`.
+    #[inline]
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+    }
+
+    /// Number of stored entries in row `r` (the node degree for adjacency
+    /// matrices without explicit zeros).
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Value at `(r, c)`, or 0.0 if not stored. `O(log row_nnz)`.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let cols = self.row_cols(r);
+        match cols.binary_search(&c) {
+            Ok(pos) => self.row_values(r)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The index into `values`/`col_idx` of entry `(r, c)`, if stored.
+    pub fn entry_index(&self, r: usize, c: usize) -> Option<usize> {
+        let start = self.row_ptr[r];
+        let cols = self.row_cols(r);
+        cols.binary_search(&c).ok().map(|pos| start + pos)
+    }
+
+    /// Sparse matrix × dense vector: `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix × dense vector into a caller-provided buffer.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "spmv dimension mismatch");
+        assert_eq!(y.len(), self.n_rows, "spmv output dimension mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row_iter(r) {
+                acc += v * x[c];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Sparse × dense matrix product: `A · B` where `B` is `n_cols × k`.
+    /// This is the LinBP workhorse (`A · B̂`), `O(nnz · k)`.
+    pub fn spmm(&self, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.n_rows, b.cols());
+        self.spmm_into(b, &mut out);
+        out
+    }
+
+    /// Sparse × dense into a caller-provided output (overwrites `out`).
+    pub fn spmm_into(&self, b: &Mat, out: &mut Mat) {
+        assert_eq!(b.rows(), self.n_cols, "spmm dimension mismatch");
+        assert_eq!(out.rows(), self.n_rows, "spmm output rows");
+        assert_eq!(out.cols(), b.cols(), "spmm output cols");
+        out.fill_zero();
+        for r in 0..self.n_rows {
+            // Accumulate row r of the output: Σ_c A(r,c) · B(c,·).
+            let start = self.row_ptr[r];
+            let end = self.row_ptr[r + 1];
+            for idx in start..end {
+                let c = self.col_idx[idx];
+                let v = self.values[idx];
+                let b_row = b.row(c);
+                let o_row = out.row_mut(r);
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
+
+    /// Transpose (always returns a valid CSR with sorted rows).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = row_ptr.clone();
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_iter(r) {
+                let pos = next[c];
+                col_idx[pos] = r;
+                values[pos] = v;
+                next[c] += 1;
+            }
+        }
+        CsrMatrix { n_rows: self.n_cols, n_cols: self.n_rows, row_ptr, col_idx, values }
+    }
+
+    /// `true` iff the matrix equals its transpose up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_iter(r) {
+                if (self.get(c, r) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The weighted degree vector of Sect. 5.2: `d_s = Σ_t w(s,t)²`
+    /// (the echo cancellation travels an edge back *and* forth, so each
+    /// edge contributes its squared weight). For unweighted graphs this is
+    /// the ordinary degree.
+    pub fn squared_weight_degrees(&self) -> Vec<f64> {
+        (0..self.n_rows)
+            .map(|r| self.row_values(r).iter().map(|v| v * v).sum())
+            .collect()
+    }
+
+    /// Plain weighted row sums (`Σ_t w(s,t)`).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n_rows).map(|r| self.row_values(r).iter().sum()).collect()
+    }
+
+    /// Returns a copy with all entries scaled by `s`.
+    pub fn scale(&self, s: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        out.values.iter_mut().for_each(|v| *v *= s);
+        out
+    }
+
+    /// Returns a copy with exact-zero entries removed.
+    pub fn prune_zeros(&self) -> CsrMatrix {
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_iter(r) {
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, values }
+    }
+
+    /// Densifies (tests / tiny systems only).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for (c, v) in self.row_iter(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Maximum absolute row sum — the induced ∞-norm, used by Lemma 9 for
+    /// the adjacency matrix without densifying it.
+    pub fn induced_inf_norm(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|r| self.row_values(r).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute column sum — the induced 1-norm.
+    pub fn induced_1_norm(&self) -> f64 {
+        let mut col_sums = vec![0.0f64; self.n_cols];
+        for (idx, &c) in self.col_idx.iter().enumerate() {
+            col_sums[c] += self.values[idx].abs();
+        }
+        col_sums.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Spectral radius via power iteration (the matrix should be symmetric,
+    /// which holds for undirected adjacency matrices).
+    pub fn spectral_radius(&self) -> f64 {
+        assert_eq!(self.n_rows, self.n_cols, "spectral radius of a square matrix only");
+        lsbp_linalg::power_iteration(
+            self.n_rows,
+            |x, out| self.spmv_into(x, out),
+            lsbp_linalg::PowerIterationOptions { max_iter: 2000, ..Default::default() },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn small() -> CsrMatrix {
+        // [[0, 2, 0],
+        //  [2, 0, 3],
+        //  [0, 3, 1]]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 2.0);
+        coo.push_symmetric(1, 2, 3.0);
+        coo.push(2, 2, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let m = small();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.row_cols(1), &[0, 2]);
+        assert_eq!(m.row_values(2), &[3.0, 1.0]);
+        assert_eq!(m.row_nnz(1), 2);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn spmv_known() {
+        let m = small();
+        let y = m.spmv(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![2.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = small();
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, -1.0]]);
+        let sparse_prod = m.spmm(&b);
+        let dense_prod = m.to_dense().matmul(&b);
+        assert!(sparse_prod.max_abs_diff(&dense_prod) < 1e-14);
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_self() {
+        let m = small();
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 5.0);
+        coo.push(1, 0, 1.0);
+        let m = coo.to_csr();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.get(0, 1), 1.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn squared_weight_degrees_weighted() {
+        let m = small();
+        // Row 0: 2² = 4; row 1: 2²+3² = 13; row 2: 3²+1² = 10.
+        assert_eq!(m.squared_weight_degrees(), vec![4.0, 13.0, 10.0]);
+        assert_eq!(m.row_sums(), vec![2.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn norms_match_dense() {
+        let m = small();
+        let d = m.to_dense();
+        assert!((m.induced_1_norm() - lsbp_linalg::induced_1_norm(&d)).abs() < 1e-14);
+        assert!((m.induced_inf_norm() - lsbp_linalg::induced_inf_norm(&d)).abs() < 1e-14);
+        assert!((m.frobenius_norm() - lsbp_linalg::frobenius_norm(&d)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn spectral_radius_path_graph() {
+        // P3 path: eigenvalues ±√2, 0.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 1.0);
+        coo.push_symmetric(1, 2, 1.0);
+        let m = coo.to_csr();
+        assert!((m.spectral_radius() - 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_and_empty() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.spmv(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        let e = CsrMatrix::empty(2, 5);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.spmv(&[1.0; 5]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_and_prune() {
+        let m = small().scale(0.0);
+        assert_eq!(m.nnz(), 5); // explicit zeros kept
+        let p = m.prune_zeros();
+        assert_eq!(p.nnz(), 0);
+        let m2 = small().scale(2.0);
+        assert_eq!(m2.get(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_raw_parts_rejects_unsorted() {
+        let _ = CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_raw_parts_rejects_bad_column() {
+        let _ = CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![2], vec![1.0]);
+    }
+
+    #[test]
+    fn entry_index_lookup() {
+        let m = small();
+        // values order: (0,1)=2, (1,0)=2, (1,2)=3, (2,1)=3, (2,2)=1
+        assert_eq!(m.entry_index(1, 2), Some(2));
+        assert_eq!(m.entry_index(2, 2), Some(4));
+        assert!(m.entry_index(0, 0).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Sparse matrix kernels for the LSBP workspace.
+//!
+//! The paper's performance claims rest on one observation: a LinBP iteration
+//! is a sparse-matrix × dense-matrix product (`A · B̂`, `O(nnz·k)`) instead of
+//! per-edge message vectors. This crate provides exactly those kernels:
+//!
+//! * [`CooMatrix`] — a triplet builder for assembling adjacency matrices,
+//! * [`CsrMatrix`] — compressed sparse row storage with SpMV and SpMM
+//!   (CSR × dense) products,
+//! * [`EdgeMatrixOp`] — the matrix-free "edge matrix" `A_edge` of
+//!   Appendix G (2|E| × 2|E|), used to evaluate the Mooij–Kappen
+//!   convergence bound for standard BP without materializing it.
+
+pub mod coo;
+pub mod csr;
+pub mod edge_op;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use edge_op::EdgeMatrixOp;

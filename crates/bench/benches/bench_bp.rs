@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
         let adj = graph.adjacency();
         let n = graph.num_nodes();
         let e = kronecker_style_beliefs(n, 3, n / 20, m as u64, false);
-        let opts = BpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let opts = BpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("bp", n), &n, |b, _| {
             b.iter(|| bp(&adj, &e, h_raw.raw(), &opts).unwrap())
         });

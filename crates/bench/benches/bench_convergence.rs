@@ -3,9 +3,7 @@
 //! bounds, Mooij constant, edge-matrix radius.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lsbp::convergence::{
-    mooij_constant, rho_edge_matrix, spectral_radius_linbp_operator,
-};
+use lsbp::convergence::{mooij_constant, rho_edge_matrix, spectral_radius_linbp_operator};
 use lsbp::prelude::*;
 use lsbp_graph::generators::{fig5c_torus, kronecker_graph};
 
@@ -17,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let graph = kronecker_graph(6);
     let adj = graph.adjacency();
 
-    group.bench_function("rho_adjacency_59k_edges", |b| b.iter(|| adj.spectral_radius()));
+    group.bench_function("rho_adjacency_59k_edges", |b| {
+        b.iter(|| adj.spectral_radius())
+    });
     let h = ho.scale(0.01);
     group.bench_function("rho_linbp_operator", |b| {
         b.iter(|| spectral_radius_linbp_operator(&adj, &h, true))

@@ -38,12 +38,25 @@ fn bench(c: &mut Criterion) {
             let mut scratch = Mat::zeros(n, 3);
             let mut out = Mat::zeros(n, 3);
             bch.iter(|| {
-                linbp_step(&adj, &e_hat, &b0, &h, Some(&h2), &degrees, &mut scratch, &mut out);
+                linbp_step(
+                    &adj,
+                    &e_hat,
+                    &b0,
+                    &h,
+                    Some(&h2),
+                    &degrees,
+                    &mut scratch,
+                    &mut out,
+                );
             })
         });
 
         // One BP round (messages-as-edges) — measured as 1 iteration of bp.
-        let opts = BpOptions { max_iter: 1, tol: 0.0, ..Default::default() };
+        let opts = BpOptions {
+            max_iter: 1,
+            tol: 0.0,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("messages_edges_round", n), &n, |bch, _| {
             bch.iter(|| bp(&adj, &e, h_raw.raw(), &opts).unwrap())
         });

@@ -45,11 +45,19 @@ fn main() {
         let rho_e = rho_edge_matrix(&adj);
         let ours = eps_max_exact_linbp_star(&ho, &adj);
         let mooij = bisect_mooij(&coupling, rho_e);
-        let winner = if !mooij.is_finite() || ours < mooij { "Mooij" } else { "LinBP*" };
+        let winner = if !mooij.is_finite() || ours < mooij {
+            "Mooij"
+        } else {
+            "LinBP*"
+        };
         println!(
             "{name:<16} {rho_a:>8.3} {rho_e:>10.3} {:>10.3} | {ours:>10.4} {:>10.4} {winner:>12}",
             rho_e + 1.0,
-            if mooij.is_finite() { mooij } else { f64::INFINITY },
+            if mooij.is_finite() {
+                mooij
+            } else {
+                f64::INFINITY
+            },
         );
     }
     println!(

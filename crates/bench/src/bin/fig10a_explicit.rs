@@ -18,13 +18,23 @@ fn main() {
     let n = graph.num_nodes();
     let ho = CouplingMatrix::fig6b_residual();
     let h = ho.scale(0.0005);
-    println!("graph #{id}: {n} nodes, {} directed edges", scale.directed_edges);
-    println!("{:>10} {:>12} {:>12} {:>8}", "explicit", "LinBP(5it)", "SBP", "layers");
+    println!(
+        "graph #{id}: {n} nodes, {} directed edges",
+        scale.directed_edges
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "explicit", "LinBP(5it)", "SBP", "layers"
+    );
 
     for pct in [5, 10, 20, 30, 40, 50, 60, 70, 80, 90] {
         let count = (n * pct / 100).max(1);
         let e = kronecker_style_beliefs(n, 3, count, pct as u64, false);
-        let lin_opts = LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let lin_opts = LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         let (_, t_lin) = time_once(|| linbp(&adj, &e, &h, &lin_opts).unwrap());
         let (sbp_result, t_sbp) = time_once(|| sbp(&adj, &e, &ho).unwrap());
         println!(

@@ -20,7 +20,10 @@ fn main() {
     let ho = CouplingMatrix::fig6b_residual();
     let labels = random_labels(n, 3, n / 10, 3);
     println!("graph #{id}: {n} nodes, {total_edges} undirected edges, 10% explicit");
-    println!("{:>10} {:>8} {:>12} {:>12} {:>8}", "new frac", "edges", "ΔSBP", "SBP(scratch)", "Δ/full");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>8}",
+        "new frac", "edges", "ΔSBP", "SBP(scratch)", "Δ/full"
+    );
 
     for pct_tenths in [5usize, 10, 20, 30, 50, 80, 100] {
         // pct_tenths is in ‰ of final edges: 5‰ = 0.5% … 100‰ = 10%.

@@ -43,7 +43,10 @@ fn main() {
     let sbp_r = sbp(&adj, &labels, &ho).unwrap();
     let sbp_tops = sbp_r.beliefs.top_belief_assignment(1e-9);
 
-    println!("\n{:>10} {:>7} {:>9} {:>9} {:>9}", "εH", "BPconv", "LinBP F1", "L* F1", "SBP F1");
+    println!(
+        "\n{:>10} {:>7} {:>9} {:>9} {:>9}",
+        "εH", "BPconv", "LinBP F1", "L* F1", "SBP F1"
+    );
     for eps in log_sweep(1e-8, 1e-2, points) {
         let h_raw = CouplingMatrix::from_residual(&ho, eps);
         let Ok(h_raw) = h_raw else {
@@ -54,11 +57,19 @@ fn main() {
             &adj,
             &labels,
             h_raw.raw(),
-            &BpOptions { max_iter: 150, tol: 1e-12, ..Default::default() },
+            &BpOptions {
+                max_iter: 150,
+                tol: 1e-12,
+                ..Default::default()
+            },
         )
         .unwrap();
         let gt = bp_r.beliefs.top_belief_assignment(1e-6);
-        let opts = LinBpOptions { max_iter: 1500, tol: 1e-16, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 1500,
+            tol: 1e-16,
+            ..Default::default()
+        };
         let h = ho.scale(eps);
         let lin = linbp(&adj, &labels, &h, &opts).unwrap();
         let star = linbp_star(&adj, &labels, &h, &opts).unwrap();

@@ -43,7 +43,11 @@ fn main() {
         "\n{:>8} | {:^29} | {:^29} | {:^29} | {:>11}",
         "εH", "BP: ζ(b̂v4)", "LinBP: ζ(b̂v4)", "LinBP*: ζ(b̂v4)", "σ(b̂) LinBP"
     );
-    let opts = LinBpOptions { max_iter: 100_000, tol: 1e-15, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 100_000,
+        tol: 1e-15,
+        ..Default::default()
+    };
     for eps in log_sweep(0.01, 1.0, 17) {
         let h = coupling.scaled_residual(eps);
         let fmt = |r: Option<Vec<f64>>| match r {
@@ -56,7 +60,11 @@ fn main() {
                 &adj,
                 &e,
                 &coupling.raw_at_scale(eps),
-                &BpOptions { max_iter: 2000, tol: 1e-12, ..Default::default() },
+                &BpOptions {
+                    max_iter: 2000,
+                    tol: 1e-12,
+                    ..Default::default()
+                },
             )
             .ok()
             .filter(|r| r.converged)
@@ -65,8 +73,7 @@ fn main() {
             None
         };
         let lin = linbp(&adj, &e, &h, &opts).unwrap();
-        let lin_std =
-            (lin.converged && !lin.diverged).then(|| lin.beliefs.standardized(TORUS_V4));
+        let lin_std = (lin.converged && !lin.diverged).then(|| lin.beliefs.standardized(TORUS_V4));
         let star = linbp_star(&adj, &e, &h, &opts).unwrap();
         let star_std =
             (star.converged && !star.diverged).then(|| star.beliefs.standardized(TORUS_V4));

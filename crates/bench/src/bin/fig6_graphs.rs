@@ -11,14 +11,21 @@ use lsbp_graph::generators::{kronecker_graph, kronecker_schedule};
 
 fn main() {
     let max_id = arg_usize("--max", 6).min(9);
-    println!("{:>2} {:>12} {:>12} {:>6} {:>8} {:>6}   built?", "#", "nodes n", "edges e", "e/n", "5%", "1‰");
+    println!(
+        "{:>2} {:>12} {:>12} {:>6} {:>8} {:>6}   built?",
+        "#", "nodes n", "edges e", "e/n", "5%", "1‰"
+    );
     for scale in kronecker_schedule() {
         let five_pct = scale.nodes / 20;
         let one_permille = (scale.nodes as f64 / 1000.0).round() as usize;
         let built = if scale.id <= max_id {
             let g = kronecker_graph(scale.exponent);
             assert_eq!(g.num_nodes(), scale.nodes, "node count mismatch");
-            assert_eq!(g.num_directed_edges(), scale.directed_edges, "edge count mismatch");
+            assert_eq!(
+                g.num_directed_edges(),
+                scale.directed_edges,
+                "edge count mismatch"
+            );
             format!("✓ ({} components)", g.num_components())
         } else {
             "(skipped — raise --max)".to_string()

@@ -21,7 +21,15 @@ fn main() {
     println!("5 iterations each, k = 3, εH = {eps}, 5% explicit beliefs");
     println!(
         "{:>2} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8} {:>9} {:>14}",
-        "#", "nodes", "edges", "BP(naive)", "BP(cached)", "LinBP", "BPn/Lin", "BPc/Lin", "LinBP edges/s"
+        "#",
+        "nodes",
+        "edges",
+        "BP(naive)",
+        "BP(cached)",
+        "LinBP",
+        "BPn/Lin",
+        "BPc/Lin",
+        "LinBP edges/s"
     );
     for scale in kronecker_schedule().into_iter().filter(|s| s.id <= max_id) {
         let graph = kronecker_graph(scale.exponent);
@@ -31,13 +39,25 @@ fn main() {
 
         // Naive BP: the straightforward per-edge implementation (O(deg²·k)
         // per node) — the kind of baseline the paper compares against.
-        let naive_opts =
-            BpOptions { max_iter: 5, tol: 0.0, naive_products: true, ..Default::default() };
+        let naive_opts = BpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            naive_products: true,
+            ..Default::default()
+        };
         let (_, naive_time) = time_once(|| bp(&adj, &e, h_raw.raw(), &naive_opts).unwrap());
         // Cached BP: the same messages via product caching (O(deg·k)).
-        let bp_opts = BpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let bp_opts = BpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         let (bp_result, bp_time) = time_once(|| bp(&adj, &e, h_raw.raw(), &bp_opts).unwrap());
-        let lin_opts = LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let lin_opts = LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         let (lin_result, lin_time) = time_once(|| linbp(&adj, &e, &h_res, &lin_opts).unwrap());
         assert_eq!(bp_result.iterations, 5);
         assert_eq!(lin_result.iterations, 5);

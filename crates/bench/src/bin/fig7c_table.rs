@@ -20,7 +20,15 @@ fn main() {
 
     println!(
         "{:>2} | {:>12} {:>12} | {:>12} {:>12} {:>12} | {:>8} {:>8} {:>9}",
-        "#", "BP(mem)", "LinBP(mem)", "LinBP(rel)", "SBP(rel)", "ΔSBP(rel)", "BP/Lin", "Lin/SBP", "SBP/ΔSBP"
+        "#",
+        "BP(mem)",
+        "LinBP(mem)",
+        "LinBP(rel)",
+        "SBP(rel)",
+        "ΔSBP(rel)",
+        "BP/Lin",
+        "Lin/SBP",
+        "SBP/ΔSBP"
     );
     for scale in kronecker_schedule().into_iter().filter(|s| s.id <= max_id) {
         let graph = kronecker_graph(scale.exponent);
@@ -28,9 +36,17 @@ fn main() {
         let n = graph.num_nodes();
         let e = kronecker_style_beliefs(n, 3, n / 20, scale.id as u64, false);
 
-        let bp_opts = BpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let bp_opts = BpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         let (_, t_bp) = time_once(|| bp(&adj, &e, h_raw.raw(), &bp_opts).unwrap());
-        let lin_opts = LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let lin_opts = LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         let (_, t_lin_mem) = time_once(|| linbp(&adj, &e, &h_scaled, &lin_opts).unwrap());
 
         let db_lin = SqlDb::new(&graph, &e, &h_scaled);

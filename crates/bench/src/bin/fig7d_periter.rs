@@ -22,7 +22,10 @@ fn main() {
     let e = kronecker_style_beliefs(n, 3, n / 20, 7, false);
     let ho = CouplingMatrix::fig6b_residual();
     let h = ho.scale(0.0005);
-    println!("graph #{id}: {n} nodes, {} directed edges", scale.directed_edges);
+    println!(
+        "graph #{id}: {n} nodes, {} directed edges",
+        scale.directed_edges
+    );
 
     // LinBP: time each of 5 update rounds.
     let h2 = h.matmul(&h);
@@ -34,7 +37,16 @@ fn main() {
     let mut linbp_times = Vec::new();
     for _ in 0..5 {
         let (_, t) = time_once(|| {
-            linbp_step(&adj, e_hat, &b, &h, Some(&h2), &degrees, &mut scratch, &mut next);
+            linbp_step(
+                &adj,
+                e_hat,
+                &b,
+                &h,
+                Some(&h2),
+                &degrees,
+                &mut scratch,
+                &mut next,
+            );
         });
         std::mem::swap(&mut b, &mut next);
         linbp_times.push(t);
@@ -76,12 +88,24 @@ fn main() {
         edges_per_layer.push(edges);
     }
 
-    println!("\n{:>5} {:>14} {:>14} {:>16}", "iter", "LinBP", "SBP", "SBP edges visited");
+    println!(
+        "\n{:>5} {:>14} {:>14} {:>16}",
+        "iter", "LinBP", "SBP", "SBP edges visited"
+    );
     let rounds = linbp_times.len().max(sbp_times.len());
     for i in 0..rounds {
-        let lin = linbp_times.get(i).map(|&t| fmt_duration(t)).unwrap_or_default();
-        let sbp_t = sbp_times.get(i).map(|&t| fmt_duration(t)).unwrap_or_default();
-        let edges = edges_per_layer.get(i).map(|e| e.to_string()).unwrap_or_default();
+        let lin = linbp_times
+            .get(i)
+            .map(|&t| fmt_duration(t))
+            .unwrap_or_default();
+        let sbp_t = sbp_times
+            .get(i)
+            .map(|&t| fmt_duration(t))
+            .unwrap_or_default();
+        let edges = edges_per_layer
+            .get(i)
+            .map(|e| e.to_string())
+            .unwrap_or_default();
         println!("{:>5} {lin:>14} {sbp_t:>14} {edges:>16}", i + 1);
     }
     println!(

@@ -24,7 +24,10 @@ fn main() {
         "graph #{id}: {n} nodes, {} directed edges; {total_explicit} explicit after update",
         scale.directed_edges
     );
-    println!("{:>10} {:>8} {:>12} {:>12} {:>8}", "new frac", "new", "ΔSBP", "SBP(scratch)", "Δ/full");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>8}",
+        "new frac", "new", "ΔSBP", "SBP(scratch)", "Δ/full"
+    );
 
     for pct in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
         let new_count = total_explicit * pct / 100;

@@ -26,7 +26,10 @@ fn main() {
     println!(
         "graph #{id}: {n} nodes; thresholds: sufficient εH = {eps_suff:.2e} (paper 2e-4), exact εH = {eps_exact:.2e} (paper 2.8e-3)"
     );
-    println!("{:>10} {:>6} {:>6} {:>9} {:>9} {:>9}", "εH", "BPconv", "Lconv", "recall", "precision", "F1");
+    println!(
+        "{:>10} {:>6} {:>6} {:>9} {:>9} {:>9}",
+        "εH", "BPconv", "Lconv", "recall", "precision", "F1"
+    );
 
     for eps in log_sweep(1e-8, 1e-2, points) {
         let h_raw = CouplingMatrix::from_residual(&ho, eps).unwrap();
@@ -34,18 +37,29 @@ fn main() {
             &adj,
             &e,
             h_raw.raw(),
-            &BpOptions { max_iter: 200, tol: 1e-14, ..Default::default() },
+            &BpOptions {
+                max_iter: 200,
+                tol: 1e-14,
+                ..Default::default()
+            },
         )
         .unwrap();
         let lin = linbp(
             &adj,
             &e,
             &ho.scale(eps),
-            &LinBpOptions { max_iter: 2000, tol: 1e-16, ..Default::default() },
+            &LinBpOptions {
+                max_iter: 2000,
+                tol: 1e-16,
+                ..Default::default()
+            },
         )
         .unwrap();
         if lin.diverged {
-            println!("{eps:>10.1e} {:>6} {:>6}   (LinBP diverged)", bp_r.converged, "—");
+            println!(
+                "{eps:>10.1e} {:>6} {:>6}   (LinBP diverged)",
+                bp_r.converged, "—"
+            );
             continue;
         }
         let gt = bp_r.beliefs.top_belief_assignment(1e-6);
@@ -53,11 +67,7 @@ fn main() {
         let q = quality(&gt, &ours);
         println!(
             "{eps:>10.1e} {:>6} {:>6} {:>9.4} {:>9.4} {:>9.4}",
-            bp_r.converged,
-            lin.converged,
-            q.recall,
-            q.precision,
-            q.f1
+            bp_r.converged, lin.converged, q.recall, q.precision, q.f1
         );
     }
     println!(

@@ -30,13 +30,21 @@ fn main() {
 
     println!(
         "graph #{id}: {n} nodes, ties {}",
-        if keep_ties { "kept (paper's oscillating regime)" } else { "broken with extra digits" }
+        if keep_ties {
+            "kept (paper's oscillating regime)"
+        } else {
+            "broken with extra digits"
+        }
     );
     println!(
         "{:>10} | {:>9} {:>9} | {:>9} {:>9} {:>9}",
         "εH", "L* r=p", "L* F1", "SBP r", "SBP p", "SBP F1"
     );
-    let opts = LinBpOptions { max_iter: 2000, tol: 1e-16, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 2000,
+        tol: 1e-16,
+        ..Default::default()
+    };
     let mut sbp_r_sum = 0.0;
     let mut sbp_p_sum = 0.0;
     let mut count = 0usize;

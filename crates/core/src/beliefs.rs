@@ -36,7 +36,15 @@ impl std::error::Error for BeliefError {}
 /// `[2, −1, −1]` convention of Example 20.
 pub fn centered_one_hot(k: usize, class: usize, scale: f64) -> Vec<f64> {
     assert!(class < k, "class out of range");
-    (0..k).map(|i| if i == class { scale * (k as f64 - 1.0) } else { -scale }).collect()
+    (0..k)
+        .map(|i| {
+            if i == class {
+                scale * (k as f64 - 1.0)
+            } else {
+                -scale
+            }
+        })
+        .collect()
 }
 
 /// The explicit (prior) beliefs `Ê`: an `n × k` residual matrix, zero for
@@ -51,7 +59,10 @@ impl ExplicitBeliefs {
     /// All-unlabeled beliefs for `n` nodes and `k` classes.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k >= 2, "need at least two classes");
-        Self { mat: Mat::zeros(n, k), explicit: vec![false; n] }
+        Self {
+            mat: Mat::zeros(n, k),
+            explicit: vec![false; n],
+        }
     }
 
     /// Number of nodes.
@@ -130,7 +141,10 @@ impl ExplicitBeliefs {
     /// Returns a copy with all residuals scaled by `s` (Lemma 12: scaling
     /// `Ê` scales `B̂` and leaves standardized/top beliefs unchanged).
     pub fn scaled(&self, s: f64) -> Self {
-        Self { mat: self.mat.scale(s), explicit: self.explicit.clone() }
+        Self {
+            mat: self.mat.scale(s),
+            explicit: self.explicit.clone(),
+        }
     }
 }
 
@@ -185,21 +199,28 @@ impl BeliefMatrix {
 
     /// The set of top classes of node `v`, with ties resolved by a relative
     /// tolerance: class `i` is a top belief iff
-    /// `b_max − b_i ≤ rel_tol · max(|b_max|, tiny)`. A numerically zero row
-    /// (max |b| below 1e-300) ties *all* classes — the natural read-out for
-    /// nodes unreachable from any labeled node.
+    /// `b_max − b_i ≤ rel_tol · max(|b_max|, tiny)`. An exactly zero row
+    /// ties *all* classes — the read-out both for nodes unreachable from
+    /// any labeled node and for exact SBP cancellations (a node adjacent to
+    /// seeds of all `k` classes, where the centered coupling rows sum to
+    /// 0): SBP's accumulation snaps within-rounding-error entries to exact
+    /// zeros so those ties survive floating point (see
+    /// [`crate::sbp`]'s `recompute_belief`).
     pub fn top_beliefs(&self, v: usize, rel_tol: f64) -> Vec<usize> {
         top_of_row(self.mat.row(v), rel_tol)
     }
 
     /// [`BeliefMatrix::top_beliefs`] for every node.
     pub fn top_belief_assignment(&self, rel_tol: f64) -> Vec<Vec<usize>> {
-        (0..self.n()).map(|v| self.top_beliefs(v, rel_tol)).collect()
+        (0..self.n())
+            .map(|v| self.top_beliefs(v, rel_tol))
+            .collect()
     }
 }
 
 /// Top-class set of a single residual belief row (see
-/// [`BeliefMatrix::top_beliefs`]).
+/// [`BeliefMatrix::top_beliefs`]). A numerically zero row (below the
+/// denormal floor) ties all classes.
 pub fn top_of_row(row: &[f64], rel_tol: f64) -> Vec<usize> {
     let max_abs = row.iter().fold(0.0f64, |m, x| m.max(x.abs()));
     if max_abs < 1e-300 {
@@ -242,9 +263,15 @@ mod tests {
     #[test]
     fn set_residual_validation() {
         let mut e = ExplicitBeliefs::new(2, 3);
-        assert_eq!(e.set_residual(5, &[0.0; 3]), Err(BeliefError::NodeOutOfRange));
+        assert_eq!(
+            e.set_residual(5, &[0.0; 3]),
+            Err(BeliefError::NodeOutOfRange)
+        );
         assert_eq!(e.set_residual(0, &[0.0; 2]), Err(BeliefError::WrongArity));
-        assert_eq!(e.set_residual(0, &[1.0, 1.0, 1.0]), Err(BeliefError::NotCentered));
+        assert_eq!(
+            e.set_residual(0, &[1.0, 1.0, 1.0]),
+            Err(BeliefError::NotCentered)
+        );
         assert!(e.set_residual(0, &[0.1, -0.05, -0.05]).is_ok());
     }
 

@@ -49,7 +49,13 @@ pub struct BpOptions {
 
 impl Default for BpOptions {
     fn default() -> Self {
-        Self { max_iter: 100, tol: 1e-9, prior_scale: None, damping: 0.0, naive_products: false }
+        Self {
+            max_iter: 100,
+            tol: 1e-9,
+            prior_scale: None,
+            damping: 0.0,
+            naive_products: false,
+        }
     }
 }
 
@@ -120,10 +126,15 @@ pub fn bp(
     }
 
     // Priors: e_s = 1/k + scale · ê_s, strictly positive.
-    let scale = opts.prior_scale.unwrap_or_else(|| auto_prior_scale(explicit));
+    let scale = opts
+        .prior_scale
+        .unwrap_or_else(|| auto_prior_scale(explicit));
     let uniform = 1.0 / k as f64;
     let priors = Mat::from_fn(n, k, |r, c| uniform + scale * explicit.row(r)[c]);
-    debug_assert!(priors.as_slice().iter().all(|&x| x > 0.0), "priors must be positive");
+    debug_assert!(
+        priors.as_slice().iter().all(|&x| x > 0.0),
+        "priors must be positive"
+    );
 
     // Directed edge table + reverse-edge index (u→v stored entry e; rev[e]
     // is the entry of v→u).
@@ -259,7 +270,12 @@ pub fn bp(
         }
     }
 
-    Ok(BpResult { beliefs: BeliefMatrix::from_mat(beliefs), converged, iterations, final_delta })
+    Ok(BpResult {
+        beliefs: BeliefMatrix::from_mat(beliefs),
+        converged,
+        iterations,
+        final_delta,
+    })
 }
 
 /// Largest factor (≤ 1) mapping residuals into strictly positive priors
@@ -396,8 +412,17 @@ mod tests {
         let adj = g.adjacency();
         let e = explicit_path(4);
         let h = CouplingMatrix::fig1a().unwrap();
-        let r = bp(&adj, &e, h.raw(), &BpOptions { max_iter: 5, tol: 0.0, ..Default::default() })
-            .unwrap();
+        let r = bp(
+            &adj,
+            &e,
+            h.raw(),
+            &BpOptions {
+                max_iter: 5,
+                tol: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(r.iterations, 5);
         assert!(!r.converged);
     }
@@ -413,10 +438,23 @@ mod tests {
         e.set_residual(13, &[-0.05, 0.1, -0.05]).unwrap();
         let h = CouplingMatrix::fig1c().unwrap().raw_at_scale(0.4);
         let fast = bp(&adj, &e, &h, &BpOptions::default()).unwrap();
-        let naive =
-            bp(&adj, &e, &h, &BpOptions { naive_products: true, ..Default::default() }).unwrap();
+        let naive = bp(
+            &adj,
+            &e,
+            &h,
+            &BpOptions {
+                naive_products: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(fast.converged, naive.converged);
-        assert!(fast.beliefs.residual().max_abs_diff(naive.beliefs.residual()) < 1e-9);
+        assert!(
+            fast.beliefs
+                .residual()
+                .max_abs_diff(naive.beliefs.residual())
+                < 1e-9
+        );
     }
 
     /// Damping preserves the fixed point: a converged run with and without
@@ -432,10 +470,20 @@ mod tests {
             &adj,
             &e,
             h.raw(),
-            &BpOptions { damping: 0.3, max_iter: 500, ..Default::default() },
+            &BpOptions {
+                damping: 0.3,
+                max_iter: 500,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(plain.converged && damped.converged);
-        assert!(plain.beliefs.residual().max_abs_diff(damped.beliefs.residual()) < 1e-6);
+        assert!(
+            plain
+                .beliefs
+                .residual()
+                .max_abs_diff(damped.beliefs.residual())
+                < 1e-6
+        );
     }
 }

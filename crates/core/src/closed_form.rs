@@ -41,7 +41,10 @@ impl std::fmt::Display for ClosedFormError {
             ClosedFormError::Singular => write!(f, "closed-form system matrix is singular"),
             ClosedFormError::DimensionMismatch => write!(f, "dimension mismatch"),
             ClosedFormError::NotConvergent => {
-                write!(f, "Jacobi iteration diverged: spectral radius ≥ 1 (Lemma 8)")
+                write!(
+                    f,
+                    "Jacobi iteration diverged: spectral radius ≥ 1 (Lemma 8)"
+                )
             }
         }
     }
@@ -130,7 +133,11 @@ mod tests {
         let (adj, e, h) = torus_setup();
         for echo in [true, false] {
             let dense = linbp_closed_form_dense(&adj, &e, &h, echo).unwrap();
-            let opts = LinBpOptions { max_iter: 5000, tol: 1e-14, ..Default::default() };
+            let opts = LinBpOptions {
+                max_iter: 5000,
+                tol: 1e-14,
+                ..Default::default()
+            };
             let iter = linbp_closed_form_jacobi(&adj, &e, &h, echo, &opts).unwrap();
             assert!(
                 dense.residual().max_abs_diff(iter.residual()) < 1e-9,
@@ -160,7 +167,10 @@ mod tests {
         let mut e = ExplicitBeliefs::new(6, 2);
         e.set_label(0, 0, 0.1).unwrap();
         let h = CouplingMatrix::fig1a().unwrap().scaled_residual(1.0); // ρ = 1.2
-        let opts = LinBpOptions { max_iter: 500, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 500,
+            ..Default::default()
+        };
         assert!(matches!(
             linbp_closed_form_jacobi(&adj, &e, &h, false, &opts),
             Err(ClosedFormError::NotConvergent)

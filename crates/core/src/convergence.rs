@@ -14,9 +14,7 @@
 //! * **Mooij–Kappen** (Appendix G): the sufficient criterion for
 //!   *standard BP*, `c(H)·ρ(A_edge) < 1`, for the comparison experiment.
 
-use lsbp_linalg::{
-    power_iteration, spectral_radius_dense_symmetric, Mat, PowerIterationOptions,
-};
+use lsbp_linalg::{power_iteration, spectral_radius_dense_symmetric, Mat, PowerIterationOptions};
 use lsbp_sparse::{CsrMatrix, EdgeMatrixOp};
 
 /// Spectral radius of the LinBP update operator
@@ -50,7 +48,11 @@ pub fn spectral_radius_linbp_operator(adj: &CsrMatrix, h_residual: &Mat, echo: b
                 }
             }
         },
-        PowerIterationOptions { max_iter: 3000, tol: 1e-11, ..Default::default() },
+        PowerIterationOptions {
+            max_iter: 3000,
+            tol: 1e-11,
+            ..Default::default()
+        },
     )
 }
 
@@ -117,7 +119,9 @@ pub fn eps_max_exact_linbp(h_unscaled: &Mat, adj: &CsrMatrix, rel_tol: f64) -> f
 /// Minimum over the paper's norm set M = {Frobenius, induced-1,
 /// induced-∞} for a sparse matrix.
 fn min_norm_sparse(m: &CsrMatrix) -> f64 {
-    m.frobenius_norm().min(m.induced_1_norm()).min(m.induced_inf_norm())
+    m.frobenius_norm()
+        .min(m.induced_1_norm())
+        .min(m.induced_inf_norm())
 }
 
 /// Minimum over the norm set M for a dense matrix.
@@ -133,13 +137,20 @@ pub fn eps_max_sufficient_linbp(h_unscaled: &Mat, adj: &CsrMatrix) -> f64 {
     let norm_a = min_norm_sparse(adj);
     // All three norms of the diagonal degree matrix: induced-1 = induced-∞
     // = max d; Frobenius ≥ max d. The minimum is max d.
-    let norm_d = adj.squared_weight_degrees().into_iter().fold(0.0f64, f64::max);
+    let norm_d = adj
+        .squared_weight_degrees()
+        .into_iter()
+        .fold(0.0f64, f64::max);
     if norm_h == 0.0 {
         return f64::INFINITY;
     }
     if norm_d == 0.0 {
         // Edgeless graph: condition degenerates to the star case.
-        return if norm_a == 0.0 { f64::INFINITY } else { 1.0 / (norm_h * norm_a) };
+        return if norm_a == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (norm_h * norm_a)
+        };
     }
     let bound = ((norm_a * norm_a + 4.0 * norm_d).sqrt() - norm_a) / (2.0 * norm_d);
     bound / norm_h
@@ -159,8 +170,8 @@ pub fn eps_max_sufficient_linbp_star(h_unscaled: &Mat, adj: &CsrMatrix) -> f64 {
 /// Lemma 23's simpler (but looser) sufficient εH threshold for LinBP:
 /// `εH·‖Ĥo‖ < 1/(2‖A‖)`, using only the induced 1-/∞-norms.
 pub fn eps_max_lemma23(h_unscaled: &Mat, adj: &CsrMatrix) -> f64 {
-    let norm_h = lsbp_linalg::induced_1_norm(h_unscaled)
-        .min(lsbp_linalg::induced_inf_norm(h_unscaled));
+    let norm_h =
+        lsbp_linalg::induced_1_norm(h_unscaled).min(lsbp_linalg::induced_inf_norm(h_unscaled));
     let norm_a = adj.induced_1_norm().min(adj.induced_inf_norm());
     if norm_h == 0.0 || norm_a == 0.0 {
         f64::INFINITY
@@ -231,7 +242,10 @@ mod tests {
         let d = Mat::from_fn(5, 5, |r, c| if r == c { degrees[r] } else { 0.0 });
         let m = h.kronecker(&a).sub(&h.matmul(&h).kronecker(&d));
         let rho_dense = spectral_radius_dense_symmetric(&m);
-        assert!((rho_free - rho_dense).abs() < 1e-6, "{rho_free} vs {rho_dense}");
+        assert!(
+            (rho_free - rho_dense).abs() < 1e-6,
+            "{rho_free} vs {rho_dense}"
+        );
     }
 
     /// Without echo: ρ(Ĥ⊗A) = ρ(Ĥ)·ρ(A) — separable.
@@ -285,7 +299,10 @@ mod tests {
         let ho = CouplingMatrix::fig1c().unwrap().residual();
         let l23 = eps_max_lemma23(&ho, &adj);
         let l9 = eps_max_sufficient_linbp(&ho, &adj);
-        assert!(l23 <= l9 + 1e-12, "lemma 23 ({l23}) should not beat lemma 9 ({l9})");
+        assert!(
+            l23 <= l9 + 1e-12,
+            "lemma 23 ({l23}) should not beat lemma 9 ({l9})"
+        );
         // And it is still below the exact threshold.
         assert!(l23 < 0.488);
     }
@@ -363,7 +380,13 @@ mod tests {
         let dense = complete(6).adjacency();
         let coupling = CouplingMatrix::fig1c().unwrap();
         let eps = 0.3;
-        assert!(exact_linbp_star_converges(&dense, &coupling.scaled_residual(eps)));
-        assert!(!mooij_guarantees_bp_convergence(&coupling.raw_at_scale(eps), &dense));
+        assert!(exact_linbp_star_converges(
+            &dense,
+            &coupling.scaled_residual(eps)
+        ));
+        assert!(!mooij_guarantees_bp_convergence(
+            &coupling.raw_at_scale(eps),
+            &dense
+        ));
     }
 }

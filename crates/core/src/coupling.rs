@@ -28,7 +28,10 @@ impl std::fmt::Display for CouplingError {
         match self {
             CouplingError::NotSquare => write!(f, "coupling matrix must be square and non-empty"),
             CouplingError::NotStochastic => {
-                write!(f, "coupling matrix must be doubly stochastic (rows/columns sum to 1)")
+                write!(
+                    f,
+                    "coupling matrix must be doubly stochastic (rows/columns sum to 1)"
+                )
             }
             CouplingError::NotSymmetric => write!(f, "coupling matrix must be symmetric"),
         }
@@ -156,7 +159,11 @@ impl CouplingMatrix {
     /// `[[0.6, 0.3, 0.1], [0.3, 0.0, 0.7], [0.1, 0.7, 0.2]]` — mixes
     /// homophily (H–H) with heterophily (A–F).
     pub fn fig1c() -> Result<Self, CouplingError> {
-        Self::new(Mat::from_rows(&[&[0.6, 0.3, 0.1], &[0.3, 0.0, 0.7], &[0.1, 0.7, 0.2]]))
+        Self::new(Mat::from_rows(&[
+            &[0.6, 0.3, 0.1],
+            &[0.3, 0.0, 0.7],
+            &[0.1, 0.7, 0.2],
+        ]))
     }
 
     /// `k`-class homophily: diagonal `p`, off-diagonal `(1−p)/(k−1)`.
@@ -178,7 +185,10 @@ impl CouplingMatrix {
     /// Panics unless `k ≥ 2` and `p ∈ [0, 1/k)`.
     pub fn heterophily(k: usize, p: f64) -> Result<Self, CouplingError> {
         assert!(k >= 2, "heterophily needs at least two classes");
-        assert!((0.0..1.0 / k as f64).contains(&p), "diagonal must be below 1/k");
+        assert!(
+            (0.0..1.0 / k as f64).contains(&p),
+            "diagonal must be below 1/k"
+        );
         let off = (1.0 - p) / (k as f64 - 1.0);
         Self::new(Mat::from_fn(k, k, |r, c| if r == c { p } else { off }))
     }
@@ -204,7 +214,11 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for m in [CouplingMatrix::fig1a(), CouplingMatrix::fig1b(), CouplingMatrix::fig1c()] {
+        for m in [
+            CouplingMatrix::fig1a(),
+            CouplingMatrix::fig1b(),
+            CouplingMatrix::fig1c(),
+        ] {
             assert!(m.is_ok());
         }
         assert_eq!(CouplingMatrix::fig1c().unwrap().k(), 3);
@@ -231,18 +245,20 @@ mod tests {
     #[test]
     fn rejects_asymmetric() {
         // Doubly stochastic but not symmetric.
-        let m = Mat::from_rows(&[
-            &[0.5, 0.3, 0.2],
-            &[0.2, 0.5, 0.3],
-            &[0.3, 0.2, 0.5],
-        ]);
+        let m = Mat::from_rows(&[&[0.5, 0.3, 0.2], &[0.2, 0.5, 0.3], &[0.3, 0.2, 0.5]]);
         assert_eq!(CouplingMatrix::new(m), Err(CouplingError::NotSymmetric));
     }
 
     #[test]
     fn rejects_non_square() {
-        assert_eq!(CouplingMatrix::new(Mat::zeros(2, 3)), Err(CouplingError::NotSquare));
-        assert_eq!(CouplingMatrix::new(Mat::zeros(0, 0)), Err(CouplingError::NotSquare));
+        assert_eq!(
+            CouplingMatrix::new(Mat::zeros(2, 3)),
+            Err(CouplingError::NotSquare)
+        );
+        assert_eq!(
+            CouplingMatrix::new(Mat::zeros(0, 0)),
+            Err(CouplingError::NotSquare)
+        );
     }
 
     #[test]

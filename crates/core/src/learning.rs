@@ -27,7 +27,10 @@ pub struct LearnOptions {
 
 impl Default for LearnOptions {
     fn default() -> Self {
-        Self { smoothing: 1.0, sinkhorn_iters: 500 }
+        Self {
+            smoothing: 1.0,
+            sinkhorn_iters: 500,
+        }
     }
 }
 
@@ -83,7 +86,9 @@ pub fn learn_coupling(
         for (t, w) in adj.row_iter(s) {
             // Each undirected edge is visited twice (s→t and t→s), filling
             // the matrix symmetrically by construction.
-            let Some(ct) = labels.get(t).copied().flatten() else { continue };
+            let Some(ct) = labels.get(t).copied().flatten() else {
+                continue;
+            };
             if ct >= k {
                 return Err(LearnError::LabelOutOfRange);
             }
@@ -219,8 +224,7 @@ mod tests {
             .iter()
             .map(|&c| if rng.gen_bool(0.4) { Some(c) } else { None })
             .collect();
-        let learned =
-            learn_coupling(&g.adjacency(), &labels, 2, &LearnOptions::default()).unwrap();
+        let learned = learn_coupling(&g.adjacency(), &labels, 2, &LearnOptions::default()).unwrap();
         assert!(learned.raw()[(0, 0)] > 0.7);
     }
 
@@ -237,7 +241,10 @@ mod tests {
                 &adj,
                 &[None, None, None],
                 2,
-                &LearnOptions { smoothing: 0.0, ..Default::default() }
+                &LearnOptions {
+                    smoothing: 0.0,
+                    ..Default::default()
+                }
             ),
             Err(LearnError::NoLabeledEdges)
         );
@@ -249,13 +256,18 @@ mod tests {
         let mut g2 = Graph::new(2);
         g2.add_edge_unweighted(0, 1);
         assert_eq!(
-            learn_coupling(&g2.adjacency(), &[Some(5), Some(0)], 2, &LearnOptions::default()),
+            learn_coupling(
+                &g2.adjacency(),
+                &[Some(5), Some(0)],
+                2,
+                &LearnOptions::default()
+            ),
             Err(LearnError::LabelOutOfRange)
         );
         // With no labeled edges but positive smoothing, the result is the
         // uniform coupling (maximum entropy).
-        let uniform = learn_coupling(&adj, &[None, None, None], 3, &LearnOptions::default())
-            .unwrap();
+        let uniform =
+            learn_coupling(&adj, &[None, None, None], 3, &LearnOptions::default()).unwrap();
         for r in 0..3 {
             for c in 0..3 {
                 assert!((uniform.raw()[(r, c)] - 1.0 / 3.0).abs() < 1e-9);
@@ -276,8 +288,7 @@ mod tests {
         for v in (0..300).step_by(10) {
             e.set_label(v, classes[v], 1.0).unwrap();
         }
-        let eps = 0.5
-            * crate::convergence::eps_max_exact_linbp_star(&learned.residual(), &adj);
+        let eps = 0.5 * crate::convergence::eps_max_exact_linbp_star(&learned.residual(), &adj);
         let r = crate::linbp::linbp_star(
             &adj,
             &e,

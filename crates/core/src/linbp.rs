@@ -35,7 +35,11 @@ pub struct LinBpOptions {
 
 impl Default for LinBpOptions {
     fn default() -> Self {
-        Self { max_iter: 200, tol: 1e-12, divergence_guard: 1e12 }
+        Self {
+            max_iter: 200,
+            tol: 1e-12,
+            divergence_guard: 1e12,
+        }
     }
 }
 
@@ -138,8 +142,16 @@ fn run(
     }
 
     let e_hat = explicit.residual_matrix();
-    let h2 = if echo { Some(h_residual.matmul(h_residual)) } else { None };
-    let degrees = if echo { adj.squared_weight_degrees() } else { vec![0.0; n] };
+    let h2 = if echo {
+        Some(h_residual.matmul(h_residual))
+    } else {
+        None
+    };
+    let degrees = if echo {
+        adj.squared_weight_degrees()
+    } else {
+        vec![0.0; n]
+    };
 
     // B̂(0) = Ê (starting from the explicit beliefs, like Algorithm 1).
     let mut b = e_hat.clone();
@@ -152,7 +164,16 @@ fn run(
     let mut final_delta = f64::INFINITY;
     for _ in 0..opts.max_iter {
         iterations += 1;
-        linbp_step(adj, e_hat, &b, h_residual, h2.as_ref(), &degrees, &mut scratch, &mut next);
+        linbp_step(
+            adj,
+            e_hat,
+            &b,
+            h_residual,
+            h2.as_ref(),
+            &degrees,
+            &mut scratch,
+            &mut next,
+        );
         final_delta = next.max_abs_diff(&b);
         std::mem::swap(&mut b, &mut next);
         if b.max_abs() > opts.divergence_guard || !final_delta.is_finite() {
@@ -211,7 +232,10 @@ pub fn linbp_update(
     }
     let mut updated = previous.residual().clone();
     updated.add_assign(delta_run.beliefs.residual());
-    Ok(LinBpResult { beliefs: BeliefMatrix::from_mat(updated), ..delta_run })
+    Ok(LinBpResult {
+        beliefs: BeliefMatrix::from_mat(updated),
+        ..delta_run
+    })
 }
 
 /// The binary-case (`k = 2`) reduction of Appendix E: LinBP specializes to
@@ -275,8 +299,16 @@ mod tests {
         e.set_residual(2, &[-1.0, -1.0, 2.0]).unwrap();
         let coupling = CouplingMatrix::fig1c().unwrap();
         let h = coupling.scaled_residual(0.2);
-        let r = linbp(&adj, &e, &h, &LinBpOptions { max_iter: 2000, ..Default::default() })
-            .unwrap();
+        let r = linbp(
+            &adj,
+            &e,
+            &h,
+            &LinBpOptions {
+                max_iter: 2000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(r.converged);
         let b = r.beliefs.residual();
         // Recompute the RHS and compare.
@@ -284,7 +316,16 @@ mod tests {
         let degrees = adj.squared_weight_degrees();
         let mut scratch = Mat::zeros(8, 3);
         let mut rhs = Mat::zeros(8, 3);
-        linbp_step(&adj, e.residual_matrix(), b, &h, Some(&h2), &degrees, &mut scratch, &mut rhs);
+        linbp_step(
+            &adj,
+            e.residual_matrix(),
+            b,
+            &h,
+            Some(&h2),
+            &degrees,
+            &mut scratch,
+            &mut rhs,
+        );
         assert!(b.max_abs_diff(&rhs) < 1e-9);
     }
 
@@ -296,8 +337,16 @@ mod tests {
         // ρ(A) = 2 for a cycle; residual fig1a at scale 1.0 has ρ(Ĥ) = 0.6
         // → ρ = 1.2 > 1: must diverge.
         let h = CouplingMatrix::fig1a().unwrap().scaled_residual(1.0);
-        let r = linbp_star(&adj, &e, &h, &LinBpOptions { max_iter: 2000, ..Default::default() })
-            .unwrap();
+        let r = linbp_star(
+            &adj,
+            &e,
+            &h,
+            &LinBpOptions {
+                max_iter: 2000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(r.diverged);
         assert!(!r.converged);
     }
@@ -308,7 +357,11 @@ mod tests {
         let adj = path(5).adjacency();
         let e = seed(5, 2);
         let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.2);
-        let opts = LinBpOptions { max_iter: 5000, tol: 1e-14, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 5000,
+            tol: 1e-14,
+            ..Default::default()
+        };
         let r1 = linbp(&adj, &e, &h, &opts).unwrap();
         let r2 = linbp(&adj, &e.scaled(7.0), &h, &opts).unwrap();
         let scaled = r1.beliefs.residual().scale(7.0);
@@ -326,7 +379,11 @@ mod tests {
         let without = linbp_star(&adj, &e, &h, &LinBpOptions::default()).unwrap();
         assert!(with_echo.converged && without.converged);
         assert!(
-            with_echo.beliefs.residual().max_abs_diff(without.beliefs.residual()) > 1e-9,
+            with_echo
+                .beliefs
+                .residual()
+                .max_abs_diff(without.beliefs.residual())
+                > 1e-9,
             "echo cancellation must change magnitudes"
         );
         assert_eq!(
@@ -340,8 +397,17 @@ mod tests {
         let adj = path(4).adjacency();
         let e = seed(4, 2);
         let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.1);
-        let r = linbp(&adj, &e, &h, &LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() })
-            .unwrap();
+        let r = linbp(
+            &adj,
+            &e,
+            &h,
+            &LinBpOptions {
+                max_iter: 5,
+                tol: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(r.iterations, 5);
     }
 
@@ -385,7 +451,11 @@ mod tests {
         let adj = lsbp_graph::generators::erdos_renyi_gnm(40, 100, 6).adjacency();
         let coupling = CouplingMatrix::fig1c().unwrap();
         let h = coupling.scaled_residual(0.03);
-        let opts = LinBpOptions { max_iter: 50_000, tol: 1e-14, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 50_000,
+            tol: 1e-14,
+            ..Default::default()
+        };
         let mut base = ExplicitBeliefs::new(40, 3);
         base.set_label(0, 0, 1.0).unwrap();
         base.set_label(9, 1, 1.0).unwrap();
@@ -401,15 +471,18 @@ mod tests {
         let diff: Vec<f64> = new_row.iter().zip(&old_row).map(|(n, o)| n - o).collect();
         delta.set_residual(9, &diff).unwrap();
 
-        let incremental =
-            linbp_update(&adj, &prev.beliefs, &delta, &h, &opts, true).unwrap();
+        let incremental = linbp_update(&adj, &prev.beliefs, &delta, &h, &opts, true).unwrap();
 
         let mut full = base.clone();
         full.set_label(25, 2, 1.0).unwrap();
         full.set_label(9, 2, 1.0).unwrap();
         let scratch = linbp(&adj, &full, &h, &opts).unwrap();
         assert!(
-            incremental.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-9
+            incremental
+                .beliefs
+                .residual()
+                .max_abs_diff(scratch.beliefs.residual())
+                < 1e-9
         );
     }
 
@@ -419,7 +492,11 @@ mod tests {
     fn incremental_updates_compose() {
         let adj = lsbp_graph::generators::grid_2d(5, 5).adjacency();
         let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.1);
-        let opts = LinBpOptions { max_iter: 50_000, tol: 1e-14, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 50_000,
+            tol: 1e-14,
+            ..Default::default()
+        };
         let base = ExplicitBeliefs::new(25, 2);
         let prev = linbp(&adj, &base, &h, &opts).unwrap();
         let mut d1 = ExplicitBeliefs::new(25, 2);
@@ -435,7 +512,10 @@ mod tests {
         both.set_label(21, 1, 1.0).unwrap();
         let combined = linbp_update(&adj, &prev.beliefs, &both, &h, &opts, true).unwrap();
         assert!(
-            seq.beliefs.residual().max_abs_diff(combined.beliefs.residual()) < 1e-9
+            seq.beliefs
+                .residual()
+                .max_abs_diff(combined.beliefs.residual())
+                < 1e-9
         );
     }
 

@@ -48,11 +48,12 @@ fn intersection_size(a: &[usize], b: &[usize]) -> usize {
 ///
 /// # Panics
 /// Panics if the two assignments cover different node counts.
-pub fn precision_recall(
-    ground_truth: &[Vec<usize>],
-    other: &[Vec<usize>],
-) -> (f64, f64) {
-    assert_eq!(ground_truth.len(), other.len(), "assignments over different node sets");
+pub fn precision_recall(ground_truth: &[Vec<usize>], other: &[Vec<usize>]) -> (f64, f64) {
+    assert_eq!(
+        ground_truth.len(),
+        other.len(),
+        "assignments over different node sets"
+    );
     let mut inter = 0usize;
     let mut gt_total = 0usize;
     let mut other_total = 0usize;
@@ -61,8 +62,16 @@ pub fn precision_recall(
         gt_total += g.len();
         other_total += o.len();
     }
-    let recall = if gt_total == 0 { 1.0 } else { inter as f64 / gt_total as f64 };
-    let precision = if other_total == 0 { 1.0 } else { inter as f64 / other_total as f64 };
+    let recall = if gt_total == 0 {
+        1.0
+    } else {
+        inter as f64 / gt_total as f64
+    };
+    let precision = if other_total == 0 {
+        1.0
+    } else {
+        inter as f64 / other_total as f64
+    };
     (precision, recall)
 }
 
@@ -73,16 +82,28 @@ pub fn precision_recall_masked(
     other: &[Vec<usize>],
     mask: &[bool],
 ) -> (f64, f64) {
-    assert_eq!(ground_truth.len(), other.len(), "assignments over different node sets");
-    assert_eq!(ground_truth.len(), mask.len(), "mask over different node set");
+    assert_eq!(
+        ground_truth.len(),
+        other.len(),
+        "assignments over different node sets"
+    );
+    assert_eq!(
+        ground_truth.len(),
+        mask.len(),
+        "mask over different node set"
+    );
     let gt: Vec<Vec<usize>> = ground_truth
         .iter()
         .zip(mask)
         .filter(|(_, &m)| m)
         .map(|(g, _)| g.clone())
         .collect();
-    let ot: Vec<Vec<usize>> =
-        other.iter().zip(mask).filter(|(_, &m)| m).map(|(o, _)| o.clone()).collect();
+    let ot: Vec<Vec<usize>> = other
+        .iter()
+        .zip(mask)
+        .filter(|(_, &m)| m)
+        .map(|(o, _)| o.clone())
+        .collect();
     precision_recall(&gt, &ot)
 }
 
@@ -104,7 +125,11 @@ pub fn accuracy(ground_truth: &[Vec<usize>], other: &[Vec<usize>]) -> f64 {
 /// Convenience: full report in one call.
 pub fn quality(ground_truth: &[Vec<usize>], other: &[Vec<usize>]) -> QualityReport {
     let (precision, recall) = precision_recall(ground_truth, other);
-    QualityReport { precision, recall, f1: f1_score(precision, recall) }
+    QualityReport {
+        precision,
+        recall,
+        f1: f1_score(precision, recall),
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,11 @@ pub struct RwrOptions {
 
 impl Default for RwrOptions {
     fn default() -> Self {
-        Self { restart: 0.15, max_iter: 200, tol: 1e-12 }
+        Self {
+            restart: 0.15,
+            max_iter: 200,
+            tol: 1e-12,
+        }
     }
 }
 
@@ -124,13 +128,16 @@ pub fn rwr(
         for _ in 0..opts.max_iter {
             iters += 1;
             for v in 0..n {
-                scaled[v] = if degrees[v] > 0.0 { x[v] / degrees[v] } else { 0.0 };
+                scaled[v] = if degrees[v] > 0.0 {
+                    x[v] / degrees[v]
+                } else {
+                    0.0
+                };
             }
             adj.spmv_into(&scaled, &mut diffused);
             let mut delta = 0.0f64;
             for v in 0..n {
-                let next =
-                    (1.0 - opts.restart) * diffused[v] + opts.restart * restart_dist[(v, c)];
+                let next = (1.0 - opts.restart) * diffused[v] + opts.restart * restart_dist[(v, c)];
                 delta = delta.max((next - x[v]).abs());
                 x[v] = next;
             }
@@ -219,11 +226,14 @@ mod tests {
         for _ in 0..300 {
             let (s, t) = (rng.gen_range(0..60), rng.gen_range(0..60));
             add(&mut g, s, t);
-            let (s2, t2) = (60 + rng.gen_range(0..60), 60 + rng.gen_range(0..60));
+            let (s2, t2) = (
+                60 + rng.gen_range(0..60usize),
+                60 + rng.gen_range(0..60usize),
+            );
             add(&mut g, s2, t2);
         }
         for _ in 0..15 {
-            add(&mut g, rng.gen_range(0..60), 60 + rng.gen_range(0..60));
+            add(&mut g, rng.gen_range(0..60), 60 + rng.gen_range(0..60usize));
         }
         let adj = g.adjacency();
         let mut e = ExplicitBeliefs::new(120, 2);
@@ -232,10 +242,14 @@ mod tests {
             let _ = e.set_label(v, usize::from(v >= 60), 1.0);
         }
         let coupling = CouplingMatrix::fig1a().unwrap();
-        let eps = 0.5
-            * crate::convergence::eps_max_exact_linbp(&coupling.residual(), &adj, 1e-4);
-        let lin = linbp(&adj, &e, &coupling.scaled_residual(eps), &LinBpOptions::default())
-            .unwrap();
+        let eps = 0.5 * crate::convergence::eps_max_exact_linbp(&coupling.residual(), &adj, 1e-4);
+        let lin = linbp(
+            &adj,
+            &e,
+            &coupling.scaled_residual(eps),
+            &LinBpOptions::default(),
+        )
+        .unwrap();
         let walk = rwr(&adj, &e, &RwrOptions::default()).unwrap();
         let gt = lin.beliefs.top_belief_assignment(1e-6);
         let ours = walk.beliefs.top_belief_assignment(1e-6);
@@ -268,7 +282,15 @@ mod tests {
     fn restart_one_returns_restart_distribution() {
         let adj = path(4).adjacency();
         let e = two_seeds(4);
-        let r = rwr(&adj, &e, &RwrOptions { restart: 1.0, ..Default::default() }).unwrap();
+        let r = rwr(
+            &adj,
+            &e,
+            &RwrOptions {
+                restart: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // With α = 1 the walk never moves: only seeds have mass.
         assert!(r.beliefs.row(0)[0] > 0.0);
         assert!(r.beliefs.row(1).iter().all(|&x| x == 0.0));
@@ -279,11 +301,21 @@ mod tests {
         let adj = path(4).adjacency();
         let e = two_seeds(4);
         assert!(matches!(
-            rwr(&adj, &e, &RwrOptions { restart: 0.0, ..Default::default() }),
+            rwr(
+                &adj,
+                &e,
+                &RwrOptions {
+                    restart: 0.0,
+                    ..Default::default()
+                }
+            ),
             Err(RwrError::BadRestart)
         ));
         let e5 = two_seeds(5);
-        assert!(matches!(rwr(&adj, &e5, &RwrOptions::default()), Err(RwrError::DimensionMismatch)));
+        assert!(matches!(
+            rwr(&adj, &e5, &RwrOptions::default()),
+            Err(RwrError::DimensionMismatch)
+        ));
         let mut lonely = ExplicitBeliefs::new(4, 3);
         lonely.set_label(0, 0, 1.0).unwrap();
         assert!(matches!(

@@ -64,10 +64,19 @@ impl std::fmt::Display for SbpError {
 
 impl std::error::Error for SbpError {}
 
+/// Relative rounding bound for a cancellation-prone sum: an accumulated
+/// value whose magnitude is ≤ `CANCELLATION_EPS · Σ|term|` cannot be
+/// distinguished from an exact 0 (Wilkinson's `(m−1)·ε·Σ|xᵢ|` summation
+/// bound, with the constant absorbing moderate term counts). Shared with
+/// the relational SBP in `lsbp-reldb` so both engines produce identical
+/// tie read-outs.
+pub const CANCELLATION_EPS: f64 = 1024.0 * f64::EPSILON;
+
 /// Adds `w · (b_src · Ĥ)` into `dst` (row-vector convention, matching
-/// `B̂ ← A·B̂·Ĥ`).
+/// `B̂ ← A·B̂·Ĥ`), tracking `Σ|term|` per entry in `abs` for the caller's
+/// cancellation bound.
 #[inline]
-fn accumulate(dst: &mut [f64], b_src: &[f64], h: &Mat, w: f64) {
+fn accumulate(dst: &mut [f64], abs: &mut [f64], b_src: &[f64], h: &Mat, w: f64) {
     let k = dst.len();
     for (c1, &b) in b_src.iter().enumerate() {
         if b == 0.0 {
@@ -76,12 +85,26 @@ fn accumulate(dst: &mut [f64], b_src: &[f64], h: &Mat, w: f64) {
         let hb = w * b;
         let h_row = h.row(c1);
         for c2 in 0..k {
-            dst[c2] += hb * h_row[c2];
+            let term = hb * h_row[c2];
+            dst[c2] += term;
+            abs[c2] += term.abs();
         }
     }
 }
 
-/// Recomputes node `t`'s belief from all parents one geodesic layer below.
+/// Recomputes node `t`'s belief from all parents one geodesic layer below,
+/// using `abs` as scratch (same length as `out`).
+///
+/// Definition 15 is exact arithmetic: a node adjacent to shortest paths
+/// from seeds of all `k` classes can have entries that cancel *exactly*
+/// (the centered coupling rows sum to 0), and the top-belief read-out must
+/// see those as ties. Floating point leaves ~ε·Σ|term| residue instead, so
+/// after accumulating we snap any entry within the rounding bound
+/// [`CANCELLATION_EPS`]`·Σ|term|` back to an exact 0. The bound is
+/// per-entry (matching the relational engine's per-`(t, c2)` aggregation)
+/// and relative to the terms actually summed into that entry, so genuinely
+/// small deep-layer beliefs (computed from same-scale terms) are never
+/// flattened.
 fn recompute_belief(
     adj: &CsrMatrix,
     g: &[u32],
@@ -89,13 +112,20 @@ fn recompute_belief(
     h: &Mat,
     t: usize,
     out: &mut [f64],
+    abs: &mut [f64],
 ) {
     out.fill(0.0);
+    abs.fill(0.0);
     let gt = g[t];
     debug_assert!(gt != UNREACHABLE && gt > 0);
     for (s, w) in adj.row_iter(t) {
         if g[s] == gt - 1 {
-            accumulate(out, beliefs.row(s), h, w);
+            accumulate(out, abs, beliefs.row(s), h, w);
+        }
+    }
+    for (x, &a) in out.iter_mut().zip(abs.iter()) {
+        if x.abs() <= CANCELLATION_EPS * a {
+            *x = 0.0;
         }
     }
 }
@@ -121,19 +151,33 @@ pub fn sbp(
         beliefs.row_mut(v).copy_from_slice(explicit.row(v));
     }
     let mut row = vec![0.0; k];
+    let mut abs = vec![0.0; k];
     for layer in 1..geodesics.num_layers() {
         for &t in &geodesics.layers[layer] {
-            recompute_belief(adj, &geodesics.g, &beliefs, h_residual, t as usize, &mut row);
+            recompute_belief(
+                adj,
+                &geodesics.g,
+                &beliefs,
+                h_residual,
+                t as usize,
+                &mut row,
+                &mut abs,
+            );
             beliefs.row_mut(t as usize).copy_from_slice(&row);
         }
     }
-    Ok(SbpResult { beliefs: BeliefMatrix::from_mat(beliefs), geodesics })
+    Ok(SbpResult {
+        beliefs: BeliefMatrix::from_mat(beliefs),
+        geodesics,
+    })
 }
 
 /// Rebuilds the `layers` index from a geodesic-number array.
 fn rebuild_layers(g: &[u32]) -> Vec<Vec<u32>> {
     let max_layer = g.iter().copied().filter(|&x| x != UNREACHABLE).max();
-    let Some(max_layer) = max_layer else { return Vec::new() };
+    let Some(max_layer) = max_layer else {
+        return Vec::new();
+    };
     let mut layers = vec![Vec::new(); max_layer as usize + 1];
     for (v, &gv) in g.iter().enumerate() {
         if gv != UNREACHABLE {
@@ -180,6 +224,7 @@ pub fn sbp_add_explicit(
     // frontier whose geodesic number is ≥ i gets geodesic number i and a
     // recomputed belief (from *all* parents at i−1, updated or not).
     let mut row = vec![0.0; k];
+    let mut abs = vec![0.0; k];
     let mut i: u32 = 1;
     let mut next: Vec<u32> = Vec::new();
     let mut in_next = vec![false; n];
@@ -198,7 +243,9 @@ pub fn sbp_add_explicit(
             g[t as usize] = i;
         }
         for &t in &next {
-            recompute_belief(adj, &g, &beliefs, h_residual, t as usize, &mut row);
+            recompute_belief(
+                adj, &g, &beliefs, h_residual, t as usize, &mut row, &mut abs,
+            );
             beliefs.row_mut(t as usize).copy_from_slice(&row);
         }
         std::mem::swap(&mut frontier, &mut next);
@@ -263,13 +310,14 @@ pub fn sbp_add_edges(
     // first).
     let mut processed = vec![u32::MAX; n];
     let mut row = vec![0.0; k];
+    let mut abs = vec![0.0; k];
     while let Some(Reverse((gv, t))) = heap.pop() {
         let t = t as usize;
         if gv != g[t] || processed[t] == gv {
             continue; // stale entry or already handled at this level
         }
         processed[t] = gv;
-        recompute_belief(adj_new, &g, &beliefs, h_residual, t, &mut row);
+        recompute_belief(adj_new, &g, &beliefs, h_residual, t, &mut row, &mut abs);
         let changed = beliefs.row(t) != row.as_slice();
         beliefs.row_mut(t).copy_from_slice(&row);
         // Relax neighbors: shorter paths propagate always; equal-level
@@ -329,7 +377,16 @@ mod tests {
         // v2(1) and v7(6) explicit; v1(0) two hops away with three shortest
         // paths (two from v2 via v3/v4, one from v7 via v3).
         let mut gr = Graph::new(7);
-        for (s, t) in [(0, 2), (0, 3), (1, 2), (1, 3), (2, 6), (3, 4), (4, 5), (5, 6)] {
+        for (s, t) in [
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 6),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             gr.add_edge_unweighted(s, t);
         }
         let adj = gr.adjacency();
@@ -411,7 +468,11 @@ mod tests {
 
             assert_eq!(incremental.geodesics.g, scratch.geodesics.g, "seed {seed}");
             assert!(
-                incremental.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10,
+                incremental
+                    .beliefs
+                    .residual()
+                    .max_abs_diff(scratch.beliefs.residual())
+                    < 1e-10,
                 "seed {seed}"
             );
         }
@@ -457,7 +518,11 @@ mod tests {
             let scratch = sbp(&adj_full, &e, &hh).unwrap();
             assert_eq!(incremental.geodesics.g, scratch.geodesics.g, "seed {seed}");
             assert!(
-                incremental.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10,
+                incremental
+                    .beliefs
+                    .residual()
+                    .max_abs_diff(scratch.beliefs.residual())
+                    < 1e-10,
                 "seed {seed}"
             );
         }
@@ -485,15 +550,26 @@ mod tests {
         assert_eq!(r.geodesics.g, scratch.geodesics.g);
         assert_eq!(r.geodesics.g[2], 1);
         assert_eq!(r.geodesics.g[4], 2);
-        assert!(r.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-12);
+        assert!(
+            r.beliefs
+                .residual()
+                .max_abs_diff(scratch.beliefs.residual())
+                < 1e-12
+        );
     }
 
     #[test]
     fn error_cases() {
         let adj = path(3).adjacency();
         let e = ExplicitBeliefs::new(4, 3);
-        assert!(matches!(sbp(&adj, &e, &h()), Err(SbpError::DimensionMismatch)));
+        assert!(matches!(
+            sbp(&adj, &e, &h()),
+            Err(SbpError::DimensionMismatch)
+        ));
         let e2 = ExplicitBeliefs::new(3, 2);
-        assert!(matches!(sbp(&adj, &e2, &h()), Err(SbpError::CouplingArityMismatch)));
+        assert!(matches!(
+            sbp(&adj, &e2, &h()),
+            Err(SbpError::CouplingArityMismatch)
+        ));
     }
 }

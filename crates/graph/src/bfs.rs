@@ -101,7 +101,16 @@ mod tests {
         let mut g = Graph::new(7);
         // Edges from Fig. 5a / Example 18's adjacency matrix A:
         // v1-v3, v1-v4, v2-v3, v2-v4, v3-v7, v4-v5, v5-v6, v6-v7.
-        for (s, t) in [(0, 2), (0, 3), (1, 2), (1, 3), (2, 6), (3, 4), (4, 5), (5, 6)] {
+        for (s, t) in [
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 6),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             g.add_edge_unweighted(s, t);
         }
         let adj = g.adjacency();

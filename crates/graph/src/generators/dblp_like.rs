@@ -114,7 +114,10 @@ pub struct DblpNetwork {
 /// conferences, then area terms (grouped by area), then shared terms.
 pub fn dblp_like(cfg: &DblpConfig, seed: u64) -> DblpNetwork {
     assert!(cfg.n_areas >= 2, "need at least two areas");
-    assert!(cfg.n_conferences >= cfg.n_areas, "need at least one conference per area");
+    assert!(
+        cfg.n_conferences >= cfg.n_areas,
+        "need at least one conference per area"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = cfg.total_nodes();
     let paper0 = 0;
@@ -125,8 +128,12 @@ pub fn dblp_like(cfg: &DblpConfig, seed: u64) -> DblpNetwork {
 
     let mut classes = vec![0usize; n];
     let mut kinds = vec![NodeKind::Paper; n];
-    kinds[author0..conf0].iter_mut().for_each(|k| *k = NodeKind::Author);
-    kinds[conf0..term0].iter_mut().for_each(|k| *k = NodeKind::Conference);
+    kinds[author0..conf0]
+        .iter_mut()
+        .for_each(|k| *k = NodeKind::Author);
+    kinds[conf0..term0]
+        .iter_mut()
+        .for_each(|k| *k = NodeKind::Conference);
     kinds[term0..n].iter_mut().for_each(|k| *k = NodeKind::Term);
 
     // Assign areas: authors and conferences round-robin, area terms by block.
@@ -138,7 +145,9 @@ pub fn dblp_like(cfg: &DblpConfig, seed: u64) -> DblpNetwork {
     }
     for a in 0..cfg.n_areas {
         let start = term0 + a * cfg.n_terms_per_area;
-        classes[start..start + cfg.n_terms_per_area].iter_mut().for_each(|c| *c = a);
+        classes[start..start + cfg.n_terms_per_area]
+            .iter_mut()
+            .for_each(|c| *c = a);
     }
 
     let avg_deg = (cfg.authors_per_paper.1 + cfg.terms_per_paper.1 + 1) * cfg.n_papers;
@@ -151,8 +160,9 @@ pub fn dblp_like(cfg: &DblpConfig, seed: u64) -> DblpNetwork {
         let area = rng.gen_range(0..cfg.n_areas);
         classes[p] = area;
         // Conference of the paper's area.
-        let confs_in_area: Vec<usize> =
-            (0..cfg.n_conferences).filter(|c| c % cfg.n_areas == area).collect();
+        let confs_in_area: Vec<usize> = (0..cfg.n_conferences)
+            .filter(|c| c % cfg.n_areas == area)
+            .collect();
         let conf = conf0 + confs_in_area[rng.gen_range(0..confs_in_area.len())];
         g.add_edge_unweighted(p, conf);
         // Authors (distinct per paper).
@@ -196,11 +206,19 @@ pub fn dblp_like(cfg: &DblpConfig, seed: u64) -> DblpNetwork {
     }
 
     for (t, votes) in shared_votes.iter().enumerate() {
-        let best = votes.iter().enumerate().max_by_key(|&(_, v)| *v).map_or(0, |(a, _)| a);
+        let best = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map_or(0, |(a, _)| a);
         classes[shared0 + t] = best;
     }
 
-    DblpNetwork { graph: g, classes, kinds }
+    DblpNetwork {
+        graph: g,
+        classes,
+        kinds,
+    }
 }
 
 #[cfg(test)]

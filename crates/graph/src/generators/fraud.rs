@@ -69,7 +69,10 @@ pub struct FraudNetwork {
 /// accomplices, then fraudsters.
 pub fn fraud_network(cfg: &FraudConfig, seed: u64) -> FraudNetwork {
     assert!(cfg.n_honest >= 2, "need at least two honest users");
-    assert!(cfg.n_accomplices >= 1 && cfg.n_fraudsters >= 1, "need both fraud roles");
+    assert!(
+        cfg.n_accomplices >= 1 && cfg.n_fraudsters >= 1,
+        "need both fraud roles"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = cfg.n_honest + cfg.n_accomplices + cfg.n_fraudsters;
     let honest = 0..cfg.n_honest;
@@ -77,8 +80,12 @@ pub fn fraud_network(cfg: &FraudConfig, seed: u64) -> FraudNetwork {
     let fraud0 = cfg.n_honest + cfg.n_accomplices;
 
     let mut classes = vec![CLASS_HONEST; n];
-    classes[acc0..fraud0].iter_mut().for_each(|c| *c = CLASS_ACCOMPLICE);
-    classes[fraud0..].iter_mut().for_each(|c| *c = CLASS_FRAUDSTER);
+    classes[acc0..fraud0]
+        .iter_mut()
+        .for_each(|c| *c = CLASS_ACCOMPLICE);
+    classes[fraud0..]
+        .iter_mut()
+        .for_each(|c| *c = CLASS_FRAUDSTER);
 
     let mut g = Graph::new(n);
     let mut seen = std::collections::HashSet::new();
@@ -127,7 +134,12 @@ mod tests {
 
     #[test]
     fn class_layout() {
-        let cfg = FraudConfig { n_honest: 10, n_accomplices: 4, n_fraudsters: 3, ..Default::default() };
+        let cfg = FraudConfig {
+            n_honest: 10,
+            n_accomplices: 4,
+            n_fraudsters: 3,
+            ..Default::default()
+        };
         let net = fraud_network(&cfg, 0);
         assert_eq!(net.classes.len(), 17);
         assert_eq!(net.classes[0], CLASS_HONEST);
@@ -144,7 +156,10 @@ mod tests {
                 !(cs == CLASS_ACCOMPLICE && ct == CLASS_ACCOMPLICE),
                 "accomplices never interact"
             );
-            assert!(!(cs == CLASS_FRAUDSTER && ct == CLASS_FRAUDSTER), "fraudsters never interact");
+            assert!(
+                !(cs == CLASS_FRAUDSTER && ct == CLASS_FRAUDSTER),
+                "fraudsters never interact"
+            );
         }
     }
 
@@ -162,7 +177,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(af > 2 * fh, "fraudsters should mostly trade with accomplices: af={af} fh={fh}");
+        assert!(
+            af > 2 * fh,
+            "fraudsters should mostly trade with accomplices: af={af} fh={fh}"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ const SEED_EDGES: [(usize, usize); 4] = [(0, 1), (1, 0), (1, 2), (2, 1)];
 /// (`m > 13`, beyond the paper's schedule).
 pub fn kronecker_graph(m: u32) -> Graph {
     assert!(m >= 1, "Kronecker exponent must be at least 1");
-    assert!(m <= 13, "Kronecker exponent beyond the paper's schedule (would not fit in memory)");
+    assert!(
+        m <= 13,
+        "Kronecker exponent beyond the paper's schedule (would not fit in memory)"
+    );
     let n = 3usize.pow(m);
     let n_directed = 4usize.pow(m);
     let mut g = Graph::with_capacity(n, n_directed / 2);

@@ -12,7 +12,10 @@ use std::collections::HashSet;
 /// Panics if `m` exceeds the number of possible edges `n(n−1)/2`.
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
     let max_edges = n * n.saturating_sub(1) / 2;
-    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} possible"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::with_capacity(n, m);
     let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(m * 2);
@@ -22,7 +25,11 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
         if s == t {
             continue;
         }
-        let key = if s < t { (s as u32, t as u32) } else { (t as u32, s as u32) };
+        let key = if s < t {
+            (s as u32, t as u32)
+        } else {
+            (t as u32, s as u32)
+        };
         if seen.insert(key) {
             g.add_edge_unweighted(key.0 as usize, key.1 as usize);
         }

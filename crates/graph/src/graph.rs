@@ -18,7 +18,10 @@ impl Graph {
     /// Creates an empty graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "graph limited to u32 node ids");
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with room for `cap` edges.
@@ -52,7 +55,10 @@ impl Graph {
     pub fn add_edge(&mut self, s: usize, t: usize, w: f64) {
         assert!(s < self.n && t < self.n, "edge endpoint out of range");
         assert_ne!(s, t, "self-loops are not supported");
-        assert!(w > 0.0 && w.is_finite(), "edge weights must be positive and finite");
+        assert!(
+            w > 0.0 && w.is_finite(),
+            "edge weights must be positive and finite"
+        );
         self.edges.push((s as u32, t as u32, w));
     }
 
@@ -63,7 +69,9 @@ impl Graph {
 
     /// Iterates the undirected edge list as `(s, t, w)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.edges.iter().map(|&(s, t, w)| (s as usize, t as usize, w))
+        self.edges
+            .iter()
+            .map(|&(s, t, w)| (s as usize, t as usize, w))
     }
 
     /// Builds the symmetric CSR adjacency matrix.
@@ -90,7 +98,10 @@ impl Graph {
     /// (used by the incremental-edge experiments to split a graph into a
     /// base part and an update batch).
     pub fn extend_edges(&mut self, other: &Graph) {
-        assert_eq!(self.n, other.n, "extend_edges requires identical node counts");
+        assert_eq!(
+            self.n, other.n,
+            "extend_edges requires identical node counts"
+        );
         self.edges.extend_from_slice(&other.edges);
     }
 
@@ -133,7 +144,10 @@ impl Graph {
 
     /// Number of connected components (isolated nodes count as components).
     pub fn num_components(&self) -> usize {
-        self.connected_components().into_iter().max().map_or(0, |m| m + 1)
+        self.connected_components()
+            .into_iter()
+            .max()
+            .map_or(0, |m| m + 1)
     }
 }
 

@@ -77,7 +77,10 @@ pub fn read_edge_list(reader: impl Read, min_nodes: usize) -> Result<Graph, IoEr
             })?,
         };
         if s == t {
-            return Err(IoError::Parse { line: lineno + 1, message: "self-loop".into() });
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: "self-loop".into(),
+            });
         }
         if w <= 0.0 || !w.is_finite() {
             return Err(IoError::Parse {
@@ -99,7 +102,12 @@ pub fn read_edge_list(reader: impl Read, min_nodes: usize) -> Result<Graph, IoEr
 /// Writes a graph as an edge list (weights included only when ≠ 1).
 pub fn write_edge_list(graph: &Graph, writer: impl Write) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# {} nodes, {} undirected edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# {} nodes, {} undirected edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (s, t, weight) in graph.edges() {
         if weight == 1.0 {
             writeln!(w, "{s} {t}")?;
@@ -122,7 +130,10 @@ pub fn read_labels(reader: impl Read, n: usize) -> Result<Vec<Option<usize>>, Io
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let err = |message: &str| IoError::Parse { line: lineno + 1, message: message.into() };
+        let err = |message: &str| IoError::Parse {
+            line: lineno + 1,
+            message: message.into(),
+        };
         let v: usize = parts
             .next()
             .ok_or_else(|| err("missing node id"))?

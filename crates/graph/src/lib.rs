@@ -12,9 +12,9 @@
 //! on.
 
 pub mod bfs;
-pub mod io;
 pub mod generators;
 pub mod graph;
+pub mod io;
 
 pub use bfs::{geodesic_numbers, Geodesics, UNREACHABLE};
 pub use graph::Graph;

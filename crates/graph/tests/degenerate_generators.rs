@@ -1,0 +1,90 @@
+//! Regression tests: generators called with degenerate sizes (`n < 2`,
+//! empty graphs) must produce consistent graphs instead of panicking —
+//! except where the shape is mathematically impossible (e.g. `C_2`), which
+//! must fail loudly.
+
+use lsbp_graph::generators::{complete, cycle, erdos_renyi_gnm, grid_2d, path, star};
+use lsbp_graph::{geodesic_numbers, Graph};
+
+#[test]
+fn path_small() {
+    for n in 0..2 {
+        let g = path(n);
+        assert_eq!(g.num_nodes(), n);
+        assert_eq!(g.num_edges(), 0);
+        let adj = g.adjacency();
+        assert_eq!(adj.n_rows(), n);
+        assert_eq!(adj.nnz(), 0);
+    }
+    assert_eq!(path(2).num_edges(), 1);
+}
+
+#[test]
+fn star_small() {
+    assert_eq!(star(0).num_nodes(), 0);
+    assert_eq!(star(1).num_edges(), 0);
+    assert_eq!(star(2).num_edges(), 1);
+}
+
+#[test]
+fn complete_small() {
+    assert_eq!(complete(0).num_nodes(), 0);
+    assert_eq!(complete(1).num_edges(), 0);
+    assert_eq!(complete(2).num_edges(), 1);
+}
+
+#[test]
+fn grid_degenerate() {
+    assert_eq!(grid_2d(0, 5).num_nodes(), 0);
+    assert_eq!(grid_2d(5, 0).num_nodes(), 0);
+    let single = grid_2d(1, 1);
+    assert_eq!(single.num_nodes(), 1);
+    assert_eq!(single.num_edges(), 0);
+    // A 1×n grid degenerates to a path.
+    let row = grid_2d(1, 4);
+    assert_eq!(row.num_edges(), 3);
+}
+
+#[test]
+fn cycle_of_two_rejected() {
+    assert!(std::panic::catch_unwind(|| cycle(2)).is_err());
+    assert!(std::panic::catch_unwind(|| cycle(0)).is_err());
+    assert_eq!(cycle(3).num_edges(), 3);
+}
+
+#[test]
+fn gnm_degenerate() {
+    for n in 0..2 {
+        let g = erdos_renyi_gnm(n, 0, 7);
+        assert_eq!(g.num_nodes(), n);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.adjacency().nnz(), 0);
+    }
+    // n = 2 admits exactly one edge.
+    let g = erdos_renyi_gnm(2, 1, 7);
+    assert_eq!(g.num_edges(), 1);
+}
+
+#[test]
+fn gnm_impossible_rejected() {
+    assert!(std::panic::catch_unwind(|| erdos_renyi_gnm(0, 1, 0)).is_err());
+    assert!(std::panic::catch_unwind(|| erdos_renyi_gnm(1, 1, 0)).is_err());
+}
+
+#[test]
+fn empty_graph_traversal() {
+    let g = Graph::new(0);
+    let adj = g.adjacency();
+    assert_eq!(g.num_components(), 0);
+    let geo = geodesic_numbers(&adj, &[]);
+    assert!(geo.layers.is_empty() || geo.layers[0].is_empty());
+}
+
+#[test]
+fn no_seeds_means_all_unreachable() {
+    let g = path(4);
+    let geo = geodesic_numbers(&g.adjacency(), &[]);
+    for v in 0..4 {
+        assert!(geo.geodesic(v).is_none(), "node {v} should be unreachable");
+    }
+}

@@ -28,7 +28,11 @@ pub struct PowerIterationOptions {
 
 impl Default for PowerIterationOptions {
     fn default() -> Self {
-        Self { max_iter: 1000, tol: 1e-10, seed: 0x5bd1_e995 }
+        Self {
+            max_iter: 1000,
+            tol: 1e-10,
+            seed: 0x5bd1_e995,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ pub fn power_iteration(
 /// # Panics
 /// Panics if `m` is not square.
 pub fn symmetric_eigenvalues(m: &Mat) -> Vec<f64> {
-    assert!(m.is_square(), "symmetric_eigenvalues requires a square matrix");
+    assert!(
+        m.is_square(),
+        "symmetric_eigenvalues requires a square matrix"
+    );
     let n = m.rows();
     if n == 0 {
         return Vec::new();
@@ -151,12 +158,17 @@ pub fn symmetric_eigenvalues(m: &Mat) -> Vec<f64> {
 }
 
 fn frob_diag(a: &Mat) -> f64 {
-    (0..a.rows()).map(|i| a[(i, i)] * a[(i, i)]).sum::<f64>().sqrt()
+    (0..a.rows())
+        .map(|i| a[(i, i)] * a[(i, i)])
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Spectral radius (max |eigenvalue|) of a small symmetric dense matrix.
 pub fn spectral_radius_dense_symmetric(m: &Mat) -> f64 {
-    symmetric_eigenvalues(m).into_iter().fold(0.0, |acc, l| acc.max(l.abs()))
+    symmetric_eigenvalues(m)
+        .into_iter()
+        .fold(0.0, |acc, l| acc.max(l.abs()))
 }
 
 #[cfg(test)]
@@ -185,11 +197,7 @@ mod tests {
 
     #[test]
     fn jacobi_3x3_trace_preserved() {
-        let m = Mat::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.5],
-            &[-2.0, 0.5, -1.0],
-        ]);
+        let m = Mat::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.5], &[-2.0, 0.5, -1.0]]);
         let eigs = symmetric_eigenvalues(&m);
         let trace: f64 = 4.0 + 2.0 - 1.0;
         assert!((eigs.iter().sum::<f64>() - trace).abs() < 1e-9);
@@ -200,11 +208,7 @@ mod tests {
 
     #[test]
     fn power_iteration_matches_jacobi() {
-        let m = Mat::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.5],
-            &[-2.0, 0.5, -1.0],
-        ]);
+        let m = Mat::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.5], &[-2.0, 0.5, -1.0]]);
         let rho_jacobi = spectral_radius_dense_symmetric(&m);
         let rho_power = power_iteration(
             3,
@@ -214,7 +218,10 @@ mod tests {
             },
             PowerIterationOptions::default(),
         );
-        assert!((rho_jacobi - rho_power).abs() < 1e-6, "{rho_jacobi} vs {rho_power}");
+        assert!(
+            (rho_jacobi - rho_power).abs() < 1e-6,
+            "{rho_jacobi} vs {rho_power}"
+        );
     }
 
     /// Path graph P3 adjacency has spectral radius sqrt(2); its spectrum is

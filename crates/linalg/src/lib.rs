@@ -26,8 +26,7 @@ pub mod solve;
 pub mod standardize;
 
 pub use eigen::{
-    power_iteration, spectral_radius_dense_symmetric, symmetric_eigenvalues,
-    PowerIterationOptions,
+    power_iteration, spectral_radius_dense_symmetric, symmetric_eigenvalues, PowerIterationOptions,
 };
 pub use matrix::Mat;
 pub use norms::{frobenius_norm, induced_1_norm, induced_inf_norm, min_submultiplicative_norm};

@@ -19,7 +19,11 @@ pub struct Mat {
 impl Mat {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a closure mapping `(row, col)` to a value.
@@ -45,7 +49,11 @@ impl Mat {
             assert_eq!(row.len(), ncols, "ragged rows in Mat::from_rows");
             data.extend_from_slice(row);
         }
-        Self { rows: nrows, cols: ncols, data }
+        Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -187,7 +195,11 @@ impl Mat {
 
     /// `self += other` in place.
     pub fn add_assign(&mut self, other: &Mat) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add_assign shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -195,7 +207,11 @@ impl Mat {
 
     /// `self -= other` in place.
     pub fn sub_assign(&mut self, other: &Mat) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub_assign shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "sub_assign shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a -= b;
         }
@@ -203,7 +219,11 @@ impl Mat {
 
     /// Returns `self` scaled by `s`.
     pub fn scale(&self, s: f64) -> Mat {
-        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x * s).collect() }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
     }
 
     /// Scales in place.
@@ -220,7 +240,12 @@ impl Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -231,7 +256,11 @@ impl Mat {
 
     /// Largest absolute element-wise difference to `other`.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "max_abs_diff shape");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff shape"
+        );
         self.data
             .iter()
             .zip(&other.data)

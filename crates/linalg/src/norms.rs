@@ -34,7 +34,9 @@ pub fn induced_inf_norm(m: &Mat) -> f64 {
 /// `M = {Frobenius, induced-1, induced-∞}` (Lemma 9: every member bounds
 /// ρ(·), so the minimum is the tightest of the three).
 pub fn min_submultiplicative_norm(m: &Mat) -> f64 {
-    frobenius_norm(m).min(induced_1_norm(m)).min(induced_inf_norm(m))
+    frobenius_norm(m)
+        .min(induced_1_norm(m))
+        .min(induced_inf_norm(m))
 }
 
 #[cfg(test)]

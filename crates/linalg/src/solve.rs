@@ -171,7 +171,10 @@ mod tests {
     fn dimension_mismatch_detected() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(lu_solve(&a, &[1.0]), Err(LuError::DimensionMismatch));
-        assert_eq!(lu_solve(&Mat::zeros(2, 3), &[1.0, 2.0]), Err(LuError::DimensionMismatch));
+        assert_eq!(
+            lu_solve(&Mat::zeros(2, 3), &[1.0, 2.0]),
+            Err(LuError::DimensionMismatch)
+        );
     }
 
     #[test]
@@ -189,7 +192,9 @@ mod tests {
         // Deterministic pseudo-random 8x8 system; check the residual.
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let a = Mat::from_fn(8, 8, |r, c| next() + if r == c { 4.0 } else { 0.0 });

@@ -55,7 +55,10 @@ mod tests {
     fn paper_examples() {
         assert_close(&standardize(&[1.0, 0.0]), &[1.0, -1.0]);
         assert_close(&standardize(&[1.0, 1.0, 1.0]), &[0.0, 0.0, 0.0]);
-        assert_close(&standardize(&[1.0, 0.0, 0.0, 0.0, 0.0]), &[2.0, -0.5, -0.5, -0.5, -0.5]);
+        assert_close(
+            &standardize(&[1.0, 0.0, 0.0, 0.0, 0.0]),
+            &[2.0, -0.5, -0.5, -0.5, -0.5],
+        );
     }
 
     /// The example under Definition 11: two belief vectors that differ by a

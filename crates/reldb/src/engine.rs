@@ -110,7 +110,12 @@ impl Table {
     /// # Panics
     /// Panics on arity mismatch.
     pub fn push(&mut self, row: Vec<Value>) {
-        assert_eq!(row.len(), self.columns.len(), "row arity mismatch in {}", self.name);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.name
+        );
         self.rows.push(row);
     }
 
@@ -170,7 +175,10 @@ impl Table {
         if other.len() <= self.len() {
             let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(other.len());
             for (i, r) in other.rows.iter().enumerate() {
-                index.entry(Self::key_of(r, &other_idx)).or_default().push(i);
+                index
+                    .entry(Self::key_of(r, &other_idx))
+                    .or_default()
+                    .push(i);
             }
             for l in &self.rows {
                 if let Some(matches) = index.get(&Self::key_of(l, &self_idx)) {
@@ -201,8 +209,11 @@ impl Table {
     pub fn anti_join(&self, other: &Table, self_keys: &[&str], other_keys: &[&str]) -> Table {
         let self_idx: Vec<usize> = self_keys.iter().map(|k| self.col(k)).collect();
         let other_idx: Vec<usize> = other_keys.iter().map(|k| other.col(k)).collect();
-        let index: std::collections::HashSet<Vec<i64>> =
-            other.rows.iter().map(|r| Self::key_of(r, &other_idx)).collect();
+        let index: std::collections::HashSet<Vec<i64>> = other
+            .rows
+            .iter()
+            .map(|r| Self::key_of(r, &other_idx))
+            .collect();
         Table {
             name: format!("{}∖{}", self.name, other.name),
             columns: self.columns.clone(),
@@ -265,7 +276,11 @@ impl Table {
         );
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Table { name: format!("{}∪{}", self.name, other.name), columns: self.columns.clone(), rows }
+        Table {
+            name: format!("{}∪{}", self.name, other.name),
+            columns: self.columns.clone(),
+            rows,
+        }
     }
 
     /// Upsert by integer key columns: rows of `updates` replace any
@@ -273,12 +288,20 @@ impl Table {
     /// paper's `!T(…)` notation (Fig. 9d: `DELETE … WHERE key IN updates;
     /// INSERT updates`).
     pub fn upsert(&mut self, updates: &Table, keys: &[&str]) {
-        assert_eq!(self.columns.len(), updates.columns.len(), "upsert arity mismatch");
+        assert_eq!(
+            self.columns.len(),
+            updates.columns.len(),
+            "upsert arity mismatch"
+        );
         let self_idx: Vec<usize> = keys.iter().map(|k| self.col(k)).collect();
         let upd_idx: Vec<usize> = keys.iter().map(|k| updates.col(k)).collect();
-        let updated: std::collections::HashSet<Vec<i64>> =
-            updates.rows.iter().map(|r| Self::key_of(r, &upd_idx)).collect();
-        self.rows.retain(|r| !updated.contains(&Self::key_of(r, &self_idx)));
+        let updated: std::collections::HashSet<Vec<i64>> = updates
+            .rows
+            .iter()
+            .map(|r| Self::key_of(r, &upd_idx))
+            .collect();
+        self.rows
+            .retain(|r| !updated.contains(&Self::key_of(r, &self_idx)));
         self.rows.extend(updates.rows.iter().cloned());
     }
 
@@ -359,8 +382,12 @@ mod tests {
         for i in 0..100 {
             big.push(vec![Value::Int(i % 3), Value::Float(i as f64)]);
         }
-        let j1 = a.join_map(&big, &["s"], &["v"], "j", &["s", "x"], |l, r| vec![l[0], r[1]]);
-        let j2 = big.join_map(&a, &["v"], &["s"], "j", &["s", "x"], |l, r| vec![r[0], l[1]]);
+        let j1 = a.join_map(&big, &["s"], &["v"], "j", &["s", "x"], |l, r| {
+            vec![l[0], r[1]]
+        });
+        let j2 = big.join_map(&a, &["v"], &["s"], "j", &["s", "x"], |l, r| {
+            vec![r[0], l[1]]
+        });
         assert_eq!(j1.len(), j2.len());
     }
 

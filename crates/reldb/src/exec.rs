@@ -10,8 +10,8 @@
 
 use crate::engine::{Table, Value};
 use crate::parser::{
-    parse, parse_script, AggregateFun, ColumnRef, Expr, ParseError, Predicate, Select,
-    SelectItem, Statement, TableRef,
+    parse, parse_script, AggregateFun, ColumnRef, Expr, ParseError, Predicate, Select, SelectItem,
+    Statement, TableRef,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -46,8 +46,15 @@ impl std::fmt::Display for SqlError {
             SqlError::UnknownTable(t) => write!(f, "unknown table {t}"),
             SqlError::UnknownColumn(c) => write!(f, "unknown or ambiguous column {c}"),
             SqlError::TableExists(t) => write!(f, "table {t} already exists"),
-            SqlError::ArityMismatch { table, expected, found } => {
-                write!(f, "insert into {table}: expected {expected} columns, found {found}")
+            SqlError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "insert into {table}: expected {expected} columns, found {found}"
+                )
             }
             SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
         }
@@ -126,8 +133,10 @@ impl Database {
             }
             Statement::InsertSelect { table, query } => {
                 let rows = self.run_select(query, "insert")?;
-                let target =
-                    self.tables.get_mut(table).ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+                let target = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
                 if rows.columns().len() != target.columns().len() {
                     return Err(SqlError::ArityMismatch {
                         table: table.clone(),
@@ -159,8 +168,14 @@ impl Database {
                     .filter(|r| !filters.iter().all(|f| f(r)))
                     .cloned()
                     .collect();
-                let mut rebuilt =
-                    Table::new(table.clone(), &source.columns().iter().map(String::as_str).collect::<Vec<_>>());
+                let mut rebuilt = Table::new(
+                    table.clone(),
+                    &source
+                        .columns()
+                        .iter()
+                        .map(String::as_str)
+                        .collect::<Vec<_>>(),
+                );
                 for r in keep {
                     rebuilt.push(r);
                 }
@@ -206,8 +221,11 @@ impl Database {
             .collect();
         let mut rows: Vec<Vec<Value>> = first_table.rows().to_vec();
         for (alias, table) in sources.iter().skip(1) {
-            let new_schema: BoundSchema =
-                table.columns().iter().map(|c| (alias.clone(), c.clone())).collect();
+            let new_schema: BoundSchema = table
+                .columns()
+                .iter()
+                .map(|c| (alias.clone(), c.clone()))
+                .collect();
             // Find equality predicates bridging the current prefix and the
             // new source.
             let mut left_keys: Vec<usize> = Vec::new();
@@ -425,13 +443,20 @@ impl Database {
                         }
                     }));
                 }
-                Predicate::InSubquery { expr, query, negated } => {
+                Predicate::InSubquery {
+                    expr,
+                    query,
+                    negated,
+                } => {
                     let sub = self.run_select(query, "in")?;
                     if sub.columns().is_empty() {
                         return Err(SqlError::Unsupported("IN over zero-column subquery".into()));
                     }
-                    let set: HashSet<u64> =
-                        sub.rows().iter().map(|r| r[0].as_float().to_bits()).collect();
+                    let set: HashSet<u64> = sub
+                        .rows()
+                        .iter()
+                        .map(|r| r[0].as_float().to_bits())
+                        .collect();
                     let e = compile_expr(expr, schema)?;
                     let negated = *negated;
                     out.push(Box::new(move |row| {
@@ -474,7 +499,10 @@ fn resolve(schema: &BoundSchema, col: &ColumnRef) -> Result<usize, SqlError> {
     match matches.as_slice() {
         [i] => Ok(*i),
         [] => Err(SqlError::UnknownColumn(format_col(col))),
-        _ => Err(SqlError::UnknownColumn(format!("{} (ambiguous)", format_col(col)))),
+        _ => Err(SqlError::UnknownColumn(format!(
+            "{} (ambiguous)",
+            format_col(col)
+        ))),
     }
 }
 
@@ -547,12 +575,18 @@ fn hash_join(
     }
     let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(right.len());
     for (i, r) in right.iter().enumerate() {
-        let key: Vec<u64> = right_keys.iter().map(|&k| r[k].as_float().to_bits()).collect();
+        let key: Vec<u64> = right_keys
+            .iter()
+            .map(|&k| r[k].as_float().to_bits())
+            .collect();
         index.entry(key).or_default().push(i);
     }
     let mut out = Vec::new();
     for l in left {
-        let key: Vec<u64> = left_keys.iter().map(|&k| l[k].as_float().to_bits()).collect();
+        let key: Vec<u64> = left_keys
+            .iter()
+            .map(|&k| l[k].as_float().to_bits())
+            .collect();
         if let Some(matches) = index.get(&key) {
             for &i in matches {
                 let mut row = l.clone();
@@ -585,7 +619,10 @@ mod tests {
     #[test]
     fn select_filter_project() {
         let mut db = db_with_edges();
-        let r = db.execute("select s, w * 2 as w2 from A where s = 1").unwrap().unwrap();
+        let r = db
+            .execute("select s, w * 2 as w2 from A where s = 1")
+            .unwrap()
+            .unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.columns(), &["s".to_string(), "w2".to_string()]);
         assert_eq!(r.rows()[0][1], Value::Float(2.0));
@@ -619,11 +656,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.len(), 3);
         // Node 1 has edges of weight 1 and 2 → d = 5.
-        let d1 = r
-            .rows()
-            .iter()
-            .find(|row| row[0] == Value::Int(1))
-            .unwrap()[1];
+        let d1 = r.rows().iter().find(|row| row[0] == Value::Int(1)).unwrap()[1];
         assert_eq!(d1, Value::Float(5.0));
     }
 
@@ -635,7 +668,11 @@ mod tests {
         let vals = [[0.2, -0.1], [-0.1, 0.2]];
         for (i, row) in vals.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
-                h.push(vec![Value::Int(i as i64), Value::Int(j as i64), Value::Float(v)]);
+                h.push(vec![
+                    Value::Int(i as i64),
+                    Value::Int(j as i64),
+                    Value::Float(v),
+                ]);
             }
         }
         db.insert_table("H", h);
@@ -673,8 +710,11 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(top.len(), 2);
-        let classes: HashMap<i64, i64> =
-            top.rows().iter().map(|r| (r[0].as_int(), r[1].as_int())).collect();
+        let classes: HashMap<i64, i64> = top
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int(), r[1].as_int()))
+            .collect();
         assert_eq!(classes[&0], 0);
         assert_eq!(classes[&1], 1);
     }
@@ -739,7 +779,10 @@ mod tests {
             db.execute("insert into E select s from A"),
             Err(SqlError::ArityMismatch { .. })
         ));
-        assert!(matches!(db.execute("drop table Nope"), Err(SqlError::UnknownTable(_))));
+        assert!(matches!(
+            db.execute("drop table Nope"),
+            Err(SqlError::UnknownTable(_))
+        ));
         // Ambiguous unqualified column across a self-join.
         assert!(matches!(
             db.execute("select s from A A1, A A2 where A1.s = A2.t"),
@@ -750,9 +793,15 @@ mod tests {
     #[test]
     fn integer_literal_typing() {
         let mut db = db_with_edges();
-        let r = db.execute("select s, '1' from A where s = 0").unwrap().unwrap();
+        let r = db
+            .execute("select s, '1' from A where s = 0")
+            .unwrap()
+            .unwrap();
         assert_eq!(r.rows()[0][1], Value::Int(1));
-        let r2 = db.execute("select 1.5 from A where s = 0").unwrap().unwrap();
+        let r2 = db
+            .execute("select 1.5 from A where s = 0")
+            .unwrap()
+            .unwrap();
         assert_eq!(r2.rows()[0][0], Value::Float(1.5));
     }
 }

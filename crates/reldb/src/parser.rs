@@ -66,14 +66,14 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
                     || chars[i] == '.'
                     || chars[i] == 'e'
                     || chars[i] == 'E'
-                    || ((chars[i] == '+' || chars[i] == '-')
-                        && matches!(chars[i - 1], 'e' | 'E')))
+                    || ((chars[i] == '+' || chars[i] == '-') && matches!(chars[i - 1], 'e' | 'E')))
             {
                 i += 1;
             }
             let text: String = chars[start..i].iter().collect();
-            let value: f64 =
-                text.parse().map_err(|_| ParseError(format!("bad number literal '{text}'")))?;
+            let value: f64 = text
+                .parse()
+                .map_err(|_| ParseError(format!("bad number literal '{text}'")))?;
             tokens.push(Token::Number(value));
         } else if c == '\'' {
             // Quoted literal — the paper quotes integers ('0', '1').
@@ -87,9 +87,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
             }
             let text: String = chars[start..i].iter().collect();
             i += 1; // closing quote
-            let value: f64 = text
-                .parse()
-                .map_err(|_| ParseError(format!("only numeric quoted literals supported: '{text}'")))?;
+            let value: f64 = text.parse().map_err(|_| {
+                ParseError(format!("only numeric quoted literals supported: '{text}'"))
+            })?;
             tokens.push(Token::Number(value));
         } else if c == '<' && i + 1 < chars.len() && (chars[i + 1] == '=' || chars[i + 1] == '>') {
             tokens.push(Token::Symbol(format!("<{}", chars[i + 1])));
@@ -249,11 +249,17 @@ struct Parser {
 
 /// Parses one SQL statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
-    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+    let mut p = Parser {
+        tokens: tokenize(sql)?,
+        pos: 0,
+    };
     let stmt = p.statement()?;
     p.eat_symbol(";"); // optional
     if p.pos != p.tokens.len() {
-        return Err(ParseError(format!("trailing tokens after statement: {:?}", p.peek())));
+        return Err(ParseError(format!(
+            "trailing tokens after statement: {:?}",
+            p.peek()
+        )));
     }
     Ok(stmt)
 }
@@ -297,7 +303,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(ParseError(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(ParseError(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -314,7 +323,10 @@ impl Parser {
         if self.eat_symbol(sym) {
             Ok(())
         } else {
-            Err(ParseError(format!("expected '{sym}', found {:?}", self.peek())))
+            Err(ParseError(format!(
+                "expected '{sym}', found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -361,7 +373,10 @@ impl Parser {
             let name = self.ident()?;
             Ok(Statement::DropTable { name })
         } else {
-            Err(ParseError(format!("expected a statement, found {:?}", self.peek())))
+            Err(ParseError(format!(
+                "expected a statement, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -376,8 +391,11 @@ impl Parser {
         while self.eat_symbol(",") {
             from.push(self.table_ref()?);
         }
-        let predicates =
-            if self.eat_keyword("where") { self.predicates()? } else { Vec::new() };
+        let predicates = if self.eat_keyword("where") {
+            self.predicates()?
+        } else {
+            Vec::new()
+        };
         let mut group_by = Vec::new();
         if self.eat_keyword("group") {
             self.expect_keyword("by")?;
@@ -386,7 +404,12 @@ impl Parser {
                 group_by.push(self.column_ref()?);
             }
         }
-        Ok(Select { items, from, predicates, group_by })
+        Ok(Select {
+            items,
+            from,
+            predicates,
+            group_by,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, ParseError> {
@@ -463,13 +486,21 @@ impl Parser {
             self.expect_symbol("(")?;
             let query = Box::new(self.select()?);
             self.expect_symbol(")")?;
-            return Ok(Predicate::InSubquery { expr: lhs, query, negated: true });
+            return Ok(Predicate::InSubquery {
+                expr: lhs,
+                query,
+                negated: true,
+            });
         }
         if self.eat_keyword("in") {
             self.expect_symbol("(")?;
             let query = Box::new(self.select()?);
             self.expect_symbol(")")?;
-            return Ok(Predicate::InSubquery { expr: lhs, query, negated: false });
+            return Ok(Predicate::InSubquery {
+                expr: lhs,
+                query,
+                negated: false,
+            });
         }
         let op = match self.next() {
             Some(Token::Symbol(s)) if ["=", "<", ">", "<=", ">=", "<>"].contains(&s.as_str()) => s,
@@ -520,9 +551,15 @@ impl Parser {
             Some(Token::Ident(name)) => {
                 if self.eat_symbol(".") {
                     let column = self.ident()?;
-                    Ok(Expr::Column(ColumnRef { table: Some(name), column }))
+                    Ok(Expr::Column(ColumnRef {
+                        table: Some(name),
+                        column,
+                    }))
                 } else {
-                    Ok(Expr::Column(ColumnRef { table: None, column: name }))
+                    Ok(Expr::Column(ColumnRef {
+                        table: None,
+                        column: name,
+                    }))
                 }
             }
             other => Err(ParseError(format!("expected expression, found {other:?}"))),
@@ -533,9 +570,15 @@ impl Parser {
         let first = self.ident()?;
         if self.eat_symbol(".") {
             let column = self.ident()?;
-            Ok(ColumnRef { table: Some(first), column })
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
         } else {
-            Ok(ColumnRef { table: None, column: first })
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
         }
     }
 }
@@ -576,11 +619,19 @@ mod tests {
              from H H1, H H2 where H1.c2 = H2.c1 group by H1.c1, H2.c2",
         )
         .unwrap();
-        let Statement::CreateTableAs { name, query } = s else { panic!() };
+        let Statement::CreateTableAs { name, query } = s else {
+            panic!()
+        };
         assert_eq!(name, "H2");
         assert_eq!(query.from.len(), 2);
         assert_eq!(query.group_by.len(), 2);
-        assert!(matches!(query.items[2], SelectItem::Aggregate { fun: AggregateFun::Sum, .. }));
+        assert!(matches!(
+            query.items[2],
+            SelectItem::Aggregate {
+                fun: AggregateFun::Sum,
+                ..
+            }
+        ));
     }
 
     /// Fig. 9b verbatim: top-belief assignment with a FROM subquery.
@@ -598,7 +649,9 @@ mod tests {
              where B.v = X.v and B.b = X.b",
         )
         .unwrap();
-        let Statement::Select(sel) = inner else { panic!() };
+        let Statement::Select(sel) = inner else {
+            panic!()
+        };
         assert!(matches!(&sel.from[1], TableRef::Subquery { alias, .. } if alias == "X"));
         assert_eq!(sel.predicates.len(), 2);
     }
@@ -611,7 +664,9 @@ mod tests {
              and A.t not in (select G.v from G))",
         )
         .unwrap();
-        let Statement::InsertSelect { table, query } = s else { panic!() };
+        let Statement::InsertSelect { table, query } = s else {
+            panic!()
+        };
         assert_eq!(table, "G");
         assert!(matches!(
             query.predicates.last(),
@@ -628,7 +683,9 @@ mod tests {
         .unwrap();
         assert_eq!(script.len(), 2);
         assert!(matches!(&script[0], Statement::Delete { .. }));
-        let Statement::InsertSelect { query, .. } = &script[1] else { panic!() };
+        let Statement::InsertSelect { query, .. } = &script[1] else {
+            panic!()
+        };
         assert!(matches!(query.items[0], SelectItem::Wildcard));
     }
 
@@ -636,10 +693,16 @@ mod tests {
     fn parse_arithmetic_precedence() {
         let s = parse("select a + b * c - 2 from T").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let SelectItem::Expr { expr, .. } = &sel.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
         // ((a + (b*c)) - 2)
-        let Expr::Binary(lhs, '-', _) = expr else { panic!("{expr:?}") };
-        let Expr::Binary(_, '+', mul) = lhs.as_ref() else { panic!() };
+        let Expr::Binary(lhs, '-', _) = expr else {
+            panic!("{expr:?}")
+        };
+        let Expr::Binary(_, '+', mul) = lhs.as_ref() else {
+            panic!()
+        };
         assert!(matches!(mul.as_ref(), Expr::Binary(_, '*', _)));
     }
 

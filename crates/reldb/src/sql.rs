@@ -53,7 +53,11 @@ pub struct SqlSbpState {
 impl SqlDb {
     /// Loads the relational representation of a labeled graph.
     pub fn new(graph: &Graph, explicit: &ExplicitBeliefs, h_residual: &Mat) -> Self {
-        assert_eq!(graph.num_nodes(), explicit.n(), "graph/beliefs node count mismatch");
+        assert_eq!(
+            graph.num_nodes(),
+            explicit.n(),
+            "graph/beliefs node count mismatch"
+        );
         let k = explicit.k();
         assert_eq!(h_residual.rows(), k, "coupling arity mismatch");
         // Parallel edges merge into one row with summed weight — the same
@@ -63,8 +67,16 @@ impl SqlDb {
         let mut raw = Table::new("Araw", &["s", "t", "w"]);
         raw.reserve(graph.num_directed_edges());
         for (s, t, w) in graph.edges() {
-            raw.push(vec![Value::Int(s as i64), Value::Int(t as i64), Value::Float(w)]);
-            raw.push(vec![Value::Int(t as i64), Value::Int(s as i64), Value::Float(w)]);
+            raw.push(vec![
+                Value::Int(s as i64),
+                Value::Int(t as i64),
+                Value::Float(w),
+            ]);
+            raw.push(vec![
+                Value::Int(t as i64),
+                Value::Int(s as i64),
+                Value::Float(w),
+            ]);
         }
         let a = raw
             .group_by_agg("A", &["s", "t"], "w", AggFun::SumFloat, |r| r[2])
@@ -80,7 +92,13 @@ impl SqlDb {
                 ]);
             }
         }
-        Self { n: graph.num_nodes(), k, a, e, h }
+        Self {
+            n: graph.num_nodes(),
+            k,
+            a,
+            e,
+            h,
+        }
     }
 
     /// Node count.
@@ -105,18 +123,24 @@ impl SqlDb {
 
     /// `D(v, d)` — `D(s, sum(w·w)) :− A(s, t, w)` (Sect. 5.3).
     pub fn degree_table(&self) -> Table {
-        self.a.group_by_agg("D", &["s"], "d", AggFun::SumFloat, |r| {
-            let w = r[2].as_float();
-            Value::Float(w * w)
-        })
+        self.a
+            .group_by_agg("D", &["s"], "d", AggFun::SumFloat, |r| {
+                let w = r[2].as_float();
+                Value::Float(w * w)
+            })
     }
 
     /// `H2(c1, c2, sum(h1·h2)) :− H(c1, c3, h1), H(c3, c2, h2)` (Eq. 20).
     pub fn h2_table(&self) -> Table {
         self.h
-            .join_map(&self.h, &["c2"], &["c1"], "HH", &["c1", "c2", "hh"], |l, r| {
-                vec![l[0], r[1], Value::Float(l[2].as_float() * r[2].as_float())]
-            })
+            .join_map(
+                &self.h,
+                &["c2"],
+                &["c1"],
+                "HH",
+                &["c1", "c2", "hh"],
+                |l, r| vec![l[0], r[1], Value::Float(l[2].as_float() * r[2].as_float())],
+            )
             .group_by_agg("H2", &["c1", "c2"], "h", AggFun::SumFloat, |r| r[2])
     }
 
@@ -130,18 +154,33 @@ impl SqlDb {
         let mut b = self.e.clone();
         for _ in 0..l {
             // V1(t,c2,sum(w·b·h)) :− A(s,t,w), B(s,c1,b), H(c1,c2,h).
-            let ab = self.a.join_map(&b, &["s"], &["v"], "AB", &["t", "c1", "wb"], |a, bb| {
-                vec![a[1], bb[1], Value::Float(a[2].as_float() * bb[2].as_float())]
-            });
+            let ab = self
+                .a
+                .join_map(&b, &["s"], &["v"], "AB", &["t", "c1", "wb"], |a, bb| {
+                    vec![
+                        a[1],
+                        bb[1],
+                        Value::Float(a[2].as_float() * bb[2].as_float()),
+                    ]
+                });
             let v1 = ab
-                .join_map(&self.h, &["c1"], &["c1"], "ABH", &["t", "c2", "wbh"], |l, h| {
-                    vec![l[0], h[1], Value::Float(l[2].as_float() * h[2].as_float())]
-                })
+                .join_map(
+                    &self.h,
+                    &["c1"],
+                    &["c1"],
+                    "ABH",
+                    &["t", "c2", "wbh"],
+                    |l, h| vec![l[0], h[1], Value::Float(l[2].as_float() * h[2].as_float())],
+                )
                 .group_by_agg("V1", &["t", "c2"], "b", AggFun::SumFloat, |r| r[2]);
             // V2(s,c2,sum(d·b·h)) :− D(s,d), B(s,c1,b), H2(c1,c2,h).
             let combined = if echo {
                 let db = d.join_map(&b, &["s"], &["v"], "DB", &["v", "c1", "db"], |dd, bb| {
-                    vec![dd[0], bb[1], Value::Float(dd[1].as_float() * bb[2].as_float())]
+                    vec![
+                        dd[0],
+                        bb[1],
+                        Value::Float(dd[1].as_float() * bb[2].as_float()),
+                    ]
                 });
                 let v2 = db
                     .join_map(&h2, &["c1"], &["c1"], "DBH", &["v", "c2", "dbh"], |l, h| {
@@ -179,10 +218,14 @@ impl SqlDb {
         db.insert_table("E", self.e.clone());
         db.insert_table("H", self.h.clone());
         let run = |db: &mut crate::exec::Database, sql: &str| {
-            db.execute_script(sql).unwrap_or_else(|e| panic!("embedded SQL failed: {e}\n{sql}"))
+            db.execute_script(sql)
+                .unwrap_or_else(|e| panic!("embedded SQL failed: {e}\n{sql}"))
         };
         // Derived tables: D(s, sum(w·w)) and H2 = Ĥ² (Fig. 9a).
-        run(&mut db, "create table D as select s, sum(w * w) as d from A group by s");
+        run(
+            &mut db,
+            "create table D as select s, sum(w * w) as d from A group by s",
+        );
         run(
             &mut db,
             "create table H2 as select H1.c1, H2.c2, sum(H1.h * H2.h) as h \
@@ -215,7 +258,10 @@ impl SqlDb {
             run(&mut db, "insert into U select v, c, b from V1");
             run(&mut db, "insert into U select v, c, 0 - b from V2");
             run(&mut db, "drop table B");
-            run(&mut db, "create table B as select v, c, sum(b) as b from U group by v, c");
+            run(
+                &mut db,
+                "create table B as select v, c, sum(b) as b from U group by v, c",
+            );
             run(&mut db, "drop table V1; drop table V2; drop table U");
         }
         let b = db.table("B").expect("B exists").clone();
@@ -236,8 +282,11 @@ impl SqlDb {
             )
             .expect("Fig. 9b SQL executes")
             .expect("SELECT returns rows");
-        let mut pairs: Vec<(i64, i64)> =
-            top.rows().iter().map(|r| (r[0].as_int(), r[1].as_int())).collect();
+        let mut pairs: Vec<(i64, i64)> = top
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int(), r[1].as_int()))
+            .collect();
         pairs.sort_unstable();
         pairs
     }
@@ -255,9 +304,8 @@ impl SqlDb {
         loop {
             // Line 4: G(t,i) :− G(s,i−1), A(s,t,_), ¬G(t,_).
             let frontier = g.filter("Gf", |r| r[1].as_int() == i - 1);
-            let reached = frontier.join_map(&self.a, &["v"], &["s"], "R", &["t"], |_, a| {
-                vec![a[1]]
-            });
+            let reached =
+                frontier.join_map(&self.a, &["v"], &["s"], "R", &["t"], |_, a| vec![a[1]]);
             let fresh = reached.anti_join(&g, &["t"], &["v"]);
             let new_nodes = fresh.distinct_ints("t");
             if new_nodes.is_empty() {
@@ -323,16 +371,20 @@ impl SqlDb {
     /// `new_edges` are undirected `(s, t, w)` triples. Follows Appendix C's
     /// Algorithm 4 (with the `gt ≤ gs` guard, see module docs); nodes may
     /// be updated more than once as shorter geodesic paths cascade.
-    pub fn sbp_add_edges(
-        &mut self,
-        state: &mut SqlSbpState,
-        new_edges: &[(usize, usize, f64)],
-    ) {
+    pub fn sbp_add_edges(&mut self, state: &mut SqlSbpState, new_edges: &[(usize, usize, f64)]) {
         // Line 1: !A(s,t,w) :− An(s,t,w) (both directions).
         let mut an = Table::new("An", &["s", "t", "w"]);
         for &(s, t, w) in new_edges {
-            an.push(vec![Value::Int(s as i64), Value::Int(t as i64), Value::Float(w)]);
-            an.push(vec![Value::Int(t as i64), Value::Int(s as i64), Value::Float(w)]);
+            an.push(vec![
+                Value::Int(s as i64),
+                Value::Int(t as i64),
+                Value::Float(w),
+            ]);
+            an.push(vec![
+                Value::Int(t as i64),
+                Value::Int(s as i64),
+                Value::Float(w),
+            ]);
         }
         for row in an.rows() {
             self.a.push(row.clone());
@@ -358,14 +410,11 @@ impl SqlDb {
             state.b.upsert(&bn, &["v"]);
             // Line 5: next frontier from the nodes just updated; edges now
             // come from the full (updated) adjacency.
-            let frontier_edges = self.a.join_map(
-                &gn,
-                &["s"],
-                &["v"],
-                "Af",
-                &["s", "t", "w", "gs"],
-                |a, g| vec![a[0], a[1], a[2], g[1]],
-            );
+            let frontier_edges =
+                self.a
+                    .join_map(&gn, &["s"], &["v"], "Af", &["s", "t", "w", "gs"], |a, g| {
+                        vec![a[0], a[1], a[2], g[1]]
+                    });
             gn = self.relax_step_from(&frontier_edges, &state.g);
         }
     }
@@ -374,9 +423,14 @@ impl SqlDb {
     /// (which must carry columns `s,t,w`), with source levels taken from
     /// `g_src` and guard levels from `g_all`.
     fn relax_step(&self, edges: &Table, g_src: &Table, g_all: &Table) -> Table {
-        let with_gs = edges.join_map(g_src, &["s"], &["v"], "Ag", &["s", "t", "w", "gs"], |a, g| {
-            vec![a[0], a[1], a[2], g[1]]
-        });
+        let with_gs = edges.join_map(
+            g_src,
+            &["s"],
+            &["v"],
+            "Ag",
+            &["s", "t", "w", "gs"],
+            |a, g| vec![a[0], a[1], a[2], g[1]],
+        );
         self.relax_step_from(&with_gs, g_all)
     }
 
@@ -386,23 +440,22 @@ impl SqlDb {
     fn relax_step_from(&self, edges_with_gs: &Table, g_all: &Table) -> Table {
         // Join candidates with current G to apply the guard; targets
         // without a G row pass automatically (anti-join path).
-        let with_gt = edges_with_gs.join_map(
-            g_all,
-            &["t"],
-            &["v"],
-            "Agt",
-            &["t", "gs", "gt"],
-            |e, g| vec![e[1], e[3], g[1]],
-        );
-        let improving = with_gt.filter("Ai", |r| r[2].as_int() > r[1].as_int());
-        let unreached = edges_with_gs
-            .anti_join(g_all, &["t"], &["v"])
-            .project("Au", &["t", "gs", "gt"], |r| {
-                vec![r[1], r[3], Value::Int(i64::MAX - 1)]
+        let with_gt =
+            edges_with_gs.join_map(g_all, &["t"], &["v"], "Agt", &["t", "gs", "gt"], |e, g| {
+                vec![e[1], e[3], g[1]]
             });
+        let improving = with_gt.filter("Ai", |r| r[2].as_int() > r[1].as_int());
+        let unreached =
+            edges_with_gs
+                .anti_join(g_all, &["t"], &["v"])
+                .project("Au", &["t", "gs", "gt"], |r| {
+                    vec![r[1], r[3], Value::Int(i64::MAX - 1)]
+                });
         improving
             .union_all(&unreached)
-            .group_by_agg("Gn", &["t"], "g", AggFun::MinInt, |r| Value::Int(r[1].as_int() + 1))
+            .group_by_agg("Gn", &["t"], "g", AggFun::MinInt, |r| {
+                Value::Int(r[1].as_int() + 1)
+            })
             .project("Gn", &["v", "g"], |r| vec![r[0], r[1]])
     }
 }
@@ -416,48 +469,89 @@ fn propagate_layer(a: &Table, b: &Table, h: &Table, parents: &Table, targets: &T
     let from_parents = a.join_map(parents, &["s"], &["v"], "Ap", &["s", "t", "w"], |a, _| {
         vec![a[0], a[1], a[2]]
     });
-    let to_targets = from_parents.join_map(targets, &["t"], &["v"], "At", &["s", "t", "w"], |e, _| {
-        vec![e[0], e[1], e[2]]
-    });
+    let to_targets =
+        from_parents.join_map(targets, &["t"], &["v"], "At", &["s", "t", "w"], |e, _| {
+            vec![e[0], e[1], e[2]]
+        });
     let with_b = to_targets.join_map(b, &["s"], &["v"], "AtB", &["t", "c1", "wb"], |e, bb| {
-        vec![e[1], bb[1], Value::Float(e[2].as_float() * bb[2].as_float())]
+        vec![
+            e[1],
+            bb[1],
+            Value::Float(e[2].as_float() * bb[2].as_float()),
+        ]
     });
-    with_b
-        .join_map(h, &["c1"], &["c1"], "AtBH", &["t", "c2", "wbh"], |l, hh| {
-            vec![l[0], hh[1], Value::Float(l[2].as_float() * hh[2].as_float())]
-        })
-        .group_by_agg("Bn", &["t", "c2"], "b", AggFun::SumFloat, |r| r[2])
-        .project("Bn", &["v", "c", "b"], |r| vec![r[0], r[1], r[2]])
+    let terms = with_b.join_map(h, &["c1"], &["c1"], "AtBH", &["t", "c2", "wbh"], |l, hh| {
+        vec![
+            l[0],
+            hh[1],
+            Value::Float(l[2].as_float() * hh[2].as_float()),
+        ]
+    });
+    sum_terms_with_cancellation_snap(&terms)
+}
+
+/// Aggregates a `(t, c2, wbh)` term relation into `B(v, c, b)` rows,
+/// snapping sums within the shared rounding bound of 0 to an exact 0 —
+/// exact SBP cancellations (a node fed by seeds of all `k` classes) must
+/// read out as ties here just as they do in the in-memory engine (see
+/// [`lsbp::sbp::CANCELLATION_EPS`]).
+fn sum_terms_with_cancellation_snap(terms: &Table) -> Table {
+    let sums = terms.group_by_agg("Bsum", &["t", "c2"], "b", AggFun::SumFloat, |r| r[2]);
+    let abs_sums = terms.group_by_agg("Babs", &["t", "c2"], "s", AggFun::SumFloat, |r| {
+        Value::Float(r[2].as_float().abs())
+    });
+    sums.join_map(
+        &abs_sums,
+        &["t", "c2"],
+        &["t", "c2"],
+        "Bn",
+        &["v", "c", "b"],
+        |l, a| {
+            let b = l[2].as_float();
+            let bound = lsbp::sbp::CANCELLATION_EPS * a[2].as_float();
+            let snapped = if b.abs() <= bound { 0.0 } else { b };
+            vec![l[0], l[1], Value::Float(snapped)]
+        },
+    )
 }
 
 /// Algorithm 4's belief recomputation: like [`propagate_layer`] but the
 /// parent level differs per target (`g_parent = g_target − 1`), so the
 /// parent filter is a join predicate instead of a pre-sliced table.
-fn recompute_from_parents(
-    a: &Table,
-    b: &Table,
-    h: &Table,
-    g: &Table,
-    targets: &Table,
-) -> Table {
+fn recompute_from_parents(a: &Table, b: &Table, h: &Table, g: &Table, targets: &Table) -> Table {
     // (t, gt) ⋈ A(s,t,w) ⋈ G(s,gs) with gs = gt − 1 ⋈ B(s,c1,b) ⋈ H.
-    let edges_in = a.join_map(targets, &["t"], &["v"], "Ain", &["s", "t", "w", "gt"], |e, tg| {
-        vec![e[0], e[1], e[2], tg[1]]
-    });
-    let with_gs = edges_in.join_map(g, &["s"], &["v"], "Ags", &["s", "t", "w", "gt", "gs"], |e, gg| {
-        vec![e[0], e[1], e[2], e[3], gg[1]]
-    });
-    let parent_edges =
-        with_gs.filter("Apar", |r| r[4].as_int() == r[3].as_int() - 1);
+    let edges_in = a.join_map(
+        targets,
+        &["t"],
+        &["v"],
+        "Ain",
+        &["s", "t", "w", "gt"],
+        |e, tg| vec![e[0], e[1], e[2], tg[1]],
+    );
+    let with_gs = edges_in.join_map(
+        g,
+        &["s"],
+        &["v"],
+        "Ags",
+        &["s", "t", "w", "gt", "gs"],
+        |e, gg| vec![e[0], e[1], e[2], e[3], gg[1]],
+    );
+    let parent_edges = with_gs.filter("Apar", |r| r[4].as_int() == r[3].as_int() - 1);
     let with_b = parent_edges.join_map(b, &["s"], &["v"], "AB", &["t", "c1", "wb"], |e, bb| {
-        vec![e[1], bb[1], Value::Float(e[2].as_float() * bb[2].as_float())]
+        vec![
+            e[1],
+            bb[1],
+            Value::Float(e[2].as_float() * bb[2].as_float()),
+        ]
     });
-    let full = with_b
-        .join_map(h, &["c1"], &["c1"], "ABH", &["t", "c2", "wbh"], |l, hh| {
-            vec![l[0], hh[1], Value::Float(l[2].as_float() * hh[2].as_float())]
-        })
-        .group_by_agg("Bn", &["t", "c2"], "b", AggFun::SumFloat, |r| r[2])
-        .project("Bn", &["v", "c", "b"], |r| vec![r[0], r[1], r[2]]);
+    let terms = with_b.join_map(h, &["c1"], &["c1"], "ABH", &["t", "c2", "wbh"], |l, hh| {
+        vec![
+            l[0],
+            hh[1],
+            Value::Float(l[2].as_float() * hh[2].as_float()),
+        ]
+    });
+    let full = sum_terms_with_cancellation_snap(&terms);
     // Targets with *no* parent edges yet (e.g. freshly reconnected nodes
     // whose parents are settled later) must still be overwritten — emit
     // explicit zero rows so the upsert clears stale beliefs. The number of
@@ -481,7 +575,11 @@ pub fn explicit_to_table(explicit: &ExplicitBeliefs) -> Table {
     let mut e = Table::new("E", &["v", "c", "b"]);
     for v in explicit.explicit_nodes() {
         for (c, &val) in explicit.row(v).iter().enumerate() {
-            e.push(vec![Value::Int(v as i64), Value::Int(c as i64), Value::Float(val)]);
+            e.push(vec![
+                Value::Int(v as i64),
+                Value::Int(c as i64),
+                Value::Float(val),
+            ]);
         }
     }
     e
@@ -538,8 +636,11 @@ mod tests {
         let (db, ..) = torus_db();
         let d = db.degree_table();
         // Pendant nodes have degree 1, inner nodes degree 3.
-        let d_map: std::collections::HashMap<i64, f64> =
-            d.rows().iter().map(|r| (r[0].as_int(), r[1].as_float())).collect();
+        let d_map: std::collections::HashMap<i64, f64> = d
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int(), r[1].as_float()))
+            .collect();
         assert_eq!(d_map[&0], 1.0);
         assert_eq!(d_map[&4], 3.0);
         // H2 equals the dense Ĥ².
@@ -564,7 +665,11 @@ mod tests {
                 &adj,
                 &e,
                 &h,
-                &LinBpOptions { max_iter: iters, tol: 0.0, ..Default::default() },
+                &LinBpOptions {
+                    max_iter: iters,
+                    tol: 0.0,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert!(
@@ -583,7 +688,11 @@ mod tests {
             &adj,
             &e,
             &h,
-            &LinBpOptions { max_iter: 4, tol: 0.0, ..Default::default() },
+            &LinBpOptions {
+                max_iter: 4,
+                tol: 0.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(sql_b.residual().max_abs_diff(native.beliefs.residual()) < 1e-12);
@@ -605,7 +714,11 @@ mod tests {
                 &g.adjacency(),
                 &e,
                 &h,
-                &LinBpOptions { max_iter: iters, tol: 0.0, ..Default::default() },
+                &LinBpOptions {
+                    max_iter: iters,
+                    tol: 0.0,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert!(via_text.residual().max_abs_diff(native.beliefs.residual()) < 1e-12);
@@ -650,7 +763,12 @@ mod tests {
         let state = db_unscaled.sbp();
         let native = sbp(&g.adjacency(), &e, &ho).unwrap();
         let sql_beliefs = belief_table_to_matrix(&state.b, 8, 3);
-        assert!(sql_beliefs.residual().max_abs_diff(native.beliefs.residual()) < 1e-12);
+        assert!(
+            sql_beliefs
+                .residual()
+                .max_abs_diff(native.beliefs.residual())
+                < 1e-12
+        );
         assert_eq!(geodesic_table_to_vec(&state.g, 8), native.geodesics.g);
         let _ = db;
     }
@@ -680,7 +798,10 @@ mod tests {
 
             let a = belief_table_to_matrix(&state.b, 40, 3);
             let b = belief_table_to_matrix(&scratch.b, 40, 3);
-            assert!(a.residual().max_abs_diff(b.residual()) < 1e-10, "seed {seed}");
+            assert!(
+                a.residual().max_abs_diff(b.residual()) < 1e-10,
+                "seed {seed}"
+            );
             assert_eq!(
                 geodesic_table_to_vec(&state.g, 40),
                 geodesic_table_to_vec(&scratch.g, 40),
@@ -735,7 +856,10 @@ mod tests {
                 geodesic_table_to_vec(&scratch.g, 35),
                 "seed {seed}"
             );
-            assert!(a.residual().max_abs_diff(b.residual()) < 1e-10, "seed {seed}");
+            assert!(
+                a.residual().max_abs_diff(b.residual()) < 1e-10,
+                "seed {seed}"
+            );
         }
     }
 

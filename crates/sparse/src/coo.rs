@@ -17,12 +17,20 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `n_rows × n_cols` builder.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, entries: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty builder with space reserved for `cap` triplets.
     pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
-        Self { n_rows, n_cols, entries: Vec::with_capacity(cap) }
+        Self {
+            n_rows,
+            n_cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows.
@@ -50,7 +58,10 @@ impl CooMatrix {
     /// # Panics
     /// Panics if the coordinate is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "COO coordinate out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "COO coordinate out of bounds"
+        );
         self.entries.push((row, col, value));
     }
 

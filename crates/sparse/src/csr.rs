@@ -37,19 +37,35 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end / col_idx length");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr end / col_idx length"
+        );
         assert_eq!(col_idx.len(), values.len(), "col_idx / values length");
         for r in 0..n_rows {
-            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be non-decreasing");
+            assert!(
+                row_ptr[r] <= row_ptr[r + 1],
+                "row_ptr must be non-decreasing"
+            );
             let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in cols.windows(2) {
-                assert!(w[0] < w[1], "columns within a row must be strictly increasing");
+                assert!(
+                    w[0] < w[1],
+                    "columns within a row must be strictly increasing"
+                );
             }
             if let Some(&last) = cols.last() {
                 assert!(last < n_cols, "column index out of bounds");
             }
         }
-        Self { n_rows, n_cols, row_ptr, col_idx, values }
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An `n × n` matrix with no stored entries.
@@ -107,7 +123,10 @@ impl CsrMatrix {
     /// Iterates `(col, value)` pairs of row `r`.
     #[inline]
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.row_cols(r).iter().copied().zip(self.row_values(r).iter().copied())
+        self.row_cols(r)
+            .iter()
+            .copied()
+            .zip(self.row_values(r).iter().copied())
     }
 
     /// Number of stored entries in row `r` (the node degree for adjacency
@@ -206,7 +225,13 @@ impl CsrMatrix {
                 next[c] += 1;
             }
         }
-        CsrMatrix { n_rows: self.n_cols, n_cols: self.n_rows, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// `true` iff the matrix equals its transpose up to `tol`.
@@ -236,7 +261,9 @@ impl CsrMatrix {
 
     /// Plain weighted row sums (`Σ_t w(s,t)`).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n_rows).map(|r| self.row_values(r).iter().sum()).collect()
+        (0..self.n_rows)
+            .map(|r| self.row_values(r).iter().sum())
+            .collect()
     }
 
     /// Returns a copy with all entries scaled by `s`.
@@ -260,7 +287,13 @@ impl CsrMatrix {
             }
             row_ptr[r + 1] = col_idx.len();
         }
-        CsrMatrix { n_rows: self.n_rows, n_cols: self.n_cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Densifies (tests / tiny systems only).
@@ -299,11 +332,17 @@ impl CsrMatrix {
     /// Spectral radius via power iteration (the matrix should be symmetric,
     /// which holds for undirected adjacency matrices).
     pub fn spectral_radius(&self) -> f64 {
-        assert_eq!(self.n_rows, self.n_cols, "spectral radius of a square matrix only");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "spectral radius of a square matrix only"
+        );
         lsbp_linalg::power_iteration(
             self.n_rows,
             |x, out| self.spmv_into(x, out),
-            lsbp_linalg::PowerIterationOptions { max_iter: 2000, ..Default::default() },
+            lsbp_linalg::PowerIterationOptions {
+                max_iter: 2000,
+                ..Default::default()
+            },
         )
     }
 }

@@ -39,7 +39,10 @@ impl<'a> EdgeMatrixOp<'a> {
     /// `(u,v)` must have a stored reverse `(v,u)`), or has more than
     /// `u32::MAX` stored entries.
     pub fn new(adj: &'a CsrMatrix) -> Self {
-        assert!(adj.nnz() <= u32::MAX as usize, "edge operator limited to u32 edge ids");
+        assert!(
+            adj.nnz() <= u32::MAX as usize,
+            "edge operator limited to u32 edge ids"
+        );
         let mut src = Vec::with_capacity(adj.nnz());
         let mut rev = Vec::with_capacity(adj.nnz());
         for u in 0..adj.n_rows() {
@@ -90,7 +93,10 @@ impl<'a> EdgeMatrixOp<'a> {
         power_iteration(
             self.dim(),
             |x, out| self.apply(x, out),
-            PowerIterationOptions { max_iter: 2000, ..Default::default() },
+            PowerIterationOptions {
+                max_iter: 2000,
+                ..Default::default()
+            },
         )
     }
 

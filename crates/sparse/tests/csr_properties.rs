@@ -1,0 +1,142 @@
+//! Property tests for [`CsrMatrix`]: COO↔CSR roundtrip, transpose-twice
+//! identity, and SpMV/SpMM agreement with a dense reference multiply, over
+//! random seeded matrices.
+
+use lsbp_linalg::Mat;
+use lsbp_sparse::CooMatrix;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+type Triplets = Vec<(usize, usize, f64)>;
+
+/// Strategy: matrix dims plus a random triplet list (duplicates allowed —
+/// `to_csr` must sum them).
+fn triplets_strategy(max_dim: usize) -> impl Strategy<Value = (usize, usize, Triplets)> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -100..100i32);
+        proptest::collection::vec(entry, 0..40).prop_map(move |list| {
+            let triplets = list
+                .into_iter()
+                .map(|(r, c, v)| (r, c, v as f64 * 0.25))
+                .collect();
+            (rows, cols, triplets)
+        })
+    })
+}
+
+fn build_coo(rows: usize, cols: usize, triplets: &Triplets) -> CooMatrix {
+    let mut coo = CooMatrix::new(rows, cols);
+    for &(r, c, v) in triplets {
+        coo.push(r, c, v);
+    }
+    coo
+}
+
+/// Dense reference: accumulate triplets into a `Mat`.
+fn dense_reference(rows: usize, cols: usize, triplets: &Triplets) -> Mat {
+    let mut m = Mat::zeros(rows, cols);
+    for &(r, c, v) in triplets {
+        m[(r, c)] += v;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COO → CSR preserves every summed coordinate and nothing else.
+    #[test]
+    fn coo_to_csr_roundtrip((rows, cols, triplets) in triplets_strategy(12)) {
+        let csr = build_coo(rows, cols, &triplets).to_csr();
+        prop_assert_eq!(csr.n_rows(), rows);
+        prop_assert_eq!(csr.n_cols(), cols);
+
+        let mut expected: HashMap<(usize, usize), f64> = HashMap::new();
+        for &(r, c, v) in &triplets {
+            *expected.entry((r, c)).or_insert(0.0) += v;
+        }
+        // Every stored entry matches the summed triplets…
+        for r in 0..rows {
+            for (c, v) in csr.row_iter(r) {
+                let want = expected.get(&(r, c)).copied().unwrap_or(0.0);
+                prop_assert!((v - want).abs() < 1e-12, "entry ({r},{c}) = {v}, want {want}");
+            }
+        }
+        // …and every coordinate pushed is stored (explicit zeros kept).
+        prop_assert_eq!(csr.nnz(), expected.len());
+
+        // CSR → COO → CSR is the identity.
+        let mut back = CooMatrix::new(rows, cols);
+        for r in 0..rows {
+            for (c, v) in csr.row_iter(r) {
+                back.push(r, c, v);
+            }
+        }
+        prop_assert_eq!(back.to_csr(), csr);
+    }
+
+    /// Transposing twice is the identity, and the transpose itself is the
+    /// dense transpose.
+    #[test]
+    fn transpose_twice_identity((rows, cols, triplets) in triplets_strategy(12)) {
+        let csr = build_coo(rows, cols, &triplets).to_csr();
+        let t = csr.transpose();
+        prop_assert_eq!(t.n_rows(), cols);
+        prop_assert_eq!(t.n_cols(), rows);
+        prop_assert_eq!(t.transpose(), csr.clone());
+
+        let dense = csr.to_dense();
+        for r in 0..cols {
+            for (c, v) in t.row_iter(r) {
+                prop_assert_eq!(v, dense[(c, r)]);
+            }
+        }
+        prop_assert_eq!(t.nnz(), csr.nnz());
+    }
+
+    /// SpMV agrees with the dense reference multiply.
+    #[test]
+    fn spmv_matches_dense(
+        (rows, cols, triplets) in triplets_strategy(10),
+        raw_x in proptest::collection::vec(-50..50i32, 10),
+    ) {
+        let csr = build_coo(rows, cols, &triplets).to_csr();
+        let dense = dense_reference(rows, cols, &triplets);
+        let x: Vec<f64> = raw_x.iter().take(cols).map(|&v| v as f64 * 0.5).collect();
+        prop_assert_eq!(x.len(), cols);
+
+        let y = csr.spmv(&x);
+        for r in 0..rows {
+            let want: f64 = (0..cols).map(|c| dense[(r, c)] * x[c]).sum();
+            prop_assert!((y[r] - want).abs() < 1e-9, "row {r}: {} vs {want}", y[r]);
+        }
+    }
+
+    /// SpMM (CSR × dense) agrees with the dense × dense reference.
+    #[test]
+    fn spmm_matches_dense(
+        (rows, cols, triplets) in triplets_strategy(10),
+        raw_b in proptest::collection::vec(-20..20i32, 30),
+    ) {
+        let k = 3;
+        let csr = build_coo(rows, cols, &triplets).to_csr();
+        let dense = dense_reference(rows, cols, &triplets);
+        let b = Mat::from_fn(cols, k, |r, c| raw_b[(r * k + c) % raw_b.len()] as f64 * 0.5);
+
+        let sparse_prod = csr.spmm(&b);
+        let dense_prod = dense.matmul(&b);
+        prop_assert!(sparse_prod.max_abs_diff(&dense_prod) < 1e-9);
+    }
+
+    /// Norms computed sparsely agree with the dense reference.
+    #[test]
+    fn norms_match_dense((rows, cols, triplets) in triplets_strategy(12)) {
+        let csr = build_coo(rows, cols, &triplets).to_csr();
+        let dense = csr.to_dense();
+        prop_assert!((csr.induced_1_norm() - lsbp_linalg::induced_1_norm(&dense)).abs() < 1e-10);
+        prop_assert!(
+            (csr.induced_inf_norm() - lsbp_linalg::induced_inf_norm(&dense)).abs() < 1e-10
+        );
+        prop_assert!((csr.frobenius_norm() - lsbp_linalg::frobenius_norm(&dense)).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,73 @@
+//! Regression tests for degenerate shapes: zero-row / zero-column matrices
+//! must construct and operate without panicking, since incremental SBP and
+//! the generators legitimately produce empty deltas.
+
+use lsbp_linalg::Mat;
+use lsbp_sparse::{CooMatrix, CsrMatrix};
+
+#[test]
+fn from_raw_parts_zero_rows() {
+    let m = CsrMatrix::from_raw_parts(0, 0, vec![0], vec![], vec![]);
+    assert_eq!(m.n_rows(), 0);
+    assert_eq!(m.n_cols(), 0);
+    assert_eq!(m.nnz(), 0);
+    assert_eq!(m.spmv(&[]), Vec::<f64>::new());
+    assert_eq!(m.transpose(), m);
+    assert!(m.is_symmetric(0.0));
+}
+
+#[test]
+fn from_raw_parts_zero_rows_nonzero_cols() {
+    let m = CsrMatrix::from_raw_parts(0, 3, vec![0], vec![], vec![]);
+    assert_eq!(m.spmv(&[1.0, 2.0, 3.0]), Vec::<f64>::new());
+    let t = m.transpose();
+    assert_eq!(t.n_rows(), 3);
+    assert_eq!(t.n_cols(), 0);
+    assert_eq!(t.nnz(), 0);
+    assert_eq!(t.spmv(&[]), vec![0.0; 3]);
+}
+
+#[test]
+fn empty_and_identity_zero() {
+    let e = CsrMatrix::empty(0, 0);
+    assert_eq!(e.nnz(), 0);
+    assert_eq!(e.induced_1_norm(), 0.0);
+    assert_eq!(e.induced_inf_norm(), 0.0);
+    assert_eq!(e.frobenius_norm(), 0.0);
+    assert_eq!(e.row_sums(), Vec::<f64>::new());
+    assert_eq!(e.squared_weight_degrees(), Vec::<f64>::new());
+    let i = CsrMatrix::identity(0);
+    assert_eq!(i.nnz(), 0);
+}
+
+#[test]
+fn coo_zero_dims_roundtrip() {
+    let coo = CooMatrix::new(0, 0);
+    assert!(coo.is_empty());
+    let csr = coo.to_csr();
+    assert_eq!(csr.n_rows(), 0);
+    assert_eq!(csr.nnz(), 0);
+}
+
+#[test]
+fn spmm_with_zero_rows() {
+    let m = CsrMatrix::from_raw_parts(0, 2, vec![0], vec![], vec![]);
+    let b = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    let out = m.spmm(&b);
+    assert_eq!(out.rows(), 0);
+    assert_eq!(out.cols(), 2);
+}
+
+#[test]
+fn prune_and_scale_empty() {
+    let m = CsrMatrix::empty(0, 0);
+    assert_eq!(m.scale(2.0).nnz(), 0);
+    assert_eq!(m.prune_zeros().nnz(), 0);
+}
+
+#[test]
+#[should_panic(expected = "row_ptr length")]
+fn from_raw_parts_rejects_empty_row_ptr() {
+    // Even with zero rows, `row_ptr` must hold the single sentinel 0.
+    let _ = CsrMatrix::from_raw_parts(0, 0, vec![], vec![], vec![]);
+}

@@ -62,7 +62,11 @@ fn main() {
             &adj,
             &e,
             &coupling.scaled_residual(exact * factor),
-            &LinBpOptions { max_iter: 100_000, tol: 1e-13, ..Default::default() },
+            &LinBpOptions {
+                max_iter: 100_000,
+                tol: 1e-13,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!(

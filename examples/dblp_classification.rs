@@ -52,7 +52,10 @@ fn main() {
             placed += 1;
         }
     }
-    println!("labeled nodes: {placed} ({:.1}%)", 100.0 * placed as f64 / n as f64);
+    println!(
+        "labeled nodes: {placed} ({:.1}%)",
+        100.0 * placed as f64 / n as f64
+    );
 
     // Fig. 11a: 4-class homophily residual (diag 6, off −2), scaled inside
     // the convergence region.
@@ -61,13 +64,7 @@ fn main() {
     let eps = 0.5 * eps_exact;
     println!("εH = {eps:.2e} (exact LinBP bound {eps_exact:.2e})");
 
-    let lin = linbp(
-        &adj,
-        &explicit,
-        &ho.scale(eps),
-        &LinBpOptions::default(),
-    )
-    .unwrap();
+    let lin = linbp(&adj, &explicit, &ho.scale(eps), &LinBpOptions::default()).unwrap();
     assert!(lin.converged);
     let sbp_r = sbp(&adj, &explicit, &ho).unwrap();
 
@@ -75,7 +72,12 @@ fn main() {
     // terms + authors; shared terms are noisiest).
     for (name, beliefs) in [("LinBP", &lin.beliefs), ("SBP", &sbp_r.beliefs)] {
         println!("\n{name} accuracy by entity kind:");
-        for kind in [NodeKind::Paper, NodeKind::Author, NodeKind::Conference, NodeKind::Term] {
+        for kind in [
+            NodeKind::Paper,
+            NodeKind::Author,
+            NodeKind::Conference,
+            NodeKind::Term,
+        ] {
             let mut correct = 0usize;
             let mut total = 0usize;
             for v in 0..n {

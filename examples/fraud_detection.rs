@@ -37,7 +37,10 @@ fn main() {
             revealed += 1;
         }
     }
-    println!("revealed labels: {revealed} ({:.1}%)", 100.0 * revealed as f64 / n as f64);
+    println!(
+        "revealed labels: {revealed} ({:.1}%)",
+        100.0 * revealed as f64 / n as f64
+    );
 
     // Fig. 1c: honest↔honest homophily, accomplice↔fraudster heterophily.
     let coupling = CouplingMatrix::fig1c().unwrap();
@@ -52,7 +55,10 @@ fn main() {
         &LinBpOptions::default(),
     )
     .unwrap();
-    assert!(result.converged, "εH was chosen inside the convergence region");
+    assert!(
+        result.converged,
+        "εH was chosen inside the convergence region"
+    );
 
     // Score the classification on the hidden nodes.
     let mut correct = 0usize;

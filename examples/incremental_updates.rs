@@ -61,7 +61,13 @@ fn main() {
     let scratch = sbp(&adj, &all, &ho).unwrap();
     let scratch_time = t2.elapsed();
     assert_eq!(state.geodesics.g, scratch.geodesics.g);
-    assert!(state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-9);
+    assert!(
+        state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-9
+    );
     println!(
         "\n+30 labels:  ΔSBP {incremental_time:?}  vs  recompute {scratch_time:?}  ({:.1}× speed-up, results identical)",
         scratch_time.as_secs_f64() / incremental_time.as_secs_f64()
@@ -80,7 +86,13 @@ fn main() {
     let scratch = sbp(&adj_new, &all, &ho).unwrap();
     let scratch_time = t4.elapsed();
     assert_eq!(state.geodesics.g, scratch.geodesics.g);
-    assert!(state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-9);
+    assert!(
+        state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-9
+    );
     println!(
         "+500 edges:  ΔSBP {incremental_time:?}  vs  recompute {scratch_time:?}  ({:.1}× speed-up, results identical)",
         scratch_time.as_secs_f64() / incremental_time.as_secs_f64()
@@ -102,7 +114,13 @@ fn main() {
     let t5 = Instant::now();
     let scratch = sbp(&adj_new, &all, &ho).unwrap();
     let one_scratch = t5.elapsed();
-    assert!(state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-9);
+    assert!(
+        state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-9
+    );
     println!(
         "  20 incremental updates took {total_inc:?} total — {:.1}% of ONE recomputation ({one_scratch:?})",
         100.0 * total_inc.as_secs_f64() / one_scratch.as_secs_f64()

@@ -34,8 +34,8 @@ fn main() {
             count += 1;
         }
     }
-    let learned = learn_coupling(&adj, &revealed, 3, &LearnOptions::default())
-        .expect("enough labeled edges");
+    let learned =
+        learn_coupling(&adj, &revealed, 3, &LearnOptions::default()).expect("enough labeled edges");
     println!("\nlearned coupling matrix (truth: Fig. 1c = [[.6,.3,.1],[.3,0,.7],[.1,.7,.2]]):");
     for r in 0..3 {
         println!(
@@ -103,6 +103,9 @@ fn main() {
         }
     }
     let scratch = linbp(&adj, &all, &h, &opts).unwrap();
-    let max_diff = result.beliefs.residual().max_abs_diff(scratch.beliefs.residual());
+    let max_diff = result
+        .beliefs
+        .residual()
+        .max_abs_diff(scratch.beliefs.residual());
     println!("max |incremental − scratch| = {max_diff:.2e} (exact up to solver tolerance)");
 }

@@ -20,7 +20,10 @@ fn two_communities(per_side: usize, seed: u64) -> (Graph, Vec<usize>) {
     let mut g = Graph::new(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::new();
-    let add = |g: &mut Graph, s: usize, t: usize, seen: &mut std::collections::HashSet<(usize, usize)>| {
+    let add = |g: &mut Graph,
+               s: usize,
+               t: usize,
+               seen: &mut std::collections::HashSet<(usize, usize)>| {
         if s != t && seen.insert((s.min(t), s.max(t))) {
             g.add_edge_unweighted(s, t);
         }
@@ -95,7 +98,13 @@ fn main() {
     };
 
     println!("\nclassification quality (vs planted communities):");
-    let bp_r = bp(&adj, &explicit, &coupling.raw_at_scale(eps), &BpOptions::default()).unwrap();
+    let bp_r = bp(
+        &adj,
+        &explicit,
+        &coupling.raw_at_scale(eps),
+        &BpOptions::default(),
+    )
+    .unwrap();
     evaluate("BP", &bp_r.beliefs);
     let lin = linbp(&adj, &explicit, &h, &LinBpOptions::default()).unwrap();
     evaluate("LinBP", &lin.beliefs);
@@ -108,15 +117,14 @@ fn main() {
     // node. Verify on this instance by comparing the first belief column.
     let h_hat = h[(0, 0)]; // residual Ĥ = [[ĥ, −ĥ], [−ĥ, ĥ]]
     let (c1, c2) = fabp_coefficients(h_hat);
-    println!(
-        "\nAppendix E binary reduction: ĥ = {h_hat:.4} → c₁ = {c1:.4}, c₂ = {c2:.4}"
-    );
-    println!(
-        "(b̂ = (I − c₁A + c₂D)⁻¹ ê — one scalar per node instead of a k-vector)"
-    );
+    println!("\nAppendix E binary reduction: ĥ = {h_hat:.4} → c₁ = {c1:.4}, c₂ = {c2:.4}");
+    println!("(b̂ = (I − c₁A + c₂D)⁻¹ ê — one scalar per node instead of a k-vector)");
 
     // How split is the electorate according to LinBP?
     let lean: Vec<f64> = (0..n).map(|v| lin.beliefs.row(v)[0]).collect();
     let left = lean.iter().filter(|&&x| x > 0.0).count();
-    println!("\nLinBP verdict: {left} lean class 0, {} lean class 1", n - left);
+    println!(
+        "\nLinBP verdict: {left} lean class 0, {} lean class 1",
+        n - left
+    );
 }

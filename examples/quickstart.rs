@@ -40,14 +40,21 @@ fn main() {
     let ho = coupling.residual();
     let eps_linbp = eps_max_exact_linbp(&ho, &adj, 1e-5);
     let eps_star = eps_max_exact_linbp_star(&ho, &adj);
-    println!("exact convergence thresholds:  LinBP εH < {eps_linbp:.3},  LinBP* εH < {eps_star:.3}");
+    println!(
+        "exact convergence thresholds:  LinBP εH < {eps_linbp:.3},  LinBP* εH < {eps_star:.3}"
+    );
 
     // Run everything at a comfortably convergent εH.
     let eps = 0.1;
     let h = coupling.scaled_residual(eps);
 
-    let bp_result = bp(&adj, &explicit, &coupling.raw_at_scale(eps), &BpOptions::default())
-        .expect("valid BP configuration");
+    let bp_result = bp(
+        &adj,
+        &explicit,
+        &coupling.raw_at_scale(eps),
+        &BpOptions::default(),
+    )
+    .expect("valid BP configuration");
     println!(
         "BP:      converged={} after {} iterations",
         bp_result.converged, bp_result.iterations

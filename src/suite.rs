@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Root package of the LSBP workspace.
+//!
+//! This crate exists to host the paper-level integration suites in
+//! `tests/` (one per claim cluster: the torus worked example, method
+//! agreement, convergence criteria, the εH → 0⁺ SBP limit, incremental
+//! maintenance, weighted graphs, the relational engine equivalence, and
+//! end-to-end property tests) and the runnable walkthroughs in
+//! `examples/`. It re-exports the member crates so suite code can reach
+//! everything through one dependency if it wants to.
+
+pub use lsbp;
+pub use lsbp_bench;
+pub use lsbp_graph;
+pub use lsbp_linalg;
+pub use lsbp_reldb;
+pub use lsbp_sparse;

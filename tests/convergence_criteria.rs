@@ -22,14 +22,21 @@ fn exact_criterion_is_sharp() {
         (star(12), CouplingMatrix::fig1b().unwrap()),
         (grid_2d(4, 5), CouplingMatrix::fig1c().unwrap()),
         (complete(7), CouplingMatrix::homophily(3, 0.6).unwrap()),
-        (erdos_renyi_gnm(30, 60, 2), CouplingMatrix::heterophily(4, 0.1).unwrap()),
+        (
+            erdos_renyi_gnm(30, 60, 2),
+            CouplingMatrix::heterophily(4, 0.1).unwrap(),
+        ),
     ];
     for (graph, coupling) in cases {
         let adj = graph.adjacency();
         let k = coupling.k();
         let e = one_seed(graph.num_nodes(), k);
         let eps_max = eps_max_exact_linbp(&coupling.residual(), &adj, 1e-6);
-        let opts = LinBpOptions { max_iter: 100_000, tol: 1e-13, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 100_000,
+            tol: 1e-13,
+            ..Default::default()
+        };
         let below = linbp(&adj, &e, &coupling.scaled_residual(eps_max * 0.97), &opts).unwrap();
         assert!(
             below.converged && !below.diverged,
@@ -51,7 +58,10 @@ fn bound_hierarchy() {
     for (graph, coupling) in [
         (cycle(9), CouplingMatrix::fig1c().unwrap()),
         (grid_2d(5, 5), CouplingMatrix::fig1a().unwrap()),
-        (erdos_renyi_gnm(40, 120, 9), CouplingMatrix::fig1c().unwrap()),
+        (
+            erdos_renyi_gnm(40, 120, 9),
+            CouplingMatrix::fig1c().unwrap(),
+        ),
     ] {
         let adj = graph.adjacency();
         let ho = coupling.residual();
@@ -61,7 +71,10 @@ fn bound_hierarchy() {
         let suff_star = eps_max_sufficient_linbp_star(&ho, &adj);
         let l23 = eps_max_lemma23_reexport(&ho, &adj);
         assert!(suff <= exact * 1.001, "Lemma 9 must not exceed exact");
-        assert!(suff_star <= exact_star * 1.001, "Lemma 9* must not exceed exact*");
+        assert!(
+            suff_star <= exact_star * 1.001,
+            "Lemma 9* must not exceed exact*"
+        );
         assert!(l23 <= suff * 1.001, "Lemma 23 is the loosest");
         // Echo cancellation shrinks the region: exact LinBP ≤ exact LinBP*.
         assert!(exact <= exact_star * 1.001);
@@ -84,10 +97,17 @@ fn sufficient_is_not_necessary() {
     let e = one_seed(16, 3);
     let suff = eps_max_sufficient_linbp(&coupling.residual(), &adj);
     let exact = eps_max_exact_linbp(&coupling.residual(), &adj, 1e-6);
-    assert!(suff < exact, "this graph must have a gap between the bounds");
+    assert!(
+        suff < exact,
+        "this graph must have a gap between the bounds"
+    );
     // Pick εH in the gap: past the sufficient bound, still convergent.
     let eps = 0.5 * (suff + exact);
-    let opts = LinBpOptions { max_iter: 100_000, tol: 1e-13, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 100_000,
+        tol: 1e-13,
+        ..Default::default()
+    };
     let r = linbp(&adj, &e, &coupling.scaled_residual(eps), &opts).unwrap();
     assert!(r.converged && !r.diverged);
 }
@@ -109,10 +129,26 @@ fn weighted_criteria() {
         "doubling weights halves the εH range"
     );
     let e = one_seed(6, 2);
-    let opts = LinBpOptions { max_iter: 50_000, tol: 1e-13, ..Default::default() };
-    let ok = linbp_star(&adj, &e, &coupling.scaled_residual(eps_weighted * 0.95), &opts).unwrap();
+    let opts = LinBpOptions {
+        max_iter: 50_000,
+        tol: 1e-13,
+        ..Default::default()
+    };
+    let ok = linbp_star(
+        &adj,
+        &e,
+        &coupling.scaled_residual(eps_weighted * 0.95),
+        &opts,
+    )
+    .unwrap();
     assert!(ok.converged);
-    let bad = linbp_star(&adj, &e, &coupling.scaled_residual(eps_weighted * 1.05), &opts).unwrap();
+    let bad = linbp_star(
+        &adj,
+        &e,
+        &coupling.scaled_residual(eps_weighted * 1.05),
+        &opts,
+    )
+    .unwrap();
     assert!(bad.diverged);
 }
 

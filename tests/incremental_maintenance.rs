@@ -46,7 +46,13 @@ fn sequential_label_insertions_kronecker() {
     }
     let scratch = sbp(&adj, &all, &h).unwrap();
     assert_eq!(state.geodesics.g, scratch.geodesics.g);
-    assert!(state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10);
+    assert!(
+        state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-10
+    );
 }
 
 /// Overwriting an existing label (changing a node's class) must update the
@@ -67,7 +73,13 @@ fn label_overwrite() {
     let mut all = base.clone();
     all.set_label(0, 2, 1.0).unwrap();
     let scratch = sbp(&adj, &all, &h).unwrap();
-    assert!(updated.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10);
+    assert!(
+        updated
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-10
+    );
 }
 
 /// Batch order must not matter: applying updates in any order reaches the
@@ -118,7 +130,13 @@ fn edge_insertion_merges_components() {
     let scratch = sbp(&grown.adjacency(), &e, &h).unwrap();
     assert_eq!(updated.geodesics.g, scratch.geodesics.g);
     assert_eq!(updated.geodesics.geodesic(19), Some(19));
-    assert!(updated.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-12);
+    assert!(
+        updated
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-12
+    );
 }
 
 /// Random interleaving of label and edge insertions.
@@ -151,7 +169,13 @@ fn interleaved_updates() {
     }
     let scratch = sbp(&current.adjacency(), &labels, &h).unwrap();
     assert_eq!(state.geodesics.g, scratch.geodesics.g);
-    assert!(state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-9);
+    assert!(
+        state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-9
+    );
 }
 
 /// Parallel (duplicate) edges: weights accumulate and the incremental path
@@ -173,7 +197,13 @@ fn parallel_edge_weights_accumulate() {
     }
     let updated = sbp_add_edges(&grown.adjacency(), &new_edges, &h, &prev).unwrap();
     let scratch = sbp(&grown.adjacency(), &e, &h).unwrap();
-    assert!(updated.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-12);
+    assert!(
+        updated
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-12
+    );
     // The 0–1 path now has weight 3.
     let hh = &h;
     let e_row = lsbp_linalg::Mat::from_rows(&[&[2.0, -1.0, -1.0]]);

@@ -49,7 +49,11 @@ fn linbp_matches_closed_form_on_random_graphs() {
             &adj,
             &e,
             &h,
-            &LinBpOptions { max_iter: 50_000, tol: 1e-14, ..Default::default() },
+            &LinBpOptions {
+                max_iter: 50_000,
+                tol: 1e-14,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(iterative.converged, "seed {seed}");
@@ -78,7 +82,11 @@ fn linbp_top_beliefs_match_bp() {
         &adj,
         &e,
         h_raw.raw(),
-        &BpOptions { max_iter: 300, tol: 1e-12, ..Default::default() },
+        &BpOptions {
+            max_iter: 300,
+            tol: 1e-12,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(bp_r.converged);
@@ -86,7 +94,11 @@ fn linbp_top_beliefs_match_bp() {
         &adj,
         &e,
         &h_res,
-        &LinBpOptions { max_iter: 5_000, tol: 1e-14, ..Default::default() },
+        &LinBpOptions {
+            max_iter: 5_000,
+            tol: 1e-14,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(lin_r.converged);
@@ -106,7 +118,11 @@ fn linbp_star_matches_linbp_at_small_eps() {
     let adj = g.adjacency();
     let e = random_explicit(64, 3, 0.15, 7);
     let h = coupling.scaled_residual(0.02);
-    let opts = LinBpOptions { max_iter: 10_000, tol: 1e-14, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 10_000,
+        tol: 1e-14,
+        ..Default::default()
+    };
     let a = linbp(&adj, &e, &h, &opts).unwrap();
     let b = linbp_star(&adj, &e, &h, &opts).unwrap();
     assert!(a.converged && b.converged);
@@ -154,7 +170,11 @@ fn sql_linbp_on_kronecker_graph1() {
         &g.adjacency(),
         &e,
         &h,
-        &LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() },
+        &LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(sql_b.residual().max_abs_diff(native.beliefs.residual()) < 1e-12);

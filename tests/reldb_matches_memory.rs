@@ -32,7 +32,11 @@ fn linbp_on_kronecker() {
     let db = SqlDb::new(&g, &e, &h);
     for echo in [true, false] {
         let sql_b = db.linbp(5, echo);
-        let opts = LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() };
+        let opts = LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        };
         let native = if echo {
             linbp(&g.adjacency(), &e, &h, &opts).unwrap()
         } else {
@@ -87,7 +91,11 @@ fn multi_batch_add_explicit() {
     let sql_b = belief_table_to_matrix(&state.b, 80, 3);
     assert!(sql_b.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10);
     assert!(
-        native_state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10
+        native_state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-10
     );
     assert_eq!(geodesic_table_to_vec(&state.g, 80), scratch.geodesics.g);
     assert_eq!(native_state.geodesics.g, scratch.geodesics.g);
@@ -120,7 +128,11 @@ fn multi_batch_add_edges() {
     let sql_b = belief_table_to_matrix(&state.b, 60, 3);
     assert!(sql_b.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10);
     assert!(
-        native_state.beliefs.residual().max_abs_diff(scratch.beliefs.residual()) < 1e-10
+        native_state
+            .beliefs
+            .residual()
+            .max_abs_diff(scratch.beliefs.residual())
+            < 1e-10
     );
     assert_eq!(geodesic_table_to_vec(&state.g, 60), scratch.geodesics.g);
 }
@@ -145,7 +157,11 @@ fn weighted_sql_equivalence() {
         &g.adjacency(),
         &e,
         &h,
-        &LinBpOptions { max_iter: 5, tol: 0.0, ..Default::default() },
+        &LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(sql_b.residual().max_abs_diff(native.beliefs.residual()) < 1e-12);
@@ -155,5 +171,10 @@ fn weighted_sql_equivalence() {
     let state = db2.sbp();
     let native_sbp = sbp(&g.adjacency(), &e, &ho).unwrap();
     let sql_sbp = belief_table_to_matrix(&state.b, 12, 3);
-    assert!(sql_sbp.residual().max_abs_diff(native_sbp.beliefs.residual()) < 1e-12);
+    assert!(
+        sql_sbp
+            .residual()
+            .max_abs_diff(native_sbp.beliefs.residual())
+            < 1e-12
+    );
 }

@@ -23,7 +23,11 @@ fn theorem19_on_grid() {
     let coupling = CouplingMatrix::fig1c().unwrap();
     let e = seeds(36, &[(0, 0), (35, 1), (17, 2)]);
     let sbp_r = sbp(&adj, &e, &coupling.residual()).unwrap();
-    let opts = LinBpOptions { max_iter: 100_000, tol: 1e-16, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 100_000,
+        tol: 1e-16,
+        ..Default::default()
+    };
     let h = coupling.scaled_residual(0.005);
     let lin = linbp(&adj, &e, &h, &opts).unwrap();
     assert!(lin.converged);
@@ -52,7 +56,11 @@ fn top_beliefs_agree_at_small_eps() {
             &adj,
             &e,
             &coupling.scaled_residual(0.002),
-            &LinBpOptions { max_iter: 100_000, tol: 1e-16, ..Default::default() },
+            &LinBpOptions {
+                max_iter: 100_000,
+                tol: 1e-16,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(lin.converged, "seed {seed}");
@@ -101,13 +109,20 @@ fn lemma17_modified_adjacency() {
             &a_star_t,
             &e,
             &ho,
-            &LinBpOptions { max_iter: 200, tol: 1e-15, ..Default::default() },
+            &LinBpOptions {
+                max_iter: 200,
+                tol: 1e-15,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(lin.converged, "seed {seed}");
         let sbp_r = sbp(&adj, &e, &ho).unwrap();
         assert!(
-            lin.beliefs.residual().max_abs_diff(sbp_r.beliefs.residual()) < 1e-10,
+            lin.beliefs
+                .residual()
+                .max_abs_diff(sbp_r.beliefs.residual())
+                < 1e-10,
             "seed {seed}"
         );
     }

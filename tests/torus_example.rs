@@ -62,9 +62,16 @@ fn linbp_converges_to_sbp_with_decreasing_eps() {
     let adj = graph.adjacency();
     let coupling = CouplingMatrix::fig1c().unwrap();
     let e = explicit();
-    let sbp_std = sbp(&adj, &e, &coupling.residual()).unwrap().beliefs.standardized(TORUS_V4);
+    let sbp_std = sbp(&adj, &e, &coupling.residual())
+        .unwrap()
+        .beliefs
+        .standardized(TORUS_V4);
 
-    let opts = LinBpOptions { max_iter: 10_000, tol: 1e-15, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 10_000,
+        tol: 1e-15,
+        ..Default::default()
+    };
     let mut last_err = f64::INFINITY;
     for eps in [0.3, 0.1, 0.03, 0.01] {
         let h = coupling.scaled_residual(eps);
@@ -82,7 +89,10 @@ fn linbp_converges_to_sbp_with_decreasing_eps() {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
             if echo {
-                assert!(err < last_err * 1.01, "monotone approach: eps={eps}, err={err}");
+                assert!(
+                    err < last_err * 1.01,
+                    "monotone approach: eps={eps}, err={err}"
+                );
                 last_err = err;
             }
             if eps <= 0.01 {
@@ -99,7 +109,11 @@ fn sigma_scaling_law() {
     let adj = graph.adjacency();
     let coupling = CouplingMatrix::fig1c().unwrap();
     let e = explicit();
-    let opts = LinBpOptions { max_iter: 20_000, tol: 1e-16, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 20_000,
+        tol: 1e-16,
+        ..Default::default()
+    };
     for eps in [0.02, 0.01, 0.005] {
         let h = coupling.scaled_residual(eps);
         let r = linbp(&adj, &e, &h, &opts).unwrap();
@@ -121,12 +135,19 @@ fn bp_approaches_sbp_for_small_eps() {
     let adj = graph.adjacency();
     let coupling = CouplingMatrix::fig1c().unwrap();
     let e = explicit();
-    let sbp_std = sbp(&adj, &e, &coupling.residual()).unwrap().beliefs.standardized(TORUS_V4);
+    let sbp_std = sbp(&adj, &e, &coupling.residual())
+        .unwrap()
+        .beliefs
+        .standardized(TORUS_V4);
     let r = bp(
         &adj,
         &e,
         &coupling.raw_at_scale(0.02),
-        &BpOptions { max_iter: 500, tol: 1e-13, ..Default::default() },
+        &BpOptions {
+            max_iter: 500,
+            tol: 1e-13,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(r.converged);
@@ -144,7 +165,11 @@ fn iterates_diverge_past_threshold() {
     let adj = graph.adjacency();
     let coupling = CouplingMatrix::fig1c().unwrap();
     let e = explicit();
-    let opts = LinBpOptions { max_iter: 20_000, tol: 1e-15, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 20_000,
+        tol: 1e-15,
+        ..Default::default()
+    };
     // LinBP: 0.488.
     let ok = linbp(&adj, &e, &coupling.scaled_residual(0.47), &opts).unwrap();
     assert!(ok.converged && !ok.diverged);

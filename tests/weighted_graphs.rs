@@ -39,7 +39,11 @@ fn fixed_point_with_squared_weight_degrees() {
         &adj,
         &e,
         &h,
-        &LinBpOptions { max_iter: 20_000, tol: 1e-15, ..Default::default() },
+        &LinBpOptions {
+            max_iter: 20_000,
+            tol: 1e-15,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(r.converged);
@@ -66,7 +70,11 @@ fn weighted_closed_form_agreement() {
         &adj,
         &e,
         &h,
-        &LinBpOptions { max_iter: 50_000, tol: 1e-15, ..Default::default() },
+        &LinBpOptions {
+            max_iter: 50_000,
+            tol: 1e-15,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(iter.converged);
@@ -90,7 +98,11 @@ fn parallel_edges_equal_summed_weight() {
     let mut e = ExplicitBeliefs::new(4, 2);
     e.set_label(0, 0, 0.1).unwrap();
     let h = CouplingMatrix::fig1a().unwrap().scaled_residual(0.05);
-    let opts = LinBpOptions { max_iter: 10_000, tol: 1e-15, ..Default::default() };
+    let opts = LinBpOptions {
+        max_iter: 10_000,
+        tol: 1e-15,
+        ..Default::default()
+    };
     let a = linbp(&with_parallel.adjacency(), &e, &h, &opts).unwrap();
     let b = linbp(&merged.adjacency(), &e, &h, &opts).unwrap();
     assert!(a.beliefs.residual().max_abs_diff(b.beliefs.residual()) < 1e-12);
@@ -117,7 +129,11 @@ fn weighted_sbp_path_weights() {
     // magnitude contribution.
     let e0 = Mat::from_rows(&[&[1.0, -1.0]]);
     let e1 = Mat::from_rows(&[&[-1.0, 1.0]]);
-    let expect = e0.matmul(&ho).matmul(&ho).scale(9.0).add(&e1.matmul(&ho).matmul(&ho));
+    let expect = e0
+        .matmul(&ho)
+        .matmul(&ho)
+        .scale(9.0)
+        .add(&e1.matmul(&ho).matmul(&ho));
     for c in 0..2 {
         assert!((r.beliefs.row(4)[c] - expect[(0, c)]).abs() < 1e-12);
     }

@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_with_setup`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark a
+//! bounded number of timed passes and prints the median — enough for the
+//! relative comparisons the paper's figures make (LinBP vs. SBP per-edge
+//! work, CSR kernels vs. naive loops), with none of the dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value hint, as criterion provides.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark labelled `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.run_samples(&mut f);
+        self.report(&id.id, &samples);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark labelled `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let samples = self.run_samples(&mut |b: &mut Bencher| f(b, input));
+        self.report(&id.id, &samples);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&self, f: &mut F) -> Vec<Duration> {
+        let n = self.sample_size;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "bench {}/{}: median {:?} over {} samples",
+            self.name,
+            id,
+            median,
+            samples.len()
+        );
+    }
+}
+
+/// Passed to benchmark closures to time the measured region.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Minimum measured span per sample: below this, a single `Instant`
+    /// pair is dominated by timer resolution, so the batch size doubles
+    /// until the accumulated routine time crosses it.
+    const MIN_SPAN: Duration = Duration::from_millis(2);
+
+    /// Times repeated calls of `f`, reporting the mean per call. Batches
+    /// of doubling size run until the total crosses [`Bencher::MIN_SPAN`],
+    /// so sub-microsecond kernels are averaged over many calls while a
+    /// single slow call is timed once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch = 1u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let total = start.elapsed();
+            if total >= Self::MIN_SPAN || batch >= 1 << 20 {
+                self.elapsed = total / batch;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+
+    /// Times repeated calls of `routine` (mean per call), re-running
+    /// `setup` before every call and excluding its time from the measure.
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let mut calls = 0u32;
+        let mut total = Duration::ZERO;
+        while total < Self::MIN_SPAN && calls < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            calls += 1;
+        }
+        self.elapsed = total / calls.max(1);
+    }
+}
+
+/// Declares a benchmark group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

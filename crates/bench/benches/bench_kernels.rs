@@ -35,8 +35,9 @@ fn bench(c: &mut Criterion) {
         let e_hat = e.residual_matrix().clone();
         let b0 = e_hat.clone();
         group.bench_with_input(BenchmarkId::new("beliefs_matrix_step", n), &n, |bch, _| {
-            let mut scratch = Mat::zeros(n, 3);
+            let mut scratch = LinBpScratch::new(n, 3);
             let mut out = Mat::zeros(n, 3);
+            let cfg = ParallelismConfig::serial();
             bch.iter(|| {
                 linbp_step(
                     &adj,
@@ -47,6 +48,7 @@ fn bench(c: &mut Criterion) {
                     &degrees,
                     &mut scratch,
                     &mut out,
+                    &cfg,
                 );
             })
         });

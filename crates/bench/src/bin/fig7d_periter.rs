@@ -33,7 +33,8 @@ fn main() {
     let e_hat = e.residual_matrix();
     let mut b = e_hat.clone();
     let mut next = Mat::zeros(n, 3);
-    let mut scratch = Mat::zeros(n, 3);
+    let mut scratch = LinBpScratch::new(n, 3);
+    let cfg = ParallelismConfig::default();
     let mut linbp_times = Vec::new();
     for _ in 0..5 {
         let (_, t) = time_once(|| {
@@ -46,6 +47,7 @@ fn main() {
                 &degrees,
                 &mut scratch,
                 &mut next,
+                &cfg,
             );
         });
         std::mem::swap(&mut b, &mut next);

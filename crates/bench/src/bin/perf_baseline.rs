@@ -1,0 +1,301 @@
+//! Kernel performance baseline — the `BENCH_*.json` perf trajectory.
+//!
+//! Times the workspace's hot kernels (SpMV, SpMM, CSR transpose, LinBP
+//! iterations, BP message rounds, SBP) on generated Kronecker and
+//! DBLP-like graphs across a sweep of thread counts, verifies every
+//! parallel result is **bitwise identical** to the serial reference, and
+//! writes the measurements as JSON so future PRs can prove their
+//! speedups (or catch regressions) against a recorded baseline.
+//!
+//! ```text
+//! cargo run --release -p lsbp-bench --bin perf_baseline -- \
+//!     [--m 9] [--reps 3] [--threads 1,2,4,8] [--dblp 1] [--out BENCH_kernels.json]
+//! ```
+//!
+//! `--m` sets the largest Kronecker exponent (default 9: 19,683 nodes /
+//! 262,144 directed edges — comfortably past the 100k-edge mark);
+//! `--dblp 0` and a small `--m` make a CI smoke run, with `--min-work 1`
+//! forcing even those tiny kernels through the parallel code path so the
+//! bitwise-identity assertion stays meaningful at smoke sizes.
+
+use lsbp::prelude::*;
+use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
+use lsbp_graph::generators::{dblp_like, kronecker_graph, DblpConfig};
+use lsbp_graph::Graph;
+use lsbp_linalg::Mat;
+
+/// One timed (graph, kernel, thread-count) measurement.
+struct Record {
+    graph: String,
+    nodes: usize,
+    directed_edges: usize,
+    kernel: &'static str,
+    threads: usize,
+    secs: f64,
+    speedup_vs_serial: f64,
+    identical_to_serial: bool,
+}
+
+fn arg_string(key: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn arg_thread_list() -> Vec<usize> {
+    let raw = arg_string("--threads", "1,2,4,8");
+    let mut threads: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&t| t >= 1)
+        .collect();
+    if !threads.contains(&1) {
+        threads.push(1);
+    }
+    threads.sort_unstable();
+    threads.dedup();
+    threads
+}
+
+/// Times `run` at every thread count (best of `reps`), using the
+/// 1-thread run as the serial reference for both the speedup column and
+/// the bitwise-identity check.
+#[allow(clippy::too_many_arguments)] // a flat experiment descriptor
+fn bench_kernel<T: PartialEq>(
+    records: &mut Vec<Record>,
+    graph: &str,
+    nodes: usize,
+    directed_edges: usize,
+    kernel: &'static str,
+    threads: &[usize],
+    reps: usize,
+    mut run: impl FnMut(&ParallelismConfig) -> T,
+) {
+    let min_work = arg_usize("--min-work", 0);
+    let reference = run(&ParallelismConfig::serial());
+    let mut serial_secs = f64::NAN;
+    for &t in threads {
+        let mut cfg = ParallelismConfig::with_threads(t);
+        if min_work > 0 {
+            cfg = cfg.with_min_work(min_work);
+        }
+        let mut best = f64::INFINITY;
+        let mut output = None;
+        for _ in 0..reps {
+            let (out, d) = time_once(|| run(&cfg));
+            best = best.min(d.as_secs_f64());
+            output = Some(out);
+        }
+        let identical = output.as_ref() == Some(&reference);
+        if t == 1 {
+            serial_secs = best;
+        }
+        let record = Record {
+            graph: graph.to_string(),
+            nodes,
+            directed_edges,
+            kernel,
+            threads: t,
+            secs: best,
+            speedup_vs_serial: serial_secs / best,
+            identical_to_serial: identical,
+        };
+        println!(
+            "{:>14} {:>12} t={:<2} {:>12.6}s  speedup {:>5.2}x  identical={}",
+            record.graph, record.kernel, t, record.secs, record.speedup_vs_serial, identical
+        );
+        records.push(record);
+    }
+}
+
+/// Runs the full kernel suite on one graph.
+#[allow(clippy::too_many_arguments)] // a flat experiment descriptor
+fn run_suite(
+    records: &mut Vec<Record>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    threads: &[usize],
+    reps: usize,
+) {
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let de = graph.num_directed_edges();
+    println!("\n== {label}: {n} nodes, {de} directed edges, k={k} ==");
+
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.1 - 0.6).collect();
+    bench_kernel(records, label, n, de, "spmv", threads, reps, |cfg| {
+        let mut y = vec![0.0; n];
+        adj.spmv_into_with(&x, &mut y, cfg);
+        y
+    });
+
+    let b = Mat::from_fn(n, k, |r, c| ((r * k + c) % 17) as f64 * 0.01 - 0.08);
+    bench_kernel(records, label, n, de, "spmm", threads, reps, |cfg| {
+        adj.spmm_with(&b, cfg)
+    });
+
+    bench_kernel(records, label, n, de, "transpose", threads, reps, |cfg| {
+        adj.transpose_with(cfg)
+    });
+
+    let explicit = kronecker_style_beliefs(n, k, (n / 20).max(1), 7, false);
+    let h = h_residual_unscaled.scale(eps);
+    bench_kernel(records, label, n, de, "linbp_5iter", threads, reps, |cfg| {
+        let opts = LinBpOptions {
+            max_iter: 5,
+            tol: 0.0,
+            parallelism: *cfg,
+            ..Default::default()
+        };
+        linbp(&adj, &explicit, &h, &opts)
+            .expect("linbp dimensions are consistent")
+            .beliefs
+            .residual()
+            .clone()
+    });
+
+    let h_raw = CouplingMatrix::from_residual(h_residual_unscaled, eps)
+        .expect("scaled coupling is a valid BP potential");
+    bench_kernel(records, label, n, de, "bp_3rounds", threads, reps, |cfg| {
+        let opts = BpOptions {
+            max_iter: 3,
+            tol: 0.0,
+            parallelism: *cfg,
+            ..Default::default()
+        };
+        bp(&adj, &explicit, h_raw.raw(), &opts)
+            .expect("bp dimensions are consistent")
+            .beliefs
+            .residual()
+            .clone()
+    });
+
+    bench_kernel(records, label, n, de, "sbp", threads, reps, |cfg| {
+        let r = sbp_with(&adj, &explicit, h_residual_unscaled, cfg)
+            .expect("sbp dimensions are consistent");
+        (r.beliefs.residual().clone(), r.geodesics.g)
+    });
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let m = arg_usize("--m", 9).clamp(5, 13) as u32;
+    let reps = arg_usize("--reps", 3).max(1);
+    let with_dblp = arg_usize("--dblp", 1) != 0;
+    let threads = arg_thread_list();
+    let out_path = arg_string("--out", "BENCH_kernels.json");
+
+    let mut records = Vec::new();
+    let ho3 = CouplingMatrix::fig6b_residual();
+    let mut exponents = vec![7u32.min(m), m];
+    exponents.dedup();
+    for exp in exponents {
+        let graph = kronecker_graph(exp);
+        run_suite(
+            &mut records,
+            &format!("kronecker_m{exp}"),
+            &graph,
+            3,
+            &ho3,
+            0.0005,
+            &threads,
+            reps,
+        );
+    }
+    if with_dblp {
+        let ho4 = CouplingMatrix::homophily(4, 0.6)
+            .expect("homophily coupling is valid")
+            .residual();
+        let net = dblp_like(&DblpConfig::default(), 42);
+        run_suite(
+            &mut records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
+            &threads,
+            reps,
+        );
+    }
+
+    // Acceptance summary: best SpMM speedup at 4 threads on a
+    // ≥ 100k-directed-edge graph, and global identity across the board.
+    let spmm_speedup_4t = records
+        .iter()
+        .filter(|r| r.kernel == "spmm" && r.threads == 4 && r.directed_edges >= 100_000)
+        .map(|r| r.speedup_vs_serial)
+        .fold(f64::NAN, f64::max);
+    let all_identical = records.iter().all(|r| r.identical_to_serial);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"kernels\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"generated_by\": \"perf_baseline\",\n");
+    json.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"thread_sweep\": [{}],\n",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!(
+        "    \"spmm_speedup_4threads_100k_edges\": {},\n",
+        json_f64(spmm_speedup_4t)
+    ));
+    json.push_str(&format!(
+        "    \"all_parallel_results_bitwise_identical_to_serial\": {all_identical}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"nodes\": {}, \"directed_edges\": {}, \"kernel\": \"{}\", \
+             \"threads\": {}, \"secs\": {}, \"speedup_vs_serial\": {}, \
+             \"identical_to_serial\": {}}}{}\n",
+            r.graph,
+            r.nodes,
+            r.directed_edges,
+            r.kernel,
+            r.threads,
+            json_f64(r.secs),
+            json_f64(r.speedup_vs_serial),
+            r.identical_to_serial,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("could not write the benchmark JSON");
+
+    println!("\nwrote {out_path}");
+    println!(
+        "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}",
+        json_f64(spmm_speedup_4t),
+        all_identical
+    );
+    assert!(
+        all_identical,
+        "parallel kernel produced a result differing from the serial reference"
+    );
+}

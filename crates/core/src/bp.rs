@@ -20,8 +20,9 @@
 //! belief assignment).
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
-use lsbp_linalg::Mat;
+use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
 use lsbp_sparse::CsrMatrix;
+use std::ops::Range;
 
 /// Options for [`bp`].
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +46,11 @@ pub struct BpOptions {
     /// is the ablation behind the growing BP/LinBP gap in Fig. 7a/7c,
     /// since Kronecker graphs grow their maximum degree with size.
     pub naive_products: bool,
+    /// Serial vs. pooled execution of the per-node message recomputation.
+    /// Every node writes only its own out-edge messages (a disjoint slice
+    /// of the message array), so results are bitwise identical for every
+    /// thread count; the default follows `LSBP_THREADS`.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for BpOptions {
@@ -55,6 +61,7 @@ impl Default for BpOptions {
             prior_scale: None,
             damping: 0.0,
             naive_products: false,
+            parallelism: ParallelismConfig::default(),
         }
     }
 }
@@ -154,87 +161,52 @@ pub fn bp(
     // Messages, initialized to all-ones (centered), indexed [edge][class].
     let mut msgs = vec![1.0f64; m_edges * k];
     let mut new_msgs = vec![0.0f64; m_edges * k];
-    let mut prod = vec![0.0f64; k];
-    let mut term = vec![0.0f64; k];
+
+    let ctx = MsgContext {
+        adj,
+        priors: &priors,
+        h_raw,
+        rev: &rev,
+        k,
+        naive: opts.naive_products,
+        damping: opts.damping,
+    };
+    // Node partition for the parallel path: nnz-balanced over out-degrees,
+    // so every task owns a contiguous, disjoint slice of the edge-indexed
+    // message array. Each node's messages are computed by exactly the
+    // serial code, so results are bitwise identical for any thread count.
+    let cfg = opts.parallelism;
+    let row_ptr = adj.row_offsets();
+    let parts = cfg.partitions((m_edges + n) * k);
+    let ranges: Vec<Range<usize>> = if parts <= 1 {
+        std::iter::once(0..n).collect()
+    } else {
+        weight_balanced_ranges(row_ptr, parts)
+    };
+    let pool = cfg.pool();
 
     let mut converged = false;
     let mut iterations = 0;
     let mut final_delta = f64::INFINITY;
     for _round in 0..opts.max_iter {
         iterations += 1;
-        let mut max_delta = 0.0f64;
-        let mut e = 0usize;
-        for s in 0..n {
-            // prod_s(j) = e_s(j) · Π over in-edges (u→s) of m_us(j), with
-            // periodic rescaling against overflow/underflow (the common
-            // scale cancels in Z_st). Skipped in naive mode.
-            let deg = adj.row_nnz(s);
-            if !opts.naive_products {
-                prod.copy_from_slice(priors.row(s));
-                for idx in 0..deg {
-                    let in_edge = rev[e + idx] as usize;
-                    let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
-                    for (p, &mi) in prod.iter_mut().zip(m_in) {
-                        *p *= mi;
-                    }
-                    let max = prod.iter().fold(0.0f64, |a, &x| a.max(x));
-                    if !(1e-100..=1e100).contains(&max) && max > 0.0 {
-                        let inv = 1.0 / max;
-                        prod.iter_mut().for_each(|p| *p *= inv);
-                    }
+        let max_delta = if ranges.len() <= 1 {
+            bp_round_rows(&ctx, &msgs, 0..n, &mut new_msgs)
+        } else {
+            let mut partials = vec![0.0f64; ranges.len()];
+            let mut rest: &mut [f64] = &mut new_msgs;
+            let msgs_ref = &msgs;
+            pool.scope(|s| {
+                for (slot, range) in partials.iter_mut().zip(ranges.iter().cloned()) {
+                    let len = (row_ptr[range.end] - row_ptr[range.start]) * k;
+                    let (chunk, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    let ctx = &ctx;
+                    s.spawn(move || *slot = bp_round_rows(ctx, msgs_ref, range, chunk));
                 }
-            }
-            // Outgoing messages: m_st(i) ∝ Σ_j H(j,i)·prod_s(j)/m_ts(j).
-            for idx in 0..deg {
-                let out = e + idx;
-                let back = rev[out] as usize;
-                if opts.naive_products {
-                    // Direct Π over N(s)\t — quadratic in the degree.
-                    term.copy_from_slice(priors.row(s));
-                    for idx2 in 0..deg {
-                        let in_edge = rev[e + idx2] as usize;
-                        if in_edge == back {
-                            continue;
-                        }
-                        let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
-                        for (t, &mi) in term.iter_mut().zip(m_in) {
-                            *t *= mi;
-                        }
-                        let max = term.iter().fold(0.0f64, |a, &x| a.max(x));
-                        if !(1e-100..=1e100).contains(&max) && max > 0.0 {
-                            let inv = 1.0 / max;
-                            term.iter_mut().for_each(|t| *t *= inv);
-                        }
-                    }
-                } else {
-                    let m_back = &msgs[back * k..(back + 1) * k];
-                    for j in 0..k {
-                        term[j] = prod[j] / m_back[j].max(1e-300);
-                    }
-                }
-                let dst = &mut new_msgs[out * k..(out + 1) * k];
-                let mut sum = 0.0;
-                for i in 0..k {
-                    let mut acc = 0.0;
-                    for (j, &t) in term.iter().enumerate() {
-                        acc += h_raw[(j, i)] * t;
-                    }
-                    dst[i] = acc;
-                    sum += acc;
-                }
-                // Normalize so entries sum to k (Eq. 3).
-                let z = k as f64 / sum.max(1e-300);
-                let old = &msgs[out * k..(out + 1) * k];
-                for (i, d) in dst.iter_mut().enumerate() {
-                    *d *= z;
-                    if opts.damping > 0.0 {
-                        *d = (1.0 - opts.damping) * *d + opts.damping * old[i];
-                    }
-                    max_delta = max_delta.max((*d - old[i]).abs());
-                }
-            }
-            e += deg;
-        }
+            });
+            partials.into_iter().fold(0.0f64, f64::max)
+        };
         std::mem::swap(&mut msgs, &mut new_msgs);
         final_delta = max_delta;
         if opts.tol > 0.0 && max_delta < opts.tol {
@@ -244,30 +216,22 @@ pub fn bp(
     }
 
     // Beliefs: b_s(i) ∝ e_s(i)·Π m_us(i), normalized to 1, returned as
-    // residuals b − 1/k.
+    // residuals b − 1/k. Same partition: each task writes a disjoint
+    // contiguous block of belief rows.
     let mut beliefs = Mat::zeros(n, k);
-    let mut e = 0usize;
-    for s in 0..n {
-        prod.copy_from_slice(priors.row(s));
-        let deg = adj.row_nnz(s);
-        for idx in 0..deg {
-            let in_edge = rev[e + idx] as usize;
-            let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
-            for (p, &mi) in prod.iter_mut().zip(m_in) {
-                *p *= mi;
+    if ranges.len() <= 1 {
+        beliefs_rows(&ctx, &msgs, 0..n, beliefs.as_mut_slice());
+    } else {
+        let mut rest: &mut [f64] = beliefs.as_mut_slice();
+        let msgs_ref = &msgs;
+        pool.scope(|s| {
+            for range in ranges.iter().cloned() {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * k);
+                rest = tail;
+                let ctx = &ctx;
+                s.spawn(move || beliefs_rows(ctx, msgs_ref, range, chunk));
             }
-            let max = prod.iter().fold(0.0f64, |a, &x| a.max(x));
-            if !(1e-100..=1e100).contains(&max) && max > 0.0 {
-                let inv = 1.0 / max;
-                prod.iter_mut().for_each(|p| *p *= inv);
-            }
-        }
-        e += deg;
-        let sum: f64 = prod.iter().sum();
-        let row = beliefs.row_mut(s);
-        for (b, &p) in row.iter_mut().zip(&prod) {
-            *b = p / sum.max(1e-300) - uniform;
-        }
+        });
     }
 
     Ok(BpResult {
@@ -276,6 +240,132 @@ pub fn bp(
         iterations,
         final_delta,
     })
+}
+
+/// Read-only inputs of one message round, bundled for the range kernels.
+struct MsgContext<'a> {
+    adj: &'a CsrMatrix,
+    priors: &'a Mat,
+    h_raw: &'a Mat,
+    rev: &'a [u32],
+    k: usize,
+    naive: bool,
+    damping: f64,
+}
+
+/// Rescales a running product back into `[1e-100, 1e100]` when it drifts
+/// out (the common scale cancels in `Z_st`).
+#[inline]
+fn rescale_if_extreme(buf: &mut [f64]) {
+    let max = buf.iter().fold(0.0f64, |a, &x| a.max(x));
+    if !(1e-100..=1e100).contains(&max) && max > 0.0 {
+        let inv = 1.0 / max;
+        buf.iter_mut().for_each(|p| *p *= inv);
+    }
+}
+
+/// Computes one round of outgoing messages for the node block `nodes`,
+/// writing into `out` — the slice of the edge-indexed message array
+/// covering exactly those nodes' out-edges — and returns the block's
+/// largest absolute message change. Shared verbatim by the serial path and
+/// every parallel task.
+fn bp_round_rows(ctx: &MsgContext<'_>, msgs: &[f64], nodes: Range<usize>, out: &mut [f64]) -> f64 {
+    let k = ctx.k;
+    let row_ptr = ctx.adj.row_offsets();
+    let edge_base = row_ptr[nodes.start];
+    let mut prod = vec![0.0f64; k];
+    let mut term = vec![0.0f64; k];
+    let mut max_delta = 0.0f64;
+    for s in nodes {
+        let e = row_ptr[s];
+        let deg = row_ptr[s + 1] - e;
+        // prod_s(j) = e_s(j) · Π over in-edges (u→s) of m_us(j), with
+        // periodic rescaling against overflow/underflow. Skipped in naive
+        // mode.
+        if !ctx.naive {
+            prod.copy_from_slice(ctx.priors.row(s));
+            for idx in 0..deg {
+                let in_edge = ctx.rev[e + idx] as usize;
+                let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
+                for (p, &mi) in prod.iter_mut().zip(m_in) {
+                    *p *= mi;
+                }
+                rescale_if_extreme(&mut prod);
+            }
+        }
+        // Outgoing messages: m_st(i) ∝ Σ_j H(j,i)·prod_s(j)/m_ts(j).
+        for idx in 0..deg {
+            let edge = e + idx;
+            let back = ctx.rev[edge] as usize;
+            if ctx.naive {
+                // Direct Π over N(s)\t — quadratic in the degree.
+                term.copy_from_slice(ctx.priors.row(s));
+                for idx2 in 0..deg {
+                    let in_edge = ctx.rev[e + idx2] as usize;
+                    if in_edge == back {
+                        continue;
+                    }
+                    let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
+                    for (t, &mi) in term.iter_mut().zip(m_in) {
+                        *t *= mi;
+                    }
+                    rescale_if_extreme(&mut term);
+                }
+            } else {
+                let m_back = &msgs[back * k..(back + 1) * k];
+                for j in 0..k {
+                    term[j] = prod[j] / m_back[j].max(1e-300);
+                }
+            }
+            let dst = &mut out[(edge - edge_base) * k..(edge - edge_base + 1) * k];
+            let mut sum = 0.0;
+            for (i, d) in dst.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (j, &t) in term.iter().enumerate() {
+                    acc += ctx.h_raw[(j, i)] * t;
+                }
+                *d = acc;
+                sum += acc;
+            }
+            // Normalize so entries sum to k (Eq. 3).
+            let z = k as f64 / sum.max(1e-300);
+            let old = &msgs[edge * k..(edge + 1) * k];
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d *= z;
+                if ctx.damping > 0.0 {
+                    *d = (1.0 - ctx.damping) * *d + ctx.damping * old[i];
+                }
+                max_delta = max_delta.max((*d - old[i]).abs());
+            }
+        }
+    }
+    max_delta
+}
+
+/// Computes final residual beliefs for the node block `nodes`, writing
+/// into `block` — the flat row-major storage of exactly those belief rows.
+fn beliefs_rows(ctx: &MsgContext<'_>, msgs: &[f64], nodes: Range<usize>, block: &mut [f64]) {
+    let k = ctx.k;
+    let uniform = 1.0 / k as f64;
+    let row_ptr = ctx.adj.row_offsets();
+    let mut prod = vec![0.0f64; k];
+    for s in nodes.clone() {
+        prod.copy_from_slice(ctx.priors.row(s));
+        let e = row_ptr[s];
+        for idx in 0..(row_ptr[s + 1] - e) {
+            let in_edge = ctx.rev[e + idx] as usize;
+            let m_in = &msgs[in_edge * k..(in_edge + 1) * k];
+            for (p, &mi) in prod.iter_mut().zip(m_in) {
+                *p *= mi;
+            }
+            rescale_if_extreme(&mut prod);
+        }
+        let sum: f64 = prod.iter().sum();
+        let row = &mut block[(s - nodes.start) * k..(s - nodes.start + 1) * k];
+        for (b, &p) in row.iter_mut().zip(&prod) {
+            *b = p / sum.max(1e-300) - uniform;
+        }
+    }
 }
 
 /// Largest factor (≤ 1) mapping residuals into strictly positive priors

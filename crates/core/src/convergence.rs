@@ -26,6 +26,9 @@ pub fn spectral_radius_linbp_operator(adj: &CsrMatrix, h_residual: &Mat, echo: b
     let degrees = adj.squared_weight_degrees();
     let mut b = Mat::zeros(n, k);
     let mut scratch = Mat::zeros(n, k);
+    let mut m = Mat::zeros(n, k);
+    let mut db = Mat::zeros(n, k);
+    let mut db_h2 = Mat::zeros(n, k);
     power_iteration(
         n * k,
         move |x, out| {
@@ -35,12 +38,14 @@ pub fn spectral_radius_linbp_operator(adj: &CsrMatrix, h_residual: &Mat, echo: b
                     b[(r, c)] = x[c * n + r];
                 }
             }
-            // A·B·Ĥ (− D·B·Ĥ²).
+            // A·B·Ĥ (− D·B·Ĥ²) — every intermediate reuses a buffer
+            // allocated once outside the closure.
             adj.spmm_into(&b, &mut scratch);
-            let mut m = scratch.matmul(h_residual);
+            scratch.matmul_into(h_residual, &mut m);
             if echo {
-                let db = Mat::from_fn(n, k, |r, c| degrees[r] * b[(r, c)]);
-                m.sub_assign(&db.matmul(&h2));
+                b.scaled_rows_into(&degrees, &mut db);
+                db.matmul_into(&h2, &mut db_h2);
+                m.sub_assign(&db_h2);
             }
             for c in 0..k {
                 for r in 0..n {

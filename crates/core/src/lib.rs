@@ -70,12 +70,15 @@ pub mod prelude {
     };
     pub use crate::coupling::{CouplingError, CouplingMatrix};
     pub use crate::learning::{learn_coupling, learn_coupling_from_classes, LearnOptions};
-    pub use crate::linbp::{linbp, linbp_star, linbp_update, LinBpOptions, LinBpResult};
+    pub use crate::linbp::{
+        linbp, linbp_star, linbp_step, linbp_update, LinBpOptions, LinBpResult, LinBpScratch,
+    };
     pub use crate::metrics::{
         accuracy, f1_score, precision_recall, precision_recall_masked, quality, QualityReport,
     };
     pub use crate::rwr::{rwr, RwrOptions, RwrResult};
-    pub use crate::sbp::{sbp, sbp_add_edges, sbp_add_explicit, SbpResult};
+    pub use crate::sbp::{sbp, sbp_add_edges, sbp_add_explicit, sbp_with, SbpResult};
+    pub use lsbp_linalg::ParallelismConfig;
 }
 
 pub use prelude::*;

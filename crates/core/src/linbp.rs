@@ -18,7 +18,7 @@
 //! guard threshold.
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
-use lsbp_linalg::Mat;
+use lsbp_linalg::{Mat, ParallelismConfig};
 use lsbp_sparse::CsrMatrix;
 
 /// Options for [`linbp`] / [`linbp_star`].
@@ -31,6 +31,10 @@ pub struct LinBpOptions {
     pub tol: f64,
     /// Belief magnitude beyond which the run is declared divergent.
     pub divergence_guard: f64,
+    /// Serial vs. pooled execution of the SpMM / dense kernels. Results
+    /// are bitwise identical for every thread count; the default follows
+    /// `LSBP_THREADS`.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for LinBpOptions {
@@ -39,6 +43,7 @@ impl Default for LinBpOptions {
             max_iter: 200,
             tol: 1e-12,
             divergence_guard: 1e12,
+            parallelism: ParallelismConfig::default(),
         }
     }
 }
@@ -100,9 +105,31 @@ pub fn linbp_star(
     run(adj, explicit, h_residual, opts, false)
 }
 
+/// Reusable buffers for [`linbp_step`]: the SpMM result, the fused `D·B`
+/// product and the `(D·B)·Ĥ²` echo term — all `n × k`, allocated once per
+/// run instead of once per iteration.
+#[derive(Clone, Debug)]
+pub struct LinBpScratch {
+    ab: Mat,
+    db: Mat,
+    tmp: Mat,
+}
+
+impl LinBpScratch {
+    /// Allocates scratch space for an `n`-node, `k`-class system.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            ab: Mat::zeros(n, k),
+            db: Mat::zeros(n, k),
+            tmp: Mat::zeros(n, k),
+        }
+    }
+}
+
 /// Applies one update step `out = Ê + A·B·Ĥ [− D·B·Ĥ²]`, re-using the
-/// provided scratch matrix for the SpMM result. Exposed for the per-
-/// iteration instrumentation of Fig. 7d and the closed-form Jacobi solver.
+/// provided scratch buffers for every intermediate (no per-step
+/// allocation). Exposed for the per-iteration instrumentation of Fig. 7d
+/// and the closed-form Jacobi solver.
 #[allow(clippy::too_many_arguments)] // mirrors the terms of Eq. 6 one-to-one
 pub fn linbp_step(
     adj: &CsrMatrix,
@@ -111,17 +138,20 @@ pub fn linbp_step(
     h: &Mat,
     h2: Option<&Mat>,
     degrees: &[f64],
-    scratch: &mut Mat,
+    scratch: &mut LinBpScratch,
     out: &mut Mat,
+    cfg: &ParallelismConfig,
 ) {
-    // scratch = A·B   (n×k);   out = Ê + scratch·Ĥ
-    adj.spmm_into(b, scratch);
-    *out = scratch.matmul(h);
+    // ab = A·B   (n×k);   out = Ê + ab·Ĥ
+    adj.spmm_into_with(b, &mut scratch.ab, cfg);
+    scratch.ab.matmul_into_with(h, out, cfg);
     out.add_assign(e_hat);
     if let Some(h2) = h2 {
-        // out -= (D·B)·Ĥ²  — row s of D·B is d_s · b_s.
-        let db = Mat::from_fn(b.rows(), b.cols(), |r, c| degrees[r] * b[(r, c)]);
-        out.sub_assign(&db.matmul(h2));
+        // out -= (D·B)·Ĥ² — row s of D·B is d_s · b_s, scaled directly
+        // into the reusable buffer instead of a fresh `Mat` per step.
+        b.scaled_rows_into(degrees, &mut scratch.db);
+        scratch.db.matmul_into_with(h2, &mut scratch.tmp, cfg);
+        out.sub_assign(&scratch.tmp);
     }
 }
 
@@ -156,7 +186,8 @@ fn run(
     // B̂(0) = Ê (starting from the explicit beliefs, like Algorithm 1).
     let mut b = e_hat.clone();
     let mut next = Mat::zeros(n, k);
-    let mut scratch = Mat::zeros(n, k);
+    let mut scratch = LinBpScratch::new(n, k);
+    let cfg = opts.parallelism;
 
     let mut converged = false;
     let mut diverged = false;
@@ -173,8 +204,9 @@ fn run(
             &degrees,
             &mut scratch,
             &mut next,
+            &cfg,
         );
-        final_delta = next.max_abs_diff(&b);
+        final_delta = next.max_abs_diff_with(&b, &cfg);
         std::mem::swap(&mut b, &mut next);
         if b.max_abs() > opts.divergence_guard || !final_delta.is_finite() {
             diverged = true;
@@ -314,7 +346,7 @@ mod tests {
         // Recompute the RHS and compare.
         let h2 = h.matmul(&h);
         let degrees = adj.squared_weight_degrees();
-        let mut scratch = Mat::zeros(8, 3);
+        let mut scratch = LinBpScratch::new(8, 3);
         let mut rhs = Mat::zeros(8, 3);
         linbp_step(
             &adj,
@@ -325,6 +357,7 @@ mod tests {
             &degrees,
             &mut scratch,
             &mut rhs,
+            &lsbp_linalg::ParallelismConfig::serial(),
         );
         assert!(b.max_abs_diff(&rhs) < 1e-9);
     }

@@ -29,7 +29,7 @@
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
 use lsbp_graph::{geodesic_numbers, Geodesics, UNREACHABLE};
-use lsbp_linalg::Mat;
+use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
 use lsbp_sparse::CsrMatrix;
 use std::collections::BinaryHeap;
 
@@ -130,11 +130,30 @@ fn recompute_belief(
     }
 }
 
-/// Runs SBP from scratch (the in-memory analogue of Algorithm 2).
+/// Runs SBP from scratch (the in-memory analogue of Algorithm 2),
+/// parallelized according to the process default
+/// ([`ParallelismConfig::default`]).
 pub fn sbp(
     adj: &CsrMatrix,
     explicit: &ExplicitBeliefs,
     h_residual: &Mat,
+) -> Result<SbpResult, SbpError> {
+    sbp_with(adj, explicit, h_residual, &ParallelismConfig::default())
+}
+
+/// [`sbp`] with an explicit execution configuration.
+///
+/// Within one BFS layer every node's belief depends only on the previous
+/// layer (Lemma 17's DAG points strictly from layer `g` to `g+1`), so a
+/// layer's nodes recompute independently: the parallel path computes them
+/// into disjoint blocks of a per-layer staging buffer and copies the rows
+/// back serially. Each node runs exactly the serial [`recompute_belief`],
+/// so results are bitwise identical for any thread count.
+pub fn sbp_with(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    cfg: &ParallelismConfig,
 ) -> Result<SbpResult, SbpError> {
     let n = explicit.n();
     let k = explicit.k();
@@ -152,18 +171,63 @@ pub fn sbp(
     }
     let mut row = vec![0.0; k];
     let mut abs = vec![0.0; k];
+    let mut staging: Vec<f64> = Vec::new();
+    let pool = cfg.pool();
     for layer in 1..geodesics.num_layers() {
-        for &t in &geodesics.layers[layer] {
-            recompute_belief(
-                adj,
-                &geodesics.g,
-                &beliefs,
-                h_residual,
-                t as usize,
-                &mut row,
-                &mut abs,
-            );
-            beliefs.row_mut(t as usize).copy_from_slice(&row);
+        let nodes = &geodesics.layers[layer];
+        // Weigh each node by its degree + 1: recomputation walks the
+        // node's full adjacency row.
+        let mut cum = Vec::with_capacity(nodes.len() + 1);
+        cum.push(0usize);
+        for &t in nodes {
+            cum.push(cum.last().unwrap() + adj.row_nnz(t as usize) + 1);
+        }
+        let parts = cfg.partitions(*cum.last().unwrap() * k);
+        if parts <= 1 {
+            for &t in nodes {
+                recompute_belief(
+                    adj,
+                    &geodesics.g,
+                    &beliefs,
+                    h_residual,
+                    t as usize,
+                    &mut row,
+                    &mut abs,
+                );
+                beliefs.row_mut(t as usize).copy_from_slice(&row);
+            }
+            continue;
+        }
+        staging.clear();
+        staging.resize(nodes.len() * k, 0.0);
+        let ranges = weight_balanced_ranges(&cum, parts);
+        let mut rest: &mut [f64] = &mut staging;
+        let beliefs_ref = &beliefs;
+        let g_ref = &geodesics.g;
+        pool.scope(|s| {
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * k);
+                rest = tail;
+                s.spawn(move || {
+                    let mut abs = vec![0.0; k];
+                    for (i, &t) in nodes[range].iter().enumerate() {
+                        recompute_belief(
+                            adj,
+                            g_ref,
+                            beliefs_ref,
+                            h_residual,
+                            t as usize,
+                            &mut chunk[i * k..(i + 1) * k],
+                            &mut abs,
+                        );
+                    }
+                });
+            }
+        });
+        for (i, &t) in nodes.iter().enumerate() {
+            beliefs
+                .row_mut(t as usize)
+                .copy_from_slice(&staging[i * k..(i + 1) * k]);
         }
     }
     Ok(SbpResult {

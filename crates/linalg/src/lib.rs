@@ -2,8 +2,8 @@
 
 //! Dense linear-algebra kernels used throughout the LSBP workspace.
 //!
-//! This crate is deliberately small and dependency-free: the paper's
-//! algorithms only need
+//! This crate is deliberately small (its only dependency is the vendored
+//! scoped-thread `rayon` subset): the paper's algorithms only need
 //!
 //! * a row-major dense matrix ([`Mat`]) for belief matrices (`n × k`) and
 //!   coupling matrices (`k × k`),
@@ -22,6 +22,7 @@
 pub mod eigen;
 pub mod matrix;
 pub mod norms;
+pub mod parallel;
 pub mod solve;
 pub mod standardize;
 
@@ -30,5 +31,6 @@ pub use eigen::{
 };
 pub use matrix::Mat;
 pub use norms::{frobenius_norm, induced_1_norm, induced_inf_norm, min_submultiplicative_norm};
+pub use parallel::{even_ranges, weight_balanced_ranges, ParallelismConfig};
 pub use solve::{lu_inverse, lu_solve, LuError};
 pub use standardize::{mean, population_std, standardize};

@@ -5,6 +5,7 @@
 //! row-major order so that a node's belief vector is a contiguous slice —
 //! the access pattern of every kernel in the workspace (SpMM walks rows).
 
+use crate::parallel::ParallelismConfig;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -142,7 +143,8 @@ impl Mat {
         t
     }
 
-    /// Dense matrix product `self · other`.
+    /// Dense matrix product `self · other`, parallelized over output rows
+    /// according to the process default ([`ParallelismConfig::default`]).
     ///
     /// Uses the classic ikj loop order so the inner loop streams over
     /// contiguous rows of `other` and the output.
@@ -150,26 +152,72 @@ impl Mat {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        self.matmul_with(other, &ParallelismConfig::default())
+    }
+
+    /// [`Mat::matmul`] with an explicit execution configuration.
+    pub fn matmul_with(&self, other: &Mat, cfg: &ParallelismConfig) -> Mat {
+        let mut out = Mat::zeros(self.rows, other.cols);
+        self.matmul_into_with(other, &mut out, cfg);
+        out
+    }
+
+    /// Dense product into a caller-provided output (overwrites `out`),
+    /// avoiding the allocation of [`Mat::matmul`].
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
+        self.matmul_into_with(other, out, &ParallelismConfig::default());
+    }
+
+    /// [`Mat::matmul_into`] with an explicit execution configuration.
+    ///
+    /// Output rows are partitioned into contiguous blocks computed by
+    /// independent tasks; each row's accumulation order equals the serial
+    /// kernel's, so the result is bitwise identical for any thread count.
+    pub fn matmul_into_with(&self, other: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        assert_eq!(out.rows, self.rows, "matmul output rows");
+        assert_eq!(out.cols, other.cols, "matmul output cols");
+        let parts = cfg.partitions(self.rows * self.cols * other.cols);
+        if parts <= 1 {
+            self.matmul_rows(other, 0..self.rows, out.as_mut_slice());
+            return;
+        }
+        let ranges = crate::parallel::even_ranges(self.rows, parts);
+        let row_len = other.cols;
+        let mut rest: &mut [f64] = out.as_mut_slice();
+        cfg.pool().scope(|s| {
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
+                rest = tail;
+                s.spawn(move || self.matmul_rows(other, range, chunk));
+            }
+        });
+    }
+
+    /// Serial ikj kernel over the row block `rows`, writing into `block`
+    /// (the flat row-major storage of exactly those output rows). Shared
+    /// verbatim by the serial path and every parallel task, which is what
+    /// makes parallel results bitwise identical to serial ones.
+    fn matmul_rows(&self, other: &Mat, rows: std::ops::Range<usize>, block: &mut [f64]) {
+        let row_len = other.cols;
+        block.iter_mut().for_each(|x| *x = 0.0);
+        for i in rows.clone() {
             let a_row = self.row(i);
+            let o_row = &mut block[(i - rows.start) * row_len..(i - rows.start + 1) * row_len];
             for (k, &a_ik) in a_row.iter().enumerate() {
                 if a_ik == 0.0 {
                     continue;
                 }
                 let b_row = other.row(k);
-                let o_row = out.row_mut(i);
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a_ik * b;
                 }
             }
         }
-        out
     }
 
     /// Matrix–vector product `self · x`.
@@ -217,6 +265,25 @@ impl Mat {
         }
     }
 
+    /// Writes `weights[r] · self.row(r)` into `out.row(r)` — the `D·B`
+    /// fuse of the LinBP echo term (`D = diag(weights)`), allocation-free.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or `weights.len() != self.rows()`.
+    pub fn scaled_rows_into(&self, weights: &[f64], out: &mut Mat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (out.rows, out.cols),
+            "scaled_rows_into shape mismatch"
+        );
+        assert_eq!(weights.len(), self.rows, "scaled_rows_into weights length");
+        for (r, &w) in weights.iter().enumerate() {
+            for (dst, &x) in out.row_mut(r).iter_mut().zip(self.row(r)) {
+                *dst = w * x;
+            }
+        }
+    }
+
     /// Returns `self` scaled by `s`.
     pub fn scale(&self, s: f64) -> Mat {
         Mat {
@@ -256,15 +323,38 @@ impl Mat {
 
     /// Largest absolute element-wise difference to `other`.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
+        self.max_abs_diff_with(other, &ParallelismConfig::default())
+    }
+
+    /// [`Mat::max_abs_diff`] with an explicit execution configuration.
+    /// `max` is order-independent, so the parallel reduction returns the
+    /// exact serial value.
+    pub fn max_abs_diff_with(&self, other: &Mat, cfg: &ParallelismConfig) -> f64 {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
             "max_abs_diff shape"
         );
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+        let chunk_max = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+        };
+        let parts = cfg.partitions(self.data.len());
+        if parts <= 1 {
+            return chunk_max(&self.data, &other.data);
+        }
+        let ranges = crate::parallel::even_ranges(self.data.len(), parts);
+        let mut partials = vec![0.0f64; ranges.len()];
+        cfg.pool().scope(|s| {
+            for (slot, range) in partials.iter_mut().zip(ranges) {
+                let chunk_max = &chunk_max;
+                s.spawn(move || {
+                    *slot = chunk_max(&self.data[range.clone()], &other.data[range]);
+                });
+            }
+        });
+        partials.into_iter().fold(0.0f64, f64::max)
     }
 
     /// `true` iff the matrix equals its transpose up to `tol`.
@@ -502,5 +592,34 @@ mod tests {
         let mut a = Mat::from_rows(&[&[1.0, 2.0]]);
         a.fill_zero();
         assert_eq!(a, Mat::zeros(1, 2));
+    }
+
+    /// Parallel matmul is bitwise identical to serial for every thread
+    /// count (the min-work floor is forced to 1 so even this small input
+    /// takes the parallel path).
+    #[test]
+    fn matmul_parallel_bitwise_identical() {
+        let a = Mat::from_fn(37, 19, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.37 - 2.0);
+        let b = Mat::from_fn(19, 23, |r, c| ((r * 5 + c * 11) % 17) as f64 * 0.21 - 1.5);
+        let serial = a.matmul_with(&b, &ParallelismConfig::serial());
+        for threads in [2, 3, 8] {
+            let cfg = ParallelismConfig::with_threads(threads).with_min_work(1);
+            assert_eq!(a.matmul_with(&b, &cfg), serial, "threads = {threads}");
+            let mut into = Mat::from_fn(37, 23, |_, _| 99.0); // must be overwritten
+            a.matmul_into_with(&b, &mut into, &cfg);
+            assert_eq!(into, serial, "threads = {threads} (into)");
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_parallel_matches_serial() {
+        let a = Mat::from_fn(41, 7, |r, c| (r as f64 - c as f64) * 0.3);
+        let b = Mat::from_fn(41, 7, |r, c| (r as f64 + c as f64) * 0.29);
+        let serial = a.max_abs_diff_with(&b, &ParallelismConfig::serial());
+        for threads in [2, 8] {
+            let cfg = ParallelismConfig::with_threads(threads).with_min_work(1);
+            let par = a.max_abs_diff_with(&b, &cfg);
+            assert!(par.to_bits() == serial.to_bits(), "threads = {threads}");
+        }
     }
 }

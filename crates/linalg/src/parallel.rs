@@ -1,0 +1,248 @@
+//! Parallel-execution configuration shared by every compute crate.
+//!
+//! [`ParallelismConfig`] is the single knob the kernels take: a thread
+//! count (1 = strictly serial) plus a minimum-work floor below which a
+//! kernel stays serial regardless (spawning scoped threads for a 10-entry
+//! SpMV would cost orders of magnitude more than the multiply).
+//!
+//! **Determinism guarantee.** Every parallel kernel in this workspace
+//! partitions its *output* into disjoint contiguous regions and computes
+//! each region with exactly the serial code, preserving each output
+//! element's accumulation order. Results are therefore bitwise identical
+//! for every thread count — `LSBP_THREADS=8` reproduces `LSBP_THREADS=1`
+//! to the last ulp. Reductions (max-norms, convergence deltas) only ever
+//! combine partial results with order-independent operations (`max`).
+
+use std::ops::Range;
+
+/// Number of task partitions handed to the pool per worker thread; mild
+/// oversubscription lets the shared task queue balance uneven partitions.
+const PARTS_PER_THREAD: usize = 2;
+
+/// Default minimum per-kernel work (≈ flops or touched entries) before a
+/// kernel goes parallel. The pool spawns scoped OS threads per parallel
+/// region (~tens of µs), so the floor is set where one region's compute
+/// (~tens of µs at ~1 ns/unit) comfortably exceeds that overhead —
+/// kernels in per-iteration hot loops (power iteration, LinBP/BP rounds)
+/// must never be slower than the serial code they replaced.
+pub const PAR_MIN_WORK: usize = 65_536;
+
+/// How a kernel should execute: how many threads, and how much work it
+/// takes before threading is worth it. Copyable and cheap — carried by
+/// value inside options structs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    threads: usize,
+    min_work: usize,
+}
+
+impl ParallelismConfig {
+    /// Strictly serial execution (the reference semantics).
+    pub const fn serial() -> Self {
+        Self {
+            threads: 1,
+            min_work: PAR_MIN_WORK,
+        }
+    }
+
+    /// Pooled execution on `threads` workers (1 = serial).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        Self {
+            threads: threads.min(rayon::MAX_THREADS),
+            min_work: PAR_MIN_WORK,
+        }
+    }
+
+    /// The environment default: `LSBP_THREADS` if set, otherwise the
+    /// machine's available parallelism (see `rayon::default_num_threads`).
+    pub fn from_env() -> Self {
+        Self {
+            threads: rayon::default_num_threads(),
+            min_work: PAR_MIN_WORK,
+        }
+    }
+
+    /// Overrides the minimum-work floor (testing/benchmark hook: `1`
+    /// forces even tiny kernels through the parallel code path).
+    pub fn with_min_work(mut self, min_work: usize) -> Self {
+        self.min_work = min_work.max(1);
+        self
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` iff this config never spawns threads.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// A scoped thread pool for this configuration (cheap: no OS
+    /// resources are held — workers are spawned per parallel region).
+    pub fn pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .build()
+            .expect("thread pool construction is infallible")
+    }
+
+    /// Number of partitions a kernel with `total_work` units should split
+    /// into: 1 (serial) when the config is serial or the work is below
+    /// twice the floor, otherwise up to [`PARTS_PER_THREAD`] tasks per
+    /// worker, never so many that a partition drops under the floor.
+    pub fn partitions(&self, total_work: usize) -> usize {
+        if self.threads <= 1 || total_work < 2 * self.min_work {
+            return 1;
+        }
+        (total_work / self.min_work)
+            .min(self.threads * PARTS_PER_THREAD)
+            .max(1)
+    }
+}
+
+impl Default for ParallelismConfig {
+    /// Defaults to [`ParallelismConfig::from_env`] — kernels called
+    /// through their plain (non-`_with`) entry points follow
+    /// `LSBP_THREADS`.
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal
+/// length. Empty ranges are dropped, so fewer than `parts` ranges come
+/// back when `n < parts`.
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let end = n * (i + 1) / parts;
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    if out.is_empty() && n > 0 {
+        out.push(0..n);
+    }
+    out
+}
+
+/// Splits `0..cum.len()-1` items into at most `parts` contiguous ranges of
+/// near-equal *weight*, where `cum` is the cumulative weight array
+/// (`cum[0] == 0`, `cum[i+1] - cum[i]` = weight of item `i` — exactly the
+/// shape of a CSR `row_ptr`). This is the nnz-balanced row partitioner
+/// behind the sparse kernels: a range of hub rows ends up with as many
+/// stored entries as a long range of leaf rows.
+pub fn weight_balanced_ranges(cum: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(!cum.is_empty(), "cumulative weights need a leading 0");
+    let n = cum.len() - 1;
+    let total = cum[n];
+    if total == 0 || parts <= 1 {
+        return even_ranges(n, parts);
+    }
+    let mut out = Vec::with_capacity(parts.min(n.max(1)));
+    let mut start = 0;
+    for i in 0..parts {
+        // First index whose prefix weight reaches the i+1-th share.
+        let target = (total as u128 * (i as u128 + 1) / parts as u128) as usize;
+        let end = if i + 1 == parts {
+            n
+        } else {
+            cum.partition_point(|&w| w < target).min(n).max(start)
+        };
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    if out.is_empty() && n > 0 {
+        out.push(0..n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_never_partitions() {
+        let cfg = ParallelismConfig::serial();
+        assert!(cfg.is_serial());
+        assert_eq!(cfg.partitions(usize::MAX / 4), 1);
+    }
+
+    #[test]
+    fn partitions_respect_floor_and_cap() {
+        let cfg = ParallelismConfig::with_threads(4);
+        assert_eq!(cfg.partitions(0), 1);
+        assert_eq!(cfg.partitions(PAR_MIN_WORK), 1); // below 2× floor
+        assert_eq!(cfg.partitions(PAR_MIN_WORK * 2), 2);
+        assert_eq!(cfg.partitions(PAR_MIN_WORK * 100), 8); // 4 threads × 2
+        let forced = cfg.with_min_work(1);
+        assert_eq!(forced.partitions(3), 3);
+        assert_eq!(forced.partitions(1000), 8);
+    }
+
+    #[test]
+    fn even_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for parts in [1usize, 2, 3, 8, 40] {
+                let ranges = even_ranges(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_balanced_ranges_cover_and_balance() {
+        // 6 items with weights 10, 0, 0, 10, 1, 1 (cum = prefix sums).
+        let cum = [0usize, 10, 10, 10, 20, 21, 22];
+        for parts in [1usize, 2, 3, 6, 10] {
+            let ranges = weight_balanced_ranges(&cum, parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, 6);
+        }
+        // Two parts should split the two heavy items apart.
+        let two = weight_balanced_ranges(&cum, 2);
+        assert_eq!(two.len(), 2);
+        assert!(two[0].end >= 1 && two[0].end <= 4);
+    }
+
+    #[test]
+    fn weight_balanced_all_zero_falls_back_to_even() {
+        let cum = [0usize, 0, 0, 0, 0];
+        let ranges = weight_balanced_ranges(&cum, 2);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], 0..2);
+        assert_eq!(ranges[1], 2..4);
+    }
+
+    #[test]
+    fn default_follows_env_machinery() {
+        let cfg = ParallelismConfig::default();
+        assert_eq!(cfg.threads(), rayon::default_num_threads());
+    }
+}

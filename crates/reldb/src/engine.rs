@@ -6,6 +6,7 @@
 //! node ids and class ids, exactly like the paper's `A(s,t,w)`,
 //! `E(v,c,b)`, `H(c1,c2,h)` schemas.
 
+use lsbp_linalg::{even_ranges, ParallelismConfig};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -158,6 +159,8 @@ impl Table {
     ///
     /// Join keys must be integer columns. The projection closure receives
     /// the matched `(left_row, right_row)` pair and emits an output row.
+    /// Always serial — [`Table::join_map_with`] is the configurable
+    /// variant this delegates to.
     pub fn join_map(
         &self,
         other: &Table,
@@ -165,40 +168,81 @@ impl Table {
         other_keys: &[&str],
         name: &str,
         out_columns: &[&str],
-        f: impl Fn(&[Value], &[Value]) -> Vec<Value>,
+        f: impl Fn(&[Value], &[Value]) -> Vec<Value> + Sync,
+    ) -> Table {
+        self.join_map_with(
+            other,
+            self_keys,
+            other_keys,
+            name,
+            out_columns,
+            f,
+            &ParallelismConfig::serial(),
+        )
+    }
+
+    /// [`Table::join_map`] with an explicit execution configuration: the
+    /// hash index is built on the smaller side serially, the probe side is
+    /// partitioned into contiguous row chunks probed by independent tasks,
+    /// and chunk outputs are concatenated in order — so the output row
+    /// order is the same for every thread count (serial included:
+    /// [`Table::join_map`] is this method at one thread).
+    #[allow(clippy::too_many_arguments)] // join_map's surface + the config
+    pub fn join_map_with(
+        &self,
+        other: &Table,
+        self_keys: &[&str],
+        other_keys: &[&str],
+        name: &str,
+        out_columns: &[&str],
+        f: impl Fn(&[Value], &[Value]) -> Vec<Value> + Sync,
+        cfg: &ParallelismConfig,
     ) -> Table {
         assert_eq!(self_keys.len(), other_keys.len(), "join key arity mismatch");
         let self_idx: Vec<usize> = self_keys.iter().map(|k| self.col(k)).collect();
         let other_idx: Vec<usize> = other_keys.iter().map(|k| other.col(k)).collect();
         // Build on the smaller side.
-        let mut out = Table::new(name, out_columns);
-        if other.len() <= self.len() {
-            let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(other.len());
-            for (i, r) in other.rows.iter().enumerate() {
-                index
-                    .entry(Self::key_of(r, &other_idx))
-                    .or_default()
-                    .push(i);
-            }
-            for l in &self.rows {
-                if let Some(matches) = index.get(&Self::key_of(l, &self_idx)) {
-                    for &i in matches {
-                        out.push(f(l, &other.rows[i]));
-                    }
-                }
-            }
+        let (probe, probe_idx, build, build_idx, probe_is_left) = if other.len() <= self.len() {
+            (self, &self_idx, other, &other_idx, true)
         } else {
-            let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(self.len());
-            for (i, r) in self.rows.iter().enumerate() {
-                index.entry(Self::key_of(r, &self_idx)).or_default().push(i);
-            }
-            for r in &other.rows {
-                if let Some(matches) = index.get(&Self::key_of(r, &other_idx)) {
+            (other, &other_idx, self, &self_idx, false)
+        };
+        let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(build.len());
+        for (i, r) in build.rows.iter().enumerate() {
+            index.entry(Self::key_of(r, build_idx)).or_default().push(i);
+        }
+        let probe_chunk = |rows: &[Vec<Value>]| -> Vec<Vec<Value>> {
+            let mut out = Vec::new();
+            for r in rows {
+                if let Some(matches) = index.get(&Self::key_of(r, probe_idx)) {
                     for &i in matches {
-                        out.push(f(&self.rows[i], r));
+                        out.push(if probe_is_left {
+                            f(r, &build.rows[i])
+                        } else {
+                            f(&build.rows[i], r)
+                        });
                     }
                 }
             }
+            out
+        };
+        let parts = cfg.partitions(probe.len().max(build.len()));
+        let rows = if parts <= 1 {
+            probe_chunk(&probe.rows)
+        } else {
+            let ranges = even_ranges(probe.len(), parts);
+            let mut partials: Vec<Vec<Vec<Value>>> = ranges.iter().map(|_| Vec::new()).collect();
+            cfg.pool().scope(|s| {
+                for (slot, range) in partials.iter_mut().zip(ranges) {
+                    let probe_chunk = &probe_chunk;
+                    s.spawn(move || *slot = probe_chunk(&probe.rows[range]));
+                }
+            });
+            partials.into_iter().flatten().collect()
+        };
+        let mut out = Table::new(name, out_columns);
+        for row in rows {
+            out.push(row);
         }
         out
     }
@@ -389,6 +433,29 @@ mod tests {
             vec![r[0], l[1]]
         });
         assert_eq!(j1.len(), j2.len());
+    }
+
+    /// The parallel-probe join produces exactly `join_map`'s rows, in the
+    /// same order, for every thread count.
+    #[test]
+    fn join_map_with_matches_serial() {
+        let a = edges();
+        let mut big = Table::new("big", &["v", "x"]);
+        for i in 0..200 {
+            big.push(vec![Value::Int(i % 3), Value::Float(i as f64)]);
+        }
+        let project = |l: &[Value], r: &[Value]| vec![l[0], r[1]];
+        let serial = big.join_map(&a, &["v"], &["s"], "j", &["v", "w"], project);
+        for threads in [1usize, 2, 8] {
+            let cfg = ParallelismConfig::with_threads(threads).with_min_work(1);
+            let par = big.join_map_with(&a, &["v"], &["s"], "j", &["v", "w"], project, &cfg);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+        // Probe-side flip (left smaller) must match too.
+        let serial_flip = a.join_map(&big, &["s"], &["v"], "j", &["s", "x"], project);
+        let cfg = ParallelismConfig::with_threads(4).with_min_work(1);
+        let par_flip = a.join_map_with(&big, &["s"], &["v"], "j", &["s", "x"], project, &cfg);
+        assert_eq!(par_flip, serial_flip);
     }
 
     #[test]

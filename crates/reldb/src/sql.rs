@@ -28,7 +28,7 @@
 use crate::engine::{AggFun, Table, Value};
 use lsbp::beliefs::{BeliefMatrix, ExplicitBeliefs};
 use lsbp_graph::Graph;
-use lsbp_linalg::Mat;
+use lsbp_linalg::{Mat, ParallelismConfig};
 
 /// A relational database holding one classification problem.
 #[derive(Clone, Debug)]
@@ -38,6 +38,7 @@ pub struct SqlDb {
     a: Table,
     e: Table,
     h: Table,
+    parallelism: ParallelismConfig,
 }
 
 /// The persistent state of a relational SBP computation: the belief table
@@ -98,7 +99,16 @@ impl SqlDb {
             a,
             e,
             h,
+            parallelism: ParallelismConfig::default(),
         }
+    }
+
+    /// Picks serial vs. pooled execution for the engine's hot joins (the
+    /// per-iteration `A ⋈ B` probes of [`SqlDb::linbp`]). The default
+    /// follows `LSBP_THREADS`; results are identical either way.
+    pub fn with_parallelism(mut self, cfg: ParallelismConfig) -> Self {
+        self.parallelism = cfg;
+        self
     }
 
     /// Node count.
@@ -152,40 +162,65 @@ impl SqlDb {
         let h2 = self.h2_table();
         // Line 1: B(s,c,b) :− E(s,c,b).
         let mut b = self.e.clone();
+        let cfg = &self.parallelism;
         for _ in 0..l {
-            // V1(t,c2,sum(w·b·h)) :− A(s,t,w), B(s,c1,b), H(c1,c2,h).
-            let ab = self
-                .a
-                .join_map(&b, &["s"], &["v"], "AB", &["t", "c1", "wb"], |a, bb| {
+            // V1(t,c2,sum(w·b·h)) :− A(s,t,w), B(s,c1,b), H(c1,c2,h). The
+            // A ⋈ B probe (one row per stored edge) and the follow-up ⋈ H
+            // (one row per edge × class) are the engine's hot loops —
+            // executed with the configured parallelism.
+            let ab = self.a.join_map_with(
+                &b,
+                &["s"],
+                &["v"],
+                "AB",
+                &["t", "c1", "wb"],
+                |a, bb| {
                     vec![
                         a[1],
                         bb[1],
                         Value::Float(a[2].as_float() * bb[2].as_float()),
                     ]
-                });
+                },
+                cfg,
+            );
             let v1 = ab
-                .join_map(
+                .join_map_with(
                     &self.h,
                     &["c1"],
                     &["c1"],
                     "ABH",
                     &["t", "c2", "wbh"],
                     |l, h| vec![l[0], h[1], Value::Float(l[2].as_float() * h[2].as_float())],
+                    cfg,
                 )
                 .group_by_agg("V1", &["t", "c2"], "b", AggFun::SumFloat, |r| r[2]);
             // V2(s,c2,sum(d·b·h)) :− D(s,d), B(s,c1,b), H2(c1,c2,h).
             let combined = if echo {
-                let db = d.join_map(&b, &["s"], &["v"], "DB", &["v", "c1", "db"], |dd, bb| {
-                    vec![
-                        dd[0],
-                        bb[1],
-                        Value::Float(dd[1].as_float() * bb[2].as_float()),
-                    ]
-                });
+                let db = d.join_map_with(
+                    &b,
+                    &["s"],
+                    &["v"],
+                    "DB",
+                    &["v", "c1", "db"],
+                    |dd, bb| {
+                        vec![
+                            dd[0],
+                            bb[1],
+                            Value::Float(dd[1].as_float() * bb[2].as_float()),
+                        ]
+                    },
+                    cfg,
+                );
                 let v2 = db
-                    .join_map(&h2, &["c1"], &["c1"], "DBH", &["v", "c2", "dbh"], |l, h| {
-                        vec![l[0], h[1], Value::Float(l[2].as_float() * h[2].as_float())]
-                    })
+                    .join_map_with(
+                        &h2,
+                        &["c1"],
+                        &["c1"],
+                        "DBH",
+                        &["v", "c2", "dbh"],
+                        |l, h| vec![l[0], h[1], Value::Float(l[2].as_float() * h[2].as_float())],
+                        cfg,
+                    )
                     .group_by_agg("V2", &["v", "c2"], "b", AggFun::SumFloat, |r| r[2]);
                 // Negate V2 before the union (the −b₃ of line 4).
                 let neg_v2 = v2.project("V2n", &["v", "c", "b"], |r| {

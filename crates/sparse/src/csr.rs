@@ -5,7 +5,8 @@
 //! (neighbor iteration), LinBP (SpMM), SBP (BFS layering) and the spectral
 //! convergence criteria (SpMV inside power iteration).
 
-use lsbp_linalg::Mat;
+use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
+use std::ops::Range;
 
 /// A sparse `n_rows × n_cols` matrix in compressed sparse row format.
 ///
@@ -136,6 +137,15 @@ impl CsrMatrix {
         self.row_ptr[r + 1] - self.row_ptr[r]
     }
 
+    /// The CSR row-pointer array (`n_rows + 1` entries, `[0] == 0`,
+    /// `[n_rows] == nnz`). Doubles as the cumulative-weight array for
+    /// nnz-balanced row partitioning (see
+    /// [`lsbp_linalg::weight_balanced_ranges`]).
+    #[inline]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
     /// Value at `(r, c)`, or 0.0 if not stored. `O(log row_nnz)`.
     pub fn get(&self, r: usize, c: usize) -> f64 {
         let cols = self.row_cols(r);
@@ -162,13 +172,45 @@ impl CsrMatrix {
         y
     }
 
-    /// Sparse matrix × dense vector into a caller-provided buffer.
+    /// Sparse matrix × dense vector into a caller-provided buffer,
+    /// parallelized according to the process default
+    /// ([`ParallelismConfig::default`]).
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into_with(x, y, &ParallelismConfig::default());
+    }
+
+    /// [`CsrMatrix::spmv_into`] with an explicit execution configuration.
+    ///
+    /// Rows are partitioned into nnz-balanced contiguous blocks computed
+    /// by independent tasks writing disjoint output slices; each row's
+    /// accumulation order is unchanged, so the result is bitwise identical
+    /// for any thread count.
+    pub fn spmv_into_with(&self, x: &[f64], y: &mut [f64], cfg: &ParallelismConfig) {
         assert_eq!(x.len(), self.n_cols, "spmv dimension mismatch");
         assert_eq!(y.len(), self.n_rows, "spmv output dimension mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
+        let parts = cfg.partitions(self.nnz() + self.n_rows);
+        if parts <= 1 {
+            self.spmv_rows(x, 0..self.n_rows, y);
+            return;
+        }
+        let ranges = weight_balanced_ranges(&self.row_ptr, parts);
+        let mut rest: &mut [f64] = y;
+        cfg.pool().scope(|s| {
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut(range.end - range.start);
+                rest = tail;
+                s.spawn(move || self.spmv_rows(x, range, chunk));
+            }
+        });
+    }
+
+    /// Serial SpMV kernel over the row block `rows`, writing into `block`
+    /// (`block[i]` = output row `rows.start + i`). Shared verbatim by the
+    /// serial path and every parallel task.
+    fn spmv_rows(&self, x: &[f64], rows: Range<usize>, block: &mut [f64]) {
+        for (r, out) in rows.zip(block.iter_mut()) {
             let mut acc = 0.0;
-            for (c, v) in self.row_iter(r) {
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
                 acc += v * x[c];
             }
             *out = acc;
@@ -183,21 +225,60 @@ impl CsrMatrix {
         out
     }
 
-    /// Sparse × dense into a caller-provided output (overwrites `out`).
+    /// [`CsrMatrix::spmm`] with an explicit execution configuration.
+    pub fn spmm_with(&self, b: &Mat, cfg: &ParallelismConfig) -> Mat {
+        let mut out = Mat::zeros(self.n_rows, b.cols());
+        self.spmm_into_with(b, &mut out, cfg);
+        out
+    }
+
+    /// Sparse × dense into a caller-provided output (overwrites `out`),
+    /// parallelized according to the process default
+    /// ([`ParallelismConfig::default`]).
     pub fn spmm_into(&self, b: &Mat, out: &mut Mat) {
+        self.spmm_into_with(b, out, &ParallelismConfig::default());
+    }
+
+    /// [`CsrMatrix::spmm_into`] with an explicit execution configuration.
+    ///
+    /// Rows are partitioned into nnz-balanced contiguous blocks computed
+    /// by independent tasks writing disjoint output slices; each output
+    /// row's accumulation order is unchanged, so the result is bitwise
+    /// identical for any thread count.
+    pub fn spmm_into_with(&self, b: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
         assert_eq!(b.rows(), self.n_cols, "spmm dimension mismatch");
         assert_eq!(out.rows(), self.n_rows, "spmm output rows");
         assert_eq!(out.cols(), b.cols(), "spmm output cols");
-        out.fill_zero();
-        for r in 0..self.n_rows {
+        let parts = cfg.partitions((self.nnz() + self.n_rows) * b.cols());
+        if parts <= 1 {
+            self.spmm_rows(b, 0..self.n_rows, out.as_mut_slice());
+            return;
+        }
+        let ranges = weight_balanced_ranges(&self.row_ptr, parts);
+        let row_len = b.cols();
+        let mut rest: &mut [f64] = out.as_mut_slice();
+        cfg.pool().scope(|s| {
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
+                rest = tail;
+                s.spawn(move || self.spmm_rows(b, range, chunk));
+            }
+        });
+    }
+
+    /// Serial SpMM kernel over the row block `rows`, writing into `block`
+    /// (the flat row-major storage of exactly those output rows). The
+    /// output row borrow and the `col_idx`/`values` slices are hoisted out
+    /// of the per-entry loop. Shared verbatim by the serial path and every
+    /// parallel task.
+    fn spmm_rows(&self, b: &Mat, rows: Range<usize>, block: &mut [f64]) {
+        let row_len = b.cols();
+        block.iter_mut().for_each(|x| *x = 0.0);
+        for r in rows.clone() {
             // Accumulate row r of the output: Σ_c A(r,c) · B(c,·).
-            let start = self.row_ptr[r];
-            let end = self.row_ptr[r + 1];
-            for idx in start..end {
-                let c = self.col_idx[idx];
-                let v = self.values[idx];
+            let o_row = &mut block[(r - rows.start) * row_len..(r - rows.start + 1) * row_len];
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
                 let b_row = b.row(c);
-                let o_row = out.row_mut(r);
                 for (o, &bv) in o_row.iter_mut().zip(b_row) {
                     *o += v * bv;
                 }
@@ -205,8 +286,22 @@ impl CsrMatrix {
         }
     }
 
-    /// Transpose (always returns a valid CSR with sorted rows).
+    /// Transpose (always returns a valid CSR with sorted rows),
+    /// parallelized according to the process default
+    /// ([`ParallelismConfig::default`]).
     pub fn transpose(&self) -> CsrMatrix {
+        self.transpose_with(&ParallelismConfig::default())
+    }
+
+    /// [`CsrMatrix::transpose`] with an explicit execution configuration.
+    ///
+    /// The parallel path partitions the *output* rows (input columns) into
+    /// nnz-balanced blocks after a serial counting pass; each task scatters
+    /// only the entries landing in its block (located by binary search in
+    /// each input row's sorted column slice), so writes are disjoint and
+    /// the within-row order (ascending input row) matches the serial
+    /// scatter exactly — the result is identical for any thread count.
+    pub fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix {
         let mut row_ptr = vec![0usize; self.n_cols + 1];
         for &c in &self.col_idx {
             row_ptr[c + 1] += 1;
@@ -216,14 +311,44 @@ impl CsrMatrix {
         }
         let mut col_idx = vec![0usize; self.nnz()];
         let mut values = vec![0.0; self.nnz()];
-        let mut next = row_ptr.clone();
-        for r in 0..self.n_rows {
-            for (c, v) in self.row_iter(r) {
-                let pos = next[c];
-                col_idx[pos] = r;
-                values[pos] = v;
-                next[c] += 1;
+        let mut parts = cfg.partitions(self.nnz() + self.n_rows + self.n_cols);
+        // The parallel scatter re-scans every input row per task (two
+        // binary searches each), an O(parts · n_rows) overhead the serial
+        // scatter does not pay. Only split when each task's share of
+        // scattered writes clearly dominates its scan: probes are a few ns
+        // against tens of ns per scattered write, so require ≥ n_rows/4
+        // stored entries per task; otherwise shrink the partition count.
+        if let Some(write_bound) = (4 * self.nnz()).checked_div(self.n_rows) {
+            parts = parts.min(write_bound.max(1));
+        }
+        if parts <= 1 {
+            let mut next = row_ptr.clone();
+            for r in 0..self.n_rows {
+                for (c, v) in self.row_iter(r) {
+                    let pos = next[c];
+                    col_idx[pos] = r;
+                    values[pos] = v;
+                    next[c] += 1;
+                }
             }
+        } else {
+            let ranges = weight_balanced_ranges(&row_ptr, parts);
+            let mut rest_cols: &mut [usize] = &mut col_idx;
+            let mut rest_vals: &mut [f64] = &mut values;
+            let mut consumed = 0usize;
+            cfg.pool().scope(|s| {
+                for range in ranges {
+                    let len = row_ptr[range.end] - row_ptr[range.start];
+                    let (c_chunk, c_tail) = rest_cols.split_at_mut(len);
+                    let (v_chunk, v_tail) = rest_vals.split_at_mut(len);
+                    rest_cols = c_tail;
+                    rest_vals = v_tail;
+                    debug_assert_eq!(consumed, row_ptr[range.start]);
+                    consumed += len;
+                    let row_ptr = &row_ptr;
+                    s.spawn(move || self.transpose_scatter_block(row_ptr, range, c_chunk, v_chunk));
+                }
+            });
         }
         CsrMatrix {
             n_rows: self.n_cols,
@@ -231,6 +356,40 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             values,
+        }
+    }
+
+    /// Scatters every stored entry whose column lies in `cols` into the
+    /// output block covering exactly those transpose rows. `out_row_ptr`
+    /// is the transpose's finished row-pointer array; `c_chunk`/`v_chunk`
+    /// are the slices of its `col_idx`/`values` starting at
+    /// `out_row_ptr[cols.start]`.
+    fn transpose_scatter_block(
+        &self,
+        out_row_ptr: &[usize],
+        cols: Range<usize>,
+        c_chunk: &mut [usize],
+        v_chunk: &mut [f64],
+    ) {
+        let base = out_row_ptr[cols.start];
+        // Per-column write cursors, block-local.
+        let mut next: Vec<usize> = out_row_ptr[cols.start..=cols.end]
+            .iter()
+            .map(|&p| p - base)
+            .collect();
+        for r in 0..self.n_rows {
+            let row_cols = self.row_cols(r);
+            // Columns are sorted within a row: binary-search the sub-range
+            // falling inside this block instead of scanning the whole row.
+            let lo = row_cols.partition_point(|&c| c < cols.start);
+            let hi = lo + row_cols[lo..].partition_point(|&c| c < cols.end);
+            let row_vals = self.row_values(r);
+            for (&c, &v) in row_cols[lo..hi].iter().zip(&row_vals[lo..hi]) {
+                let slot = &mut next[c - cols.start];
+                c_chunk[*slot] = r;
+                v_chunk[*slot] = v;
+                *slot += 1;
+            }
         }
     }
 

@@ -1,0 +1,153 @@
+//! Determinism contract of the parallel sparse kernels: for any matrix
+//! and any thread count, `spmv` / `spmm` / `transpose` must produce
+//! results **bitwise identical** to the serial reference (each output
+//! region is computed by the unchanged serial code, so this is exact
+//! equality, not tolerance-based). The min-work floor is forced to 1 so
+//! the small random instances actually exercise the parallel code path.
+
+use lsbp_linalg::{Mat, ParallelismConfig};
+use lsbp_sparse::{CooMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+type Triplets = Vec<(usize, usize, f64)>;
+
+/// Strategy: matrix dims plus a random triplet list (duplicates allowed —
+/// `to_csr` sums them), with irrational-ish values so any change in
+/// accumulation order would show up in the low bits.
+fn triplets_strategy(max_dim: usize) -> impl Strategy<Value = (usize, usize, Triplets)> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -1000..1000i32);
+        proptest::collection::vec(entry, 0..120).prop_map(move |list| {
+            let triplets = list
+                .into_iter()
+                .map(|(r, c, v)| (r, c, v as f64 / 7.0))
+                .collect();
+            (rows, cols, triplets)
+        })
+    })
+}
+
+fn build_csr(rows: usize, cols: usize, triplets: &Triplets) -> CsrMatrix {
+    let mut coo = CooMatrix::new(rows, cols);
+    for &(r, c, v) in triplets {
+        coo.push(r, c, v);
+    }
+    coo.to_csr()
+}
+
+/// The thread counts the CI matrix pins via `LSBP_THREADS`; forced through
+/// the parallel path regardless of input size.
+fn sweep() -> Vec<ParallelismConfig> {
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|t| ParallelismConfig::with_threads(t).with_min_work(1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SpMV: bitwise identical output vectors for every thread count.
+    #[test]
+    fn spmv_bitwise_identical_across_threads(
+        (rows, cols, triplets) in triplets_strategy(24),
+        raw_x in proptest::collection::vec(-300..300i32, 24),
+    ) {
+        let csr = build_csr(rows, cols, &triplets);
+        let x: Vec<f64> = raw_x.iter().take(cols).map(|&v| v as f64 / 11.0).collect();
+        let mut reference = vec![0.0; rows];
+        csr.spmv_into_with(&x, &mut reference, &ParallelismConfig::serial());
+        for cfg in sweep() {
+            let mut y = vec![f64::NAN; rows];
+            csr.spmv_into_with(&x, &mut y, &cfg);
+            let same_bits = y
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same_bits, "threads = {}: {y:?} vs {reference:?}", cfg.threads());
+        }
+    }
+
+    /// SpMM: bitwise identical output matrices for every thread count.
+    #[test]
+    fn spmm_bitwise_identical_across_threads(
+        (rows, cols, triplets) in triplets_strategy(20),
+        raw_b in proptest::collection::vec(-200..200i32, 60),
+        k in 1usize..5,
+    ) {
+        let csr = build_csr(rows, cols, &triplets);
+        let b = Mat::from_fn(cols, k, |r, c| raw_b[(r * k + c) % raw_b.len()] as f64 / 13.0);
+        let reference = csr.spmm_with(&b, &ParallelismConfig::serial());
+        for cfg in sweep() {
+            let par = csr.spmm_with(&b, &cfg);
+            let same_bits = par
+                .as_slice()
+                .iter()
+                .zip(reference.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same_bits, "threads = {}", cfg.threads());
+            // And spmm_into over a dirty buffer fully overwrites it.
+            let mut into = Mat::from_fn(rows, k, |_, _| f64::NAN);
+            csr.spmm_into_with(&b, &mut into, &cfg);
+            prop_assert_eq!(&into, &reference, "threads = {} (into)", cfg.threads());
+        }
+    }
+
+    /// Transpose: identical CSR arrays (structure and values) for every
+    /// thread count, and still a valid involution.
+    #[test]
+    fn transpose_identical_across_threads((rows, cols, triplets) in triplets_strategy(24)) {
+        let csr = build_csr(rows, cols, &triplets);
+        let reference = csr.transpose_with(&ParallelismConfig::serial());
+        for cfg in sweep() {
+            let par = csr.transpose_with(&cfg);
+            prop_assert_eq!(&par, &reference, "threads = {}", cfg.threads());
+            prop_assert_eq!(par.transpose_with(&cfg), csr.clone());
+        }
+    }
+}
+
+/// Empty matrices: every kernel degenerates gracefully under any config.
+#[test]
+fn empty_matrix_edge_cases() {
+    for cfg in sweep() {
+        let e = CsrMatrix::empty(4, 6);
+        let mut y = vec![1.0; 4];
+        e.spmv_into_with(&[0.5; 6], &mut y, &cfg);
+        assert_eq!(y, vec![0.0; 4]);
+        let prod = e.spmm_with(&Mat::from_fn(6, 2, |r, c| (r + c) as f64), &cfg);
+        assert_eq!(prod, Mat::zeros(4, 2));
+        let t = e.transpose_with(&cfg);
+        assert_eq!(t.n_rows(), 6);
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.nnz(), 0);
+
+        // Zero-row / zero-column shapes.
+        let z = CsrMatrix::empty(0, 3);
+        let mut none: Vec<f64> = Vec::new();
+        z.spmv_into_with(&[1.0, 2.0, 3.0], &mut none, &cfg);
+        assert!(none.is_empty());
+        assert_eq!(z.transpose_with(&cfg).n_rows(), 3);
+    }
+}
+
+/// A single stored row (one hub) must land entirely in one partition and
+/// still match serial output exactly.
+#[test]
+fn single_row_edge_cases() {
+    let mut coo = CooMatrix::new(1, 40);
+    for c in 0..40 {
+        coo.push(0, c, (c as f64 + 1.0) / 3.0);
+    }
+    let csr = coo.to_csr();
+    let x: Vec<f64> = (0..40).map(|i| (i as f64 - 19.5) / 7.0).collect();
+    let mut reference = vec![0.0; 1];
+    csr.spmv_into_with(&x, &mut reference, &ParallelismConfig::serial());
+    for cfg in sweep() {
+        let mut y = vec![0.0; 1];
+        csr.spmv_into_with(&x, &mut y, &cfg);
+        assert_eq!(y[0].to_bits(), reference[0].to_bits());
+        assert_eq!(csr.transpose_with(&cfg).n_rows(), 40);
+        assert_eq!(csr.transpose_with(&cfg).transpose(), csr);
+    }
+}

@@ -1,0 +1,366 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this miniature
+//! implements the same *surface* the compute crates need: a lightweight
+//! [`ThreadPool`] (built with [`ThreadPoolBuilder`]), [`join`], a deferred
+//! [`scope`]/[`Scope::spawn`] pair, and `par_chunks`/`par_chunks_mut`
+//! slice helpers ([`slice`]).
+//!
+//! Design differences from real rayon, chosen for a small, fully safe
+//! implementation:
+//!
+//! * There is no global registry of persistent worker threads. A
+//!   [`ThreadPool`] is a plain handle holding a thread count; every
+//!   parallel region spawns that many workers on [`std::thread::scope`]
+//!   and joins them before returning. Spawn cost (~tens of µs) is
+//!   amortized by only going parallel for large inputs — the compute
+//!   crates gate on a minimum work size.
+//! * Scheduling is a shared task queue instead of per-worker deques:
+//!   idle workers pull the next task, so load balances dynamically like
+//!   work stealing, just with one lock. Tasks are coarse (one per
+//!   partition, a handful per thread), so the lock is never contended
+//!   enough to matter.
+//! * [`Scope::spawn`] *defers* tasks: they start when the closure passed
+//!   to [`scope`] returns, and [`scope`] returns only after every task
+//!   finished. Observable behavior at the join point is the same.
+//!
+//! The default thread count comes from the `LSBP_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`]; it is
+//! read once per process and cached.
+
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+pub mod slice;
+
+/// Convenient re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Hard cap on configurable thread counts (guards absurd `LSBP_THREADS`
+/// values; far above anything this workspace's kernels can exploit).
+pub const MAX_THREADS: usize = 256;
+
+/// Parses a thread-count override, falling back to `fallback` when the
+/// value is absent, non-numeric, or out of the `1..=MAX_THREADS` range.
+fn parse_thread_env(value: Option<&str>, fallback: usize) -> usize {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| (1..=MAX_THREADS).contains(&n))
+        .unwrap_or(fallback)
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(MAX_THREADS))
+        .unwrap_or(1)
+}
+
+/// The process-wide default thread count: `LSBP_THREADS` if set to a value
+/// in `1..=MAX_THREADS`, otherwise [`std::thread::available_parallelism`].
+/// Read once and cached for the life of the process.
+pub fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_thread_env(
+            std::env::var("LSBP_THREADS").ok().as_deref(),
+            hardware_threads(),
+        )
+    })
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "not installed".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The thread count parallel operations on this thread will use: the
+/// innermost [`ThreadPool::install`], or [`default_num_threads`].
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed == 0 {
+        default_num_threads()
+    } else {
+        installed
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (kept for API compatibility;
+/// this implementation cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`], mirroring rayon's.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; 0 (the default) means
+    /// [`default_num_threads`].
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads.min(MAX_THREADS)
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped thread pool: a plain handle carrying a thread count. Parallel
+/// regions ([`ThreadPool::scope`], [`ThreadPool::join`]) spawn scoped
+/// workers on demand and join them before returning, so the pool holds no
+/// OS resources and is trivially cheap to create, copy and drop.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The number of worker threads parallel regions of this pool use.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool installed as the current one:
+    /// [`current_num_threads`] (and thus the free [`join`]/[`scope`])
+    /// observe this pool's thread count inside `op`.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        // Restore on unwind too, so a panicking op does not leak the
+        // override into unrelated code on this thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// Runs the two closures, potentially in parallel, returning both
+    /// results. With one thread this degenerates to sequential calls.
+    pub fn join<RA, RB>(
+        &self,
+        oper_a: impl FnOnce() -> RA + Send,
+        oper_b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            (oper_a(), oper_b())
+        } else {
+            std::thread::scope(|s| {
+                let handle_b = s.spawn(oper_b);
+                let ra = oper_a();
+                let rb = handle_b
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                (ra, rb)
+            })
+        }
+    }
+
+    /// Creates a [`Scope`]: tasks spawned inside `f` run after `f` returns,
+    /// distributed over this pool's workers, and `scope` returns once every
+    /// task finished. A panicking task propagates the panic to the caller.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+        let sc = Scope {
+            tasks: Mutex::new(Vec::new()),
+        };
+        let result = f(&sc);
+        let tasks = sc.tasks.into_inner().expect("scope task queue poisoned");
+        run_tasks(tasks, self.threads);
+        result
+    }
+}
+
+/// A collection point for deferred parallel tasks — see
+/// [`ThreadPool::scope`] / [`scope`].
+pub struct Scope<'env> {
+    #[allow(clippy::type_complexity)] // the canonical boxed-task type
+    tasks: Mutex<Vec<Box<dyn FnOnce() + Send + 'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `task` for execution when the enclosing scope closure
+    /// returns. Tasks may borrow from the environment.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.tasks
+            .lock()
+            .expect("scope task queue poisoned")
+            .push(Box::new(task));
+    }
+}
+
+/// Executes queued tasks on up to `threads` scoped workers pulling from a
+/// shared queue (dynamic load balancing); serially in spawn order when
+/// `threads <= 1` or there is at most one task.
+fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>, threads: usize) {
+    if threads <= 1 || tasks.len() <= 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let workers = threads.min(tasks.len());
+    let queue = Mutex::new(tasks.into_iter());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    // Take the lock only long enough to pop one task.
+                    let task = match queue.lock() {
+                        Ok(mut guard) => guard.next(),
+                        // Another worker panicked mid-pop; stop pulling.
+                        Err(_) => break,
+                    };
+                    match task {
+                        Some(task) => task(),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a panicking task re-raises its own payload
+        // (scope's implicit join would replace it with a generic message).
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// [`ThreadPool::join`] on the current thread count.
+pub fn join<RA, RB>(
+    oper_a: impl FnOnce() -> RA + Send,
+    oper_b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    ThreadPool {
+        threads: current_num_threads(),
+    }
+    .join(oper_a, oper_b)
+}
+
+/// [`ThreadPool::scope`] on the current thread count.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    ThreadPool {
+        threads: current_num_threads(),
+    }
+    .scope(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_thread_env_rules() {
+        assert_eq!(parse_thread_env(None, 7), 7);
+        assert_eq!(parse_thread_env(Some("4"), 7), 4);
+        assert_eq!(parse_thread_env(Some(" 2 "), 7), 2);
+        assert_eq!(parse_thread_env(Some("0"), 7), 7);
+        assert_eq!(parse_thread_env(Some("-3"), 7), 7);
+        assert_eq!(parse_thread_env(Some("lots"), 7), 7);
+        assert_eq!(parse_thread_env(Some("99999"), 7), 7);
+        assert_eq!(parse_thread_env(Some("1"), 7), 1);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1, 4] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (a, b) = pool.join(|| 2 + 2, || "ok");
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn scope_runs_every_task() {
+        for threads in [1, 2, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let counter = AtomicUsize::new(0);
+            let mut data = [0usize; 23];
+            pool.scope(|s| {
+                for (i, slot) in data.iter_mut().enumerate() {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        *slot = i * i;
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 23);
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn install_overrides_current_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Restored afterwards.
+        assert_eq!(current_num_threads(), default_num_threads());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn scope_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.scope(|s| {
+            s.spawn(|| {});
+            s.spawn(|| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), default_num_threads());
+    }
+}

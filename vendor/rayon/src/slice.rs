@@ -1,0 +1,154 @@
+//! `par_chunks` / `par_chunks_mut` — the slice helpers of
+//! `rayon::slice`, restricted to the `for_each` terminal (optionally
+//! through `enumerate`) that this workspace uses.
+
+use crate::{current_num_threads, ThreadPool};
+
+/// Parallel read-only chunk iteration over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into chunks of at most `chunk_size` elements for
+    /// parallel consumption.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel mutable chunk iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into disjoint mutable chunks of at most
+    /// `chunk_size` elements for parallel consumption.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+fn pool() -> ThreadPool {
+    crate::ThreadPoolBuilder::new()
+        .num_threads(current_num_threads())
+        .build()
+        .expect("thread pool construction is infallible")
+}
+
+/// Pending parallel iteration over read-only chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedParChunks<'a, T> {
+        EnumeratedParChunks(self)
+    }
+
+    /// Applies `f` to every chunk, potentially in parallel.
+    pub fn for_each(self, f: impl Fn(&[T]) + Sync) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// [`ParChunks`] with indices attached.
+pub struct EnumeratedParChunks<'a, T>(ParChunks<'a, T>);
+
+impl<T: Sync> EnumeratedParChunks<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair, potentially in parallel.
+    pub fn for_each(self, f: impl Fn((usize, &[T])) + Sync) {
+        let f = &f;
+        pool().scope(|s| {
+            for (i, chunk) in self.0.slice.chunks(self.0.chunk_size).enumerate() {
+                s.spawn(move || f((i, chunk)));
+            }
+        });
+    }
+}
+
+/// Pending parallel iteration over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut(self)
+    }
+
+    /// Applies `f` to every chunk, potentially in parallel.
+    pub fn for_each(self, f: impl Fn(&mut [T]) + Sync) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// [`ParChunksMut`] with indices attached.
+pub struct EnumeratedParChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair, potentially in parallel.
+    pub fn for_each(self, f: impl Fn((usize, &mut [T])) + Sync) {
+        let f = &f;
+        pool().scope(|s| {
+            for (i, chunk) in self.0.slice.chunks_mut(self.0.chunk_size).enumerate() {
+                s.spawn(move || f((i, chunk)));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut data: Vec<i64> = (0..103).collect();
+        data.par_chunks_mut(10).for_each(|chunk| {
+            for x in chunk {
+                *x *= 2;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 2 * i as i64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_indices() {
+        let mut data = [0usize; 25];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 4);
+        }
+    }
+
+    #[test]
+    fn par_chunks_read_sums() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let data: Vec<i64> = (1..=100).collect();
+        let total = AtomicI64::new(0);
+        data.par_chunks(7).for_each(|chunk| {
+            total.fetch_add(chunk.iter().sum::<i64>(), Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 5050);
+    }
+}

@@ -20,9 +20,12 @@
 
 use lsbp::prelude::*;
 use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
-use lsbp_graph::generators::{dblp_like, kronecker_graph, DblpConfig};
+use lsbp_graph::generators::{dblp_like, erdos_renyi_gnm, kronecker_graph, DblpConfig};
 use lsbp_graph::Graph;
-use lsbp_linalg::Mat;
+use lsbp_linalg::{weight_balanced_ranges, Mat};
+use lsbp_sparse::CsrMatrix;
+use std::ops::Range;
+use std::sync::Mutex;
 
 /// One timed (graph, kernel, thread-count) measurement.
 struct Record {
@@ -183,6 +186,129 @@ fn run_suite(
     });
 }
 
+/// One (threads, executor) measurement of the pool-overhead benchmark.
+struct PoolRecord {
+    threads: usize,
+    persistent_us_per_region: f64,
+    scoped_spawn_us_per_region: f64,
+}
+
+/// The small-kernel SpMV task for one row range, writing its disjoint
+/// output slice — identical work under both executors.
+fn spmv_range(adj: &CsrMatrix, x: &[f64], range: Range<usize>, out: &mut [f64]) {
+    for (r, slot) in range.zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (&c, &v) in adj.row_cols(r).iter().zip(adj.row_values(r)) {
+            acc += v * x[c];
+        }
+        *slot = acc;
+    }
+}
+
+/// A faithful replica of the pre-persistent-pool executor (PR 2's
+/// `run_tasks`): spawn scoped OS threads per region, shared-queue
+/// dynamic balancing, join before returning. Kept here as the benchmark
+/// baseline the resident-worker pool is measured against.
+fn scoped_spawn_region(tasks: Vec<Box<dyn FnOnce() + Send + '_>>, threads: usize) {
+    if threads <= 1 || tasks.len() <= 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let workers = threads.min(tasks.len());
+    let queue = Mutex::new(tasks.into_iter());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let task = match queue.lock() {
+                    Ok(mut guard) => guard.next(),
+                    Err(_) => break,
+                };
+                match task {
+                    Some(task) => task(),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Measures per-region dispatch overhead on a small (1k-node) kernel,
+/// where thread plumbing — not compute — dominates: the same partitioned
+/// SpMV dispatched `regions` times through (a) the persistent
+/// resident-worker pool and (b) per-region scoped spawning. Small kernels
+/// in per-iteration hot loops are exactly where spawn cost used to force
+/// the serial fallback.
+fn bench_pool_overhead(threads_sweep: &[usize], regions: usize) -> (Graph, Vec<PoolRecord>) {
+    let graph = erdos_renyi_gnm(1000, 4000, 7);
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let x: Vec<f64> = (0..n).map(|i| (i % 11) as f64 * 0.1 - 0.5).collect();
+    let mut records = Vec::new();
+    for &t in threads_sweep.iter().filter(|&&t| t > 1) {
+        let parts = t * 2;
+        let ranges = weight_balanced_ranges(adj.row_offsets(), parts);
+        let mut y = vec![0.0f64; n];
+        let mut reference = vec![0.0f64; n];
+        spmv_range(&adj, &x, 0..n, &mut reference);
+
+        fn make_tasks<'a>(
+            adj: &'a CsrMatrix,
+            x: &'a [f64],
+            ranges: &[Range<usize>],
+            y: &'a mut [f64],
+        ) -> Vec<Box<dyn FnOnce() + Send + 'a>> {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + 'a>> = Vec::with_capacity(ranges.len());
+            let mut rest = y;
+            for range in ranges.iter().cloned() {
+                let (chunk, tail) = rest.split_at_mut(range.end - range.start);
+                rest = tail;
+                tasks.push(Box::new(move || spmv_range(adj, x, range, chunk)));
+            }
+            tasks
+        }
+
+        // Persistent: one cached pool, `regions` scoped dispatches.
+        let pool = ParallelismConfig::with_threads(t).pool();
+        let (_, persistent) = time_once(|| {
+            for _ in 0..regions {
+                let mut tasks = make_tasks(&adj, &x, &ranges, &mut y);
+                pool.scope(|s| {
+                    for task in tasks.drain(..) {
+                        s.spawn(task);
+                    }
+                });
+            }
+        });
+        assert_eq!(y, reference, "persistent pool result mismatch");
+
+        // Scoped spawn: fresh OS threads per region (the old executor).
+        y.fill(0.0);
+        let (_, scoped) = time_once(|| {
+            for _ in 0..regions {
+                let tasks = make_tasks(&adj, &x, &ranges, &mut y);
+                scoped_spawn_region(tasks, t);
+            }
+        });
+        assert_eq!(y, reference, "scoped-spawn result mismatch");
+
+        let record = PoolRecord {
+            threads: t,
+            persistent_us_per_region: persistent.as_secs_f64() * 1e6 / regions as f64,
+            scoped_spawn_us_per_region: scoped.as_secs_f64() * 1e6 / regions as f64,
+        };
+        println!(
+            "pool overhead t={t}: persistent {:.2} µs/region, scoped-spawn {:.2} µs/region ({:.2}x)",
+            record.persistent_us_per_region,
+            record.scoped_spawn_us_per_region,
+            record.scoped_spawn_us_per_region / record.persistent_us_per_region
+        );
+        records.push(record);
+    }
+    (graph, records)
+}
+
 fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
@@ -231,6 +357,12 @@ fn main() {
             reps,
         );
     }
+
+    // Persistent-pool dispatch overhead vs. the old scoped-spawn executor
+    // on a small 1k-node kernel.
+    let pool_regions = arg_usize("--pool-reps", 200).max(1);
+    println!("\n== pool overhead: 1k-node SpMV, {pool_regions} regions per executor ==");
+    let (pool_graph, pool_records) = bench_pool_overhead(&threads, pool_regions);
 
     // Acceptance summary: best SpMM speedup at 4 threads on a
     // ≥ 100k-directed-edge graph, and global identity across the board.
@@ -285,7 +417,29 @@ fn main() {
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // The persistent-pool overhead section: µs of dispatch+compute per
+    // small-kernel region, resident workers vs. per-region scoped spawn.
+    json.push_str("  \"pool\": {\n");
+    json.push_str(&format!(
+        "    \"graph_nodes\": {},\n    \"directed_edges\": {},\n    \"regions\": {},\n",
+        pool_graph.num_nodes(),
+        pool_graph.num_directed_edges(),
+        pool_regions
+    ));
+    json.push_str("    \"results\": [\n");
+    for (i, r) in pool_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"threads\": {}, \"persistent_us_per_region\": {}, \
+             \"scoped_spawn_us_per_region\": {}, \"spawn_overhead_ratio\": {}}}{}\n",
+            r.threads,
+            json_f64(r.persistent_us_per_region),
+            json_f64(r.scoped_spawn_us_per_region),
+            json_f64(r.scoped_spawn_us_per_region / r.persistent_us_per_region),
+            if i + 1 == pool_records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&out_path, &json).expect("could not write the benchmark JSON");
 
     println!("\nwrote {out_path}");

@@ -1,0 +1,454 @@
+//! Batched multi-query solves — many labeling queries, one pass.
+//!
+//! A production deployment answers *many* classification queries over the
+//! same graph (different seed sets, same adjacency and coupling). Run
+//! separately, `q` queries cost `q` SpMM sweeps over the identical sparse
+//! structure; batched, the `q` seed matrices are stacked side by side
+//! into one `n × (k·q)` matrix and every iteration is **one** SpMM — the
+//! adjacency is streamed through the cache once per round instead of `q`
+//! times, which is exactly the amortization the paper's "BP as sparse
+//! matrix algebra" framing buys (Sect. 5).
+//!
+//! Per-query convergence is tracked with masks: a query whose belief
+//! change drops under `tol` (or whose magnitudes trip the divergence
+//! guard) is **frozen** — its column block stops updating and its
+//! per-query result records the iteration it stopped at — while the
+//! remaining queries keep iterating. Freezing is what makes the batched
+//! results **bitwise identical** to `q` independent solves: a frozen
+//! query's beliefs are exactly the beliefs the standalone run would have
+//! returned, not "the same query iterated a little longer".
+//!
+//! Why bitwise identity holds (and is property-tested): the stacked SpMM
+//! and the block-diagonal `·Ĥ` accumulate every output element in the
+//! same order as the single-query kernels (columns never mix), the `+Ê` /
+//! `−D·B̂·Ĥ²` terms are element-wise, and the per-query delta/guard
+//! read-outs are order-independent maxima (or fixed-order L2 sums) over
+//! exactly the single-query elements.
+
+use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
+use crate::linbp::{LinBpError, LinBpOptions, LinBpResult};
+use crate::rwr::{RwrError, RwrOptions, RwrResult};
+use lsbp_linalg::{
+    FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome, ToleranceNorm,
+};
+use lsbp_sparse::CsrMatrix;
+
+/// Runs **LinBP** (Eq. 6, with echo cancellation) on `q` independent
+/// seed-sets in one pass: one stacked SpMM per iteration, per-query
+/// convergence masks. Returns one [`LinBpResult`] per query, each bitwise
+/// identical to what [`crate::linbp::linbp`] returns for that query
+/// alone.
+pub fn linbp_batch(
+    adj: &CsrMatrix,
+    queries: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<Vec<LinBpResult>, LinBpError> {
+    linbp_batch_run(adj, queries, h_residual, opts, true)
+}
+
+/// [`linbp_batch`] without the echo-cancellation term (**LinBP\***,
+/// Eq. 7); bitwise identical to per-query [`crate::linbp::linbp_star`].
+pub fn linbp_star_batch(
+    adj: &CsrMatrix,
+    queries: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<Vec<LinBpResult>, LinBpError> {
+    linbp_batch_run(adj, queries, h_residual, opts, false)
+}
+
+/// Per-query progress book-keeping for the batched LinBP iteration.
+struct QuerySlot {
+    frozen: bool,
+    converged: bool,
+    diverged: bool,
+    iterations: usize,
+    final_delta: f64,
+}
+
+/// The stacked LinBP update as a [`FixedPointOp`]. The outer solver runs
+/// in "operator-controlled" mode (`tol = 0`, no guard): tolerance and
+/// divergence are applied *per query* inside the step, with the same
+/// comparisons in the same order as the single-query solver.
+struct LinBpBatchIteration<'a> {
+    adj: &'a CsrMatrix,
+    e_hat: &'a Mat,
+    h: &'a Mat,
+    h2: Option<&'a Mat>,
+    degrees: &'a [f64],
+    b: Mat,
+    next: Mat,
+    ab: Mat,
+    db: Mat,
+    tmp: Mat,
+    k: usize,
+    cfg: ParallelismConfig,
+    tol: f64,
+    divergence_guard: f64,
+    slots: Vec<QuerySlot>,
+    deltas: Vec<f64>,
+}
+
+impl FixedPointOp for LinBpBatchIteration<'_> {
+    fn step(&mut self, solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
+        let k = self.k;
+        // One stacked update: exactly `linbp_step` with the dense `·Ĥ`
+        // factors applied block-diagonally (Ĥ per k-column block).
+        self.adj.spmm_into_with(&self.b, &mut self.ab, &self.cfg);
+        self.ab
+            .matmul_blockdiag_into_with(self.h, &mut self.next, &self.cfg);
+        self.next.add_assign(self.e_hat);
+        if let Some(h2) = self.h2 {
+            self.b.scaled_rows_into(self.degrees, &mut self.db);
+            self.db
+                .matmul_blockdiag_into_with(h2, &mut self.tmp, &self.cfg);
+            self.next.sub_assign(&self.tmp);
+        }
+        if solver.damping > 0.0 {
+            let lambda = solver.damping;
+            for (new, &old) in self.next.as_mut_slice().iter_mut().zip(self.b.as_slice()) {
+                *new = (1.0 - lambda) * *new + lambda * old;
+            }
+        }
+        // Per-query deltas (only queries still live), then the swap.
+        for (j, slot) in self.slots.iter().enumerate() {
+            if slot.frozen {
+                continue;
+            }
+            let cols = j * k..(j + 1) * k;
+            self.deltas[j] = match solver.norm {
+                ToleranceNorm::MaxAbs => self.next.max_abs_diff_cols(&self.b, cols),
+                ToleranceNorm::L2 => self.next.l2_diff_cols(&self.b, cols),
+            };
+        }
+        std::mem::swap(&mut self.b, &mut self.next);
+        // Frozen queries keep their final beliefs: copy them forward from
+        // the previous buffer (their stacked-step output is discarded).
+        for (j, slot) in self.slots.iter().enumerate() {
+            if slot.frozen {
+                for r in 0..self.b.rows() {
+                    let cols = j * k..(j + 1) * k;
+                    self.b.row_mut(r)[cols.clone()]
+                        .copy_from_slice(&self.next.row(r)[cols.clone()]);
+                }
+            }
+        }
+        // Per-query stop policy — the same checks, in the same order, as
+        // the single-query solver applies after its swap.
+        let mut remaining = 0.0f64;
+        let mut any_active = false;
+        for (j, slot) in self.slots.iter_mut().enumerate() {
+            if slot.frozen {
+                continue;
+            }
+            let delta = self.deltas[j];
+            slot.iterations = iteration + 1;
+            slot.final_delta = delta;
+            let cols = j * k..(j + 1) * k;
+            if (self.divergence_guard.is_finite()
+                && self.b.max_abs_cols(cols) > self.divergence_guard)
+                || !delta.is_finite()
+            {
+                slot.frozen = true;
+                slot.diverged = true;
+            } else if self.tol > 0.0 && delta < self.tol {
+                slot.frozen = true;
+                slot.converged = true;
+            } else {
+                any_active = true;
+                remaining = remaining.max(delta);
+            }
+        }
+        if any_active {
+            StepOutcome::proceed(remaining)
+        } else {
+            StepOutcome::converged(remaining)
+        }
+    }
+}
+
+fn linbp_batch_run(
+    adj: &CsrMatrix,
+    queries: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+) -> Result<Vec<LinBpResult>, LinBpError> {
+    let n = adj.n_rows();
+    let k = h_residual.rows();
+    if adj.n_cols() != n {
+        return Err(LinBpError::DimensionMismatch);
+    }
+    if h_residual.cols() != k {
+        return Err(LinBpError::CouplingArityMismatch);
+    }
+    for e in queries {
+        if e.n() != n {
+            return Err(LinBpError::DimensionMismatch);
+        }
+        if e.k() != k {
+            return Err(LinBpError::CouplingArityMismatch);
+        }
+    }
+    let q = queries.len();
+    if q == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Stack the q seed matrices side by side: column block j = query j.
+    let mut e_hat = Mat::zeros(n, k * q);
+    for (j, e) in queries.iter().enumerate() {
+        let em = e.residual_matrix();
+        for r in 0..n {
+            e_hat.row_mut(r)[j * k..(j + 1) * k].copy_from_slice(em.row(r));
+        }
+    }
+    let h2 = if echo {
+        Some(h_residual.matmul(h_residual))
+    } else {
+        None
+    };
+    let degrees = if echo {
+        adj.squared_weight_degrees()
+    } else {
+        vec![0.0; n]
+    };
+
+    let mut op = LinBpBatchIteration {
+        adj,
+        e_hat: &e_hat,
+        h: h_residual,
+        h2: h2.as_ref(),
+        degrees: &degrees,
+        b: e_hat.clone(),
+        next: Mat::zeros(n, k * q),
+        ab: Mat::zeros(n, k * q),
+        db: Mat::zeros(n, k * q),
+        tmp: Mat::zeros(n, k * q),
+        k,
+        cfg: opts.parallelism,
+        tol: opts.tol,
+        divergence_guard: opts.divergence_guard,
+        slots: (0..q)
+            .map(|_| QuerySlot {
+                frozen: false,
+                converged: false,
+                diverged: false,
+                iterations: 0,
+                final_delta: f64::INFINITY,
+            })
+            .collect(),
+        deltas: vec![f64::INFINITY; q],
+    };
+    // Operator-controlled stopping: the per-query masks inside the step
+    // implement tolerance and guard; the outer solver only carries the
+    // budget, norm and damping.
+    FixedPointSolver::new(opts.max_iter, 0.0)
+        .with_norm(opts.norm)
+        .with_damping(opts.damping)
+        .run(&mut op);
+
+    Ok(op
+        .slots
+        .iter()
+        .enumerate()
+        .map(|(j, slot)| {
+            let mut beliefs = Mat::zeros(n, k);
+            for r in 0..n {
+                beliefs
+                    .row_mut(r)
+                    .copy_from_slice(&op.b.row(r)[j * k..(j + 1) * k]);
+            }
+            LinBpResult {
+                beliefs: BeliefMatrix::from_mat(beliefs),
+                converged: slot.converged,
+                diverged: slot.diverged,
+                iterations: slot.iterations,
+                final_delta: slot.final_delta,
+            }
+        })
+        .collect())
+}
+
+/// Per-walk (query × class) progress book-keeping for the batched RWR.
+struct WalkSlot {
+    frozen: bool,
+    converged: bool,
+    iterations: usize,
+}
+
+/// The stacked RWR power iteration as a [`FixedPointOp`]: all `q · k`
+/// walks diffuse through one SpMM per round; converged walks freeze.
+struct RwrBatchIteration<'a> {
+    adj: &'a CsrMatrix,
+    degrees: &'a [f64],
+    restart_dist: &'a Mat,
+    restart: f64,
+    tol: f64,
+    scores: Mat,
+    scaled: Mat,
+    diffused: Mat,
+    cfg: ParallelismConfig,
+    slots: Vec<WalkSlot>,
+}
+
+impl FixedPointOp for RwrBatchIteration<'_> {
+    fn step(&mut self, solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
+        let n = self.adj.n_rows();
+        // Scale every column by inverse degrees (frozen columns too: their
+        // diffused output is simply discarded) and diffuse all walks with
+        // one SpMM.
+        for v in 0..n {
+            let deg = self.degrees[v];
+            for (dst, &x) in self
+                .scaled
+                .row_mut(v)
+                .iter_mut()
+                .zip(self.scores.row(v).iter())
+            {
+                // The exact single-walk expression (`x / deg`, not
+                // `x · (1/deg)`) — reciprocal-multiply rounds differently.
+                *dst = if deg > 0.0 { x / deg } else { 0.0 };
+            }
+        }
+        self.adj
+            .spmm_into_with(&self.scaled, &mut self.diffused, &self.cfg);
+        let mut remaining = 0.0f64;
+        let mut any_active = false;
+        for (col, slot) in self.slots.iter_mut().enumerate() {
+            if slot.frozen {
+                continue;
+            }
+            // The per-walk update, in exactly the single-walk element
+            // order: blend, delta, write-back, then mass renormalization.
+            let mut delta = 0.0f64;
+            for v in 0..n {
+                let next = (1.0 - self.restart) * self.diffused[(v, col)]
+                    + self.restart * self.restart_dist[(v, col)];
+                match solver.norm {
+                    ToleranceNorm::MaxAbs => {
+                        delta = delta.max((next - self.scores[(v, col)]).abs())
+                    }
+                    ToleranceNorm::L2 => {
+                        let d = next - self.scores[(v, col)];
+                        delta += d * d;
+                    }
+                }
+                self.scores[(v, col)] = next;
+            }
+            if solver.norm == ToleranceNorm::L2 {
+                delta = delta.sqrt();
+            }
+            let mass: f64 = (0..n).map(|v| self.scores[(v, col)]).sum();
+            if mass > 0.0 {
+                for v in 0..n {
+                    self.scores[(v, col)] /= mass;
+                }
+            }
+            slot.iterations = iteration + 1;
+            if self.tol > 0.0 && delta < self.tol {
+                slot.frozen = true;
+                slot.converged = true;
+            } else if !delta.is_finite() {
+                slot.frozen = true;
+            } else {
+                any_active = true;
+                remaining = remaining.max(delta);
+            }
+        }
+        if any_active {
+            StepOutcome::proceed(remaining)
+        } else {
+            StepOutcome::converged(remaining)
+        }
+    }
+}
+
+/// Runs [`crate::rwr::rwr`] on `q` independent seed-sets in one pass: all
+/// `q · k` per-class walks diffuse through a single SpMM per iteration,
+/// with per-walk convergence masks. Returns one [`RwrResult`] per query,
+/// each bitwise identical to the standalone run.
+pub fn rwr_batch(
+    adj: &CsrMatrix,
+    queries: &[ExplicitBeliefs],
+    opts: &RwrOptions,
+) -> Result<Vec<RwrResult>, RwrError> {
+    let n = adj.n_rows();
+    if adj.n_cols() != n {
+        return Err(RwrError::DimensionMismatch);
+    }
+    if !(opts.restart > 0.0 && opts.restart <= 1.0) {
+        return Err(RwrError::BadRestart);
+    }
+    let q = queries.len();
+    if q == 0 {
+        return Ok(Vec::new());
+    }
+    let k = queries[0].k();
+    for e in queries {
+        if e.n() != n {
+            return Err(RwrError::DimensionMismatch);
+        }
+        if e.k() != k {
+            return Err(RwrError::DimensionMismatch);
+        }
+    }
+
+    // Stacked restart distributions: column j·k + c = query j, class c —
+    // the same per-query construction (and error) as the standalone run.
+    let mut restart_dist = Mat::zeros(n, k * q);
+    for (j, e) in queries.iter().enumerate() {
+        let single = crate::rwr::restart_distribution(e)?;
+        for v in 0..n {
+            restart_dist.row_mut(v)[j * k..(j + 1) * k].copy_from_slice(single.row(v));
+        }
+    }
+
+    let degrees = adj.row_sums();
+    let mut op = RwrBatchIteration {
+        adj,
+        degrees: &degrees,
+        restart_dist: &restart_dist,
+        restart: opts.restart,
+        tol: opts.tol,
+        scores: restart_dist.clone(),
+        scaled: Mat::zeros(n, k * q),
+        diffused: Mat::zeros(n, k * q),
+        cfg: opts.parallelism,
+        slots: (0..k * q)
+            .map(|_| WalkSlot {
+                frozen: false,
+                converged: false,
+                iterations: 0,
+            })
+            .collect(),
+    };
+    FixedPointSolver::new(opts.max_iter, 0.0)
+        .with_norm(opts.norm)
+        .run(&mut op);
+
+    Ok((0..q)
+        .map(|j| {
+            let walks = &op.slots[j * k..(j + 1) * k];
+            let converged = walks.iter().all(|w| w.converged);
+            let iterations = walks.iter().map(|w| w.iterations).max().unwrap_or(0);
+            // Residual centering, exactly as the standalone read-out.
+            let mut residual = Mat::zeros(n, k);
+            for v in 0..n {
+                let row = &op.scores.row(v)[j * k..(j + 1) * k];
+                let mean: f64 = row.iter().sum::<f64>() / k as f64;
+                if row.iter().any(|&x| x > 0.0) {
+                    for (c, &x) in row.iter().enumerate() {
+                        residual[(v, c)] = x - mean;
+                    }
+                }
+            }
+            RwrResult {
+                beliefs: BeliefMatrix::from_mat(residual),
+                converged,
+                iterations,
+            }
+        })
+        .collect())
+}

@@ -20,7 +20,10 @@
 //! belief assignment).
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
-use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
+use lsbp_linalg::{
+    weight_balanced_ranges, FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome,
+    ToleranceNorm,
+};
 use lsbp_sparse::CsrMatrix;
 use std::ops::Range;
 
@@ -29,9 +32,12 @@ use std::ops::Range;
 pub struct BpOptions {
     /// Maximum number of message-passing rounds.
     pub max_iter: usize,
-    /// Convergence threshold on the largest absolute message change;
+    /// Convergence threshold on the message change (measured in `norm`);
     /// set to 0.0 to always run exactly `max_iter` rounds (timing mode).
     pub tol: f64,
+    /// Norm the convergence threshold is measured in (default: largest
+    /// absolute message change).
+    pub norm: ToleranceNorm,
     /// Explicit scaling of residual priors, or `None` to auto-scale to the
     /// largest factor (≤ 1) keeping all priors strictly positive with a
     /// 10% margin.
@@ -58,6 +64,7 @@ impl Default for BpOptions {
         Self {
             max_iter: 100,
             tol: 1e-9,
+            norm: ToleranceNorm::MaxAbs,
             prior_scale: None,
             damping: 0.0,
             naive_products: false,
@@ -185,35 +192,22 @@ pub fn bp(
     };
     let pool = cfg.pool();
 
-    let mut converged = false;
-    let mut iterations = 0;
-    let mut final_delta = f64::INFINITY;
-    for _round in 0..opts.max_iter {
-        iterations += 1;
-        let max_delta = if ranges.len() <= 1 {
-            bp_round_rows(&ctx, &msgs, 0..n, &mut new_msgs)
-        } else {
-            let mut partials = vec![0.0f64; ranges.len()];
-            let mut rest: &mut [f64] = &mut new_msgs;
-            let msgs_ref = &msgs;
-            pool.scope(|s| {
-                for (slot, range) in partials.iter_mut().zip(ranges.iter().cloned()) {
-                    let len = (row_ptr[range.end] - row_ptr[range.start]) * k;
-                    let (chunk, tail) = rest.split_at_mut(len);
-                    rest = tail;
-                    let ctx = &ctx;
-                    s.spawn(move || *slot = bp_round_rows(ctx, msgs_ref, range, chunk));
-                }
-            });
-            partials.into_iter().fold(0.0f64, f64::max)
-        };
-        std::mem::swap(&mut msgs, &mut new_msgs);
-        final_delta = max_delta;
-        if opts.tol > 0.0 && max_delta < opts.tol {
-            converged = true;
-            break;
-        }
-    }
+    let mut op = BpRounds {
+        ctx,
+        msgs: &mut msgs,
+        new_msgs: &mut new_msgs,
+        ranges: &ranges,
+        row_ptr,
+        k,
+        pool: &pool,
+    };
+    let solver = FixedPointSolver::new(opts.max_iter, opts.tol)
+        .with_norm(opts.norm)
+        .with_damping(opts.damping);
+    let outcome = solver.run(&mut op);
+    let (converged, iterations, final_delta) =
+        (outcome.converged, outcome.iterations, outcome.final_delta);
+    let ctx = op.ctx;
 
     // Beliefs: b_s(i) ∝ e_s(i)·Π m_us(i), normalized to 1, returned as
     // residuals b − 1/k. Same partition: each task writes a disjoint
@@ -240,6 +234,61 @@ pub fn bp(
         iterations,
         final_delta,
     })
+}
+
+/// One synchronous message round as a [`FixedPointOp`]: the solver drives
+/// the rounds while this operator owns the message double buffer and the
+/// node partition.
+struct BpRounds<'a, 'b> {
+    ctx: MsgContext<'a>,
+    msgs: &'b mut Vec<f64>,
+    new_msgs: &'b mut Vec<f64>,
+    ranges: &'b [Range<usize>],
+    row_ptr: &'a [usize],
+    k: usize,
+    pool: &'b rayon::ThreadPool,
+}
+
+impl FixedPointOp for BpRounds<'_, '_> {
+    fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
+        // Damping is solver policy; the kernels blend per message.
+        self.ctx.damping = solver.damping;
+        let n = self.ctx.adj.n_rows();
+        let max_delta = if self.ranges.len() <= 1 {
+            bp_round_rows(&self.ctx, self.msgs, 0..n, self.new_msgs)
+        } else {
+            let mut partials = vec![0.0f64; self.ranges.len()];
+            let mut rest: &mut [f64] = self.new_msgs;
+            let msgs_ref: &[f64] = self.msgs;
+            let k = self.k;
+            let row_ptr = self.row_ptr;
+            let ctx = &self.ctx;
+            self.pool.scope(|s| {
+                for (slot, range) in partials.iter_mut().zip(self.ranges.iter().cloned()) {
+                    let len = (row_ptr[range.end] - row_ptr[range.start]) * k;
+                    let (chunk, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    s.spawn(move || *slot = bp_round_rows(ctx, msgs_ref, range, chunk));
+                }
+            });
+            partials.into_iter().fold(0.0f64, f64::max)
+        };
+        let delta = match solver.norm {
+            ToleranceNorm::MaxAbs => max_delta,
+            // Fixed edge order regardless of thread count: an L2 sum is
+            // order-dependent, so it runs as one serial pass over the
+            // message buffers (negligible next to the round itself).
+            ToleranceNorm::L2 => self
+                .new_msgs
+                .iter()
+                .zip(self.msgs.iter())
+                .map(|(&new, &old)| (new - old) * (new - old))
+                .sum::<f64>()
+                .sqrt(),
+        };
+        std::mem::swap(self.msgs, self.new_msgs);
+        StepOutcome::proceed(delta)
+    }
 }
 
 /// Read-only inputs of one message round, bundled for the range kernels.

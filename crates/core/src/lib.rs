@@ -48,6 +48,7 @@
 //! assert_eq!(labels[0], vec![0]); // v1 keeps its own label
 //! ```
 
+pub mod batch;
 pub mod beliefs;
 pub mod bp;
 pub mod closed_form;
@@ -61,6 +62,7 @@ pub mod sbp;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
+    pub use crate::batch::{linbp_batch, linbp_star_batch, rwr_batch};
     pub use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
     pub use crate::bp::{bp, BpOptions, BpResult};
     pub use crate::closed_form::{linbp_closed_form_dense, linbp_closed_form_jacobi};
@@ -71,14 +73,18 @@ pub mod prelude {
     pub use crate::coupling::{CouplingError, CouplingMatrix};
     pub use crate::learning::{learn_coupling, learn_coupling_from_classes, LearnOptions};
     pub use crate::linbp::{
-        linbp, linbp_star, linbp_step, linbp_update, LinBpOptions, LinBpResult, LinBpScratch,
+        linbp, linbp_observed, linbp_star, linbp_step, linbp_update, LinBpOptions, LinBpResult,
+        LinBpScratch,
     };
     pub use crate::metrics::{
         accuracy, f1_score, precision_recall, precision_recall_masked, quality, QualityReport,
     };
     pub use crate::rwr::{rwr, RwrOptions, RwrResult};
-    pub use crate::sbp::{sbp, sbp_add_edges, sbp_add_explicit, sbp_with, SbpResult};
-    pub use lsbp_linalg::ParallelismConfig;
+    pub use crate::sbp::{sbp, sbp_add_edges, sbp_add_explicit, sbp_observed, sbp_with, SbpResult};
+    pub use lsbp_linalg::{
+        FixedPointOp, FixedPointSolver, IterationEvent, ParallelismConfig, SolveOutcome,
+        StepOutcome, StepStatus, ToleranceNorm,
+    };
 }
 
 pub use prelude::*;

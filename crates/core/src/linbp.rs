@@ -18,7 +18,10 @@
 //! guard threshold.
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
-use lsbp_linalg::{Mat, ParallelismConfig};
+use lsbp_linalg::{
+    FixedPointOp, FixedPointSolver, IterationEvent, Mat, ParallelismConfig, StepOutcome,
+    ToleranceNorm,
+};
 use lsbp_sparse::CsrMatrix;
 
 /// Options for [`linbp`] / [`linbp_star`].
@@ -26,9 +29,17 @@ use lsbp_sparse::CsrMatrix;
 pub struct LinBpOptions {
     /// Maximum number of update rounds.
     pub max_iter: usize,
-    /// Convergence threshold on the largest absolute belief change; 0.0
-    /// runs exactly `max_iter` rounds (timing mode, like the paper's 5).
+    /// Convergence threshold on the belief change (measured in `norm`);
+    /// 0.0 runs exactly `max_iter` rounds (timing mode, like the
+    /// paper's 5).
     pub tol: f64,
+    /// Norm the convergence threshold is measured in (default: largest
+    /// absolute entry change).
+    pub norm: ToleranceNorm,
+    /// Update damping `λ ∈ [0, 1)`: `B̂ ← (1−λ)·B̂_new + λ·B̂_old`. 0 (the
+    /// default) is the paper's plain update; small values can rescue
+    /// oscillating runs near the spectral threshold.
+    pub damping: f64,
     /// Belief magnitude beyond which the run is declared divergent.
     pub divergence_guard: f64,
     /// Serial vs. pooled execution of the SpMM / dense kernels. Results
@@ -42,9 +53,21 @@ impl Default for LinBpOptions {
         Self {
             max_iter: 200,
             tol: 1e-12,
+            norm: ToleranceNorm::MaxAbs,
+            damping: 0.0,
             divergence_guard: 1e12,
             parallelism: ParallelismConfig::default(),
         }
+    }
+}
+
+impl LinBpOptions {
+    /// The [`FixedPointSolver`] these options describe.
+    pub(crate) fn solver(&self) -> FixedPointSolver {
+        FixedPointSolver::new(self.max_iter, self.tol)
+            .with_norm(self.norm)
+            .with_damping(self.damping)
+            .with_divergence_guard(self.divergence_guard)
     }
 }
 
@@ -155,12 +178,84 @@ pub fn linbp_step(
     }
 }
 
+/// The LinBP update as a [`FixedPointOp`]: owns the belief double buffer
+/// and the per-run scratch ([`LinBpScratch`]), so no iteration allocates.
+struct LinBpIteration<'a> {
+    adj: &'a CsrMatrix,
+    e_hat: &'a Mat,
+    h: &'a Mat,
+    h2: Option<&'a Mat>,
+    degrees: &'a [f64],
+    b: Mat,
+    next: Mat,
+    scratch: LinBpScratch,
+    cfg: ParallelismConfig,
+}
+
+impl FixedPointOp for LinBpIteration<'_> {
+    fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
+        linbp_step(
+            self.adj,
+            self.e_hat,
+            &self.b,
+            self.h,
+            self.h2,
+            self.degrees,
+            &mut self.scratch,
+            &mut self.next,
+            &self.cfg,
+        );
+        if solver.damping > 0.0 {
+            let lambda = solver.damping;
+            for (new, &old) in self.next.as_mut_slice().iter_mut().zip(self.b.as_slice()) {
+                *new = (1.0 - lambda) * *new + lambda * old;
+            }
+        }
+        let delta = match solver.norm {
+            ToleranceNorm::MaxAbs => self.next.max_abs_diff_with(&self.b, &self.cfg),
+            ToleranceNorm::L2 => self.next.l2_diff(&self.b),
+        };
+        std::mem::swap(&mut self.b, &mut self.next);
+        StepOutcome::proceed(delta)
+    }
+
+    fn magnitude(&self) -> f64 {
+        self.b.max_abs()
+    }
+}
+
 fn run(
     adj: &CsrMatrix,
     explicit: &ExplicitBeliefs,
     h_residual: &Mat,
     opts: &LinBpOptions,
     echo: bool,
+) -> Result<LinBpResult, LinBpError> {
+    run_observed(adj, explicit, h_residual, opts, echo, |_| {})
+}
+
+/// [`linbp`] / [`linbp_star`] (`echo` selects Eq. 6 vs. Eq. 7) with a
+/// per-iteration observer: `observer` fires after every update round with
+/// the round number and belief delta — the instrumentation hook behind
+/// the Fig. 7d per-iteration timing harness.
+pub fn linbp_observed(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+    observer: impl FnMut(&IterationEvent),
+) -> Result<LinBpResult, LinBpError> {
+    run_observed(adj, explicit, h_residual, opts, echo, observer)
+}
+
+fn run_observed(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+    observer: impl FnMut(&IterationEvent),
 ) -> Result<LinBpResult, LinBpError> {
     let n = explicit.n();
     let k = explicit.k();
@@ -184,46 +279,25 @@ fn run(
     };
 
     // B̂(0) = Ê (starting from the explicit beliefs, like Algorithm 1).
-    let mut b = e_hat.clone();
-    let mut next = Mat::zeros(n, k);
-    let mut scratch = LinBpScratch::new(n, k);
-    let cfg = opts.parallelism;
-
-    let mut converged = false;
-    let mut diverged = false;
-    let mut iterations = 0;
-    let mut final_delta = f64::INFINITY;
-    for _ in 0..opts.max_iter {
-        iterations += 1;
-        linbp_step(
-            adj,
-            e_hat,
-            &b,
-            h_residual,
-            h2.as_ref(),
-            &degrees,
-            &mut scratch,
-            &mut next,
-            &cfg,
-        );
-        final_delta = next.max_abs_diff_with(&b, &cfg);
-        std::mem::swap(&mut b, &mut next);
-        if b.max_abs() > opts.divergence_guard || !final_delta.is_finite() {
-            diverged = true;
-            break;
-        }
-        if opts.tol > 0.0 && final_delta < opts.tol {
-            converged = true;
-            break;
-        }
-    }
+    let mut op = LinBpIteration {
+        adj,
+        e_hat,
+        h: h_residual,
+        h2: h2.as_ref(),
+        degrees: &degrees,
+        b: e_hat.clone(),
+        next: Mat::zeros(n, k),
+        scratch: LinBpScratch::new(n, k),
+        cfg: opts.parallelism,
+    };
+    let outcome = opts.solver().run_observed(&mut op, observer);
 
     Ok(LinBpResult {
-        beliefs: BeliefMatrix::from_mat(b),
-        converged,
-        diverged,
-        iterations,
-        final_delta,
+        beliefs: BeliefMatrix::from_mat(op.b),
+        converged: outcome.converged,
+        diverged: outcome.diverged,
+        iterations: outcome.iterations,
+        final_delta: outcome.final_delta,
     })
 }
 

@@ -11,7 +11,9 @@
 //! under homophily and *fails* under heterophily.
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
-use lsbp_linalg::Mat;
+use lsbp_linalg::{
+    FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome, ToleranceNorm,
+};
 use lsbp_sparse::CsrMatrix;
 
 /// Options for [`rwr`].
@@ -21,8 +23,15 @@ pub struct RwrOptions {
     pub restart: f64,
     /// Maximum power iterations.
     pub max_iter: usize,
-    /// Convergence threshold on the largest absolute score change.
+    /// Convergence threshold on the score change (measured in `norm`).
     pub tol: f64,
+    /// Norm the convergence threshold is measured in (default: largest
+    /// absolute score change).
+    pub norm: ToleranceNorm,
+    /// Serial vs. pooled execution of the diffusion SpMV. Results are
+    /// bitwise identical for every thread count; the default follows
+    /// `LSBP_THREADS`.
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for RwrOptions {
@@ -31,6 +40,8 @@ impl Default for RwrOptions {
             restart: 0.15,
             max_iter: 200,
             tol: 1e-12,
+            norm: ToleranceNorm::MaxAbs,
+            parallelism: ParallelismConfig::default(),
         }
     }
 }
@@ -72,6 +83,83 @@ impl std::fmt::Display for RwrError {
 
 impl std::error::Error for RwrError {}
 
+/// Restart distributions for one seed-set: per class, positive residual
+/// mass of labeled nodes, normalized to 1. Shared by [`rwr`] and the
+/// batched [`crate::batch::rwr_batch`] so both build byte-identical
+/// distributions (and raise the same [`RwrError::EmptyClass`]).
+pub(crate) fn restart_distribution(explicit: &ExplicitBeliefs) -> Result<Mat, RwrError> {
+    let n = explicit.n();
+    let k = explicit.k();
+    let mut restart_dist = Mat::zeros(n, k);
+    let mut class_mass = vec![0.0f64; k];
+    for v in explicit.explicit_nodes() {
+        for (c, &x) in explicit.row(v).iter().enumerate() {
+            if x > 0.0 {
+                restart_dist[(v, c)] = x;
+                class_mass[c] += x;
+            }
+        }
+    }
+    for (c, &mass) in class_mass.iter().enumerate() {
+        if mass == 0.0 {
+            return Err(RwrError::EmptyClass(c));
+        }
+        for v in 0..n {
+            restart_dist[(v, c)] /= mass;
+        }
+    }
+    Ok(restart_dist)
+}
+
+/// One class's random walk with restart as a [`FixedPointOp`]: scale by
+/// inverse degrees, diffuse (one SpMV), blend with the restart
+/// distribution, renormalize the leaked mass. The scale/diffuse scratch is
+/// borrowed from the caller so all `k` walks share one allocation.
+struct RwrWalk<'a> {
+    adj: &'a CsrMatrix,
+    degrees: &'a [f64],
+    restart_col: Vec<f64>,
+    restart: f64,
+    x: Vec<f64>,
+    scaled: &'a mut Vec<f64>,
+    diffused: &'a mut Vec<f64>,
+    cfg: &'a ParallelismConfig,
+}
+
+impl FixedPointOp for RwrWalk<'_> {
+    fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
+        let n = self.x.len();
+        for v in 0..n {
+            self.scaled[v] = if self.degrees[v] > 0.0 {
+                self.x[v] / self.degrees[v]
+            } else {
+                0.0
+            };
+        }
+        self.adj
+            .spmv_into_with(self.scaled, self.diffused, self.cfg);
+        let mut delta = 0.0f64;
+        for v in 0..n {
+            let next = (1.0 - self.restart) * self.diffused[v] + self.restart * self.restart_col[v];
+            match solver.norm {
+                ToleranceNorm::MaxAbs => delta = delta.max((next - self.x[v]).abs()),
+                ToleranceNorm::L2 => delta += (next - self.x[v]) * (next - self.x[v]),
+            }
+            self.x[v] = next;
+        }
+        if solver.norm == ToleranceNorm::L2 {
+            delta = delta.sqrt();
+        }
+        // Dangling nodes leak probability mass; renormalize so classes
+        // stay comparable.
+        let mass: f64 = self.x.iter().sum();
+        if mass > 0.0 {
+            self.x.iter_mut().for_each(|v| *v /= mass);
+        }
+        StepOutcome::proceed(delta)
+    }
+}
+
 /// Runs one RWR per class, restarting into that class's labeled nodes.
 ///
 /// Labels are read from `explicit` as the per-node argmax of the residual
@@ -91,26 +179,7 @@ pub fn rwr(
         return Err(RwrError::BadRestart);
     }
 
-    // Restart distributions: per class, positive residual mass of labeled
-    // nodes, normalized to 1.
-    let mut restart_dist = Mat::zeros(n, k);
-    let mut class_mass = vec![0.0f64; k];
-    for v in explicit.explicit_nodes() {
-        for (c, &x) in explicit.row(v).iter().enumerate() {
-            if x > 0.0 {
-                restart_dist[(v, c)] = x;
-                class_mass[c] += x;
-            }
-        }
-    }
-    for (c, &mass) in class_mass.iter().enumerate() {
-        if mass == 0.0 {
-            return Err(RwrError::EmptyClass(c));
-        }
-        for v in 0..n {
-            restart_dist[(v, c)] /= mass;
-        }
-    }
+    let restart_dist = restart_distribution(explicit)?;
 
     // Random-walk transition: column-stochastic W(t, s) = w(s,t)/deg(s).
     // We apply it matrix-free: (W x)(t) = Σ_s w(s,t)·x(s)/deg(s); with a
@@ -121,39 +190,22 @@ pub fn rwr(
     let mut diffused = vec![0.0f64; n];
     let mut converged = true;
     let mut worst_iters = 0usize;
+    let solver = FixedPointSolver::new(opts.max_iter, opts.tol).with_norm(opts.norm);
     for c in 0..k {
-        let mut x: Vec<f64> = scores.col(c);
-        let mut class_converged = false;
-        let mut iters = 0;
-        for _ in 0..opts.max_iter {
-            iters += 1;
-            for v in 0..n {
-                scaled[v] = if degrees[v] > 0.0 {
-                    x[v] / degrees[v]
-                } else {
-                    0.0
-                };
-            }
-            adj.spmv_into(&scaled, &mut diffused);
-            let mut delta = 0.0f64;
-            for v in 0..n {
-                let next = (1.0 - opts.restart) * diffused[v] + opts.restart * restart_dist[(v, c)];
-                delta = delta.max((next - x[v]).abs());
-                x[v] = next;
-            }
-            // Dangling nodes leak probability mass; renormalize so classes
-            // stay comparable.
-            let mass: f64 = x.iter().sum();
-            if mass > 0.0 {
-                x.iter_mut().for_each(|v| *v /= mass);
-            }
-            if delta < opts.tol {
-                class_converged = true;
-                break;
-            }
-        }
-        converged &= class_converged;
-        worst_iters = worst_iters.max(iters);
+        let mut op = RwrWalk {
+            adj,
+            degrees: &degrees,
+            restart_col: restart_dist.col(c),
+            restart: opts.restart,
+            x: scores.col(c),
+            scaled: &mut scaled,
+            diffused: &mut diffused,
+            cfg: &opts.parallelism,
+        };
+        let outcome = solver.run(&mut op);
+        let x = op.x;
+        converged &= outcome.converged;
+        worst_iters = worst_iters.max(outcome.iterations);
         for v in 0..n {
             scores[(v, c)] = x[v];
         }

@@ -29,7 +29,10 @@
 
 use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
 use lsbp_graph::{geodesic_numbers, Geodesics, UNREACHABLE};
-use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
+use lsbp_linalg::{
+    weight_balanced_ranges, FixedPointOp, FixedPointSolver, IterationEvent, Mat, ParallelismConfig,
+    StepOutcome,
+};
 use lsbp_sparse::CsrMatrix;
 use std::collections::BinaryHeap;
 
@@ -155,6 +158,102 @@ pub fn sbp_with(
     h_residual: &Mat,
     cfg: &ParallelismConfig,
 ) -> Result<SbpResult, SbpError> {
+    sbp_observed(adj, explicit, h_residual, cfg, |_| {})
+}
+
+/// One BFS layer's belief recomputation as a [`FixedPointOp`]: solver
+/// iteration `i` processes geodesic layer `i + 1` (the DAG of Lemma 17
+/// points strictly from layer `g` to `g + 1`, so a single pass over the
+/// layers *is* SBP's whole fixed-point schedule). Always runs the full
+/// budget (`tol = 0`); the reported delta is 0 — SBP has no convergence
+/// question, only a layer count.
+struct SbpLayers<'a> {
+    adj: &'a CsrMatrix,
+    h: &'a Mat,
+    geodesics: &'a Geodesics,
+    beliefs: Mat,
+    k: usize,
+    row: Vec<f64>,
+    abs: Vec<f64>,
+    staging: Vec<f64>,
+    cfg: &'a ParallelismConfig,
+    pool: rayon::ThreadPool,
+}
+
+impl FixedPointOp for SbpLayers<'_> {
+    fn step(&mut self, _solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
+        let layer = iteration + 1;
+        let nodes = &self.geodesics.layers[layer];
+        let k = self.k;
+        // Weigh each node by its degree + 1: recomputation walks the
+        // node's full adjacency row.
+        let mut cum = Vec::with_capacity(nodes.len() + 1);
+        cum.push(0usize);
+        for &t in nodes {
+            cum.push(cum.last().unwrap() + self.adj.row_nnz(t as usize) + 1);
+        }
+        let parts = self.cfg.partitions(*cum.last().unwrap() * k);
+        if parts <= 1 {
+            for &t in nodes {
+                recompute_belief(
+                    self.adj,
+                    &self.geodesics.g,
+                    &self.beliefs,
+                    self.h,
+                    t as usize,
+                    &mut self.row,
+                    &mut self.abs,
+                );
+                self.beliefs.row_mut(t as usize).copy_from_slice(&self.row);
+            }
+            return StepOutcome::proceed(0.0);
+        }
+        self.staging.clear();
+        self.staging.resize(nodes.len() * k, 0.0);
+        let ranges = weight_balanced_ranges(&cum, parts);
+        let mut rest: &mut [f64] = &mut self.staging;
+        let beliefs_ref = &self.beliefs;
+        let g_ref = &self.geodesics.g;
+        let (adj, h) = (self.adj, self.h);
+        self.pool.scope(|s| {
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * k);
+                rest = tail;
+                s.spawn(move || {
+                    let mut abs = vec![0.0; k];
+                    for (i, &t) in nodes[range].iter().enumerate() {
+                        recompute_belief(
+                            adj,
+                            g_ref,
+                            beliefs_ref,
+                            h,
+                            t as usize,
+                            &mut chunk[i * k..(i + 1) * k],
+                            &mut abs,
+                        );
+                    }
+                });
+            }
+        });
+        for (i, &t) in nodes.iter().enumerate() {
+            self.beliefs
+                .row_mut(t as usize)
+                .copy_from_slice(&self.staging[i * k..(i + 1) * k]);
+        }
+        StepOutcome::proceed(0.0)
+    }
+}
+
+/// [`sbp_with`] with a per-layer observer: `observer` fires after every
+/// BFS layer (the paper's "iterations" in Fig. 7d), letting harnesses
+/// time layers without owning the sweep.
+pub fn sbp_observed(
+    adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    cfg: &ParallelismConfig,
+    observer: impl FnMut(&IterationEvent),
+) -> Result<SbpResult, SbpError> {
     let n = explicit.n();
     let k = explicit.k();
     if adj.n_rows() != n || adj.n_cols() != n {
@@ -169,67 +268,21 @@ pub fn sbp_with(
     for &v in &sources {
         beliefs.row_mut(v).copy_from_slice(explicit.row(v));
     }
-    let mut row = vec![0.0; k];
-    let mut abs = vec![0.0; k];
-    let mut staging: Vec<f64> = Vec::new();
-    let pool = cfg.pool();
-    for layer in 1..geodesics.num_layers() {
-        let nodes = &geodesics.layers[layer];
-        // Weigh each node by its degree + 1: recomputation walks the
-        // node's full adjacency row.
-        let mut cum = Vec::with_capacity(nodes.len() + 1);
-        cum.push(0usize);
-        for &t in nodes {
-            cum.push(cum.last().unwrap() + adj.row_nnz(t as usize) + 1);
-        }
-        let parts = cfg.partitions(*cum.last().unwrap() * k);
-        if parts <= 1 {
-            for &t in nodes {
-                recompute_belief(
-                    adj,
-                    &geodesics.g,
-                    &beliefs,
-                    h_residual,
-                    t as usize,
-                    &mut row,
-                    &mut abs,
-                );
-                beliefs.row_mut(t as usize).copy_from_slice(&row);
-            }
-            continue;
-        }
-        staging.clear();
-        staging.resize(nodes.len() * k, 0.0);
-        let ranges = weight_balanced_ranges(&cum, parts);
-        let mut rest: &mut [f64] = &mut staging;
-        let beliefs_ref = &beliefs;
-        let g_ref = &geodesics.g;
-        pool.scope(|s| {
-            for range in ranges {
-                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * k);
-                rest = tail;
-                s.spawn(move || {
-                    let mut abs = vec![0.0; k];
-                    for (i, &t) in nodes[range].iter().enumerate() {
-                        recompute_belief(
-                            adj,
-                            g_ref,
-                            beliefs_ref,
-                            h_residual,
-                            t as usize,
-                            &mut chunk[i * k..(i + 1) * k],
-                            &mut abs,
-                        );
-                    }
-                });
-            }
-        });
-        for (i, &t) in nodes.iter().enumerate() {
-            beliefs
-                .row_mut(t as usize)
-                .copy_from_slice(&staging[i * k..(i + 1) * k]);
-        }
-    }
+    let layers = geodesics.num_layers();
+    let mut op = SbpLayers {
+        adj,
+        h: h_residual,
+        geodesics: &geodesics,
+        beliefs,
+        k,
+        row: vec![0.0; k],
+        abs: vec![0.0; k],
+        staging: Vec::new(),
+        cfg,
+        pool: cfg.pool(),
+    };
+    FixedPointSolver::new(layers.saturating_sub(1), 0.0).run_observed(&mut op, observer);
+    let beliefs = op.beliefs;
     Ok(SbpResult {
         beliefs: BeliefMatrix::from_mat(beliefs),
         geodesics,

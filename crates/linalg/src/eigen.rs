@@ -12,6 +12,7 @@
 //!   ±λ eigenspaces, but the *norm growth ratio* still converges to the
 //!   spectral radius, which is all Lemma 8 needs.
 
+use crate::fixedpoint::{FixedPointOp, FixedPointSolver, StepOutcome};
 use crate::matrix::Mat;
 
 /// Options for [`power_iteration`].
@@ -61,6 +62,50 @@ fn random_unit_vector(n: usize, seed: u64) -> Vec<f64> {
     v
 }
 
+/// The power-method operator: normalize-and-apply with a *relative*
+/// stopping rule on successive radius estimates — expressed through the
+/// unified [`FixedPointSolver`] driver, with the relative policy (and the
+/// kernel/overflow special cases) reported via the operator verdict.
+struct PowerIterationOp<'a, F> {
+    apply: &'a mut F,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    estimate: f64,
+    tol: f64,
+    /// Short-circuit value for the degenerate cases (zero operator → 0,
+    /// overflow → ∞); `None` means the run ended by budget or tolerance.
+    early: Option<f64>,
+}
+
+impl<F: FnMut(&[f64], &mut [f64])> FixedPointOp for PowerIterationOp<'_, F> {
+    fn step(&mut self, _solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
+        (self.apply)(&self.x, &mut self.y);
+        let norm = self.y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            // x lies in the kernel; the operators this serves are
+            // symmetric, so the kernel-orthogonal start vector makes this
+            // mean the operator annihilates everything.
+            self.early = Some(0.0);
+            return StepOutcome::converged(0.0);
+        }
+        if !norm.is_finite() {
+            self.early = Some(f64::INFINITY);
+            return StepOutcome::diverged(f64::INFINITY);
+        }
+        let next = norm; // ||M x|| with ||x|| = 1 → converges to ρ(M)
+        self.y.iter_mut().for_each(|v| *v /= norm);
+        std::mem::swap(&mut self.x, &mut self.y);
+        let delta = (next - self.estimate).abs();
+        let done = delta <= self.tol * next.max(1e-300);
+        self.estimate = next;
+        if done {
+            StepOutcome::converged(delta)
+        } else {
+            StepOutcome::proceed(delta)
+        }
+    }
+}
+
 /// Estimates the spectral radius of a (symmetric) linear operator given only
 /// its action `apply(x, out)` (must set `out = M·x`).
 ///
@@ -75,26 +120,18 @@ pub fn power_iteration(
     if n == 0 {
         return 0.0;
     }
-    let mut x = random_unit_vector(n, opts.seed);
-    let mut y = vec![0.0; n];
-    let mut estimate = 0.0f64;
-    for _ in 0..opts.max_iter {
-        apply(&x, &mut y);
-        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
-        if norm == 0.0 || !norm.is_finite() {
-            // x lies in the kernel (or overflow); restart from a fresh vector
-            // unless the operator genuinely annihilates everything.
-            return if norm == 0.0 { 0.0 } else { f64::INFINITY };
-        }
-        let next = norm; // ||M x|| with ||x|| = 1 → converges to ρ(M)
-        y.iter_mut().for_each(|v| *v /= norm);
-        std::mem::swap(&mut x, &mut y);
-        if (next - estimate).abs() <= opts.tol * next.max(1e-300) {
-            return next;
-        }
-        estimate = next;
-    }
-    estimate
+    let mut op = PowerIterationOp {
+        apply: &mut apply,
+        x: random_unit_vector(n, opts.seed),
+        y: vec![0.0; n],
+        estimate: 0.0,
+        tol: opts.tol,
+        early: None,
+    };
+    // tol = 0 at the solver level: the stopping rule is *relative*, which
+    // the operator implements itself via its verdict.
+    FixedPointSolver::new(opts.max_iter, 0.0).run(&mut op);
+    op.early.unwrap_or(op.estimate)
 }
 
 /// All eigenvalues of a small symmetric matrix via the cyclic Jacobi

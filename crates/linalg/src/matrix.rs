@@ -357,6 +357,151 @@ impl Mat {
         partials.into_iter().fold(0.0f64, f64::max)
     }
 
+    /// Euclidean norm of the element-wise difference to `other`
+    /// (`‖self − other‖₂` over the flat storage).
+    ///
+    /// Always accumulates serially in element order: unlike the max-abs
+    /// reduction, a floating-point sum is order-dependent, so a fixed
+    /// order is what keeps the L2 tolerance policy bitwise identical
+    /// across thread counts. One pass over `n·k` entries is negligible
+    /// next to the SpMM it follows.
+    pub fn l2_diff(&self, other: &Mat) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "l2_diff shape"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// [`Mat::l2_diff`] restricted to the column block `cols` — the
+    /// per-query tolerance read-out of the batched solvers. Accumulates
+    /// row-major within the block, i.e. in exactly the element order a
+    /// single-query `n × k` [`Mat::l2_diff`] would use on the same values.
+    pub fn l2_diff_cols(&self, other: &Mat, cols: std::ops::Range<usize>) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "l2_diff_cols shape"
+        );
+        let mut acc = 0.0f64;
+        for r in 0..self.rows {
+            let (a, b) = (&self.row(r)[cols.clone()], &other.row(r)[cols.clone()]);
+            for (&x, &y) in a.iter().zip(b) {
+                acc += (x - y) * (x - y);
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// [`Mat::max_abs_diff`] restricted to the column block `cols`.
+    /// `max` is order-independent, so this equals what a single-query
+    /// matrix holding just these columns would report.
+    pub fn max_abs_diff_cols(&self, other: &Mat, cols: std::ops::Range<usize>) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff_cols shape"
+        );
+        let mut acc = 0.0f64;
+        for r in 0..self.rows {
+            let (a, b) = (&self.row(r)[cols.clone()], &other.row(r)[cols.clone()]);
+            for (&x, &y) in a.iter().zip(b) {
+                acc = acc.max((x - y).abs());
+            }
+        }
+        acc
+    }
+
+    /// [`Mat::max_abs`] restricted to the column block `cols` — the
+    /// per-query divergence guard of the batched solvers.
+    pub fn max_abs_cols(&self, cols: std::ops::Range<usize>) -> f64 {
+        let mut acc = 0.0f64;
+        for r in 0..self.rows {
+            for &x in &self.row(r)[cols.clone()] {
+                acc = acc.max(x.abs());
+            }
+        }
+        acc
+    }
+
+    /// Block-diagonal product: applies the `k × k` matrix `m` to every
+    /// consecutive `k`-column block of `self` (an `n × (k·q)` stack of `q`
+    /// independent `n × k` matrices), writing into `out` — algebraically
+    /// `self · (I_q ⊗ m)` without materializing the `kq × kq` operator.
+    /// This is the per-iteration `·Ĥ` of the batched LinBP solver: one
+    /// call covers all `q` queries.
+    ///
+    /// Each block's accumulation order equals [`Mat::matmul_into_with`] on
+    /// the corresponding `n × k` slice, so batched results are bitwise
+    /// identical to `q` independent products; rows are partitioned exactly
+    /// like the plain dense product, preserving that identity at any
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if `m` is not square, `self.cols()` is not a multiple of
+    /// `m.rows()`, or `out` has a different shape from `self`.
+    pub fn matmul_blockdiag_into_with(&self, m: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
+        assert!(m.is_square(), "block-diagonal factor must be square");
+        let k = m.rows();
+        assert!(
+            k > 0 && self.cols.is_multiple_of(k),
+            "column count {} is not a multiple of block size {k}",
+            self.cols
+        );
+        assert_eq!(
+            (self.rows, self.cols),
+            (out.rows, out.cols),
+            "matmul_blockdiag output shape"
+        );
+        let parts = cfg.partitions(self.rows * self.cols * k);
+        if parts <= 1 {
+            self.matmul_blockdiag_rows(m, 0..self.rows, out.as_mut_slice());
+            return;
+        }
+        let ranges = crate::parallel::even_ranges(self.rows, parts);
+        let row_len = self.cols;
+        let mut rest: &mut [f64] = out.as_mut_slice();
+        cfg.pool().scope(|s| {
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
+                rest = tail;
+                s.spawn(move || self.matmul_blockdiag_rows(m, range, chunk));
+            }
+        });
+    }
+
+    /// Serial kernel of [`Mat::matmul_blockdiag_into_with`] over the row
+    /// block `rows`: per row, per `k`-column block, the same
+    /// zero-skipping accumulation as [`Mat::matmul_rows`].
+    fn matmul_blockdiag_rows(&self, m: &Mat, rows: std::ops::Range<usize>, block: &mut [f64]) {
+        let k = m.rows();
+        let row_len = self.cols;
+        block.iter_mut().for_each(|x| *x = 0.0);
+        for r in rows.clone() {
+            let a_row = self.row(r);
+            let o_row = &mut block[(r - rows.start) * row_len..(r - rows.start + 1) * row_len];
+            for blk in 0..(row_len / k) {
+                let a_blk = &a_row[blk * k..(blk + 1) * k];
+                let o_blk = &mut o_row[blk * k..(blk + 1) * k];
+                for (c1, &a) in a_blk.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let m_row = m.row(c1);
+                    for (o, &mv) in o_blk.iter_mut().zip(m_row) {
+                        *o += a * mv;
+                    }
+                }
+            }
+        }
+    }
+
     /// `true` iff the matrix equals its transpose up to `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         if !self.is_square() {

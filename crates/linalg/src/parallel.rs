@@ -58,7 +58,17 @@ impl ParallelismConfig {
     }
 
     /// The environment default: `LSBP_THREADS` if set, otherwise the
-    /// machine's available parallelism (see `rayon::default_num_threads`).
+    /// machine's available parallelism. The environment is parsed exactly
+    /// once per process, at pool initialization (see
+    /// `rayon::default_num_threads`); this call just reads the cached
+    /// value.
+    ///
+    /// Tests that must not depend on the ambient `LSBP_THREADS` have two
+    /// documented overrides: construct an explicit config with
+    /// [`ParallelismConfig::with_threads`] (per call site), or pin the
+    /// process default before anything reads it with
+    /// `rayon::set_default_num_threads` (per process — each cargo
+    /// integration-test binary is its own process).
     pub fn from_env() -> Self {
         Self {
             threads: rayon::default_num_threads(),
@@ -83,13 +93,13 @@ impl ParallelismConfig {
         self.threads <= 1
     }
 
-    /// A scoped thread pool for this configuration (cheap: no OS
-    /// resources are held — workers are spawned per parallel region).
+    /// The persistent thread pool for this configuration. Pools are
+    /// process-shared and cached per thread count (the default count maps
+    /// to the lazily-initialized global pool), so per-kernel calls reuse
+    /// long-lived parked workers — dispatching a parallel region wakes
+    /// residents instead of spawning OS threads.
     pub fn pool(&self) -> rayon::ThreadPool {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(self.threads)
-            .build()
-            .expect("thread pool construction is infallible")
+        rayon::shared_pool(self.threads)
     }
 
     /// Number of partitions a kernel with `total_work` units should split

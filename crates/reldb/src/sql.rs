@@ -236,6 +236,150 @@ impl SqlDb {
         belief_table_to_matrix(&b, self.n, self.k)
     }
 
+    /// **Batched Algorithm 1** — answers `q` labeling queries (different
+    /// seed relations over the same graph and coupling) in **one pass**:
+    /// the explicit-belief relation gains a query-id column,
+    /// `EQ(q, v, c, b)`, and the same two view joins + grouped union run
+    /// once per iteration for *all* queries — the `A ⋈ B` probe streams
+    /// the edge relation through the executor once per round instead of
+    /// `q` times, the relational mirror of the stacked-SpMM
+    /// `lsbp::batch::linbp_batch`.
+    ///
+    /// Runs `l` fixed iterations per query (Algorithm 1 has no
+    /// convergence read-out — the paper's SQL loop is `l` rounds); pass
+    /// the per-query matrices to the native read-outs for top-belief
+    /// queries. Returns one belief matrix per query, in query order.
+    ///
+    /// # Panics
+    /// Panics if a query's node or class count disagrees with the loaded
+    /// graph (same contract as [`SqlDb::new`]).
+    pub fn linbp_batch(
+        &self,
+        queries: &[ExplicitBeliefs],
+        l: usize,
+        echo: bool,
+    ) -> Vec<BeliefMatrix> {
+        for e in queries {
+            assert_eq!(e.n(), self.n, "query node count mismatch");
+            assert_eq!(e.k(), self.k, "query class count mismatch");
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // EQ(q, v, c, b): all seed relations, tagged by query id.
+        let mut eq = Table::new("EQ", &["q", "v", "c", "b"]);
+        for (j, e) in queries.iter().enumerate() {
+            for v in e.explicit_nodes() {
+                for (c, &val) in e.row(v).iter().enumerate() {
+                    eq.push(vec![
+                        Value::Int(j as i64),
+                        Value::Int(v as i64),
+                        Value::Int(c as i64),
+                        Value::Float(val),
+                    ]);
+                }
+            }
+        }
+        let d = self.degree_table();
+        let h2 = self.h2_table();
+        let cfg = &self.parallelism;
+        // Line 1: B(q,v,c,b) :− EQ(q,v,c,b).
+        let mut b = eq.clone();
+        for _ in 0..l {
+            // V1(q,t,c2,sum(w·b·h)) :− A(s,t,w), B(q,s,c1,b), H(c1,c2,h).
+            let ab = self.a.join_map_with(
+                &b,
+                &["s"],
+                &["v"],
+                "AB",
+                &["q", "t", "c1", "wb"],
+                |a, bb| {
+                    vec![
+                        bb[0],
+                        a[1],
+                        bb[2],
+                        Value::Float(a[2].as_float() * bb[3].as_float()),
+                    ]
+                },
+                cfg,
+            );
+            let v1 = ab
+                .join_map_with(
+                    &self.h,
+                    &["c1"],
+                    &["c1"],
+                    "ABH",
+                    &["q", "t", "c2", "wbh"],
+                    |left, h| {
+                        vec![
+                            left[0],
+                            left[1],
+                            h[1],
+                            Value::Float(left[3].as_float() * h[2].as_float()),
+                        ]
+                    },
+                    cfg,
+                )
+                .group_by_agg("V1", &["q", "t", "c2"], "b", AggFun::SumFloat, |r| r[3]);
+            // V2(q,s,c2,sum(d·b·h)) :− D(s,d), B(q,s,c1,b), H2(c1,c2,h).
+            let combined = if echo {
+                let db = d.join_map_with(
+                    &b,
+                    &["s"],
+                    &["v"],
+                    "DB",
+                    &["q", "v", "c1", "db"],
+                    |dd, bb| {
+                        vec![
+                            bb[0],
+                            dd[0],
+                            bb[2],
+                            Value::Float(dd[1].as_float() * bb[3].as_float()),
+                        ]
+                    },
+                    cfg,
+                );
+                let v2 = db
+                    .join_map_with(
+                        &h2,
+                        &["c1"],
+                        &["c1"],
+                        "DBH",
+                        &["q", "v", "c2", "dbh"],
+                        |left, h| {
+                            vec![
+                                left[0],
+                                left[1],
+                                h[1],
+                                Value::Float(left[3].as_float() * h[2].as_float()),
+                            ]
+                        },
+                        cfg,
+                    )
+                    .group_by_agg("V2", &["q", "v", "c2"], "b", AggFun::SumFloat, |r| r[3]);
+                let neg_v2 = v2.project("V2n", &["q", "v", "c", "b"], |r| {
+                    vec![r[0], r[1], r[2], Value::Float(-r[3].as_float())]
+                });
+                eq.union_all(&v1).union_all(&neg_v2)
+            } else {
+                eq.union_all(&v1)
+            };
+            b = combined.group_by_agg("B", &["q", "v", "c"], "b", AggFun::SumFloat, |r| r[3]);
+        }
+        // Split per query id back into dense matrices.
+        let (qi, vi, ci, bi) = (b.col("q"), b.col("v"), b.col("c"), b.col("b"));
+        let mut out: Vec<Mat> = (0..queries.len())
+            .map(|_| Mat::zeros(self.n, self.k))
+            .collect();
+        for r in b.rows() {
+            let j = r[qi].as_int() as usize;
+            let v = r[vi].as_int() as usize;
+            let c = r[ci].as_int() as usize;
+            out[j][(v, c)] += r[bi].as_float();
+        }
+        out.into_iter().map(BeliefMatrix::from_mat).collect()
+    }
+
     /// **Algorithm 1 driven by SQL text** — the same computation as
     /// [`SqlDb::linbp`], but every step is parsed from the literal SQL of
     /// Sect. 5.3 / Appendix D and executed by the [`crate::exec`]
@@ -731,6 +875,49 @@ mod tests {
         )
         .unwrap();
         assert!(sql_b.residual().max_abs_diff(native.beliefs.residual()) < 1e-12);
+    }
+
+    /// The batched relational path answers every query exactly as the
+    /// native batched solver (and the per-query relational path) does.
+    #[test]
+    fn sql_linbp_batch_matches_native_batch() {
+        let (db, g, e, h) = torus_db();
+        let adj = g.adjacency();
+        // Three distinct seed-sets over the same graph, one empty.
+        let mut e2 = ExplicitBeliefs::new(8, 3);
+        e2.set_label(5, 1, 1.0).unwrap();
+        let e3 = ExplicitBeliefs::new(8, 3);
+        let queries = vec![e.clone(), e2, e3];
+        for echo in [true, false] {
+            let batched = db.linbp_batch(&queries, 4, echo);
+            assert_eq!(batched.len(), 3);
+            let opts = lsbp::linbp::LinBpOptions {
+                max_iter: 4,
+                tol: 0.0,
+                ..Default::default()
+            };
+            let native = if echo {
+                lsbp::batch::linbp_batch(&adj, &queries, &h, &opts).unwrap()
+            } else {
+                lsbp::batch::linbp_star_batch(&adj, &queries, &h, &opts).unwrap()
+            };
+            for (j, (sql_b, nat)) in batched.iter().zip(&native).enumerate() {
+                assert!(
+                    sql_b.residual().max_abs_diff(nat.beliefs.residual()) < 1e-12,
+                    "echo={echo} query {j}"
+                );
+            }
+        }
+        // And the first query agrees with the single-query relational path.
+        let single = db.linbp(4, true);
+        let batched = db.linbp_batch(&queries, 4, true);
+        assert!(batched[0].residual().max_abs_diff(single.residual()) < 1e-12);
+    }
+
+    #[test]
+    fn sql_linbp_batch_empty() {
+        let (db, ..) = torus_db();
+        assert!(db.linbp_batch(&[], 3, true).is_empty());
     }
 
     /// The SQL-text path (parsed and interpreted statements) produces the

@@ -1,0 +1,265 @@
+//! The batched multi-query contract: `linbp_batch` / `linbp_star_batch` /
+//! `rwr_batch` must be **bitwise identical** to running each query
+//! standalone — per-query beliefs, convergence/divergence flags,
+//! iteration counts and final deltas — at every thread count, including
+//! q = 0, q = 1, and batches mixing fast-converging, slow, and divergent
+//! queries (the per-query freeze masks are what this pins down).
+
+use lsbp::prelude::*;
+use lsbp_graph::generators::erdos_renyi_gnm;
+use lsbp_linalg::Mat;
+use proptest::prelude::*;
+
+fn bits_equal(a: &Mat, b: &Mat) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn thread_sweep() -> Vec<ParallelismConfig> {
+    [1usize, 2, 8]
+        .into_iter()
+        .map(|t| ParallelismConfig::with_threads(t).with_min_work(1))
+        .collect()
+}
+
+/// Builds a seed-set from (node, class) pairs, clamped into range.
+fn seeds(n: usize, k: usize, picks: &[(usize, usize)]) -> ExplicitBeliefs {
+    let mut e = ExplicitBeliefs::new(n, k);
+    for &(v, c) in picks {
+        let _ = e.set_label(v % n, c % k, 1.0);
+    }
+    e
+}
+
+fn assert_linbp_batch_matches(
+    adj: &lsbp_sparse::CsrMatrix,
+    queries: &[ExplicitBeliefs],
+    h: &Mat,
+    opts: &LinBpOptions,
+    star: bool,
+    label: &str,
+) {
+    let batch = if star {
+        linbp_star_batch(adj, queries, h, opts).unwrap()
+    } else {
+        linbp_batch(adj, queries, h, opts).unwrap()
+    };
+    assert_eq!(batch.len(), queries.len(), "{label}");
+    for (j, (e, got)) in queries.iter().zip(&batch).enumerate() {
+        let want = if star {
+            linbp_star(adj, e, h, opts).unwrap()
+        } else {
+            linbp(adj, e, h, opts).unwrap()
+        };
+        assert_eq!(got.converged, want.converged, "{label} query {j}");
+        assert_eq!(got.diverged, want.diverged, "{label} query {j}");
+        assert_eq!(got.iterations, want.iterations, "{label} query {j}");
+        assert_eq!(
+            got.final_delta.to_bits(),
+            want.final_delta.to_bits(),
+            "{label} query {j}"
+        );
+        assert!(
+            bits_equal(got.beliefs.residual(), want.beliefs.residual()),
+            "{label} query {j}: batched beliefs differ from standalone"
+        );
+    }
+}
+
+/// Empty batch: a no-op, not an error.
+#[test]
+fn linbp_batch_q0() {
+    let adj = erdos_renyi_gnm(30, 60, 1).adjacency();
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.05);
+    let out = linbp_batch(&adj, &[], &h, &LinBpOptions::default()).unwrap();
+    assert!(out.is_empty());
+    let rw = rwr_batch(&adj, &[], &RwrOptions::default()).unwrap();
+    assert!(rw.is_empty());
+}
+
+/// Single-query batch is the degenerate case: exactly the standalone run.
+#[test]
+fn linbp_batch_q1() {
+    let adj = erdos_renyi_gnm(60, 150, 2).adjacency();
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.04);
+    let q = [seeds(60, 3, &[(0, 0), (13, 1), (41, 2)])];
+    for cfg in thread_sweep() {
+        let opts = LinBpOptions {
+            parallelism: cfg,
+            ..Default::default()
+        };
+        assert_linbp_batch_matches(&adj, &q, &h, &opts, false, "q1");
+        assert_linbp_batch_matches(&adj, &q, &h, &opts, true, "q1*");
+    }
+}
+
+/// A mixed-convergence batch: an empty seed-set (fixed point after one
+/// round), ordinary converging queries, and — at a coupling scale past
+/// the spectral threshold — diverging ones. Each query must freeze at
+/// exactly its standalone iteration.
+#[test]
+fn linbp_batch_mixed_convergence() {
+    let adj = erdos_renyi_gnm(80, 240, 5).adjacency();
+    let coupling = CouplingMatrix::fig1c().unwrap();
+    let queries = [
+        seeds(80, 3, &[]), // converges immediately (Ê = 0 is the fixed point)
+        seeds(80, 3, &[(3, 0)]),
+        seeds(80, 3, &[(7, 1), (22, 2), (55, 0), (61, 1)]),
+        seeds(80, 3, &[(2, 2), (9, 0)]),
+    ];
+    for cfg in thread_sweep() {
+        // Convergent scale: queries stop at different iterations.
+        let opts = LinBpOptions {
+            max_iter: 400,
+            tol: 1e-11,
+            parallelism: cfg,
+            ..Default::default()
+        };
+        let h = coupling.scaled_residual(0.05);
+        assert_linbp_batch_matches(&adj, &queries, &h, &opts, false, "mixed");
+        assert_linbp_batch_matches(&adj, &queries, &h, &opts, true, "mixed*");
+
+        // Divergent scale: the seeded queries trip the guard at their own
+        // iterations while the empty query still converges.
+        let h_div = coupling.scaled_residual(0.9);
+        assert_linbp_batch_matches(&adj, &queries, &h_div, &opts, false, "mixed-divergent");
+    }
+}
+
+/// Timing mode (tol = 0) runs every query the full budget — no freezing.
+#[test]
+fn linbp_batch_timing_mode() {
+    let adj = erdos_renyi_gnm(50, 120, 8).adjacency();
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.03);
+    let queries = [seeds(50, 3, &[(1, 0)]), seeds(50, 3, &[(2, 1), (30, 2)])];
+    let opts = LinBpOptions {
+        max_iter: 7,
+        tol: 0.0,
+        ..Default::default()
+    };
+    assert_linbp_batch_matches(&adj, &queries, &h, &opts, false, "timing");
+}
+
+/// Batched RWR equals per-query RWR bitwise, across thread counts and
+/// walk-count mixes (different seed multiplicities converge at different
+/// iterations, exercising the per-walk freeze).
+#[test]
+fn rwr_batch_matches_standalone() {
+    let adj = erdos_renyi_gnm(70, 210, 3).adjacency();
+    let queries = [
+        seeds(70, 2, &[(0, 0), (69, 1)]),
+        seeds(70, 2, &[(5, 0), (6, 0), (7, 0), (50, 1)]),
+        seeds(70, 2, &[(11, 0), (12, 1), (13, 0), (14, 1), (15, 0)]),
+    ];
+    for cfg in thread_sweep() {
+        let opts = RwrOptions {
+            parallelism: cfg,
+            ..Default::default()
+        };
+        let batch = rwr_batch(&adj, &queries, &opts).unwrap();
+        for (j, (e, got)) in queries.iter().zip(&batch).enumerate() {
+            let want = rwr(&adj, e, &opts).unwrap();
+            assert_eq!(got.converged, want.converged, "query {j}");
+            assert_eq!(got.iterations, want.iterations, "query {j}");
+            assert!(
+                bits_equal(got.beliefs.residual(), want.beliefs.residual()),
+                "query {j}: batched RWR beliefs differ from standalone"
+            );
+        }
+    }
+}
+
+/// Batched error surface matches the standalone one.
+#[test]
+fn batch_error_cases() {
+    let adj = erdos_renyi_gnm(20, 40, 4).adjacency();
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.05);
+    // Wrong node count in the second query.
+    let bad = [seeds(20, 3, &[(0, 0)]), seeds(21, 3, &[(0, 0)])];
+    assert!(matches!(
+        linbp_batch(&adj, &bad, &h, &LinBpOptions::default()),
+        Err(lsbp::linbp::LinBpError::DimensionMismatch)
+    ));
+    // Wrong arity.
+    let bad_k = [seeds(20, 2, &[(0, 0)])];
+    assert!(matches!(
+        linbp_batch(&adj, &bad_k, &h, &LinBpOptions::default()),
+        Err(lsbp::linbp::LinBpError::CouplingArityMismatch)
+    ));
+    // A query with an unseeded class aborts the whole RWR batch, exactly
+    // like the standalone error.
+    let lonely = [seeds(20, 3, &[(0, 0), (5, 1), (9, 2)]), {
+        let mut e = ExplicitBeliefs::new(20, 3);
+        e.set_label(0, 0, 1.0).unwrap();
+        e
+    }];
+    assert!(matches!(
+        rwr_batch(&adj, &lonely, &RwrOptions::default()),
+        Err(lsbp::rwr::RwrError::EmptyClass(1))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random graphs, random seed batches, random thread counts: batched
+    /// LinBP is bitwise equal to standalone LinBP, query by query.
+    #[test]
+    fn linbp_batch_random(
+        seed in 0u64..500,
+        q in 0usize..5,
+        threads in 1usize..9,
+        eps_pick in 0usize..3,
+    ) {
+        let n = 40;
+        let adj = erdos_renyi_gnm(n, 100, seed).adjacency();
+        let coupling = CouplingMatrix::fig1c().unwrap();
+        let eps = [0.02, 0.06, 0.12][eps_pick];
+        let h = coupling.scaled_residual(eps);
+        let queries: Vec<ExplicitBeliefs> = (0..q)
+            .map(|j| seeds(n, 3, &[(j * 7 + 1, j), ((j + 2) * 11, j + 1)]))
+            .collect();
+        let opts = LinBpOptions {
+            max_iter: 150,
+            tol: 1e-10,
+            parallelism: ParallelismConfig::with_threads(threads).with_min_work(1),
+            ..Default::default()
+        };
+        let batch = linbp_batch(&adj, &queries, &h, &opts).unwrap();
+        prop_assert_eq!(batch.len(), queries.len());
+        for (e, got) in queries.iter().zip(&batch) {
+            let want = linbp(&adj, e, &h, &opts).unwrap();
+            prop_assert_eq!(got.converged, want.converged);
+            prop_assert_eq!(got.diverged, want.diverged);
+            prop_assert_eq!(got.iterations, want.iterations);
+            prop_assert_eq!(got.final_delta.to_bits(), want.final_delta.to_bits());
+            prop_assert!(bits_equal(got.beliefs.residual(), want.beliefs.residual()));
+        }
+    }
+
+    /// Same contract for batched RWR over random batches.
+    #[test]
+    fn rwr_batch_random(seed in 0u64..500, q in 0usize..4, threads in 1usize..9) {
+        let n = 35;
+        let adj = erdos_renyi_gnm(n, 90, seed).adjacency();
+        let queries: Vec<ExplicitBeliefs> = (0..q)
+            .map(|j| seeds(n, 2, &[(3 * j + 1, 0), (5 * j + 2, 1)]))
+            .collect();
+        let opts = RwrOptions {
+            parallelism: ParallelismConfig::with_threads(threads).with_min_work(1),
+            ..Default::default()
+        };
+        let batch = rwr_batch(&adj, &queries, &opts).unwrap();
+        prop_assert_eq!(batch.len(), queries.len());
+        for (e, got) in queries.iter().zip(&batch) {
+            let want = rwr(&adj, e, &opts).unwrap();
+            prop_assert_eq!(got.converged, want.converged);
+            prop_assert_eq!(got.iterations, want.iterations);
+            prop_assert!(bits_equal(got.beliefs.residual(), want.beliefs.residual()));
+        }
+    }
+}

@@ -1,37 +1,62 @@
 #![warn(missing_docs)]
 
-//! Offline stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses, built
+//! around a **persistent worker pool**.
 //!
 //! The build environment cannot reach crates.io, so this miniature
-//! implements the same *surface* the compute crates need: a lightweight
+//! implements the same *surface* the compute crates need — a
 //! [`ThreadPool`] (built with [`ThreadPoolBuilder`]), [`join`], a deferred
 //! [`scope`]/[`Scope::spawn`] pair, and `par_chunks`/`par_chunks_mut`
-//! slice helpers ([`slice`]).
+//! slice helpers ([`slice`]) — but, unlike the earlier scoped-spawn
+//! version, parallel regions dispatch to **long-lived resident workers**
+//! instead of spawning fresh OS threads per region:
 //!
-//! Design differences from real rayon, chosen for a small, fully safe
-//! implementation:
-//!
-//! * There is no global registry of persistent worker threads. A
-//!   [`ThreadPool`] is a plain handle holding a thread count; every
-//!   parallel region spawns that many workers on [`std::thread::scope`]
-//!   and joins them before returning. Spawn cost (~tens of µs) is
-//!   amortized by only going parallel for large inputs — the compute
-//!   crates gate on a minimum work size.
-//! * Scheduling is a shared task queue instead of per-worker deques:
-//!   idle workers pull the next task, so load balances dynamically like
-//!   work stealing, just with one lock. Tasks are coarse (one per
-//!   partition, a handful per thread), so the lock is never contended
-//!   enough to matter.
+//! * Every [`ThreadPool`] is a handle onto a [`Registry`]: a set of worker
+//!   threads that park on a condvar between regions and wake when work is
+//!   injected. Workers are spawned lazily (a pool that never runs a
+//!   parallel region owns no OS threads) and live until the last handle to
+//!   their registry drops. Dispatching a region costs two mutex hops and a
+//!   wake instead of thread creation (~tens of µs saved per region, which
+//!   is what makes small kernels worth parallelizing at all).
+//! * A parallel region is a batch of tasks pushed into the registry's
+//!   shared **injector queue**. Idle workers pull tasks one at a time, so
+//!   load balances dynamically like work stealing, just with one lock; the
+//!   submitting thread participates too (it drains the same queue), so a
+//!   pool of `t` threads still means `t` compute threads and a region can
+//!   always make progress even when every resident worker is busy —
+//!   nested regions degrade to caller-executed serial work instead of
+//!   deadlocking.
 //! * [`Scope::spawn`] *defers* tasks: they start when the closure passed
 //!   to [`scope`] returns, and [`scope`] returns only after every task
-//!   finished. Observable behavior at the join point is the same.
+//!   finished. Observable behavior at the join point is the same as real
+//!   rayon's.
 //!
-//! The default thread count comes from the `LSBP_THREADS` environment
-//! variable, falling back to [`std::thread::available_parallelism`]; it is
-//! read once per process and cached.
+//! Free functions ([`join`], [`scope`], the slice helpers) run on the
+//! lazily-initialized **global pool**, whose size honors the
+//! `LSBP_THREADS` environment variable (read **once** per process at
+//! first use — see [`default_num_threads`] and the
+//! [`set_default_num_threads`] test override). [`shared_pool`] hands out
+//! cached persistent pools for non-default thread counts, so callers that
+//! sweep thread counts (benchmarks, property tests) also reuse resident
+//! workers instead of re-spawning.
+//!
+//! # Safety
+//!
+//! Tasks may borrow from the submitting thread's stack (`'env`
+//! lifetimes), while resident workers are `'static` threads — bridging
+//! the two requires erasing the task lifetime (the same move
+//! `std::thread::scope` makes internally). Soundness rests on one
+//! invariant, enforced by [`run_region`]: **the submitting call does not
+//! return — not even by panic — until every task of its region has
+//! finished executing**, so no erased borrow can outlive its referent.
+//! Panicking tasks are caught on the worker, carried back, and re-thrown
+//! on the submitting thread after the region completes.
 
-use std::cell::Cell;
-use std::sync::{Mutex, OnceLock};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod slice;
 
@@ -59,12 +84,19 @@ fn hardware_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The process-wide default thread-count cell. Initialized exactly once —
+/// by [`set_default_num_threads`] if that runs first, otherwise from the
+/// environment on the first [`default_num_threads`] call.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
 /// The process-wide default thread count: `LSBP_THREADS` if set to a value
 /// in `1..=MAX_THREADS`, otherwise [`std::thread::available_parallelism`].
-/// Read once and cached for the life of the process.
+///
+/// The environment is consulted **exactly once** per process — at the
+/// first call (equivalently: at global-pool initialization, which calls
+/// this) — and the parsed value is cached for the process lifetime.
 pub fn default_num_threads() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
+    *DEFAULT_THREADS.get_or_init(|| {
         parse_thread_env(
             std::env::var("LSBP_THREADS").ok().as_deref(),
             hardware_threads(),
@@ -72,22 +104,271 @@ pub fn default_num_threads() -> usize {
     })
 }
 
-thread_local! {
-    /// Thread-count override installed by [`ThreadPool::install`];
-    /// 0 means "not installed".
-    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+/// Installs `threads` (clamped to `1..=MAX_THREADS`) as the process-wide
+/// default *before* the environment has been read — the documented
+/// override for tests that must not depend on the ambient `LSBP_THREADS`.
+///
+/// Returns `Err` with the already-cached value when the default was
+/// fixed earlier (by a previous call or by any code path that already
+/// asked for [`default_num_threads`]); the global pool may already be
+/// running at that size. Call it first thing in the process (each cargo
+/// integration-test binary is its own process).
+pub fn set_default_num_threads(threads: usize) -> Result<(), usize> {
+    let t = threads.clamp(1, MAX_THREADS);
+    DEFAULT_THREADS
+        .set(t)
+        .map_err(|_| *DEFAULT_THREADS.get().expect("default just observed set"))
 }
 
-/// The thread count parallel operations on this thread will use: the
-/// innermost [`ThreadPool::install`], or [`default_num_threads`].
-pub fn current_num_threads() -> usize {
-    let installed = INSTALLED_THREADS.with(Cell::get);
-    if installed == 0 {
-        default_num_threads()
-    } else {
-        installed
+// ---------------------------------------------------------------------------
+// Regions: one parallel dispatch = one region.
+// ---------------------------------------------------------------------------
+
+/// A task whose environment lifetime has been erased (see the module-level
+/// safety note).
+type RawTask = Box<dyn FnOnce() + Send>;
+
+/// One parallel region: a queue of tasks plus the completion latch the
+/// submitting thread blocks on.
+struct Region {
+    state: Mutex<RegionState>,
+    /// Signalled when `pending` reaches 0.
+    done: Condvar,
+}
+
+struct RegionState {
+    tasks: VecDeque<RawTask>,
+    /// Tasks not yet *finished* (queued + currently running).
+    pending: usize,
+    /// First panic payload raised by any task of this region.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Region {
+    fn new(tasks: VecDeque<RawTask>) -> Self {
+        let pending = tasks.len();
+        Region {
+            state: Mutex::new(RegionState {
+                tasks,
+                pending,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Pops and runs tasks until the queue is empty. Called by resident
+    /// workers and by the submitting thread alike; panics are caught and
+    /// parked in the region for the submitter to re-throw.
+    fn drain(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().expect("region state poisoned");
+                st.tasks.pop_front()
+            };
+            let Some(task) = task else { return };
+            let result = catch_unwind(AssertUnwindSafe(task));
+            let mut st = self.state.lock().expect("region state poisoned");
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.pending -= 1;
+            if st.pending == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every task finished, then returns the first panic
+    /// payload (if any).
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock().expect("region state poisoned");
+        while st.pending > 0 {
+            st = self.done.wait(st).expect("region state poisoned");
+        }
+        st.panic.take()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Registry: the resident workers behind one or more ThreadPool handles.
+// ---------------------------------------------------------------------------
+
+/// State shared between pool handles and resident workers.
+struct RegistryShared {
+    inject: Mutex<Injector>,
+    /// Signalled when worker slots are injected (or on shutdown).
+    work: Condvar,
+}
+
+/// The injector queue. Each entry is one *worker slot* for a region: a
+/// region needing `w` helpers is pushed `w` times, and each waking worker
+/// pops one entry and drains that region. Stale slots (region already
+/// drained) are popped and dropped harmlessly.
+struct Injector {
+    slots: VecDeque<Arc<Region>>,
+    shutdown: bool,
+}
+
+/// A set of resident worker threads. Workers are spawned lazily, park on
+/// [`RegistryShared::work`] between regions, and exit when the registry
+/// shuts down (last [`ThreadPool`] handle dropped).
+struct Registry {
+    shared: Arc<RegistryShared>,
+    /// Maximum resident workers: pool threads − 1 (the submitting thread
+    /// is the remaining compute thread of every region).
+    capacity: usize,
+    spawn: Mutex<SpawnState>,
+}
+
+struct SpawnState {
+    spawned: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Registry {
+    fn new(threads: usize) -> Self {
+        Registry {
+            shared: Arc::new(RegistryShared {
+                inject: Mutex::new(Injector {
+                    slots: VecDeque::new(),
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+            }),
+            capacity: threads.saturating_sub(1),
+            spawn: Mutex::new(SpawnState {
+                spawned: 0,
+                handles: Vec::new(),
+            }),
+        }
+    }
+
+    /// Injects `slots` worker slots for `region`, lazily spawning resident
+    /// workers up to the registry capacity.
+    fn submit(&self, region: &Arc<Region>, slots: usize) {
+        let want = slots.min(self.capacity);
+        if want == 0 {
+            return;
+        }
+        {
+            let mut sp = self.spawn.lock().expect("registry spawn state poisoned");
+            while sp.spawned < want {
+                let shared = Arc::clone(&self.shared);
+                let name = format!("lsbp-worker-{}", sp.spawned);
+                let handle = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(shared))
+                    .expect("could not spawn resident worker thread");
+                sp.handles.push(handle);
+                sp.spawned += 1;
+            }
+        }
+        {
+            let mut inj = self.shared.inject.lock().expect("injector poisoned");
+            for _ in 0..want {
+                inj.slots.push_back(Arc::clone(region));
+            }
+        }
+        for _ in 0..want {
+            self.shared.work.notify_one();
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        {
+            let mut inj = self.shared.inject.lock().expect("injector poisoned");
+            inj.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let handles = std::mem::take(
+            &mut self
+                .spawn
+                .lock()
+                .expect("registry spawn state poisoned")
+                .handles,
+        );
+        for h in handles {
+            // A worker only exits its loop between tasks; nothing here can
+            // panic, so join failures are impossible in practice.
+            let _ = h.join();
+        }
+    }
+}
+
+/// The resident worker main loop: pop a region slot, drain the region,
+/// park again. Exits on registry shutdown.
+fn worker_loop(shared: Arc<RegistryShared>) {
+    loop {
+        let region = {
+            let mut inj = shared.inject.lock().expect("injector poisoned");
+            loop {
+                if let Some(region) = inj.slots.pop_front() {
+                    break region;
+                }
+                if inj.shutdown {
+                    return;
+                }
+                inj = shared.work.wait(inj).expect("injector poisoned");
+            }
+        };
+        region.drain();
+    }
+}
+
+/// Erases the environment lifetime of a task so it can be handed to a
+/// `'static` resident worker.
+///
+/// # Safety
+/// The caller must guarantee the task has *finished executing* (or been
+/// dropped unexecuted) before anything it borrows is invalidated.
+/// [`run_region`] upholds this by blocking — through panics too — until
+/// the region's completion latch fires.
+unsafe fn erase_task<'env>(task: Box<dyn FnOnce() + Send + 'env>) -> RawTask {
+    std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, RawTask>(task)
+}
+
+/// Executes `tasks` as one parallel region on `registry`, with the caller
+/// participating as one compute thread alongside up to `threads − 1`
+/// resident workers. Serial fallback (spawn order, no erasure) when the
+/// region is trivial or the pool is single-threaded.
+fn run_region<'env>(
+    registry: &Registry,
+    threads: usize,
+    tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+) {
+    if tasks.is_empty() {
+        return;
+    }
+    if threads <= 1 || tasks.len() <= 1 || registry.capacity == 0 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    // SAFETY: this function blocks until `region.wait()` observes every
+    // task finished — including when a caller-drained task panics (drain
+    // catches it) — so the erased borrows cannot dangle.
+    let raw: VecDeque<RawTask> = tasks
+        .into_iter()
+        .map(|t| unsafe { erase_task(t) })
+        .collect();
+    let helpers = (threads - 1).min(raw.len());
+    let region = Arc::new(Region::new(raw));
+    registry.submit(&region, helpers);
+    region.drain();
+    if let Some(payload) = region.wait() {
+        resume_unwind(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool: the public handle.
+// ---------------------------------------------------------------------------
 
 /// Error from [`ThreadPoolBuilder::build`] (kept for API compatibility;
 /// this implementation cannot actually fail).
@@ -121,43 +402,65 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds a pool owning its own (dedicated) registry of resident
+    /// workers. Workers are spawned lazily on the first parallel region
+    /// and shut down when the last clone of the pool drops.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
             default_num_threads()
         } else {
             self.num_threads.min(MAX_THREADS)
         };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool::with_registry(threads))
     }
 }
 
-/// A scoped thread pool: a plain handle carrying a thread count. Parallel
-/// regions ([`ThreadPool::scope`], [`ThreadPool::join`]) spawn scoped
-/// workers on demand and join them before returning, so the pool holds no
-/// OS resources and is trivially cheap to create, copy and drop.
-#[derive(Clone, Copy, Debug)]
+/// A persistent thread pool: a cheaply clonable handle onto a registry of
+/// long-lived parked workers. Parallel regions ([`ThreadPool::scope`],
+/// [`ThreadPool::join`]) wake resident workers instead of spawning
+/// threads; the workers are reused across regions for the lifetime of the
+/// pool. The submitting thread always participates in its own region, so
+/// a pool of `t` threads runs regions on `t` compute threads (caller +
+/// `t − 1` residents).
+#[derive(Clone)]
 pub struct ThreadPool {
     threads: usize,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
 }
 
 impl ThreadPool {
+    fn with_registry(threads: usize) -> Self {
+        ThreadPool {
+            threads,
+            registry: Arc::new(Registry::new(threads)),
+        }
+    }
+
     /// The number of worker threads parallel regions of this pool use.
     pub fn current_num_threads(&self) -> usize {
         self.threads
     }
 
     /// Runs `op` with this pool installed as the current one:
-    /// [`current_num_threads`] (and thus the free [`join`]/[`scope`])
-    /// observe this pool's thread count inside `op`.
+    /// [`current_num_threads`] (and thus the free [`join`]/[`scope`] and
+    /// the slice helpers) dispatch to this pool inside `op`.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        let previous = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        let previous = INSTALLED_POOL.with(|c| c.replace(Some(self.clone())));
         // Restore on unwind too, so a panicking op does not leak the
         // override into unrelated code on this thread.
-        struct Restore(usize);
+        struct Restore(Option<ThreadPool>);
         impl Drop for Restore {
             fn drop(&mut self) {
-                INSTALLED_THREADS.with(|c| c.set(self.0));
+                let previous = self.0.take();
+                INSTALLED_POOL.with(|c| *c.borrow_mut() = previous);
             }
         }
         let _restore = Restore(previous);
@@ -165,7 +468,10 @@ impl ThreadPool {
     }
 
     /// Runs the two closures, potentially in parallel, returning both
-    /// results. With one thread this degenerates to sequential calls.
+    /// results. `oper_a` runs on the calling thread; `oper_b` is offered
+    /// to a resident worker and stolen back by the caller if no worker
+    /// picked it up by the time `oper_a` finishes. With one thread this
+    /// degenerates to sequential calls.
     pub fn join<RA, RB>(
         &self,
         oper_a: impl FnOnce() -> RA + Send,
@@ -175,30 +481,44 @@ impl ThreadPool {
         RA: Send,
         RB: Send,
     {
-        if self.threads <= 1 {
-            (oper_a(), oper_b())
-        } else {
-            std::thread::scope(|s| {
-                let handle_b = s.spawn(oper_b);
-                let ra = oper_a();
-                let rb = handle_b
-                    .join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-                (ra, rb)
-            })
+        if self.threads <= 1 || self.registry.capacity == 0 {
+            return (oper_a(), oper_b());
+        }
+        let mut rb: Option<RB> = None;
+        let rb_slot = &mut rb;
+        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            *rb_slot = Some(oper_b());
+        });
+        // SAFETY: as in `run_region` — this function waits for the region
+        // (even when `oper_a` panics) before any borrow dies.
+        let raw: VecDeque<RawTask> = std::iter::once(unsafe { erase_task(task) }).collect();
+        let region = Arc::new(Region::new(raw));
+        self.registry.submit(&region, 1);
+        let ra = catch_unwind(AssertUnwindSafe(oper_a));
+        region.drain(); // steal oper_b back if still queued
+        let region_panic = region.wait();
+        match ra {
+            Err(payload) => resume_unwind(payload),
+            Ok(ra) => {
+                if let Some(payload) = region_panic {
+                    resume_unwind(payload);
+                }
+                (ra, rb.expect("oper_b completed without result"))
+            }
         }
     }
 
-    /// Creates a [`Scope`]: tasks spawned inside `f` run after `f` returns,
-    /// distributed over this pool's workers, and `scope` returns once every
-    /// task finished. A panicking task propagates the panic to the caller.
+    /// Creates a [`Scope`]: tasks spawned inside `f` run after `f`
+    /// returns, distributed over this pool's resident workers (plus the
+    /// calling thread), and `scope` returns once every task finished. A
+    /// panicking task propagates the panic to the caller.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
         let sc = Scope {
             tasks: Mutex::new(Vec::new()),
         };
         let result = f(&sc);
         let tasks = sc.tasks.into_inner().expect("scope task queue poisoned");
-        run_tasks(tasks, self.threads);
+        run_region(&self.registry, self.threads, tasks);
         result
     }
 }
@@ -221,46 +541,61 @@ impl<'env> Scope<'env> {
     }
 }
 
-/// Executes queued tasks on up to `threads` scoped workers pulling from a
-/// shared queue (dynamic load balancing); serially in spawn order when
-/// `threads <= 1` or there is at most one task.
-fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>, threads: usize) {
-    if threads <= 1 || tasks.len() <= 1 {
-        for task in tasks {
-            task();
-        }
-        return;
-    }
-    let workers = threads.min(tasks.len());
-    let queue = Mutex::new(tasks.into_iter());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| loop {
-                    // Take the lock only long enough to pop one task.
-                    let task = match queue.lock() {
-                        Ok(mut guard) => guard.next(),
-                        // Another worker panicked mid-pop; stop pulling.
-                        Err(_) => break,
-                    };
-                    match task {
-                        Some(task) => task(),
-                        None => break,
-                    }
-                })
-            })
-            .collect();
-        // Join explicitly so a panicking task re-raises its own payload
-        // (scope's implicit join would replace it with a generic message).
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
+// ---------------------------------------------------------------------------
+// Global + cached pools, install machinery, free functions.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Pool override installed by [`ThreadPool::install`].
+    static INSTALLED_POOL: RefCell<Option<ThreadPool>> = const { RefCell::new(None) };
 }
 
-/// [`ThreadPool::join`] on the current thread count.
+/// The lazily-initialized global pool backing the free functions; sized by
+/// [`default_num_threads`] (i.e. honoring `LSBP_THREADS`). Its workers are
+/// created on the first parallel region and live for the process.
+pub fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::with_registry(default_num_threads()))
+}
+
+/// A process-shared persistent pool of exactly `threads` compute threads
+/// (clamped to `1..=MAX_THREADS`). The default thread count maps to the
+/// [`global_pool`]; other counts are built once and cached, so repeated
+/// kernel calls (and thread-count sweeps) reuse resident workers instead
+/// of constructing pools per call. Cached pools live for the process.
+pub fn shared_pool(threads: usize) -> ThreadPool {
+    let threads = threads.clamp(1, MAX_THREADS);
+    if threads == default_num_threads() {
+        return global_pool().clone();
+    }
+    static CACHE: OnceLock<Mutex<Vec<ThreadPool>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pools = cache.lock().expect("shared pool cache poisoned");
+    if let Some(pool) = pools.iter().find(|p| p.threads == threads) {
+        return pool.clone();
+    }
+    let pool = ThreadPool::with_registry(threads);
+    pools.push(pool.clone());
+    pool
+}
+
+/// The pool the free functions dispatch to: the innermost
+/// [`ThreadPool::install`], or the [`global_pool`].
+pub(crate) fn current_pool() -> ThreadPool {
+    INSTALLED_POOL
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(|| global_pool().clone())
+}
+
+/// The thread count parallel operations on this thread will use: the
+/// innermost [`ThreadPool::install`], or [`default_num_threads`].
+pub fn current_num_threads() -> usize {
+    INSTALLED_POOL
+        .with(|c| c.borrow().as_ref().map(|p| p.threads))
+        .unwrap_or_else(default_num_threads)
+}
+
+/// [`ThreadPool::join`] on the current pool.
 pub fn join<RA, RB>(
     oper_a: impl FnOnce() -> RA + Send,
     oper_b: impl FnOnce() -> RB + Send,
@@ -269,24 +604,21 @@ where
     RA: Send,
     RB: Send,
 {
-    ThreadPool {
-        threads: current_num_threads(),
-    }
-    .join(oper_a, oper_b)
+    current_pool().join(oper_a, oper_b)
 }
 
-/// [`ThreadPool::scope`] on the current thread count.
+/// [`ThreadPool::scope`] on the current pool.
 pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
-    ThreadPool {
-        threads: current_num_threads(),
-    }
-    .scope(f)
+    current_pool().scope(f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::thread::ThreadId;
 
     #[test]
     fn parse_thread_env_rules() {
@@ -338,6 +670,92 @@ mod tests {
         }
     }
 
+    /// Regions are reused across invocations of the same pool: many
+    /// consecutive scopes on one pool all complete (workers re-park and
+    /// re-wake correctly).
+    #[test]
+    fn repeated_regions_on_one_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        for round in 0..50usize {
+            let counter = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..7 {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 7, "round {round}");
+        }
+    }
+
+    /// The satellite contract: worker thread-ids are **stable across
+    /// consecutive regions** — tasks run on the same resident OS threads,
+    /// not on freshly spawned ones. (Rust `ThreadId`s are never reused
+    /// within a process, so a fresh-spawning pool could not pass this.)
+    #[test]
+    fn worker_thread_ids_stable_across_regions() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let main_id = std::thread::current().id();
+        let run_region_ids = || -> Vec<ThreadId> {
+            let ids = Mutex::new(Vec::new());
+            let barrier = Barrier::new(2);
+            pool.scope(|s| {
+                for _ in 0..2 {
+                    let ids = &ids;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        ids.lock().unwrap().push(std::thread::current().id());
+                        // Rendezvous forces caller + resident worker to run
+                        // one task each, concurrently.
+                        barrier.wait();
+                    });
+                }
+            });
+            ids.into_inner().unwrap()
+        };
+        let first = run_region_ids();
+        let second = run_region_ids();
+        let workers = |ids: &[ThreadId]| -> Vec<ThreadId> {
+            ids.iter().copied().filter(|&id| id != main_id).collect()
+        };
+        let (w1, w2) = (workers(&first), workers(&second));
+        assert_eq!(
+            w1.len(),
+            1,
+            "one task per region runs on the resident worker"
+        );
+        assert_eq!(w2.len(), 1);
+        assert_eq!(w1, w2, "the resident worker must be the same OS thread");
+    }
+
+    /// A pool never uses more distinct worker threads than its size − 1
+    /// (the caller is the remaining compute thread), across many regions.
+    #[test]
+    fn worker_set_is_bounded_by_pool_size() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let main_id = std::thread::current().id();
+        let seen = Mutex::new(HashSet::new());
+        for _ in 0..20 {
+            pool.scope(|s| {
+                for _ in 0..6 {
+                    let seen = &seen;
+                    s.spawn(move || {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                    });
+                }
+            });
+        }
+        let mut distinct = seen.into_inner().unwrap();
+        distinct.remove(&main_id);
+        assert!(
+            distinct.len() <= 2,
+            "3-thread pool must own at most 2 resident workers, saw {}",
+            distinct.len()
+        );
+    }
+
     #[test]
     fn install_overrides_current_threads() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
@@ -358,9 +776,66 @@ mod tests {
         });
     }
 
+    /// A panic in `join`'s first closure still waits for the second task
+    /// before unwinding (no dangling borrows), and re-raises the original
+    /// payload.
+    #[test]
+    #[should_panic(expected = "join-a")]
+    fn join_panic_in_a_is_safe() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let data = [1u8, 2, 3];
+        let _ = pool.join(
+            || panic!("join-a"),
+            || data.iter().map(|&x| x as usize).sum::<usize>(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "join-b")]
+    fn join_panic_in_b_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let _ = pool.join(|| 1 + 1, || -> usize { panic!("join-b") });
+    }
+
     #[test]
     fn builder_zero_means_default() {
         let pool = ThreadPoolBuilder::new().build().unwrap();
         assert_eq!(pool.current_num_threads(), default_num_threads());
+    }
+
+    #[test]
+    fn shared_pool_is_cached() {
+        let a = shared_pool(5);
+        let b = shared_pool(5);
+        assert!(
+            Arc::ptr_eq(&a.registry, &b.registry),
+            "same thread count must map to the same resident registry"
+        );
+        let default = shared_pool(default_num_threads());
+        assert!(Arc::ptr_eq(&default.registry, &global_pool().registry));
+    }
+
+    /// Nested regions (a scope inside a scoped task) complete without
+    /// deadlocking: the inner region's submitter drains its own queue.
+    #[test]
+    fn nested_scopes_complete() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                let inner_pool = pool.clone();
+                s.spawn(move || {
+                    inner_pool.scope(|s2| {
+                        for _ in 0..3 {
+                            s2.spawn(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 12);
     }
 }

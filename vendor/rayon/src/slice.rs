@@ -2,7 +2,7 @@
 //! `rayon::slice`, restricted to the `for_each` terminal (optionally
 //! through `enumerate`) that this workspace uses.
 
-use crate::{current_num_threads, ThreadPool};
+use crate::ThreadPool;
 
 /// Parallel read-only chunk iteration over slices.
 pub trait ParallelSlice<T: Sync> {
@@ -38,11 +38,10 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// The persistent pool chunk iterations dispatch to: the innermost
+/// [`ThreadPool::install`], or the process-global pool.
 fn pool() -> ThreadPool {
-    crate::ThreadPoolBuilder::new()
-        .num_threads(current_num_threads())
-        .build()
-        .expect("thread pool construction is infallible")
+    crate::current_pool()
 }
 
 /// Pending parallel iteration over read-only chunks.

@@ -1,0 +1,21 @@
+//! The documented test override for the process default thread count.
+//!
+//! Lives in its own integration-test binary (= its own process) because
+//! the default is a write-once cell: setting it must happen before any
+//! code path reads it, which cannot be guaranteed inside the shared
+//! unit-test binary.
+
+#[test]
+fn override_beats_environment_and_is_write_once() {
+    // First store wins, regardless of any ambient LSBP_THREADS (the CI
+    // matrix runs this under LSBP_THREADS=1 and =4).
+    rayon::set_default_num_threads(3).expect("default not yet read in this process");
+    assert_eq!(rayon::default_num_threads(), 3);
+    assert_eq!(rayon::current_num_threads(), 3);
+    // Once fixed, later overrides report the cached value instead.
+    assert_eq!(rayon::set_default_num_threads(9), Err(3));
+    assert_eq!(rayon::default_num_threads(), 3);
+    // Values are clamped into 1..=MAX_THREADS before storing.
+    let pool = rayon::global_pool();
+    assert_eq!(pool.current_num_threads(), 3);
+}

@@ -15,6 +15,7 @@ use lsbp::prelude::*;
 use lsbp_bench::kronecker_style_beliefs;
 use lsbp_graph::generators::kronecker_graph;
 use lsbp_linalg::Mat;
+use lsbp_sparse::FusedLinBpStep;
 
 fn bench(c: &mut Criterion) {
     let ho = CouplingMatrix::fig6b_residual();
@@ -53,6 +54,24 @@ fn bench(c: &mut Criterion) {
             })
         });
 
+        // One *fused* LinBP step (PR 4): the same update plus the
+        // convergence read-out in a single row-partitioned pass.
+        group.bench_with_input(BenchmarkId::new("fused_step", n), &n, |bch, _| {
+            let mut out = Mat::zeros(n, 3);
+            let mut deltas = [0.0f64];
+            let cfg = ParallelismConfig::serial();
+            let step = FusedLinBpStep {
+                e_hat: &e_hat,
+                h: &h,
+                h2: Some(&h2),
+                degrees: &degrees,
+                damping: 0.0,
+            };
+            bch.iter(|| {
+                adj.linbp_step_fused_with(&b0, &step, &mut out, &mut deltas, &cfg);
+            })
+        });
+
         // One BP round (messages-as-edges) — measured as 1 iteration of bp.
         let opts = BpOptions {
             max_iter: 1,
@@ -84,6 +103,24 @@ fn bench(c: &mut Criterion) {
         let k3 = Mat::from_fn(3, 3, |r, c| 0.1 * (r + c) as f64);
         bch.iter(|| b.matmul(&k3))
     });
+    group.finish();
+
+    // The transpose split heuristic at the size where the PR 3 parallel
+    // scatter regressed (kronecker m9, average degree ~13): with the
+    // retuned write-bound clamp the 2/4-thread configurations refuse to
+    // split and must match the serial time instead of trailing it.
+    let mut group = c.benchmark_group("transpose_m9_split_heuristic");
+    group.sample_size(10);
+    let graph = kronecker_graph(9);
+    let adj = graph.adjacency();
+    for threads in [1usize, 2, 4] {
+        let cfg = ParallelismConfig::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("transpose", threads),
+            &threads,
+            |bch, _| bch.iter(|| adj.transpose_with(&cfg)),
+        );
+    }
     group.finish();
 }
 

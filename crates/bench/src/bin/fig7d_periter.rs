@@ -101,7 +101,7 @@ fn main() {
             touched += adj
                 .row_cols(t as usize)
                 .iter()
-                .filter(|&&s| geo.g[s] == layer_u32 - 1)
+                .filter(|&&s| geo.g[s as usize] == layer_u32 - 1)
                 .count();
         }
         edges_per_layer.push(touched);

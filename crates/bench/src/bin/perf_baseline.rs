@@ -23,7 +23,7 @@ use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
 use lsbp_graph::generators::{dblp_like, erdos_renyi_gnm, kronecker_graph, DblpConfig};
 use lsbp_graph::Graph;
 use lsbp_linalg::{weight_balanced_ranges, Mat};
-use lsbp_sparse::CsrMatrix;
+use lsbp_sparse::{CsrMatrix, FusedLinBpStep};
 use std::ops::Range;
 use std::sync::Mutex;
 
@@ -147,6 +147,15 @@ fn run_suite(
         adj.transpose_with(cfg)
     });
 
+    // Dense matmul at belief shape: B̂·Ĥ (n×k · k×k) — the per-iteration
+    // dense factor of LinBP, now a 4-lane kernel.
+    let hk = h_residual_unscaled.clone();
+    bench_kernel(records, label, n, de, "matmul", threads, reps, |cfg| {
+        let mut out = Mat::zeros(n, k);
+        b.matmul_into_with(&hk, &mut out, cfg);
+        out
+    });
+
     let explicit = kronecker_style_beliefs(n, k, (n / 20).max(1), 7, false);
     let h = h_residual_unscaled.scale(eps);
     bench_kernel(records, label, n, de, "linbp_5iter", threads, reps, |cfg| {
@@ -184,6 +193,300 @@ fn run_suite(
             .expect("sbp dimensions are consistent");
         (r.beliefs.residual().clone(), r.geodesics.g)
     });
+
+    // Batched multi-query LinBP (q = 8): one stacked fused pass per
+    // iteration answers eight seed-sets.
+    let batch_queries: Vec<ExplicitBeliefs> = (0..8)
+        .map(|j| kronecker_style_beliefs(n, k, (n / 40).max(1), 11 + j as u64, false))
+        .collect();
+    bench_kernel(
+        records,
+        label,
+        n,
+        de,
+        "linbp_batch_q8",
+        threads,
+        reps,
+        |cfg| {
+            let opts = LinBpOptions {
+                max_iter: 5,
+                tol: 0.0,
+                parallelism: *cfg,
+                ..Default::default()
+            };
+            linbp_batch(&adj, &batch_queries, &h, &opts)
+                .expect("batch dimensions are consistent")
+                .into_iter()
+                .map(|r| r.beliefs.residual().clone())
+                .collect::<Vec<_>>()
+        },
+    );
+}
+
+/// One scalar-vs-SIMD kernel measurement (single-threaded).
+struct SimdRecord {
+    graph: String,
+    kernel: &'static str,
+    scalar_secs: f64,
+    simd_secs: f64,
+    speedup: f64,
+}
+
+/// One fused-vs-unfused LinBP step measurement (single-threaded).
+struct FusedRecord {
+    graph: String,
+    nodes: usize,
+    directed_edges: usize,
+    unfused_secs: f64,
+    fused_secs: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Pre-PR4 scalar kernel replicas — the "old" side of the `simd`
+/// old-vs-new comparison, kept here as benchmark baselines exactly like
+/// the scoped-spawn executor replica below.
+mod scalar_ref {
+    use super::*;
+
+    /// The old sequential SpMV row kernel (single accumulator per row).
+    pub fn spmv(adj: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (&c, &v) in adj.row_cols(r).iter().zip(adj.row_values(r)) {
+                acc += v * x[c as usize];
+            }
+            *out = acc;
+        }
+    }
+
+    /// The old SpMM row kernel — a faithful replica of the pre-PR4
+    /// per-entry element-wise zip (same accumulation order as today's
+    /// `axpy4`-based kernel, so this measures the unroll alone).
+    pub fn spmm(adj: &CsrMatrix, b: &Mat, out: &mut Mat) {
+        let row_len = b.cols();
+        let block = out.as_mut_slice();
+        block.iter_mut().for_each(|x| *x = 0.0);
+        for r in 0..adj.n_rows() {
+            let o_row = &mut block[r * row_len..(r + 1) * row_len];
+            for (&c, &v) in adj.row_cols(r).iter().zip(adj.row_values(r)) {
+                for (o, &bv) in o_row.iter_mut().zip(b.row(c as usize)) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
+
+    /// The old scalar ikj dense matmul — a faithful replica of the
+    /// pre-PR4 `matmul_rows` inner loop: hoisted row slices, zero skip,
+    /// element-wise zip (no per-element index arithmetic, so the timed
+    /// difference is the 4-lane rewrite, not bounds-check noise).
+    pub fn matmul(a: &Mat, b: &Mat, out: &mut Mat) {
+        let row_len = b.cols();
+        let block = out.as_mut_slice();
+        block.iter_mut().for_each(|x| *x = 0.0);
+        for i in 0..a.rows() {
+            let a_row = a.row(i);
+            let o_row = &mut block[i * row_len..(i + 1) * row_len];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in o_row.iter_mut().zip(b.row(k)) {
+                    *o += a_ik * bv;
+                }
+            }
+        }
+    }
+
+    /// The old sequential squared-difference sum.
+    pub fn l2_diff(a: &Mat, b: &Mat) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The old sequential max-abs-difference fold.
+    pub fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
+    }
+}
+
+/// Times `f` (already looped `inner` times internally is NOT assumed:
+/// this helper runs it `inner` times per sample) and returns best-of-reps
+/// seconds per call.
+fn best_secs_per_call(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, d) = time_once(|| {
+            for _ in 0..inner {
+                f();
+            }
+        });
+        best = best.min(d.as_secs_f64() / inner as f64);
+    }
+    best
+}
+
+/// Scalar-replica vs. 4-lane kernels on one graph, single-threaded —
+/// the `simd` section of the JSON.
+fn run_simd_suite(
+    records: &mut Vec<SimdRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    reps: usize,
+) {
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let cfg = ParallelismConfig::serial();
+    let mut push = |kernel: &'static str, scalar_secs: f64, simd_secs: f64| {
+        let rec = SimdRecord {
+            graph: label.to_string(),
+            kernel,
+            scalar_secs,
+            simd_secs,
+            speedup: scalar_secs / simd_secs,
+        };
+        println!(
+            "{:>14} {:>12} scalar {:>12.6}s  simd {:>12.6}s  speedup {:>5.2}x",
+            rec.graph, rec.kernel, rec.scalar_secs, rec.simd_secs, rec.speedup
+        );
+        records.push(rec);
+    };
+
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.1 - 0.6).collect();
+    let mut y = vec![0.0f64; n];
+    let scalar = best_secs_per_call(reps, 10, || scalar_ref::spmv(&adj, &x, &mut y));
+    let simd = best_secs_per_call(reps, 10, || adj.spmv_into_with(&x, &mut y, &cfg));
+    push("spmv", scalar, simd);
+
+    let a = Mat::from_fn(n, k, |r, c| ((r * k + c) % 17) as f64 * 0.01 - 0.08);
+    let mut spmm_out = Mat::zeros(n, k);
+    let scalar = best_secs_per_call(reps, 10, || scalar_ref::spmm(&adj, &a, &mut spmm_out));
+    let simd = best_secs_per_call(reps, 10, || adj.spmm_into_with(&a, &mut spmm_out, &cfg));
+    push("spmm", scalar, simd);
+
+    let hk = Mat::from_fn(k, k, |r, c| 0.11 * (r as f64 - c as f64) + 0.07);
+    let mut out = Mat::zeros(n, k);
+    let scalar = best_secs_per_call(reps, 10, || scalar_ref::matmul(&a, &hk, &mut out));
+    let simd = best_secs_per_call(reps, 10, || a.matmul_into_with(&hk, &mut out, &cfg));
+    push("matmul", scalar, simd);
+
+    let b2 = Mat::from_fn(n, k, |r, c| ((r * k + c) % 19) as f64 * 0.01 - 0.09);
+    let mut sink = 0.0f64;
+    let scalar = best_secs_per_call(reps, 40, || sink += scalar_ref::l2_diff(&a, &b2));
+    let simd = best_secs_per_call(reps, 40, || sink += a.l2_diff(&b2));
+    push("l2_diff", scalar, simd);
+
+    let scalar = best_secs_per_call(reps, 40, || sink += scalar_ref::max_abs_diff(&a, &b2));
+    let simd = best_secs_per_call(reps, 40, || sink += a.max_abs_diff_with(&b2, &cfg));
+    push("max_abs_diff", scalar, simd);
+    assert!(sink.is_finite(), "benchmark sink went non-finite");
+}
+
+/// Fused vs. unfused LinBP step (5 iterations each, single-threaded) on
+/// one graph — the `fused_linbp` section of the JSON. The unfused side is
+/// the PR 3 per-iteration cost: `linbp_step` (SpMM + dense `·Ĥ` + add +
+/// echo passes) plus the separate max-abs convergence pass.
+fn run_fused_suite(
+    records: &mut Vec<FusedRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    reps: usize,
+) {
+    const ITERS: usize = 5;
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let de = graph.num_directed_edges();
+    let cfg = ParallelismConfig::serial();
+    let explicit = kronecker_style_beliefs(n, k, (n / 20).max(1), 7, false);
+    let e_hat = explicit.residual_matrix().clone();
+    let h = h_residual_unscaled.scale(eps);
+    let h2 = h.matmul(&h);
+    let degrees = adj.squared_weight_degrees();
+
+    let run_unfused = || {
+        let mut b = e_hat.clone();
+        let mut next = Mat::zeros(n, k);
+        let mut scratch = LinBpScratch::new(n, k);
+        let mut delta = 0.0f64;
+        for _ in 0..ITERS {
+            linbp_step(
+                &adj,
+                &e_hat,
+                &b,
+                &h,
+                Some(&h2),
+                &degrees,
+                &mut scratch,
+                &mut next,
+                &cfg,
+            );
+            delta = next.max_abs_diff_with(&b, &cfg);
+            std::mem::swap(&mut b, &mut next);
+        }
+        (b, delta)
+    };
+    let run_fused = || {
+        let mut b = e_hat.clone();
+        let mut next = Mat::zeros(n, k);
+        let mut deltas = [0.0f64];
+        let step = FusedLinBpStep {
+            e_hat: &e_hat,
+            h: &h,
+            h2: Some(&h2),
+            degrees: &degrees,
+            damping: 0.0,
+        };
+        for _ in 0..ITERS {
+            adj.linbp_step_fused_with(&b, &step, &mut next, &mut deltas, &cfg);
+            std::mem::swap(&mut b, &mut next);
+        }
+        (b, deltas[0])
+    };
+
+    let (unfused_out, unfused_delta) = run_unfused();
+    let (fused_out, fused_delta) = run_fused();
+    let identical = unfused_out
+        .as_slice()
+        .iter()
+        .zip(fused_out.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+        && unfused_delta.to_bits() == fused_delta.to_bits();
+
+    let mut unfused_secs = f64::INFINITY;
+    let mut fused_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, d) = time_once(run_unfused);
+        unfused_secs = unfused_secs.min(d.as_secs_f64());
+        let (_, d2) = time_once(run_fused);
+        fused_secs = fused_secs.min(d2.as_secs_f64());
+    }
+    let rec = FusedRecord {
+        graph: label.to_string(),
+        nodes: n,
+        directed_edges: de,
+        unfused_secs,
+        fused_secs,
+        speedup: unfused_secs / fused_secs,
+        identical,
+    };
+    println!(
+        "{:>14} fused_linbp ({ITERS} iters) unfused {:>12.6}s  fused {:>12.6}s  \
+         speedup {:>5.2}x  identical={}",
+        rec.graph, rec.unfused_secs, rec.fused_secs, rec.speedup, rec.identical
+    );
+    records.push(rec);
 }
 
 /// One (threads, executor) measurement of the pool-overhead benchmark.
@@ -199,7 +502,7 @@ fn spmv_range(adj: &CsrMatrix, x: &[f64], range: Range<usize>, out: &mut [f64]) 
     for (r, slot) in range.zip(out.iter_mut()) {
         let mut acc = 0.0;
         for (&c, &v) in adj.row_cols(r).iter().zip(adj.row_values(r)) {
-            acc += v * x[c];
+            acc += v * x[c as usize];
         }
         *slot = acc;
     }
@@ -325,14 +628,17 @@ fn main() {
     let out_path = arg_string("--out", "BENCH_kernels.json");
 
     let mut records = Vec::new();
+    let mut simd_records = Vec::new();
+    let mut fused_records = Vec::new();
     let ho3 = CouplingMatrix::fig6b_residual();
     let mut exponents = vec![7u32.min(m), m];
     exponents.dedup();
     for exp in exponents {
         let graph = kronecker_graph(exp);
+        let label = format!("kronecker_m{exp}");
         run_suite(
             &mut records,
-            &format!("kronecker_m{exp}"),
+            &label,
             &graph,
             3,
             &ho3,
@@ -340,6 +646,8 @@ fn main() {
             &threads,
             reps,
         );
+        run_simd_suite(&mut simd_records, &label, &graph, 3, reps);
+        run_fused_suite(&mut fused_records, &label, &graph, 3, &ho3, 0.0005, reps);
     }
     if with_dblp {
         let ho4 = CouplingMatrix::homophily(4, 0.6)
@@ -354,6 +662,16 @@ fn main() {
             &ho4,
             0.005,
             &threads,
+            reps,
+        );
+        run_simd_suite(&mut simd_records, "dblp_like", &net.graph, 4, reps);
+        run_fused_suite(
+            &mut fused_records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
             reps,
         );
     }
@@ -372,6 +690,15 @@ fn main() {
         .map(|r| r.speedup_vs_serial)
         .fold(f64::NAN, f64::max);
     let all_identical = records.iter().all(|r| r.identical_to_serial);
+    // Fused-step acceptance read-out: the largest Kronecker graph's
+    // single-threaded fused-vs-unfused speedup (the ≥ 1.3× target of the
+    // SIMD/fusion PR runs on kronecker_m9).
+    let fused_speedup_largest = fused_records
+        .iter()
+        .filter(|r| r.graph == format!("kronecker_m{m}"))
+        .map(|r| r.speedup)
+        .fold(f64::NAN, f64::max);
+    let fused_all_identical = fused_records.iter().all(|r| r.identical);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -397,6 +724,13 @@ fn main() {
         json_f64(spmm_speedup_4t)
     ));
     json.push_str(&format!(
+        "    \"fused_linbp_speedup_serial_largest_kronecker\": {},\n",
+        json_f64(fused_speedup_largest)
+    ));
+    json.push_str(&format!(
+        "    \"fused_linbp_bitwise_identical_to_unfused\": {fused_all_identical},\n"
+    ));
+    json.push_str(&format!(
         "    \"all_parallel_results_bitwise_identical_to_serial\": {all_identical}\n"
     ));
     json.push_str("  },\n");
@@ -418,6 +752,45 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Old-vs-new SIMD kernel comparison (single-threaded, scalar
+    // replicas vs. the canonical 4-lane kernels).
+    json.push_str("  \"simd\": {\n    \"results\": [\n");
+    for (i, r) in simd_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"kernel\": \"{}\", \"scalar_secs\": {}, \
+             \"simd_secs\": {}, \"speedup\": {}}}{}\n",
+            r.graph,
+            r.kernel,
+            json_f64(r.scalar_secs),
+            json_f64(r.simd_secs),
+            json_f64(r.speedup),
+            if i + 1 == simd_records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    // Fused vs. unfused LinBP step (5 iterations, single-threaded), with
+    // the fused-equals-unfused bitwise check inline.
+    json.push_str("  \"fused_linbp\": {\n    \"iters_per_measurement\": 5,\n    \"results\": [\n");
+    for (i, r) in fused_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"nodes\": {}, \"directed_edges\": {}, \
+             \"unfused_secs\": {}, \"fused_secs\": {}, \"speedup\": {}, \
+             \"identical_to_unfused\": {}}}{}\n",
+            r.graph,
+            r.nodes,
+            r.directed_edges,
+            json_f64(r.unfused_secs),
+            json_f64(r.fused_secs),
+            json_f64(r.speedup),
+            r.identical,
+            if i + 1 == fused_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     // The persistent-pool overhead section: µs of dispatch+compute per
     // small-kernel region, resident workers vs. per-region scoped spawn.
     json.push_str("  \"pool\": {\n");
@@ -444,12 +817,19 @@ fn main() {
 
     println!("\nwrote {out_path}");
     println!(
-        "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}",
+        "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}, \
+         fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}",
         json_f64(spmm_speedup_4t),
-        all_identical
+        all_identical,
+        json_f64(fused_speedup_largest),
+        fused_all_identical
     );
     assert!(
         all_identical,
         "parallel kernel produced a result differing from the serial reference"
+    );
+    assert!(
+        fused_all_identical,
+        "fused LinBP step diverged bitwise from the unfused reference"
     );
 }

@@ -31,7 +31,7 @@ use crate::rwr::{RwrError, RwrOptions, RwrResult};
 use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome, ToleranceNorm,
 };
-use lsbp_sparse::CsrMatrix;
+use lsbp_sparse::{CsrMatrix, FusedLinBpStep};
 
 /// Runs **LinBP** (Eq. 6, with echo cancellation) on `q` independent
 /// seed-sets in one pass: one stacked SpMM per iteration, per-query
@@ -67,9 +67,12 @@ struct QuerySlot {
     final_delta: f64,
 }
 
-/// The stacked LinBP update as a [`FixedPointOp`]. The outer solver runs
-/// in "operator-controlled" mode (`tol = 0`, no guard): tolerance and
-/// divergence are applied *per query* inside the step, with the same
+/// The stacked LinBP update as a [`FixedPointOp`], backed by the fused
+/// kernel ([`CsrMatrix::linbp_step_fused_with`]) applying `Ĥ` per
+/// `k`-column block: one row-partitioned pass computes the update,
+/// damping and every query's max-abs residual together. The outer solver
+/// runs in "operator-controlled" mode (`tol = 0`, no guard): tolerance
+/// and divergence are applied *per query* inside the step, with the same
 /// comparisons in the same order as the single-query solver.
 struct LinBpBatchIteration<'a> {
     adj: &'a CsrMatrix,
@@ -79,9 +82,6 @@ struct LinBpBatchIteration<'a> {
     degrees: &'a [f64],
     b: Mat,
     next: Mat,
-    ab: Mat,
-    db: Mat,
-    tmp: Mat,
     k: usize,
     cfg: ParallelismConfig,
     tol: f64,
@@ -93,34 +93,33 @@ struct LinBpBatchIteration<'a> {
 impl FixedPointOp for LinBpBatchIteration<'_> {
     fn step(&mut self, solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
         let k = self.k;
-        // One stacked update: exactly `linbp_step` with the dense `·Ĥ`
-        // factors applied block-diagonally (Ĥ per k-column block).
-        self.adj.spmm_into_with(&self.b, &mut self.ab, &self.cfg);
-        self.ab
-            .matmul_blockdiag_into_with(self.h, &mut self.next, &self.cfg);
-        self.next.add_assign(self.e_hat);
-        if let Some(h2) = self.h2 {
-            self.b.scaled_rows_into(self.degrees, &mut self.db);
-            self.db
-                .matmul_blockdiag_into_with(h2, &mut self.tmp, &self.cfg);
-            self.next.sub_assign(&self.tmp);
-        }
-        if solver.damping > 0.0 {
-            let lambda = solver.damping;
-            for (new, &old) in self.next.as_mut_slice().iter_mut().zip(self.b.as_slice()) {
-                *new = (1.0 - lambda) * *new + lambda * old;
+        // One stacked fused update — exactly the single-query fused step
+        // per k-column block, residuals accumulated per query in-pass.
+        // (Frozen queries are computed too, like the unfused stacked
+        // update before; their outputs are discarded below.)
+        self.adj.linbp_step_fused_with(
+            &self.b,
+            &FusedLinBpStep {
+                e_hat: self.e_hat,
+                h: self.h,
+                h2: self.h2,
+                degrees: self.degrees,
+                damping: solver.damping,
+            },
+            &mut self.next,
+            &mut self.deltas,
+            &self.cfg,
+        );
+        // The fused pass already produced max-abs deltas; L2 queries
+        // replace theirs with the fixed-order column-block read-out
+        // (fusing L2 would tie the sum to the row partition).
+        if solver.norm == ToleranceNorm::L2 {
+            for (j, slot) in self.slots.iter().enumerate() {
+                if slot.frozen {
+                    continue;
+                }
+                self.deltas[j] = self.next.l2_diff_cols(&self.b, j * k..(j + 1) * k);
             }
-        }
-        // Per-query deltas (only queries still live), then the swap.
-        for (j, slot) in self.slots.iter().enumerate() {
-            if slot.frozen {
-                continue;
-            }
-            let cols = j * k..(j + 1) * k;
-            self.deltas[j] = match solver.norm {
-                ToleranceNorm::MaxAbs => self.next.max_abs_diff_cols(&self.b, cols),
-                ToleranceNorm::L2 => self.next.l2_diff_cols(&self.b, cols),
-            };
         }
         std::mem::swap(&mut self.b, &mut self.next);
         // Frozen queries keep their final beliefs: copy them forward from
@@ -223,9 +222,6 @@ fn linbp_batch_run(
         degrees: &degrees,
         b: e_hat.clone(),
         next: Mat::zeros(n, k * q),
-        ab: Mat::zeros(n, k * q),
-        db: Mat::zeros(n, k * q),
-        tmp: Mat::zeros(n, k * q),
         k,
         cfg: opts.parallelism,
         tol: opts.tol,

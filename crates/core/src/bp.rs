@@ -158,7 +158,9 @@ pub fn bp(
         let mut e = 0usize;
         for u in 0..n {
             for &v in adj.row_cols(u) {
-                let r = adj.entry_index(v, u).ok_or(BpError::AsymmetricAdjacency)?;
+                let r = adj
+                    .entry_index(v as usize, u)
+                    .ok_or(BpError::AsymmetricAdjacency)?;
                 rev[e] = r as u32;
                 e += 1;
             }

@@ -22,7 +22,7 @@ use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, IterationEvent, Mat, ParallelismConfig, StepOutcome,
     ToleranceNorm,
 };
-use lsbp_sparse::CsrMatrix;
+use lsbp_sparse::{CsrMatrix, FusedLinBpStep};
 
 /// Options for [`linbp`] / [`linbp_star`].
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +153,13 @@ impl LinBpScratch {
 /// provided scratch buffers for every intermediate (no per-step
 /// allocation). Exposed for the per-iteration instrumentation of Fig. 7d
 /// and the closed-form Jacobi solver.
+///
+/// This is the **unfused reference** composition (SpMM, dense `·Ĥ`,
+/// element-wise add/sub as separate passes). The solver path runs
+/// [`CsrMatrix::linbp_step_fused_with`] instead — one row-partitioned,
+/// cache-resident pass that is bitwise identical to this composition
+/// (property-tested in `tests/fused_linbp.rs`) but avoids re-streaming
+/// the `n × k` intermediates.
 #[allow(clippy::too_many_arguments)] // mirrors the terms of Eq. 6 one-to-one
 pub fn linbp_step(
     adj: &CsrMatrix,
@@ -178,8 +185,11 @@ pub fn linbp_step(
     }
 }
 
-/// The LinBP update as a [`FixedPointOp`]: owns the belief double buffer
-/// and the per-run scratch ([`LinBpScratch`]), so no iteration allocates.
+/// The LinBP update as a [`FixedPointOp`], backed by the fused kernel
+/// ([`CsrMatrix::linbp_step_fused_with`]): one row-partitioned pass per
+/// iteration computes the update, the damping blend and the max-abs
+/// residual together; only the belief double buffer persists between
+/// rounds, so no iteration allocates `n × k` scratch at all.
 struct LinBpIteration<'a> {
     adj: &'a CsrMatrix,
     e_hat: &'a Mat,
@@ -188,31 +198,30 @@ struct LinBpIteration<'a> {
     degrees: &'a [f64],
     b: Mat,
     next: Mat,
-    scratch: LinBpScratch,
     cfg: ParallelismConfig,
 }
 
 impl FixedPointOp for LinBpIteration<'_> {
     fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
-        linbp_step(
-            self.adj,
-            self.e_hat,
+        let mut fused_delta = [0.0f64];
+        self.adj.linbp_step_fused_with(
             &self.b,
-            self.h,
-            self.h2,
-            self.degrees,
-            &mut self.scratch,
+            &FusedLinBpStep {
+                e_hat: self.e_hat,
+                h: self.h,
+                h2: self.h2,
+                degrees: self.degrees,
+                damping: solver.damping,
+            },
             &mut self.next,
+            &mut fused_delta,
             &self.cfg,
         );
-        if solver.damping > 0.0 {
-            let lambda = solver.damping;
-            for (new, &old) in self.next.as_mut_slice().iter_mut().zip(self.b.as_slice()) {
-                *new = (1.0 - lambda) * *new + lambda * old;
-            }
-        }
         let delta = match solver.norm {
-            ToleranceNorm::MaxAbs => self.next.max_abs_diff_with(&self.b, &self.cfg),
+            ToleranceNorm::MaxAbs => fused_delta[0],
+            // L2 is deliberately *not* fused: summing per-row-block
+            // partials would tie the total to the partition (thread
+            // count); the flat fixed-order pass keeps it deterministic.
             ToleranceNorm::L2 => self.next.l2_diff(&self.b),
         };
         std::mem::swap(&mut self.b, &mut self.next);
@@ -287,7 +296,6 @@ fn run_observed(
         degrees: &degrees,
         b: e_hat.clone(),
         next: Mat::zeros(n, k),
-        scratch: LinBpScratch::new(n, k),
         cfg: opts.parallelism,
     };
     let outcome = opts.solver().run_observed(&mut op, observer);

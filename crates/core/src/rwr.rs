@@ -28,7 +28,7 @@ pub struct RwrOptions {
     /// Norm the convergence threshold is measured in (default: largest
     /// absolute score change).
     pub norm: ToleranceNorm,
-    /// Serial vs. pooled execution of the diffusion SpMV. Results are
+    /// Serial vs. pooled execution of the diffusion kernel. Results are
     /// bitwise identical for every thread count; the default follows
     /// `LSBP_THREADS`.
     pub parallelism: ParallelismConfig,
@@ -112,17 +112,24 @@ pub(crate) fn restart_distribution(explicit: &ExplicitBeliefs) -> Result<Mat, Rw
 }
 
 /// One class's random walk with restart as a [`FixedPointOp`]: scale by
-/// inverse degrees, diffuse (one SpMV), blend with the restart
-/// distribution, renormalize the leaked mass. The scale/diffuse scratch is
-/// borrowed from the caller so all `k` walks share one allocation.
+/// inverse degrees, diffuse, blend with the restart distribution,
+/// renormalize the leaked mass. The scale/diffuse scratch is borrowed
+/// from the caller so all `k` walks share one allocation.
+///
+/// The diffusion runs through the *one-column SpMM* kernel rather than
+/// SpMV: SpMV's row dot product accumulates in the reassociated 4-lane
+/// order, while the batched solver's stacked diffusion is an SpMM whose
+/// per-element sums stay in CSR entry order — routing the single walk
+/// through the same SpMM kernel is what keeps [`crate::batch::rwr_batch`]
+/// bitwise identical to `q` standalone runs.
 struct RwrWalk<'a> {
     adj: &'a CsrMatrix,
     degrees: &'a [f64],
     restart_col: Vec<f64>,
     restart: f64,
     x: Vec<f64>,
-    scaled: &'a mut Vec<f64>,
-    diffused: &'a mut Vec<f64>,
+    scaled: &'a mut Mat,
+    diffused: &'a mut Mat,
     cfg: &'a ParallelismConfig,
 }
 
@@ -130,22 +137,23 @@ impl FixedPointOp for RwrWalk<'_> {
     fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
         let n = self.x.len();
         for v in 0..n {
-            self.scaled[v] = if self.degrees[v] > 0.0 {
+            self.scaled.as_mut_slice()[v] = if self.degrees[v] > 0.0 {
                 self.x[v] / self.degrees[v]
             } else {
                 0.0
             };
         }
         self.adj
-            .spmv_into_with(self.scaled, self.diffused, self.cfg);
+            .spmm_into_with(self.scaled, self.diffused, self.cfg);
+        let diffused = self.diffused.as_slice();
         let mut delta = 0.0f64;
-        for v in 0..n {
-            let next = (1.0 - self.restart) * self.diffused[v] + self.restart * self.restart_col[v];
+        for ((x, &d), &rc) in self.x.iter_mut().zip(diffused).zip(&self.restart_col) {
+            let next = (1.0 - self.restart) * d + self.restart * rc;
             match solver.norm {
-                ToleranceNorm::MaxAbs => delta = delta.max((next - self.x[v]).abs()),
-                ToleranceNorm::L2 => delta += (next - self.x[v]) * (next - self.x[v]),
+                ToleranceNorm::MaxAbs => delta = delta.max((next - *x).abs()),
+                ToleranceNorm::L2 => delta += (next - *x) * (next - *x),
             }
-            self.x[v] = next;
+            *x = next;
         }
         if solver.norm == ToleranceNorm::L2 {
             delta = delta.sqrt();
@@ -183,11 +191,12 @@ pub fn rwr(
 
     // Random-walk transition: column-stochastic W(t, s) = w(s,t)/deg(s).
     // We apply it matrix-free: (W x)(t) = Σ_s w(s,t)·x(s)/deg(s); with a
-    // symmetric adjacency this is one SpMV over x/deg.
+    // symmetric adjacency this is one diffusion over x/deg (an n×1 SpMM
+    // — see the RwrWalk docs for why SpMM rather than SpMV).
     let degrees = adj.row_sums();
     let mut scores = restart_dist.clone();
-    let mut scaled = vec![0.0f64; n];
-    let mut diffused = vec![0.0f64; n];
+    let mut scaled = Mat::zeros(n, 1);
+    let mut diffused = Mat::zeros(n, 1);
     let mut converged = true;
     let mut worst_iters = 0usize;
     let solver = FixedPointSolver::new(opts.max_iter, opts.tol).with_norm(opts.norm);

@@ -350,9 +350,9 @@ pub fn sbp_add_explicit(
         in_next.iter_mut().for_each(|b| *b = false);
         for &s in &frontier {
             for &t in adj.row_cols(s as usize) {
-                if g[t] >= i && !in_next[t] {
-                    in_next[t] = true;
-                    next.push(t as u32);
+                if g[t as usize] >= i && !in_next[t as usize] {
+                    in_next[t as usize] = true;
+                    next.push(t);
                 }
             }
         }
@@ -441,11 +441,11 @@ pub fn sbp_add_edges(
         // belief changes propagate only when the belief actually moved.
         for &u in adj_new.row_cols(t) {
             let cand = gv + 1;
-            if g[u] == UNREACHABLE || cand < g[u] {
-                g[u] = cand;
-                heap.push(Reverse((cand, u as u32)));
-            } else if cand == g[u] && changed {
-                heap.push(Reverse((cand, u as u32)));
+            if g[u as usize] == UNREACHABLE || cand < g[u as usize] {
+                g[u as usize] = cand;
+                heap.push(Reverse((cand, u)));
+            } else if cand == g[u as usize] && changed {
+                heap.push(Reverse((cand, u)));
             }
         }
     }

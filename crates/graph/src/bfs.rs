@@ -71,14 +71,14 @@ pub fn geodesic_numbers(adj: &CsrMatrix, sources: &[usize]) -> Geodesics {
     while let Some(u) = queue.pop_front() {
         let gu = g[u as usize];
         for &v in adj.row_cols(u as usize) {
-            if g[v] == UNREACHABLE {
+            if g[v as usize] == UNREACHABLE {
                 let gv = gu + 1;
-                g[v] = gv;
+                g[v as usize] = gv;
                 if layers.len() <= gv as usize {
                     layers.push(Vec::new());
                 }
-                layers[gv as usize].push(v as u32);
-                queue.push_back(v as u32);
+                layers[gv as usize].push(v);
+                queue.push_back(v);
             }
         }
     }

@@ -131,6 +131,7 @@ impl Graph {
             queue.push_back(start);
             while let Some(u) = queue.pop_front() {
                 for &v in adj.row_cols(u) {
+                    let v = v as usize;
                     if comp[v] == usize::MAX {
                         comp[v] = next_comp;
                         queue.push_back(v);

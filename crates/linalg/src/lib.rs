@@ -26,6 +26,7 @@ pub mod fixedpoint;
 pub mod matrix;
 pub mod norms;
 pub mod parallel;
+pub mod simd;
 pub mod solve;
 pub mod standardize;
 

@@ -6,6 +6,7 @@
 //! the access pattern of every kernel in the workspace (SpMM walks rows).
 
 use crate::parallel::ParallelismConfig;
+use crate::simd::{axpy4, max_abs4, max_abs_diff4, SquaredDiffAccumulator};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -201,7 +202,10 @@ impl Mat {
     /// Serial ikj kernel over the row block `rows`, writing into `block`
     /// (the flat row-major storage of exactly those output rows). Shared
     /// verbatim by the serial path and every parallel task, which is what
-    /// makes parallel results bitwise identical to serial ones.
+    /// makes parallel results bitwise identical to serial ones. The inner
+    /// axpy runs 4 lanes wide ([`axpy4`]) — each output element still
+    /// receives its contributions in the same `k` order, so this is
+    /// bitwise the scalar kernel.
     fn matmul_rows(&self, other: &Mat, rows: std::ops::Range<usize>, block: &mut [f64]) {
         let row_len = other.cols;
         block.iter_mut().for_each(|x| *x = 0.0);
@@ -212,10 +216,7 @@ impl Mat {
                 if a_ik == 0.0 {
                     continue;
                 }
-                let b_row = other.row(k);
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
+                axpy4(a_ik, other.row(k), o_row);
             }
         }
     }
@@ -318,7 +319,7 @@ impl Mat {
 
     /// Largest absolute entry (the `max` norm); 0 for empty matrices.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+        max_abs4(&self.data)
     }
 
     /// Largest absolute element-wise difference to `other`.
@@ -335,22 +336,16 @@ impl Mat {
             (other.rows, other.cols),
             "max_abs_diff shape"
         );
-        let chunk_max = |a: &[f64], b: &[f64]| {
-            a.iter()
-                .zip(b)
-                .fold(0.0f64, |m, (&x, &y)| m.max((x - y).abs()))
-        };
         let parts = cfg.partitions(self.data.len());
         if parts <= 1 {
-            return chunk_max(&self.data, &other.data);
+            return max_abs_diff4(&self.data, &other.data);
         }
         let ranges = crate::parallel::even_ranges(self.data.len(), parts);
         let mut partials = vec![0.0f64; ranges.len()];
         cfg.pool().scope(|s| {
             for (slot, range) in partials.iter_mut().zip(ranges) {
-                let chunk_max = &chunk_max;
                 s.spawn(move || {
-                    *slot = chunk_max(&self.data[range.clone()], &other.data[range]);
+                    *slot = max_abs_diff4(&self.data[range.clone()], &other.data[range]);
                 });
             }
         });
@@ -360,62 +355,41 @@ impl Mat {
     /// Euclidean norm of the element-wise difference to `other`
     /// (`‖self − other‖₂` over the flat storage).
     ///
-    /// Always accumulates serially in element order: unlike the max-abs
-    /// reduction, a floating-point sum is order-dependent, so a fixed
-    /// order is what keeps the L2 tolerance policy bitwise identical
-    /// across thread counts. One pass over `n·k` entries is negligible
-    /// next to the SpMM it follows.
+    /// Always accumulates in the canonical 4-lane order over the flat
+    /// element stream ([`crate::simd`]): unlike the max-abs reduction, a
+    /// floating-point sum is order-dependent, so one fixed order —
+    /// independent of the thread count — is what keeps the L2 tolerance
+    /// policy bitwise identical across `LSBP_THREADS` settings. One pass
+    /// over `n·k` entries is negligible next to the SpMM it follows.
     pub fn l2_diff(&self, other: &Mat) -> f64 {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
             "l2_diff shape"
         );
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum::<f64>()
-            .sqrt()
+        let mut acc = SquaredDiffAccumulator::new();
+        acc.feed(&self.data, &other.data);
+        acc.finish().sqrt()
     }
 
     /// [`Mat::l2_diff`] restricted to the column block `cols` — the
-    /// per-query tolerance read-out of the batched solvers. Accumulates
-    /// row-major within the block, i.e. in exactly the element order a
-    /// single-query `n × k` [`Mat::l2_diff`] would use on the same values.
+    /// per-query tolerance read-out of the batched solvers. The
+    /// phase-carrying accumulator assigns every element the lane its
+    /// position in the *block's* row-major stream dictates, i.e. exactly
+    /// the lanes a single-query `n × k` [`Mat::l2_diff`] would use on the
+    /// same values — batched L2 deltas stay bitwise equal to standalone
+    /// ones.
     pub fn l2_diff_cols(&self, other: &Mat, cols: std::ops::Range<usize>) -> f64 {
         assert_eq!(
             (self.rows, self.cols),
             (other.rows, other.cols),
             "l2_diff_cols shape"
         );
-        let mut acc = 0.0f64;
+        let mut acc = SquaredDiffAccumulator::new();
         for r in 0..self.rows {
-            let (a, b) = (&self.row(r)[cols.clone()], &other.row(r)[cols.clone()]);
-            for (&x, &y) in a.iter().zip(b) {
-                acc += (x - y) * (x - y);
-            }
+            acc.feed(&self.row(r)[cols.clone()], &other.row(r)[cols.clone()]);
         }
-        acc.sqrt()
-    }
-
-    /// [`Mat::max_abs_diff`] restricted to the column block `cols`.
-    /// `max` is order-independent, so this equals what a single-query
-    /// matrix holding just these columns would report.
-    pub fn max_abs_diff_cols(&self, other: &Mat, cols: std::ops::Range<usize>) -> f64 {
-        assert_eq!(
-            (self.rows, self.cols),
-            (other.rows, other.cols),
-            "max_abs_diff_cols shape"
-        );
-        let mut acc = 0.0f64;
-        for r in 0..self.rows {
-            let (a, b) = (&self.row(r)[cols.clone()], &other.row(r)[cols.clone()]);
-            for (&x, &y) in a.iter().zip(b) {
-                acc = acc.max((x - y).abs());
-            }
-        }
-        acc
+        acc.finish().sqrt()
     }
 
     /// [`Mat::max_abs`] restricted to the column block `cols` — the
@@ -423,83 +397,9 @@ impl Mat {
     pub fn max_abs_cols(&self, cols: std::ops::Range<usize>) -> f64 {
         let mut acc = 0.0f64;
         for r in 0..self.rows {
-            for &x in &self.row(r)[cols.clone()] {
-                acc = acc.max(x.abs());
-            }
+            acc = acc.max(max_abs4(&self.row(r)[cols.clone()]));
         }
         acc
-    }
-
-    /// Block-diagonal product: applies the `k × k` matrix `m` to every
-    /// consecutive `k`-column block of `self` (an `n × (k·q)` stack of `q`
-    /// independent `n × k` matrices), writing into `out` — algebraically
-    /// `self · (I_q ⊗ m)` without materializing the `kq × kq` operator.
-    /// This is the per-iteration `·Ĥ` of the batched LinBP solver: one
-    /// call covers all `q` queries.
-    ///
-    /// Each block's accumulation order equals [`Mat::matmul_into_with`] on
-    /// the corresponding `n × k` slice, so batched results are bitwise
-    /// identical to `q` independent products; rows are partitioned exactly
-    /// like the plain dense product, preserving that identity at any
-    /// thread count.
-    ///
-    /// # Panics
-    /// Panics if `m` is not square, `self.cols()` is not a multiple of
-    /// `m.rows()`, or `out` has a different shape from `self`.
-    pub fn matmul_blockdiag_into_with(&self, m: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
-        assert!(m.is_square(), "block-diagonal factor must be square");
-        let k = m.rows();
-        assert!(
-            k > 0 && self.cols.is_multiple_of(k),
-            "column count {} is not a multiple of block size {k}",
-            self.cols
-        );
-        assert_eq!(
-            (self.rows, self.cols),
-            (out.rows, out.cols),
-            "matmul_blockdiag output shape"
-        );
-        let parts = cfg.partitions(self.rows * self.cols * k);
-        if parts <= 1 {
-            self.matmul_blockdiag_rows(m, 0..self.rows, out.as_mut_slice());
-            return;
-        }
-        let ranges = crate::parallel::even_ranges(self.rows, parts);
-        let row_len = self.cols;
-        let mut rest: &mut [f64] = out.as_mut_slice();
-        cfg.pool().scope(|s| {
-            for range in ranges {
-                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
-                rest = tail;
-                s.spawn(move || self.matmul_blockdiag_rows(m, range, chunk));
-            }
-        });
-    }
-
-    /// Serial kernel of [`Mat::matmul_blockdiag_into_with`] over the row
-    /// block `rows`: per row, per `k`-column block, the same
-    /// zero-skipping accumulation as [`Mat::matmul_rows`].
-    fn matmul_blockdiag_rows(&self, m: &Mat, rows: std::ops::Range<usize>, block: &mut [f64]) {
-        let k = m.rows();
-        let row_len = self.cols;
-        block.iter_mut().for_each(|x| *x = 0.0);
-        for r in rows.clone() {
-            let a_row = self.row(r);
-            let o_row = &mut block[(r - rows.start) * row_len..(r - rows.start + 1) * row_len];
-            for blk in 0..(row_len / k) {
-                let a_blk = &a_row[blk * k..(blk + 1) * k];
-                let o_blk = &mut o_row[blk * k..(blk + 1) * k];
-                for (c1, &a) in a_blk.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let m_row = m.row(c1);
-                    for (o, &mv) in o_blk.iter_mut().zip(m_row) {
-                        *o += a * mv;
-                    }
-                }
-            }
-        }
     }
 
     /// `true` iff the matrix equals its transpose up to `tol`.

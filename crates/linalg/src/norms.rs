@@ -6,10 +6,12 @@
 //! column sum) and the induced-∞ norm (max absolute row sum).
 
 use crate::matrix::Mat;
+use crate::simd::{sum_abs4, sum_sq4};
 
-/// Frobenius norm: `sqrt(Σ x_ij²)` — the element-wise 2-norm.
+/// Frobenius norm: `sqrt(Σ x_ij²)` — the element-wise 2-norm, summed in
+/// the canonical 4-lane order ([`crate::simd`]).
 pub fn frobenius_norm(m: &Mat) -> f64 {
-    m.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+    sum_sq4(m.as_slice()).sqrt()
 }
 
 /// Induced 1-norm: maximum absolute column sum.
@@ -23,10 +25,11 @@ pub fn induced_1_norm(m: &Mat) -> f64 {
     col_sums.into_iter().fold(0.0, f64::max)
 }
 
-/// Induced ∞-norm: maximum absolute row sum.
+/// Induced ∞-norm: maximum absolute row sum (each row summed in the
+/// canonical 4-lane order).
 pub fn induced_inf_norm(m: &Mat) -> f64 {
     (0..m.rows())
-        .map(|r| m.row(r).iter().map(|x| x.abs()).sum::<f64>())
+        .map(|r| sum_abs4(m.row(r)))
         .fold(0.0, f64::max)
 }
 

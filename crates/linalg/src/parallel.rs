@@ -88,6 +88,15 @@ impl ParallelismConfig {
         self.threads
     }
 
+    /// The configured minimum-work floor. A floor of `1` is the
+    /// documented "force the parallel code path" test/benchmark hook
+    /// (see [`ParallelismConfig::with_min_work`]); profitability
+    /// heuristics that would otherwise refuse to split (e.g. the CSR
+    /// transpose rescan clamp) honor that intent by skipping the clamp.
+    pub fn min_work(&self) -> usize {
+        self.min_work
+    }
+
     /// `true` iff this config never spawns threads.
     pub fn is_serial(&self) -> bool {
         self.threads <= 1

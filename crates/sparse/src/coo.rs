@@ -1,6 +1,6 @@
 //! Coordinate-format (triplet) sparse matrix builder.
 
-use crate::csr::CsrMatrix;
+use crate::csr::{CsrError, CsrMatrix};
 
 /// A sparse matrix under construction: an unordered list of
 /// `(row, col, value)` triplets. Duplicate coordinates are *summed* when
@@ -77,7 +77,21 @@ impl CooMatrix {
     /// Entries whose merged value is exactly 0.0 are kept (callers that want
     /// them pruned can use [`CsrMatrix::prune_zeros`]); this keeps the
     /// structure of "explicit zeros" deterministic.
+    ///
+    /// # Panics
+    /// Panics if a dimension exceeds the CSR `u32` index limit
+    /// ([`crate::csr::MAX_DIM`]) — use [`CooMatrix::try_to_csr`] for a
+    /// recoverable error on oversized graphs.
     pub fn to_csr(&self) -> CsrMatrix {
+        match self.try_to_csr() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CooMatrix::to_csr`] with a recoverable error when a dimension
+    /// exceeds the CSR `u32` index limit.
+    pub fn try_to_csr(&self) -> Result<CsrMatrix, CsrError> {
         let mut entries = self.entries.clone();
         entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
         // Merge duplicates in place.
@@ -97,7 +111,7 @@ impl CooMatrix {
         }
         let col_idx: Vec<usize> = merged.iter().map(|e| e.1).collect();
         let values: Vec<f64> = merged.iter().map(|e| e.2).collect();
-        CsrMatrix::from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+        CsrMatrix::try_from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
     }
 }
 

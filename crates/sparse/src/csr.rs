@@ -5,12 +5,53 @@
 //! (neighbor iteration), LinBP (SpMM), SBP (BFS layering) and the spectral
 //! convergence criteria (SpMV inside power iteration).
 
+use lsbp_linalg::simd::{axpy4, gather_dot4, sum4, sum_abs4, sum_sq4};
 use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
 use std::ops::Range;
 
+/// The largest row/column count a [`CsrMatrix`] can carry: column indices
+/// are stored as `u32` (halving index bandwidth in the SpMV/SpMM/transpose
+/// hot loops), and transposition turns row indices into column indices, so
+/// both dimensions must fit.
+pub const MAX_DIM: usize = u32::MAX as usize;
+
+/// Construction failure of a [`CsrMatrix`] — the error surface of the
+/// compact-index representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// A dimension exceeds [`MAX_DIM`]: the graph has too many
+    /// rows/columns for `u32` indices (> ~4.29 billion).
+    DimensionOverflow {
+        /// `"rows"` or `"cols"`.
+        dim: &'static str,
+        /// The offending dimension size.
+        size: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::DimensionOverflow { dim, size } => write!(
+                f,
+                "CSR {dim} count {size} exceeds the u32 index limit ({MAX_DIM})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// A sparse `n_rows × n_cols` matrix in compressed sparse row format.
 ///
+/// Column indices are stored as `u32` — half the index bandwidth of a
+/// `usize` build in every nnz-bound kernel. Both dimensions are capped at
+/// [`MAX_DIM`] (≈ 4.29 billion); the checked constructor
+/// ([`CsrMatrix::try_from_raw_parts`]) reports larger graphs as
+/// [`CsrError::DimensionOverflow`] instead of truncating.
+///
 /// Invariants (maintained by all constructors):
+/// * `n_rows <= MAX_DIM`, `n_cols <= MAX_DIM`;
 /// * `row_ptr.len() == n_rows + 1`, `row_ptr[0] == 0`, non-decreasing;
 /// * column indices within each row are strictly increasing;
 /// * `col_idx.len() == values.len() == row_ptr[n_rows]`.
@@ -19,16 +60,35 @@ pub struct CsrMatrix {
     n_rows: usize,
     n_cols: usize,
     row_ptr: Vec<usize>,
-    col_idx: Vec<usize>,
+    col_idx: Vec<u32>,
     values: Vec<f64>,
 }
 
 impl CsrMatrix {
-    /// Builds from raw CSR arrays.
+    fn check_dims(n_rows: usize, n_cols: usize) -> Result<(), CsrError> {
+        if n_rows > MAX_DIM {
+            return Err(CsrError::DimensionOverflow {
+                dim: "rows",
+                size: n_rows,
+            });
+        }
+        if n_cols > MAX_DIM {
+            return Err(CsrError::DimensionOverflow {
+                dim: "cols",
+                size: n_cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds from raw CSR arrays, compacting column indices to `u32`.
     ///
     /// # Panics
     /// Panics if the CSR invariants do not hold (sizes, monotone `row_ptr`,
-    /// strictly increasing in-row columns, in-bounds column indices).
+    /// strictly increasing in-row columns, in-bounds column indices) or a
+    /// dimension exceeds [`MAX_DIM`] — use
+    /// [`CsrMatrix::try_from_raw_parts`] for a recoverable error on
+    /// oversized graphs.
     pub fn from_raw_parts(
         n_rows: usize,
         n_cols: usize,
@@ -36,6 +96,25 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
+        match Self::try_from_raw_parts(n_rows, n_cols, row_ptr, col_idx, values) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`CsrMatrix::from_raw_parts`] with a recoverable error for graphs
+    /// whose dimensions exceed the `u32` index limit ([`MAX_DIM`]).
+    /// Structural invariant violations (non-monotone `row_ptr`, unsorted
+    /// or out-of-bounds columns, length mismatches) still panic — those
+    /// are caller bugs, not data-size conditions.
+    pub fn try_from_raw_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, CsrError> {
+        Self::check_dims(n_rows, n_cols)?;
         assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         assert_eq!(
@@ -60,17 +139,25 @@ impl CsrMatrix {
                 assert!(last < n_cols, "column index out of bounds");
             }
         }
-        Self {
+        // In-bounds (< n_cols <= MAX_DIM) implies every index fits u32.
+        let col_idx = col_idx.into_iter().map(|c| c as u32).collect();
+        Ok(Self {
             n_rows,
             n_cols,
             row_ptr,
             col_idx,
             values,
-        }
+        })
     }
 
     /// An `n × n` matrix with no stored entries.
+    ///
+    /// # Panics
+    /// Panics if a dimension exceeds [`MAX_DIM`].
     pub fn empty(n_rows: usize, n_cols: usize) -> Self {
+        if let Err(e) = Self::check_dims(n_rows, n_cols) {
+            panic!("{e}");
+        }
         Self {
             n_rows,
             n_cols,
@@ -81,12 +168,18 @@ impl CsrMatrix {
     }
 
     /// The `n × n` identity.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`MAX_DIM`].
     pub fn identity(n: usize) -> Self {
+        if let Err(e) = Self::check_dims(n, n) {
+            panic!("{e}");
+        }
         Self {
             n_rows: n,
             n_cols: n,
             row_ptr: (0..=n).collect(),
-            col_idx: (0..n).collect(),
+            col_idx: (0..n as u32).collect(),
             values: vec![1.0; n],
         }
     }
@@ -109,9 +202,10 @@ impl CsrMatrix {
         self.col_idx.len()
     }
 
-    /// Column indices of row `r` (sorted ascending).
+    /// Column indices of row `r` (sorted ascending), as the compact `u32`
+    /// storage type.
     #[inline]
-    pub fn row_cols(&self, r: usize) -> &[usize] {
+    pub fn row_cols(&self, r: usize) -> &[u32] {
         &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
     }
 
@@ -121,12 +215,13 @@ impl CsrMatrix {
         &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
     }
 
-    /// Iterates `(col, value)` pairs of row `r`.
+    /// Iterates `(col, value)` pairs of row `r` (columns widened to
+    /// `usize` for ergonomic indexing).
     #[inline]
     pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         self.row_cols(r)
             .iter()
-            .copied()
+            .map(|&c| c as usize)
             .zip(self.row_values(r).iter().copied())
     }
 
@@ -146,20 +241,29 @@ impl CsrMatrix {
         &self.row_ptr
     }
 
-    /// Value at `(r, c)`, or 0.0 if not stored. `O(log row_nnz)`.
+    /// Value at `(r, c)`, or 0.0 if not stored. `O(log row_nnz)` —
+    /// binary search runs directly on the compact `u32` column slice
+    /// (the lookup key is narrowed once; no per-probe casts), which is
+    /// benchmark-visible in the reldb hash-join probe path.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        let cols = self.row_cols(r);
-        match cols.binary_search(&c) {
+        let Ok(key) = u32::try_from(c) else {
+            return 0.0; // beyond MAX_DIM: structurally absent
+        };
+        match self.row_cols(r).binary_search(&key) {
             Ok(pos) => self.row_values(r)[pos],
             Err(_) => 0.0,
         }
     }
 
     /// The index into `values`/`col_idx` of entry `(r, c)`, if stored.
+    /// Searches the `u32` column slice directly, like [`CsrMatrix::get`].
     pub fn entry_index(&self, r: usize, c: usize) -> Option<usize> {
+        let key = u32::try_from(c).ok()?;
         let start = self.row_ptr[r];
-        let cols = self.row_cols(r);
-        cols.binary_search(&c).ok().map(|pos| start + pos)
+        self.row_cols(r)
+            .binary_search(&key)
+            .ok()
+            .map(|pos| start + pos)
     }
 
     /// Sparse matrix × dense vector: `y = A·x`.
@@ -206,14 +310,11 @@ impl CsrMatrix {
 
     /// Serial SpMV kernel over the row block `rows`, writing into `block`
     /// (`block[i]` = output row `rows.start + i`). Shared verbatim by the
-    /// serial path and every parallel task.
+    /// serial path and every parallel task. Each row accumulates in the
+    /// canonical 4-lane order ([`lsbp_linalg::simd::gather_dot4`]).
     fn spmv_rows(&self, x: &[f64], rows: Range<usize>, block: &mut [f64]) {
         for (r, out) in rows.zip(block.iter_mut()) {
-            let mut acc = 0.0;
-            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
-                acc += v * x[c];
-            }
-            *out = acc;
+            *out = gather_dot4(self.row_cols(r), self.row_values(r), x);
         }
     }
 
@@ -268,9 +369,19 @@ impl CsrMatrix {
 
     /// Serial SpMM kernel over the row block `rows`, writing into `block`
     /// (the flat row-major storage of exactly those output rows). The
-    /// output row borrow and the `col_idx`/`values` slices are hoisted out
-    /// of the per-entry loop. Shared verbatim by the serial path and every
-    /// parallel task.
+    /// output row borrow and the `col_idx`/`values` slices are hoisted
+    /// out of the per-entry loop; the per-entry axpy runs 4 lanes wide
+    /// across the *output columns* ([`axpy4`]), which vectorizes without
+    /// reassociating any output element's sum — each element still
+    /// accumulates its contributions in CSR entry order, exactly like
+    /// the pre-SIMD kernel (and like every dense-factor kernel built on
+    /// [`axpy4`]), so SpMM results are unchanged bitwise. Unlike the
+    /// reduction kernels (SpMV, norms), there is no canonical-order
+    /// reassociation here: per-output-element sums have no lane
+    /// structure to exploit, and keeping the sequential order keeps the
+    /// whole LinBP/batch family bit-stable across the SIMD rewrite.
+    /// Shared verbatim by the serial path and every parallel task, and
+    /// allocation-free.
     fn spmm_rows(&self, b: &Mat, rows: Range<usize>, block: &mut [f64]) {
         let row_len = b.cols();
         block.iter_mut().for_each(|x| *x = 0.0);
@@ -278,10 +389,7 @@ impl CsrMatrix {
             // Accumulate row r of the output: Σ_c A(r,c) · B(c,·).
             let o_row = &mut block[(r - rows.start) * row_len..(r - rows.start + 1) * row_len];
             for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
-                let b_row = b.row(c);
-                for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                    *o += v * bv;
-                }
+                axpy4(v, b.row(c as usize), o_row);
             }
         }
     }
@@ -304,36 +412,43 @@ impl CsrMatrix {
     pub fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix {
         let mut row_ptr = vec![0usize; self.n_cols + 1];
         for &c in &self.col_idx {
-            row_ptr[c + 1] += 1;
+            row_ptr[c as usize + 1] += 1;
         }
         for i in 0..self.n_cols {
             row_ptr[i + 1] += row_ptr[i];
         }
-        let mut col_idx = vec![0usize; self.nnz()];
+        let mut col_idx = vec![0u32; self.nnz()];
         let mut values = vec![0.0; self.nnz()];
         let mut parts = cfg.partitions(self.nnz() + self.n_rows + self.n_cols);
         // The parallel scatter re-scans every input row per task (two
-        // binary searches each), an O(parts · n_rows) overhead the serial
-        // scatter does not pay. Only split when each task's share of
-        // scattered writes clearly dominates its scan: probes are a few ns
-        // against tens of ns per scattered write, so require ≥ n_rows/4
-        // stored entries per task; otherwise shrink the partition count.
-        if let Some(write_bound) = (4 * self.nnz()).checked_div(self.n_rows) {
-            parts = parts.min(write_bound.max(1));
+        // binary probes each), an O(parts · n_rows) overhead the serial
+        // scatter does not pay — the total work *grows* with the split.
+        // Splitting only wins when each task's share of scattered writes
+        // dominates its own full rescan by a wide margin: measured on the
+        // m9 Kronecker graph (average degree ~13), a 4-way split ran at
+        // 0.92–0.98× serial because the probes rivaled the writes. So
+        // require ≥ 8·n_rows stored entries per task (average degree ≥
+        // 8·parts); otherwise shrink the partition count. A min-work
+        // floor of 1 is the documented "force the parallel path"
+        // test/benchmark hook and skips this profitability clamp.
+        if cfg.min_work() > 1 {
+            if let Some(write_bound) = self.nnz().checked_div(8 * self.n_rows) {
+                parts = parts.min(write_bound.max(1));
+            }
         }
         if parts <= 1 {
             let mut next = row_ptr.clone();
             for r in 0..self.n_rows {
                 for (c, v) in self.row_iter(r) {
                     let pos = next[c];
-                    col_idx[pos] = r;
+                    col_idx[pos] = r as u32;
                     values[pos] = v;
                     next[c] += 1;
                 }
             }
         } else {
             let ranges = weight_balanced_ranges(&row_ptr, parts);
-            let mut rest_cols: &mut [usize] = &mut col_idx;
+            let mut rest_cols: &mut [u32] = &mut col_idx;
             let mut rest_vals: &mut [f64] = &mut values;
             let mut consumed = 0usize;
             cfg.pool().scope(|s| {
@@ -368,10 +483,13 @@ impl CsrMatrix {
         &self,
         out_row_ptr: &[usize],
         cols: Range<usize>,
-        c_chunk: &mut [usize],
+        c_chunk: &mut [u32],
         v_chunk: &mut [f64],
     ) {
         let base = out_row_ptr[cols.start];
+        // The block bounds as u32 once — probes compare the compact
+        // storage type directly.
+        let (lo_col, hi_col) = (cols.start as u32, cols.end as u32);
         // Per-column write cursors, block-local.
         let mut next: Vec<usize> = out_row_ptr[cols.start..=cols.end]
             .iter()
@@ -381,12 +499,12 @@ impl CsrMatrix {
             let row_cols = self.row_cols(r);
             // Columns are sorted within a row: binary-search the sub-range
             // falling inside this block instead of scanning the whole row.
-            let lo = row_cols.partition_point(|&c| c < cols.start);
-            let hi = lo + row_cols[lo..].partition_point(|&c| c < cols.end);
+            let lo = row_cols.partition_point(|&c| c < lo_col);
+            let hi = lo + row_cols[lo..].partition_point(|&c| c < hi_col);
             let row_vals = self.row_values(r);
             for (&c, &v) in row_cols[lo..hi].iter().zip(&row_vals[lo..hi]) {
-                let slot = &mut next[c - cols.start];
-                c_chunk[*slot] = r;
+                let slot = &mut next[c as usize - cols.start];
+                c_chunk[*slot] = r as u32;
                 v_chunk[*slot] = v;
                 *slot += 1;
             }
@@ -414,15 +532,14 @@ impl CsrMatrix {
     /// the ordinary degree.
     pub fn squared_weight_degrees(&self) -> Vec<f64> {
         (0..self.n_rows)
-            .map(|r| self.row_values(r).iter().map(|v| v * v).sum())
+            .map(|r| sum_sq4(self.row_values(r)))
             .collect()
     }
 
-    /// Plain weighted row sums (`Σ_t w(s,t)`).
+    /// Plain weighted row sums (`Σ_t w(s,t)`), accumulated in the
+    /// canonical 4-lane order.
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n_rows)
-            .map(|r| self.row_values(r).iter().sum())
-            .collect()
+        (0..self.n_rows).map(|r| sum4(self.row_values(r))).collect()
     }
 
     /// Returns a copy with all entries scaled by `s`.
@@ -435,10 +552,10 @@ impl CsrMatrix {
     /// Returns a copy with exact-zero entries removed.
     pub fn prune_zeros(&self) -> CsrMatrix {
         let mut row_ptr = vec![0usize; self.n_rows + 1];
-        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.nnz());
         let mut values = Vec::with_capacity(self.nnz());
         for r in 0..self.n_rows {
-            for (c, v) in self.row_iter(r) {
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
                 if v != 0.0 {
                     col_idx.push(c);
                     values.push(v);
@@ -470,7 +587,7 @@ impl CsrMatrix {
     /// the adjacency matrix without densifying it.
     pub fn induced_inf_norm(&self) -> f64 {
         (0..self.n_rows)
-            .map(|r| self.row_values(r).iter().map(|v| v.abs()).sum::<f64>())
+            .map(|r| sum_abs4(self.row_values(r)))
             .fold(0.0, f64::max)
     }
 
@@ -478,14 +595,14 @@ impl CsrMatrix {
     pub fn induced_1_norm(&self) -> f64 {
         let mut col_sums = vec![0.0f64; self.n_cols];
         for (idx, &c) in self.col_idx.iter().enumerate() {
-            col_sums[c] += self.values[idx].abs();
+            col_sums[c as usize] += self.values[idx].abs();
         }
         col_sums.into_iter().fold(0.0, f64::max)
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (canonical 4-lane sum over the stored values).
     pub fn frobenius_norm(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+        sum_sq4(&self.values).sqrt()
     }
 
     /// Spectral radius via power iteration (the matrix should be symmetric,
@@ -505,6 +622,13 @@ impl CsrMatrix {
         )
     }
 }
+
+/// Widest dense-row width (`k·q` columns) whose fused-kernel scratch
+/// fits on the stack: per-task intermediate buffers below this use fixed
+/// arrays, so solver iterations allocate nothing (the design rule
+/// `LinBpScratch` established). Wider stacks fall back to one `Vec` per
+/// row-block task.
+pub(crate) const SCRATCH_WIDTH: usize = 64;
 
 #[cfg(test)]
 mod tests {
@@ -637,5 +761,47 @@ mod tests {
         assert_eq!(m.entry_index(1, 2), Some(2));
         assert_eq!(m.entry_index(2, 2), Some(4));
         assert!(m.entry_index(0, 0).is_none());
+    }
+
+    /// Lookups beyond the u32 index limit are structurally absent, not a
+    /// panic or a truncated (wrapped) probe.
+    #[test]
+    fn lookups_past_u32_limit_are_absent() {
+        let m = small();
+        assert_eq!(m.get(0, usize::MAX), 0.0);
+        assert!(m.entry_index(0, usize::MAX).is_none());
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn try_from_raw_parts_rejects_oversized_dimensions() {
+        let too_big = crate::csr::MAX_DIM + 1;
+        // Zero stored entries: only the dimension check can fire, so the
+        // arrays stay tiny.
+        let err =
+            CsrMatrix::try_from_raw_parts(1, too_big, vec![0, 0], vec![], vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            CsrError::DimensionOverflow {
+                dim: "cols",
+                size: too_big
+            }
+        );
+        // The dimension check fires before any structural validation, so
+        // the (invalid-length) arrays never need to be materialized.
+        let err = CsrMatrix::try_from_raw_parts(too_big, 1, vec![0], vec![], vec![]).unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::DimensionOverflow { dim: "rows", .. }
+        ));
+        assert!(err.to_string().contains("u32 index limit"));
+    }
+
+    #[test]
+    fn try_from_raw_parts_accepts_valid_input() {
+        let m =
+            CsrMatrix::try_from_raw_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![5.0, 1.0]).unwrap();
+        assert_eq!(m.get(0, 2), 5.0);
+        assert_eq!(m.get(1, 0), 1.0);
     }
 }

@@ -48,7 +48,7 @@ impl<'a> EdgeMatrixOp<'a> {
         for u in 0..adj.n_rows() {
             for &v in adj.row_cols(u) {
                 let r = adj
-                    .entry_index(v, u)
+                    .entry_index(v as usize, u)
                     .expect("edge matrix requires structurally symmetric adjacency");
                 src.push(u as u32);
                 rev.push(r as u32);

@@ -1,0 +1,509 @@
+//! The fused LinBP update step — one cache-resident pass per iteration.
+//!
+//! The unfused LinBP iteration (Eq. 6) makes five full sweeps over `n × k`
+//! matrices per round: the SpMM `A·B̂`, the dense `·Ĥ` product, the `+Ê`
+//! add, the echo-cancellation `−D·B̂·Ĥ²` (itself a scale + matmul +
+//! subtract), and finally the convergence-norm pass over old vs. new
+//! beliefs. Each sweep re-streams matrices that were in cache moments
+//! before.
+//!
+//! [`CsrMatrix::linbp_step_fused_with`] collapses all of that into one
+//! row-partitioned pass: per output row, the SpMM gather, the `·Ĥ` apply,
+//! the explicit-belief add, the echo subtraction, damping, and the
+//! per-query max-abs residual all happen while the row is resident in L1.
+//! The belief matrix `B̂` is read once and the output written once; every
+//! intermediate lives in a few `k·q`-length task-local buffers.
+//!
+//! ```text
+//!   row r:  A(r,·) ──gather(4-lane axpy)──▶ ab = Σ_c A(r,c)·B̂(c,·)
+//!           ab ──·Ĥ (per k-block)──▶ out(r,·)
+//!           out(r,·) += Ê(r,·)
+//!           out(r,·) −= (d_r·B̂(r,·))·Ĥ²     (echo cancellation)
+//!           out(r,·) = (1−λ)·out(r,·) + λ·B̂(r,·)   (damping)
+//!           Δ_q = max(Δ_q, max|out(r,·) − B̂(r,·)| per k-block)
+//! ```
+//!
+//! **Bitwise contract.** Every sub-step reproduces the accumulation order
+//! of the unfused kernels it replaces (`spmm_rows`' gather-axpy order,
+//! `matmul_rows`' zero-skipping `·Ĥ` order, element-wise add/sub/damp,
+//! order-independent max), so the fused step is *bitwise identical* to
+//! the unfused composition — and, since row blocks write disjoint output
+//! and the residual reduction is a max, bitwise identical across thread
+//! counts. The multi-query layout (`q` side-by-side `k`-column blocks,
+//! `Ĥ` applied block-diagonally) makes one kernel serve both the
+//! single-query solver (`q = 1`) and the batched path.
+//!
+//! The L2 tolerance norm is *not* fused: summing per-row-block partials
+//! would make the total depend on the partition, i.e. the thread count.
+//! L2 callers run the existing fixed-order `l2_diff` pass after the step.
+
+use crate::csr::{CsrMatrix, SCRATCH_WIDTH};
+use lsbp_linalg::simd::axpy4;
+use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
+use std::ops::Range;
+
+/// The per-iteration constants of the LinBP update (Eq. 6/7), borrowed by
+/// [`CsrMatrix::linbp_step_fused_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct FusedLinBpStep<'a> {
+    /// Explicit residual beliefs `Ê` (`n × k·q`).
+    pub e_hat: &'a Mat,
+    /// Scaled residual coupling `Ĥ` (`k × k`), applied per `k`-column
+    /// block.
+    pub h: &'a Mat,
+    /// `Ĥ²` for the echo-cancellation term; `None` runs LinBP\* (Eq. 7).
+    pub h2: Option<&'a Mat>,
+    /// Squared-weight degrees `d_s = Σ_t w(s,t)²` (ignored without `h2`,
+    /// but must still have length `n`).
+    pub degrees: &'a [f64],
+    /// Update damping `λ ∈ [0, 1)`; 0.0 is the paper's plain update.
+    pub damping: f64,
+}
+
+impl CsrMatrix {
+    /// Applies one fused LinBP update `out = Ê + A·B·Ĥ [− D·B·Ĥ²]`
+    /// (damped) and accumulates the per-query max-abs belief change into
+    /// `deltas` — all in a single row-partitioned pass (see the module
+    /// docs). `B` holds `q = B.cols() / Ĥ.rows()` queries side by side;
+    /// `deltas` must have length `q`.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch (square adjacency of size
+    /// `B.rows()`, square `Ĥ` dividing `B.cols()`, `out`/`e_hat` shaped
+    /// like `B`, `degrees` of length `n`, `deltas` of length `q`).
+    pub fn linbp_step_fused_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        let k = step.h.rows();
+        assert_eq!(
+            self.n_cols(),
+            n,
+            "fused LinBP step needs a square adjacency"
+        );
+        assert_eq!(b.rows(), n, "fused LinBP step: B row count");
+        assert!(step.h.is_square(), "fused LinBP step: Ĥ must be square");
+        assert!(
+            k > 0 && kt.is_multiple_of(k),
+            "fused LinBP step: B column count {kt} is not a multiple of k = {k}"
+        );
+        assert_eq!(
+            (out.rows(), out.cols()),
+            (n, kt),
+            "fused LinBP step: out shape"
+        );
+        assert_eq!(
+            (step.e_hat.rows(), step.e_hat.cols()),
+            (n, kt),
+            "fused LinBP step: Ê shape"
+        );
+        if let Some(h2) = step.h2 {
+            assert_eq!((h2.rows(), h2.cols()), (k, k), "fused LinBP step: Ĥ² shape");
+        }
+        assert_eq!(step.degrees.len(), n, "fused LinBP step: degrees length");
+        let q = kt / k;
+        assert_eq!(deltas.len(), q, "fused LinBP step: deltas length");
+        deltas.iter_mut().for_each(|d| *d = 0.0);
+        if n == 0 || kt == 0 {
+            return;
+        }
+
+        let parts = cfg.partitions((self.nnz() + n) * kt);
+        if parts <= 1 {
+            self.fused_rows_dispatch(b, step, 0..n, out.as_mut_slice(), deltas, k);
+            return;
+        }
+        let ranges = weight_balanced_ranges(self.row_offsets(), parts);
+        let mut partials: Vec<Vec<f64>> = vec![vec![0.0; q]; ranges.len()];
+        let mut rest: &mut [f64] = out.as_mut_slice();
+        cfg.pool().scope(|s| {
+            for (range, partial) in ranges.into_iter().zip(partials.iter_mut()) {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * kt);
+                rest = tail;
+                s.spawn(move || self.fused_rows_dispatch(b, step, range, chunk, partial, k));
+            }
+        });
+        // Combine the per-task residual maxima — order-independent, so
+        // this equals the serial accumulation bitwise.
+        for partial in &partials {
+            for (d, &p) in deltas.iter_mut().zip(partial) {
+                *d = d.max(p);
+            }
+        }
+    }
+
+    /// Routes a row block to the width-specialized kernel for the paper's
+    /// common single-query class counts (`k = q·k' ∈ {2, 3, 4}` columns
+    /// total) or the generic multi-query kernel otherwise. Both compute
+    /// the identical arithmetic in the identical order — the
+    /// specialization only turns the tiny per-row loops into fully
+    /// unrolled register code (property-tested bitwise equal).
+    fn fused_rows_dispatch(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        rows: Range<usize>,
+        block: &mut [f64],
+        deltas: &mut [f64],
+        k: usize,
+    ) {
+        if b.cols() == k {
+            match k {
+                2 => return self.fused_rows_k::<2>(b, step, rows, block, deltas),
+                3 => return self.fused_rows_k::<3>(b, step, rows, block, deltas),
+                4 => return self.fused_rows_k::<4>(b, step, rows, block, deltas),
+                _ => {}
+            }
+        }
+        self.fused_rows(b, step, rows, block, deltas, k)
+    }
+
+    /// Width-specialized single-query fused kernel: every per-row
+    /// intermediate is a `[f64; K]` register array and the inner loops
+    /// unroll at compile time. Accumulation orders (entry-order gather,
+    /// zero-skipping `·Ĥ` apply, `(o + ê) − echo`, damping blend, max
+    /// residual) are element-for-element those of [`CsrMatrix::fused_rows`].
+    fn fused_rows_k<const K: usize>(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        rows: Range<usize>,
+        block: &mut [f64],
+        deltas: &mut [f64],
+    ) {
+        // Ĥ / Ĥ² staged as fixed-size arrays once per task.
+        let mut h = [[0.0f64; K]; K];
+        let mut h2 = [[0.0f64; K]; K];
+        for i in 0..K {
+            h[i].copy_from_slice(step.h.row(i));
+            if let Some(m) = step.h2 {
+                h2[i].copy_from_slice(m.row(i));
+            }
+        }
+        let echo_on = step.h2.is_some();
+        let lambda = step.damping;
+        let mut dmax = 0.0f64;
+        for r in rows.clone() {
+            // ab = A(r,·)·B accumulated in CSR entry order per element —
+            // the exact `spmm_rows` axpy order, in K registers.
+            let mut ab = [0.0f64; K];
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                let b_row = b.row(c as usize);
+                for j in 0..K {
+                    ab[j] += v * b_row[j];
+                }
+            }
+            // o = ab·Ĥ, zero-skipping in `matmul_rows` order.
+            let mut o = [0.0f64; K];
+            for (i, &a) in ab.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..K {
+                    o[j] += a * h[i][j];
+                }
+            }
+            // echo = (d_r·B(r,·))·Ĥ², zero-skipping the scaled entries.
+            let b_row = b.row(r);
+            let mut echo = [0.0f64; K];
+            if echo_on {
+                let d = step.degrees[r];
+                for i in 0..K {
+                    let a = d * b_row[i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for j in 0..K {
+                        echo[j] += a * h2[i][j];
+                    }
+                }
+            }
+            // Combine, damp, write, residual — one unrolled pass. The
+            // element order matches the unfused composition exactly:
+            // (o + ê) − echo, then the blend, then |new − old|.
+            let e_row = step.e_hat.row(r);
+            let o_out = &mut block[(r - rows.start) * K..(r - rows.start + 1) * K];
+            for j in 0..K {
+                let mut x = o[j] + e_row[j];
+                if echo_on {
+                    x -= echo[j];
+                }
+                if lambda > 0.0 {
+                    x = (1.0 - lambda) * x + lambda * b_row[j];
+                }
+                o_out[j] = x;
+                dmax = dmax.max((x - b_row[j]).abs());
+            }
+        }
+        deltas[0] = deltas[0].max(dmax);
+    }
+
+    /// The generic multi-query fused kernel over the row block `rows`,
+    /// writing into `block` (the flat row-major storage of exactly those
+    /// output rows) and max-accumulating per-query residuals into
+    /// `deltas`. Shared verbatim by the serial path and every parallel
+    /// task.
+    fn fused_rows(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        rows: Range<usize>,
+        block: &mut [f64],
+        deltas: &mut [f64],
+        k: usize,
+    ) {
+        let kt = b.cols();
+        let q = kt / k;
+        // Task-local intermediates — the whole point of the fusion is
+        // that these stay in L1 instead of being n × k·q matrices. For
+        // every realistic width they are stack arrays (no per-iteration
+        // heap traffic); only kt > SCRATCH_WIDTH falls back to one
+        // allocation per row-block task.
+        let mut stack = [0.0f64; 2 * SCRATCH_WIDTH];
+        let mut heap;
+        let scratch: &mut [f64] = if 2 * kt <= stack.len() {
+            &mut stack[..2 * kt]
+        } else {
+            heap = vec![0.0f64; 2 * kt];
+            &mut heap
+        };
+        let (ab, echo) = scratch.split_at_mut(kt);
+        for r in rows.clone() {
+            let o = &mut block[(r - rows.start) * kt..(r - rows.start + 1) * kt];
+            // ab = A(r,·)·B — the exact `spmm_rows` gather-axpy order.
+            ab.iter_mut().for_each(|x| *x = 0.0);
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                axpy4(v, b.row(c as usize), ab);
+            }
+            // o = ab·(I_q ⊗ Ĥ) — the zero-skipping `matmul_rows` order,
+            // applied per k-block (columns never mix across queries).
+            o.iter_mut().for_each(|x| *x = 0.0);
+            for blk in 0..q {
+                let a_blk = &ab[blk * k..(blk + 1) * k];
+                let o_blk = &mut o[blk * k..(blk + 1) * k];
+                for (j, &a) in a_blk.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    axpy4(a, step.h.row(j), o_blk);
+                }
+            }
+            // Echo term: (d_r·B(r,·))·(I_q ⊗ Ĥ²), the scaled entries
+            // computed inline (same values and zero skip as the unfused
+            // `scaled_rows_into` + block-diagonal matmul composition).
+            let b_row = b.row(r);
+            let echo_on = if let Some(h2) = step.h2 {
+                let d = step.degrees[r];
+                echo.iter_mut().for_each(|x| *x = 0.0);
+                for blk in 0..q {
+                    let b_blk = &b_row[blk * k..(blk + 1) * k];
+                    let e_blk = &mut echo[blk * k..(blk + 1) * k];
+                    for (j, &x) in b_blk.iter().enumerate() {
+                        let a = d * x;
+                        if a == 0.0 {
+                            continue;
+                        }
+                        axpy4(a, h2.row(j), e_blk);
+                    }
+                }
+                true
+            } else {
+                false
+            };
+            // Combine `(o + ê) − echo`, damp, and accumulate the
+            // per-query residual in one pass — the element order of the
+            // unfused add/sub/blend/max passes.
+            let e_row = step.e_hat.row(r);
+            let lambda = step.damping;
+            for (blk, slot) in deltas.iter_mut().enumerate() {
+                let cols = blk * k..(blk + 1) * k;
+                let mut dmax = *slot;
+                for j in cols {
+                    let mut x = o[j] + e_row[j];
+                    if echo_on {
+                        x -= echo[j];
+                    }
+                    if lambda > 0.0 {
+                        x = (1.0 - lambda) * x + lambda * b_row[j];
+                    }
+                    o[j] = x;
+                    dmax = dmax.max((x - b_row[j]).abs());
+                }
+                *slot = dmax;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn toy() -> (CsrMatrix, Mat, Mat, Mat, Vec<f64>) {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push_symmetric(0, 1, 1.0);
+        coo.push_symmetric(1, 2, 2.0);
+        coo.push_symmetric(2, 3, 0.5);
+        let adj = coo.to_csr();
+        let e = Mat::from_fn(4, 2, |r, c| if r == 0 { [0.1, -0.1][c] } else { 0.0 });
+        let h = Mat::from_rows(&[&[0.2, -0.2], &[-0.2, 0.2]]);
+        let h2 = h.matmul(&h);
+        let degrees = adj.squared_weight_degrees();
+        (adj, e, h, h2, degrees)
+    }
+
+    /// The fused step equals the unfused composition
+    /// `Ê + A·B·Ĥ − D·B·Ĥ²` computed with separate dense ops — bitwise.
+    #[test]
+    fn fused_matches_unfused_composition_bitwise() {
+        let (adj, e, h, h2, degrees) = toy();
+        let b = Mat::from_fn(4, 2, |r, c| {
+            0.01 * (r as f64 + 1.0) * if c == 0 { 1.0 } else { -0.7 }
+        });
+        for (use_echo, damping) in [(true, 0.0), (false, 0.0), (true, 0.25)] {
+            let cfg = ParallelismConfig::serial();
+            // Unfused reference.
+            let ab = adj.spmm_with(&b, &cfg);
+            let mut reference = ab.matmul_with(&h, &cfg);
+            reference.add_assign(&e);
+            if use_echo {
+                let mut db = Mat::zeros(4, 2);
+                b.scaled_rows_into(&degrees, &mut db);
+                let tmp = db.matmul_with(&h2, &cfg);
+                reference.sub_assign(&tmp);
+            }
+            if damping > 0.0 {
+                for (new, &old) in reference.as_mut_slice().iter_mut().zip(b.as_slice()) {
+                    *new = (1.0 - damping) * *new + damping * old;
+                }
+            }
+            let expected_delta = reference.max_abs_diff(&b);
+
+            let mut out = Mat::from_fn(4, 2, |_, _| f64::NAN); // must be overwritten
+            let mut deltas = [f64::NAN];
+            adj.linbp_step_fused_with(
+                &b,
+                &FusedLinBpStep {
+                    e_hat: &e,
+                    h: &h,
+                    h2: use_echo.then_some(&h2),
+                    degrees: &degrees,
+                    damping,
+                },
+                &mut out,
+                &mut deltas,
+                &cfg,
+            );
+            for (a, b) in out.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "echo={use_echo} damping={damping}"
+                );
+            }
+            assert_eq!(deltas[0].to_bits(), expected_delta.to_bits());
+        }
+    }
+
+    /// Multi-query stacking: each k-column block equals the single-query
+    /// fused step on that block alone, and per-query deltas match.
+    #[test]
+    fn stacked_queries_match_single_runs() {
+        let (adj, e1, h, h2, degrees) = toy();
+        let e2 = Mat::from_fn(4, 2, |r, c| if r == 3 { [-0.2, 0.2][c] } else { 0.0 });
+        let stack = |a: &Mat, b: &Mat| {
+            Mat::from_fn(4, 4, |r, c| if c < 2 { a[(r, c)] } else { b[(r, c - 2)] })
+        };
+        let e = stack(&e1, &e2);
+        let b = stack(
+            &Mat::from_fn(4, 2, |r, c| 0.02 * (r + c) as f64 - 0.03),
+            &Mat::from_fn(4, 2, |r, c| -0.01 * (r as f64) + 0.005 * c as f64),
+        );
+        let cfg = ParallelismConfig::serial();
+        let step = |e_hat: &Mat, bq: &Mat, out: &mut Mat, deltas: &mut [f64]| {
+            adj.linbp_step_fused_with(
+                bq,
+                &FusedLinBpStep {
+                    e_hat,
+                    h: &h,
+                    h2: Some(&h2),
+                    degrees: &degrees,
+                    damping: 0.0,
+                },
+                out,
+                deltas,
+                &cfg,
+            );
+        };
+        let mut stacked_out = Mat::zeros(4, 4);
+        let mut stacked_deltas = [0.0f64; 2];
+        step(&e, &b, &mut stacked_out, &mut stacked_deltas);
+        for (j, (eq, cols)) in [(&e1, 0..2), (&e2, 2..4)].into_iter().enumerate() {
+            let bq = Mat::from_fn(4, 2, |r, c| b[(r, cols.start + c)]);
+            let mut single_out = Mat::zeros(4, 2);
+            let mut single_delta = [0.0f64];
+            step(eq, &bq, &mut single_out, &mut single_delta);
+            for r in 0..4 {
+                for c in 0..2 {
+                    assert_eq!(
+                        stacked_out[(r, cols.start + c)].to_bits(),
+                        single_out[(r, c)].to_bits(),
+                        "query {j}"
+                    );
+                }
+            }
+            assert_eq!(stacked_deltas[j].to_bits(), single_delta[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_graph_zeroes_deltas() {
+        let adj = CsrMatrix::empty(0, 0);
+        let e = Mat::zeros(0, 3);
+        let h = Mat::identity(3);
+        let mut out = Mat::zeros(0, 3);
+        let mut deltas = [f64::NAN];
+        adj.linbp_step_fused_with(
+            &e.clone(),
+            &FusedLinBpStep {
+                e_hat: &e,
+                h: &h,
+                h2: None,
+                degrees: &[],
+                damping: 0.0,
+            },
+            &mut out,
+            &mut deltas,
+            &ParallelismConfig::serial(),
+        );
+        assert_eq!(deltas[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deltas length")]
+    fn wrong_delta_length_rejected() {
+        let (adj, e, h, _, degrees) = toy();
+        let b = e.clone();
+        let mut out = Mat::zeros(4, 2);
+        adj.linbp_step_fused_with(
+            &b,
+            &FusedLinBpStep {
+                e_hat: &e,
+                h: &h,
+                h2: None,
+                degrees: &degrees,
+                damping: 0.0,
+            },
+            &mut out,
+            &mut [0.0, 0.0],
+            &ParallelismConfig::serial(),
+        );
+    }
+}

@@ -7,8 +7,12 @@
 //! per-edge message vectors. This crate provides exactly those kernels:
 //!
 //! * [`CooMatrix`] — a triplet builder for assembling adjacency matrices,
-//! * [`CsrMatrix`] — compressed sparse row storage with SpMV and SpMM
-//!   (CSR × dense) products,
+//! * [`CsrMatrix`] — compressed sparse row storage (compact `u32` column
+//!   indices, 4-lane inner kernels) with SpMV and SpMM (CSR × dense)
+//!   products,
+//! * the fused LinBP step ([`FusedLinBpStep`]) — one row-partitioned,
+//!   cache-resident pass per iteration instead of SpMM + echo + norm
+//!   sweeps,
 //! * [`EdgeMatrixOp`] — the matrix-free "edge matrix" `A_edge` of
 //!   Appendix G (2|E| × 2|E|), used to evaluate the Mooij–Kappen
 //!   convergence bound for standard BP without materializing it.
@@ -16,7 +20,9 @@
 pub mod coo;
 pub mod csr;
 pub mod edge_op;
+pub mod fused;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrError, CsrMatrix, MAX_DIM};
 pub use edge_op::EdgeMatrixOp;
+pub use fused::FusedLinBpStep;

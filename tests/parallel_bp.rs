@@ -67,6 +67,37 @@ fn linbp_bitwise_identical_across_threads() {
     }
 }
 
+/// The L2 tolerance read-out is deliberately *not* fused into the
+/// row-partitioned kernel — it stays one flat fixed-order 4-lane pass —
+/// so an L2-norm run must also be bitwise identical at every thread
+/// count (same iterations, same final delta, same beliefs).
+#[test]
+fn linbp_l2_norm_bitwise_identical_across_threads() {
+    let adj = erdos_renyi_gnm(200, 600, 23).adjacency();
+    let e = kronecker_style_beliefs(200, 3, 15, 4, false);
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.04);
+    let opts = |cfg| LinBpOptions {
+        norm: ToleranceNorm::L2,
+        tol: 1e-10,
+        parallelism: cfg,
+        ..Default::default()
+    };
+    let serial = linbp(&adj, &e, &h, &opts(ParallelismConfig::serial())).unwrap();
+    for cfg in sweep() {
+        let par = linbp(&adj, &e, &h, &opts(cfg)).unwrap();
+        assert_eq!(par.iterations, serial.iterations, "{cfg:?}");
+        assert_eq!(
+            par.final_delta.to_bits(),
+            serial.final_delta.to_bits(),
+            "{cfg:?}"
+        );
+        assert!(
+            bits_equal(par.beliefs.residual(), serial.beliefs.residual()),
+            "L2-norm LinBP beliefs differ under {cfg:?}"
+        );
+    }
+}
+
 #[test]
 fn linbp_star_bitwise_identical_across_threads() {
     let adj = erdos_renyi_gnm(300, 900, 11).adjacency();

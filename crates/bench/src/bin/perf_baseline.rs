@@ -23,7 +23,7 @@ use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
 use lsbp_graph::generators::{dblp_like, erdos_renyi_gnm, kronecker_graph, DblpConfig};
 use lsbp_graph::Graph;
 use lsbp_linalg::{weight_balanced_ranges, Mat};
-use lsbp_sparse::{CsrMatrix, FusedLinBpStep};
+use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator, ShardedCsr};
 use std::ops::Range;
 use std::sync::Mutex;
 
@@ -489,6 +489,162 @@ fn run_fused_suite(
     records.push(rec);
 }
 
+/// One monolithic-vs-sharded measurement (single-threaded).
+struct ShardedRecord {
+    graph: String,
+    kernel: &'static str,
+    shards: usize,
+    monolithic_secs: f64,
+    sharded_secs: f64,
+    /// `monolithic_secs / sharded_secs` — ≥ 1 means the sharded layout is
+    /// at least as fast; the acceptance bar is ≥ 0.95 (row-order shard
+    /// streaming must cost at most 5% over the monolithic sweep).
+    rel_throughput: f64,
+    /// One-off cost of `ShardedCsr::from_csr` at this shard count — what
+    /// the *knob route* (`LSBP_SHARDS` / `with_shards` on a `CsrMatrix`
+    /// front door) pays per call before solving; the `*_on` operator
+    /// route pays it once at layout-build time. Recorded so the
+    /// "sharding is free" read-out stays honest about the conversion.
+    build_secs: f64,
+    identical: bool,
+}
+
+fn arg_shard_list() -> Vec<usize> {
+    arg_string("--shards", "2,8")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&s: &usize| s >= 1)
+        .collect()
+}
+
+/// Monolithic [`CsrMatrix`] vs. [`ShardedCsr`] across a shard-count
+/// sweep, single-threaded, on the two kernels that dominate solves: the
+/// fused LinBP step (5 iterations, exactly the `fused_linbp` protocol)
+/// and the standalone SpMM — the `sharded` section of the JSON, with the
+/// bitwise-identity check inline.
+#[allow(clippy::too_many_arguments)] // a flat experiment descriptor
+fn run_sharded_suite(
+    records: &mut Vec<ShardedRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    shard_sweep: &[usize],
+    reps: usize,
+) {
+    const ITERS: usize = 5;
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let cfg = ParallelismConfig::serial();
+    let explicit = kronecker_style_beliefs(n, k, (n / 20).max(1), 7, false);
+    let e_hat = explicit.residual_matrix().clone();
+    let h = h_residual_unscaled.scale(eps);
+    let h2 = h.matmul(&h);
+    let degrees = adj.squared_weight_degrees();
+    let b_spmm = Mat::from_fn(n, k, |r, c| ((r * k + c) % 17) as f64 * 0.01 - 0.08);
+
+    let run_linbp = |op: &dyn PropagationOperator| {
+        let mut b = e_hat.clone();
+        let mut next = Mat::zeros(n, k);
+        let mut deltas = [0.0f64];
+        let step = FusedLinBpStep {
+            e_hat: &e_hat,
+            h: &h,
+            h2: Some(&h2),
+            degrees: &degrees,
+            damping: 0.0,
+        };
+        for _ in 0..ITERS {
+            op.linbp_step_fused_with(&b, &step, &mut next, &mut deltas, &cfg);
+            std::mem::swap(&mut b, &mut next);
+        }
+        (b, deltas[0])
+    };
+    let run_spmm = |op: &dyn PropagationOperator| {
+        let mut out = Mat::zeros(n, k);
+        op.spmm_into_with(&b_spmm, &mut out, &cfg);
+        out
+    };
+
+    let best_of = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, d) = time_once(&mut *f);
+            best = best.min(d.as_secs_f64());
+        }
+        best
+    };
+
+    let (mono_linbp, mono_delta) = run_linbp(&adj);
+    let mono_linbp_secs = best_of(&mut || {
+        let _ = run_linbp(&adj);
+    });
+    let mono_spmm = run_spmm(&adj);
+    let mono_spmm_secs = best_of(&mut || {
+        let _ = run_spmm(&adj);
+    });
+
+    for &shards in shard_sweep {
+        let build_secs = best_of(&mut || {
+            let _ = ShardedCsr::from_csr(&adj, shards);
+        });
+        let sharded = ShardedCsr::from_csr(&adj, shards);
+        let (shard_linbp, shard_delta) = run_linbp(&sharded);
+        let linbp_identical = mono_linbp
+            .as_slice()
+            .iter()
+            .zip(shard_linbp.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && mono_delta.to_bits() == shard_delta.to_bits();
+        let shard_linbp_secs = best_of(&mut || {
+            let _ = run_linbp(&sharded);
+        });
+        let shard_spmm = run_spmm(&sharded);
+        let spmm_identical = mono_spmm
+            .as_slice()
+            .iter()
+            .zip(shard_spmm.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let shard_spmm_secs = best_of(&mut || {
+            let _ = run_spmm(&sharded);
+        });
+        for (kernel, mono_secs, shard_secs, identical) in [
+            (
+                "linbp_5iter",
+                mono_linbp_secs,
+                shard_linbp_secs,
+                linbp_identical,
+            ),
+            ("spmm", mono_spmm_secs, shard_spmm_secs, spmm_identical),
+        ] {
+            let rec = ShardedRecord {
+                graph: label.to_string(),
+                kernel,
+                shards,
+                monolithic_secs: mono_secs,
+                sharded_secs: shard_secs,
+                rel_throughput: mono_secs / shard_secs,
+                build_secs,
+                identical,
+            };
+            println!(
+                "{:>14} {:>12} shards={:<3} monolithic {:>12.6}s  sharded {:>12.6}s  \
+                 rel {:>5.2}x  build {:>12.6}s  identical={}",
+                rec.graph,
+                rec.kernel,
+                shards,
+                rec.monolithic_secs,
+                rec.sharded_secs,
+                rec.rel_throughput,
+                rec.build_secs,
+                rec.identical
+            );
+            records.push(rec);
+        }
+    }
+}
+
 /// One (threads, executor) measurement of the pool-overhead benchmark.
 struct PoolRecord {
     threads: usize,
@@ -627,9 +783,11 @@ fn main() {
     let threads = arg_thread_list();
     let out_path = arg_string("--out", "BENCH_kernels.json");
 
+    let shard_sweep = arg_shard_list();
     let mut records = Vec::new();
     let mut simd_records = Vec::new();
     let mut fused_records = Vec::new();
+    let mut sharded_records = Vec::new();
     let ho3 = CouplingMatrix::fig6b_residual();
     let mut exponents = vec![7u32.min(m), m];
     exponents.dedup();
@@ -648,6 +806,16 @@ fn main() {
         );
         run_simd_suite(&mut simd_records, &label, &graph, 3, reps);
         run_fused_suite(&mut fused_records, &label, &graph, 3, &ho3, 0.0005, reps);
+        run_sharded_suite(
+            &mut sharded_records,
+            &label,
+            &graph,
+            3,
+            &ho3,
+            0.0005,
+            &shard_sweep,
+            reps,
+        );
     }
     if with_dblp {
         let ho4 = CouplingMatrix::homophily(4, 0.6)
@@ -672,6 +840,16 @@ fn main() {
             4,
             &ho4,
             0.005,
+            reps,
+        );
+        run_sharded_suite(
+            &mut sharded_records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
+            &shard_sweep,
             reps,
         );
     }
@@ -699,6 +877,16 @@ fn main() {
         .map(|r| r.speedup)
         .fold(f64::NAN, f64::max);
     let fused_all_identical = fused_records.iter().all(|r| r.identical);
+    // Sharded acceptance read-out: the *worst* fused-LinBP relative
+    // throughput on the largest Kronecker graph across the shard sweep
+    // (the ≥ 0.95× bar — sharding must not tax the serial hot loop), and
+    // the global sharded-equals-monolithic bitwise flag.
+    let sharded_linbp_min_rel = sharded_records
+        .iter()
+        .filter(|r| r.kernel == "linbp_5iter" && r.graph == format!("kronecker_m{m}"))
+        .map(|r| r.rel_throughput)
+        .fold(f64::NAN, f64::min);
+    let sharded_all_identical = sharded_records.iter().all(|r| r.identical);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -729,6 +917,13 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"fused_linbp_bitwise_identical_to_unfused\": {fused_all_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"sharded_linbp_min_rel_throughput_largest_kronecker\": {},\n",
+        json_f64(sharded_linbp_min_rel)
+    ));
+    json.push_str(&format!(
+        "    \"sharded_bitwise_identical_to_monolithic\": {sharded_all_identical},\n"
     ));
     json.push_str(&format!(
         "    \"all_parallel_results_bitwise_identical_to_serial\": {all_identical}\n"
@@ -791,6 +986,40 @@ fn main() {
         ));
     }
     json.push_str("    ]\n  },\n");
+    // Monolithic CsrMatrix vs. row-sharded ShardedCsr (single-threaded,
+    // fused LinBP + SpMM), with the sharded-equals-monolithic bitwise
+    // check inline.
+    json.push_str("  \"sharded\": {\n    \"iters_per_measurement\": 5,\n");
+    json.push_str(&format!(
+        "    \"shard_sweep\": [{}],\n",
+        shard_sweep
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("    \"results\": [\n");
+    for (i, r) in sharded_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"kernel\": \"{}\", \"shards\": {}, \
+             \"monolithic_secs\": {}, \"sharded_secs\": {}, \"rel_throughput\": {}, \
+             \"shard_build_secs\": {}, \"identical_to_monolithic\": {}}}{}\n",
+            r.graph,
+            r.kernel,
+            r.shards,
+            json_f64(r.monolithic_secs),
+            json_f64(r.sharded_secs),
+            json_f64(r.rel_throughput),
+            json_f64(r.build_secs),
+            r.identical,
+            if i + 1 == sharded_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     // The persistent-pool overhead section: µs of dispatch+compute per
     // small-kernel region, resident workers vs. per-region scoped spawn.
     json.push_str("  \"pool\": {\n");
@@ -818,11 +1047,14 @@ fn main() {
     println!("\nwrote {out_path}");
     println!(
         "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}, \
-         fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}",
+         fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}, \
+         sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}",
         json_f64(spmm_speedup_4t),
         all_identical,
         json_f64(fused_speedup_largest),
-        fused_all_identical
+        fused_all_identical,
+        json_f64(sharded_linbp_min_rel),
+        sharded_all_identical
     );
     assert!(
         all_identical,
@@ -831,5 +1063,9 @@ fn main() {
     assert!(
         fused_all_identical,
         "fused LinBP step diverged bitwise from the unfused reference"
+    );
+    assert!(
+        sharded_all_identical,
+        "sharded kernel produced a result differing from the monolithic reference"
     );
 }

@@ -31,20 +31,23 @@ use crate::rwr::{RwrError, RwrOptions, RwrResult};
 use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome, ToleranceNorm,
 };
-use lsbp_sparse::{CsrMatrix, FusedLinBpStep};
+use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator};
 
 /// Runs **LinBP** (Eq. 6, with echo cancellation) on `q` independent
 /// seed-sets in one pass: one stacked SpMM per iteration, per-query
 /// convergence masks. Returns one [`LinBpResult`] per query, each bitwise
 /// identical to what [`crate::linbp::linbp`] returns for that query
-/// alone.
+/// alone. Honors the shard knob on `opts.parallelism` like
+/// [`crate::linbp::linbp`].
 pub fn linbp_batch(
     adj: &CsrMatrix,
     queries: &[ExplicitBeliefs],
     h_residual: &Mat,
     opts: &LinBpOptions,
 ) -> Result<Vec<LinBpResult>, LinBpError> {
-    linbp_batch_run(adj, queries, h_residual, opts, true)
+    crate::with_operator(adj, &opts.parallelism, |op| {
+        linbp_batch_run_on(op, queries, h_residual, opts, true)
+    })
 }
 
 /// [`linbp_batch`] without the echo-cancellation term (**LinBP\***,
@@ -55,7 +58,30 @@ pub fn linbp_star_batch(
     h_residual: &Mat,
     opts: &LinBpOptions,
 ) -> Result<Vec<LinBpResult>, LinBpError> {
-    linbp_batch_run(adj, queries, h_residual, opts, false)
+    crate::with_operator(adj, &opts.parallelism, |op| {
+        linbp_batch_run_on(op, queries, h_residual, opts, false)
+    })
+}
+
+/// [`linbp_batch`] against any [`PropagationOperator`] — the operator is
+/// used as given (no re-sharding).
+pub fn linbp_batch_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
+    queries: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<Vec<LinBpResult>, LinBpError> {
+    linbp_batch_run_on(adj, queries, h_residual, opts, true)
+}
+
+/// [`linbp_star_batch`] against any [`PropagationOperator`].
+pub fn linbp_star_batch_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
+    queries: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<Vec<LinBpResult>, LinBpError> {
+    linbp_batch_run_on(adj, queries, h_residual, opts, false)
 }
 
 /// Per-query progress book-keeping for the batched LinBP iteration.
@@ -74,8 +100,8 @@ struct QuerySlot {
 /// runs in "operator-controlled" mode (`tol = 0`, no guard): tolerance
 /// and divergence are applied *per query* inside the step, with the same
 /// comparisons in the same order as the single-query solver.
-struct LinBpBatchIteration<'a> {
-    adj: &'a CsrMatrix,
+struct LinBpBatchIteration<'a, A: PropagationOperator + ?Sized> {
+    adj: &'a A,
     e_hat: &'a Mat,
     h: &'a Mat,
     h2: Option<&'a Mat>,
@@ -90,7 +116,7 @@ struct LinBpBatchIteration<'a> {
     deltas: Vec<f64>,
 }
 
-impl FixedPointOp for LinBpBatchIteration<'_> {
+impl<A: PropagationOperator + ?Sized> FixedPointOp for LinBpBatchIteration<'_, A> {
     fn step(&mut self, solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
         let k = self.k;
         // One stacked fused update — exactly the single-query fused step
@@ -167,8 +193,8 @@ impl FixedPointOp for LinBpBatchIteration<'_> {
     }
 }
 
-fn linbp_batch_run(
-    adj: &CsrMatrix,
+fn linbp_batch_run_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
     queries: &[ExplicitBeliefs],
     h_residual: &Mat,
     opts: &LinBpOptions,
@@ -276,8 +302,8 @@ struct WalkSlot {
 
 /// The stacked RWR power iteration as a [`FixedPointOp`]: all `q · k`
 /// walks diffuse through one SpMM per round; converged walks freeze.
-struct RwrBatchIteration<'a> {
-    adj: &'a CsrMatrix,
+struct RwrBatchIteration<'a, A: PropagationOperator + ?Sized> {
+    adj: &'a A,
     degrees: &'a [f64],
     restart_dist: &'a Mat,
     restart: f64,
@@ -289,7 +315,7 @@ struct RwrBatchIteration<'a> {
     slots: Vec<WalkSlot>,
 }
 
-impl FixedPointOp for RwrBatchIteration<'_> {
+impl<A: PropagationOperator + ?Sized> FixedPointOp for RwrBatchIteration<'_, A> {
     fn step(&mut self, solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
         let n = self.adj.n_rows();
         // Scale every column by inverse degrees (frozen columns too: their
@@ -364,9 +390,20 @@ impl FixedPointOp for RwrBatchIteration<'_> {
 /// Runs [`crate::rwr::rwr`] on `q` independent seed-sets in one pass: all
 /// `q · k` per-class walks diffuse through a single SpMM per iteration,
 /// with per-walk convergence masks. Returns one [`RwrResult`] per query,
-/// each bitwise identical to the standalone run.
+/// each bitwise identical to the standalone run. Honors the shard knob on
+/// `opts.parallelism` like [`crate::rwr::rwr`].
 pub fn rwr_batch(
     adj: &CsrMatrix,
+    queries: &[ExplicitBeliefs],
+    opts: &RwrOptions,
+) -> Result<Vec<RwrResult>, RwrError> {
+    crate::with_operator(adj, &opts.parallelism, |op| rwr_batch_on(op, queries, opts))
+}
+
+/// [`rwr_batch`] against any [`PropagationOperator`] — the operator is
+/// used as given (no re-sharding).
+pub fn rwr_batch_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
     queries: &[ExplicitBeliefs],
     opts: &RwrOptions,
 ) -> Result<Vec<RwrResult>, RwrError> {
@@ -444,6 +481,67 @@ pub fn rwr_batch(
                 beliefs: BeliefMatrix::from_mat(residual),
                 converged,
                 iterations,
+            }
+        })
+        .collect())
+}
+
+/// Batched incremental maintenance — [`crate::linbp::linbp_update`] over
+/// a batch of `(previous beliefs, explicit-belief delta)` pairs in **one
+/// pass**: the `q` delta seed-sets run through the stacked fused
+/// iteration path exactly like [`linbp_batch`] (one SpMM per round,
+/// per-query freeze masks), and each converged delta solution is added
+/// onto its previous beliefs by linearity (Proposition 7 — see
+/// [`crate::linbp::linbp_update`] for why this is exact).
+///
+/// This is the post-edge-change refresh path a serving deployment runs
+/// when a label change invalidates many cached query results at once:
+/// instead of `q` separate `linbp_update` solves re-streaming the
+/// adjacency `q` times per iteration, the whole refresh is one batched
+/// solve. Results are **bitwise identical** to calling `linbp_update` per
+/// pair (property-tested): the batched delta solve is bitwise equal to
+/// the standalone one, and the final add is element-wise.
+///
+/// `previous` and `deltas` are parallel slices (pair `j` = query `j`);
+/// `echo` selects LinBP (Eq. 6) vs. LinBP\* (Eq. 7), and divergent delta
+/// runs are returned as-is without touching the previous beliefs, exactly
+/// like the per-query function. Honors the shard knob on
+/// `opts.parallelism`.
+pub fn linbp_update_batch(
+    adj: &CsrMatrix,
+    previous: &[&BeliefMatrix],
+    deltas: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+) -> Result<Vec<LinBpResult>, LinBpError> {
+    if previous.len() != deltas.len() {
+        return Err(LinBpError::DimensionMismatch);
+    }
+    for (prev, delta) in previous.iter().zip(deltas) {
+        if prev.n() != delta.n() || prev.k() != delta.k() {
+            return Err(LinBpError::DimensionMismatch);
+        }
+    }
+    let delta_runs = if echo {
+        linbp_batch(adj, deltas, h_residual, opts)?
+    } else {
+        linbp_star_batch(adj, deltas, h_residual, opts)?
+    };
+    Ok(previous
+        .iter()
+        .zip(delta_runs)
+        .map(|(prev, delta_run)| {
+            if delta_run.diverged {
+                return delta_run;
+            }
+            // The per-query update arithmetic, verbatim: previous + delta
+            // fixpoint, element-wise.
+            let mut updated = prev.residual().clone();
+            updated.add_assign(delta_run.beliefs.residual());
+            LinBpResult {
+                beliefs: BeliefMatrix::from_mat(updated),
+                ..delta_run
             }
         })
         .collect())

@@ -60,9 +60,33 @@ pub mod metrics;
 pub mod rwr;
 pub mod sbp;
 
+/// Runs `f` against the graph operator the execution config selects for a
+/// monolithic CSR input: the matrix itself when `cfg.shards() <= 1`, or a
+/// freshly built [`lsbp_sparse::ShardedCsr`] with that many nnz-balanced
+/// row-range shards otherwise. This is how the shard-count knob on
+/// [`ParallelismConfig`] reaches every `CsrMatrix`-taking entry point;
+/// callers that already hold a sharded (or otherwise exotic) operator use
+/// the `*_on` variants directly and skip the conversion. Results are
+/// bitwise identical either way — the knob only changes the storage
+/// layout the solve streams through.
+pub(crate) fn with_operator<R>(
+    adj: &lsbp_sparse::CsrMatrix,
+    cfg: &ParallelismConfig,
+    f: impl FnOnce(&dyn lsbp_sparse::PropagationOperator) -> R,
+) -> R {
+    if cfg.shards() > 1 {
+        f(&lsbp_sparse::ShardedCsr::from_csr(adj, cfg.shards()))
+    } else {
+        f(adj)
+    }
+}
+
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
-    pub use crate::batch::{linbp_batch, linbp_star_batch, rwr_batch};
+    pub use crate::batch::{
+        linbp_batch, linbp_batch_on, linbp_star_batch, linbp_star_batch_on, linbp_update_batch,
+        rwr_batch, rwr_batch_on,
+    };
     pub use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
     pub use crate::bp::{bp, BpOptions, BpResult};
     pub use crate::closed_form::{linbp_closed_form_dense, linbp_closed_form_jacobi};
@@ -73,18 +97,21 @@ pub mod prelude {
     pub use crate::coupling::{CouplingError, CouplingMatrix};
     pub use crate::learning::{learn_coupling, learn_coupling_from_classes, LearnOptions};
     pub use crate::linbp::{
-        linbp, linbp_observed, linbp_star, linbp_step, linbp_update, LinBpOptions, LinBpResult,
-        LinBpScratch,
+        linbp, linbp_observed, linbp_on, linbp_star, linbp_star_on, linbp_step, linbp_update,
+        LinBpOptions, LinBpResult, LinBpScratch,
     };
     pub use crate::metrics::{
         accuracy, f1_score, precision_recall, precision_recall_masked, quality, QualityReport,
     };
-    pub use crate::rwr::{rwr, RwrOptions, RwrResult};
-    pub use crate::sbp::{sbp, sbp_add_edges, sbp_add_explicit, sbp_observed, sbp_with, SbpResult};
+    pub use crate::rwr::{rwr, rwr_on, RwrOptions, RwrResult};
+    pub use crate::sbp::{
+        sbp, sbp_add_edges, sbp_add_explicit, sbp_observed, sbp_on, sbp_with, SbpResult,
+    };
     pub use lsbp_linalg::{
         FixedPointOp, FixedPointSolver, IterationEvent, ParallelismConfig, SolveOutcome,
         StepOutcome, StepStatus, ToleranceNorm,
     };
+    pub use lsbp_sparse::{PropagationOperator, ShardedCsr};
 }
 
 pub use prelude::*;

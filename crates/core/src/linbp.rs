@@ -22,7 +22,7 @@ use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, IterationEvent, Mat, ParallelismConfig, StepOutcome,
     ToleranceNorm,
 };
-use lsbp_sparse::{CsrMatrix, FusedLinBpStep};
+use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator};
 
 /// Options for [`linbp`] / [`linbp_star`].
 #[derive(Clone, Copy, Debug)]
@@ -109,6 +109,13 @@ impl std::error::Error for LinBpError {}
 /// Runs **LinBP** (Eq. 6, with echo cancellation).
 ///
 /// `h_residual` is the scaled residual coupling matrix `Ĥ = εH·Ĥo`.
+///
+/// When `opts.parallelism` carries a shard count above 1 the adjacency is
+/// first re-sharded into that many nnz-balanced row-range blocks
+/// ([`lsbp_sparse::ShardedCsr`]) and the solve streams through them —
+/// bitwise identical to the monolithic path at any shard count. Callers
+/// that already hold a sharded operator should use [`linbp_on`] and skip
+/// the conversion.
 pub fn linbp(
     adj: &CsrMatrix,
     explicit: &ExplicitBeliefs,
@@ -118,7 +125,8 @@ pub fn linbp(
     run(adj, explicit, h_residual, opts, true)
 }
 
-/// Runs **LinBP\*** (Eq. 7, echo cancellation dropped).
+/// Runs **LinBP\*** (Eq. 7, echo cancellation dropped). Honors the shard
+/// knob like [`linbp`].
 pub fn linbp_star(
     adj: &CsrMatrix,
     explicit: &ExplicitBeliefs,
@@ -126,6 +134,29 @@ pub fn linbp_star(
     opts: &LinBpOptions,
 ) -> Result<LinBpResult, LinBpError> {
     run(adj, explicit, h_residual, opts, false)
+}
+
+/// [`linbp`] against any [`PropagationOperator`] — the generic engine
+/// entry point. The operator is used as given (no re-sharding, whatever
+/// `opts.parallelism.shards()` says); results are bitwise identical for
+/// every backend honoring the operator contract.
+pub fn linbp_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<LinBpResult, LinBpError> {
+    run_observed_on(adj, explicit, h_residual, opts, true, |_| {})
+}
+
+/// [`linbp_star`] against any [`PropagationOperator`] (see [`linbp_on`]).
+pub fn linbp_star_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+) -> Result<LinBpResult, LinBpError> {
+    run_observed_on(adj, explicit, h_residual, opts, false, |_| {})
 }
 
 /// Reusable buffers for [`linbp_step`]: the SpMM result, the fused `D·B`
@@ -161,8 +192,8 @@ impl LinBpScratch {
 /// (property-tested in `tests/fused_linbp.rs`) but avoids re-streaming
 /// the `n × k` intermediates.
 #[allow(clippy::too_many_arguments)] // mirrors the terms of Eq. 6 one-to-one
-pub fn linbp_step(
-    adj: &CsrMatrix,
+pub fn linbp_step<A: PropagationOperator + ?Sized>(
+    adj: &A,
     e_hat: &Mat,
     b: &Mat,
     h: &Mat,
@@ -190,8 +221,8 @@ pub fn linbp_step(
 /// iteration computes the update, the damping blend and the max-abs
 /// residual together; only the belief double buffer persists between
 /// rounds, so no iteration allocates `n × k` scratch at all.
-struct LinBpIteration<'a> {
-    adj: &'a CsrMatrix,
+struct LinBpIteration<'a, A: PropagationOperator + ?Sized> {
+    adj: &'a A,
     e_hat: &'a Mat,
     h: &'a Mat,
     h2: Option<&'a Mat>,
@@ -201,7 +232,7 @@ struct LinBpIteration<'a> {
     cfg: ParallelismConfig,
 }
 
-impl FixedPointOp for LinBpIteration<'_> {
+impl<A: PropagationOperator + ?Sized> FixedPointOp for LinBpIteration<'_, A> {
     fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
         let mut fused_delta = [0.0f64];
         self.adj.linbp_step_fused_with(
@@ -258,8 +289,25 @@ pub fn linbp_observed(
     run_observed(adj, explicit, h_residual, opts, echo, observer)
 }
 
+/// The monolithic-input front door: applies the shard knob (re-sharding
+/// the CSR when `opts.parallelism.shards() > 1`), then runs the generic
+/// engine.
 fn run_observed(
     adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+    observer: impl FnMut(&IterationEvent),
+) -> Result<LinBpResult, LinBpError> {
+    crate::with_operator(adj, &opts.parallelism, |op| {
+        run_observed_on(op, explicit, h_residual, opts, echo, observer)
+    })
+}
+
+/// The solver core, generic over the storage backend.
+fn run_observed_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
     explicit: &ExplicitBeliefs,
     h_residual: &Mat,
     opts: &LinBpOptions,

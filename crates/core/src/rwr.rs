@@ -14,7 +14,7 @@ use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
 use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome, ToleranceNorm,
 };
-use lsbp_sparse::CsrMatrix;
+use lsbp_sparse::{CsrMatrix, PropagationOperator};
 
 /// Options for [`rwr`].
 #[derive(Clone, Copy, Debug)]
@@ -122,8 +122,8 @@ pub(crate) fn restart_distribution(explicit: &ExplicitBeliefs) -> Result<Mat, Rw
 /// per-element sums stay in CSR entry order — routing the single walk
 /// through the same SpMM kernel is what keeps [`crate::batch::rwr_batch`]
 /// bitwise identical to `q` standalone runs.
-struct RwrWalk<'a> {
-    adj: &'a CsrMatrix,
+struct RwrWalk<'a, A: PropagationOperator + ?Sized> {
+    adj: &'a A,
     degrees: &'a [f64],
     restart_col: Vec<f64>,
     restart: f64,
@@ -133,7 +133,7 @@ struct RwrWalk<'a> {
     cfg: &'a ParallelismConfig,
 }
 
-impl FixedPointOp for RwrWalk<'_> {
+impl<A: PropagationOperator + ?Sized> FixedPointOp for RwrWalk<'_, A> {
     fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
         let n = self.x.len();
         for v in 0..n {
@@ -172,9 +172,20 @@ impl FixedPointOp for RwrWalk<'_> {
 ///
 /// Labels are read from `explicit` as the per-node argmax of the residual
 /// row (the usual one-hot labeling); mixed/soft labels contribute to every
-/// class with positive residual mass.
+/// class with positive residual mass. Honors the shard knob on
+/// `opts.parallelism` like [`crate::linbp::linbp`].
 pub fn rwr(
     adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    opts: &RwrOptions,
+) -> Result<RwrResult, RwrError> {
+    crate::with_operator(adj, &opts.parallelism, |op| rwr_on(op, explicit, opts))
+}
+
+/// [`rwr`] against any [`PropagationOperator`] — the operator is used as
+/// given (no re-sharding).
+pub fn rwr_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
     explicit: &ExplicitBeliefs,
     opts: &RwrOptions,
 ) -> Result<RwrResult, RwrError> {

@@ -33,7 +33,7 @@ use lsbp_linalg::{
     weight_balanced_ranges, FixedPointOp, FixedPointSolver, IterationEvent, Mat, ParallelismConfig,
     StepOutcome,
 };
-use lsbp_sparse::CsrMatrix;
+use lsbp_sparse::{CsrMatrix, PropagationOperator};
 use std::collections::BinaryHeap;
 
 /// Result of an SBP computation: beliefs plus the geodesic structure that
@@ -108,8 +108,8 @@ fn accumulate(dst: &mut [f64], abs: &mut [f64], b_src: &[f64], h: &Mat, w: f64) 
 /// and relative to the terms actually summed into that entry, so genuinely
 /// small deep-layer beliefs (computed from same-scale terms) are never
 /// flattened.
-fn recompute_belief(
-    adj: &CsrMatrix,
+fn recompute_belief<A: PropagationOperator + ?Sized>(
+    adj: &A,
     g: &[u32],
     beliefs: &Mat,
     h: &Mat,
@@ -151,7 +151,8 @@ pub fn sbp(
 /// layer's nodes recompute independently: the parallel path computes them
 /// into disjoint blocks of a per-layer staging buffer and copies the rows
 /// back serially. Each node runs exactly the serial [`recompute_belief`],
-/// so results are bitwise identical for any thread count.
+/// so results are bitwise identical for any thread count. Honors the
+/// shard knob on `cfg` like [`crate::linbp::linbp`].
 pub fn sbp_with(
     adj: &CsrMatrix,
     explicit: &ExplicitBeliefs,
@@ -161,14 +162,25 @@ pub fn sbp_with(
     sbp_observed(adj, explicit, h_residual, cfg, |_| {})
 }
 
+/// [`sbp_with`] against any [`PropagationOperator`] — the operator is
+/// used as given (no re-sharding).
+pub fn sbp_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    cfg: &ParallelismConfig,
+) -> Result<SbpResult, SbpError> {
+    sbp_observed_on(adj, explicit, h_residual, cfg, |_| {})
+}
+
 /// One BFS layer's belief recomputation as a [`FixedPointOp`]: solver
 /// iteration `i` processes geodesic layer `i + 1` (the DAG of Lemma 17
 /// points strictly from layer `g` to `g + 1`, so a single pass over the
 /// layers *is* SBP's whole fixed-point schedule). Always runs the full
 /// budget (`tol = 0`); the reported delta is 0 — SBP has no convergence
 /// question, only a layer count.
-struct SbpLayers<'a> {
-    adj: &'a CsrMatrix,
+struct SbpLayers<'a, A: PropagationOperator + ?Sized> {
+    adj: &'a A,
     h: &'a Mat,
     geodesics: &'a Geodesics,
     beliefs: Mat,
@@ -180,7 +192,7 @@ struct SbpLayers<'a> {
     pool: rayon::ThreadPool,
 }
 
-impl FixedPointOp for SbpLayers<'_> {
+impl<A: PropagationOperator + ?Sized> FixedPointOp for SbpLayers<'_, A> {
     fn step(&mut self, _solver: &FixedPointSolver, iteration: usize) -> StepOutcome {
         let layer = iteration + 1;
         let nodes = &self.geodesics.layers[layer];
@@ -246,9 +258,24 @@ impl FixedPointOp for SbpLayers<'_> {
 
 /// [`sbp_with`] with a per-layer observer: `observer` fires after every
 /// BFS layer (the paper's "iterations" in Fig. 7d), letting harnesses
-/// time layers without owning the sweep.
+/// time layers without owning the sweep. Applies the shard knob on `cfg`
+/// (re-sharding the CSR when `cfg.shards() > 1`), then runs the generic
+/// engine.
 pub fn sbp_observed(
     adj: &CsrMatrix,
+    explicit: &ExplicitBeliefs,
+    h_residual: &Mat,
+    cfg: &ParallelismConfig,
+    observer: impl FnMut(&IterationEvent),
+) -> Result<SbpResult, SbpError> {
+    crate::with_operator(adj, cfg, |op| {
+        sbp_observed_on(op, explicit, h_residual, cfg, observer)
+    })
+}
+
+/// The layer-sweep core, generic over the storage backend.
+fn sbp_observed_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
     explicit: &ExplicitBeliefs,
     h_residual: &Mat,
     cfg: &ParallelismConfig,

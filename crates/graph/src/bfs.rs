@@ -6,7 +6,7 @@
 //! (Lemma 17), so a single multi-source BFS determines the entire
 //! propagation schedule.
 
-use lsbp_sparse::CsrMatrix;
+use lsbp_sparse::PropagationOperator;
 use std::collections::VecDeque;
 
 /// Result of a multi-source BFS: per-node geodesic numbers and the nodes
@@ -42,13 +42,15 @@ impl Geodesics {
     }
 }
 
-/// Computes geodesic numbers by multi-source BFS over a CSR adjacency
-/// matrix. Hop counts ignore edge weights (Definition 14 is in hops; the
-/// weights only scale the propagated beliefs).
+/// Computes geodesic numbers by multi-source BFS over any adjacency
+/// operator (monolithic CSR or the sharded backend — BFS only needs
+/// per-row neighbor access). Hop counts ignore edge weights
+/// (Definition 14 is in hops; the weights only scale the propagated
+/// beliefs).
 ///
 /// # Panics
 /// Panics if `adj` is not square or a source id is out of range.
-pub fn geodesic_numbers(adj: &CsrMatrix, sources: &[usize]) -> Geodesics {
+pub fn geodesic_numbers<A: PropagationOperator + ?Sized>(adj: &A, sources: &[usize]) -> Geodesics {
     assert_eq!(adj.n_rows(), adj.n_cols(), "adjacency must be square");
     let n = adj.n_rows();
     let mut g = vec![UNREACHABLE; n];

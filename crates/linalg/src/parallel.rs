@@ -14,10 +14,31 @@
 //! combine partial results with order-independent operations (`max`).
 
 use std::ops::Range;
+use std::sync::OnceLock;
 
 /// Number of task partitions handed to the pool per worker thread; mild
 /// oversubscription lets the shared task queue balance uneven partitions.
 const PARTS_PER_THREAD: usize = 2;
+
+/// Upper bound on the shard-count knob — a fat-finger guard, not a design
+/// limit (a shard is a row range, so more shards than rows just collapses
+/// to single-row shards).
+pub const MAX_SHARDS: usize = 65_536;
+
+/// The process-default shard count: `LSBP_SHARDS` if set to a positive
+/// integer, otherwise 1 (monolithic storage). Parsed exactly once per
+/// process, mirroring how `LSBP_THREADS` is handled by the pool runtime.
+pub fn default_num_shards() -> usize {
+    static DEFAULT_SHARDS: OnceLock<usize> = OnceLock::new();
+    *DEFAULT_SHARDS.get_or_init(|| {
+        std::env::var("LSBP_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+            .min(MAX_SHARDS)
+    })
+}
 
 /// Default minimum per-kernel work (≈ flops or touched entries) before a
 /// kernel goes parallel. The pool spawns scoped OS threads per parallel
@@ -27,25 +48,30 @@ const PARTS_PER_THREAD: usize = 2;
 /// must never be slower than the serial code they replaced.
 pub const PAR_MIN_WORK: usize = 65_536;
 
-/// How a kernel should execute: how many threads, and how much work it
-/// takes before threading is worth it. Copyable and cheap — carried by
-/// value inside options structs.
+/// How a kernel should execute: how many threads, how much work it
+/// takes before threading is worth it, and how many row-range shards the
+/// graph storage should be partitioned into (1 = monolithic). Copyable
+/// and cheap — carried by value inside options structs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParallelismConfig {
     threads: usize,
     min_work: usize,
+    shards: usize,
 }
 
 impl ParallelismConfig {
-    /// Strictly serial execution (the reference semantics).
+    /// Strictly serial execution (the reference semantics): one thread,
+    /// monolithic storage.
     pub const fn serial() -> Self {
         Self {
             threads: 1,
             min_work: PAR_MIN_WORK,
+            shards: 1,
         }
     }
 
-    /// Pooled execution on `threads` workers (1 = serial).
+    /// Pooled execution on `threads` workers (1 = serial), monolithic
+    /// storage.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
@@ -54,14 +80,16 @@ impl ParallelismConfig {
         Self {
             threads: threads.min(rayon::MAX_THREADS),
             min_work: PAR_MIN_WORK,
+            shards: 1,
         }
     }
 
     /// The environment default: `LSBP_THREADS` if set, otherwise the
-    /// machine's available parallelism. The environment is parsed exactly
-    /// once per process, at pool initialization (see
-    /// `rayon::default_num_threads`); this call just reads the cached
-    /// value.
+    /// machine's available parallelism, and `LSBP_SHARDS` shards
+    /// (default 1 = monolithic). The environment is parsed exactly once
+    /// per process, at pool initialization (see
+    /// `rayon::default_num_threads`) and on the first shard-count read
+    /// ([`default_num_shards`]); this call just reads the cached values.
     ///
     /// Tests that must not depend on the ambient `LSBP_THREADS` have two
     /// documented overrides: construct an explicit config with
@@ -73,6 +101,7 @@ impl ParallelismConfig {
         Self {
             threads: rayon::default_num_threads(),
             min_work: PAR_MIN_WORK,
+            shards: default_num_shards(),
         }
     }
 
@@ -80,6 +109,22 @@ impl ParallelismConfig {
     /// forces even tiny kernels through the parallel code path).
     pub fn with_min_work(mut self, min_work: usize) -> Self {
         self.min_work = min_work.max(1);
+        self
+    }
+
+    /// Sets the number of row-range shards the propagation engines should
+    /// split graph storage into: 1 (the default everywhere but
+    /// `LSBP_SHARDS`-configured environments) keeps the monolithic CSR
+    /// path; larger values make the `CsrMatrix`-taking entry points
+    /// re-shard the adjacency into that many nnz-balanced row-range
+    /// blocks (`lsbp_sparse::ShardedCsr`) before solving. Results are
+    /// bitwise identical at every shard count.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards.min(MAX_SHARDS);
         self
     }
 
@@ -95,6 +140,11 @@ impl ParallelismConfig {
     /// transpose rescan clamp) honor that intent by skipping the clamp.
     pub fn min_work(&self) -> usize {
         self.min_work
+    }
+
+    /// Configured shard count (1 = monolithic storage).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// `true` iff this config never spawns threads.
@@ -263,5 +313,24 @@ mod tests {
     fn default_follows_env_machinery() {
         let cfg = ParallelismConfig::default();
         assert_eq!(cfg.threads(), rayon::default_num_threads());
+        assert_eq!(cfg.shards(), default_num_shards());
+    }
+
+    #[test]
+    fn shard_knob_defaults_and_clamps() {
+        assert_eq!(ParallelismConfig::serial().shards(), 1);
+        assert_eq!(ParallelismConfig::with_threads(4).shards(), 1);
+        let cfg = ParallelismConfig::serial().with_shards(8);
+        assert_eq!(cfg.shards(), 8);
+        assert_eq!(
+            ParallelismConfig::serial().with_shards(usize::MAX).shards(),
+            MAX_SHARDS
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        let _ = ParallelismConfig::serial().with_shards(0);
     }
 }

@@ -187,6 +187,14 @@ impl Table {
     /// and chunk outputs are concatenated in order — so the output row
     /// order is the same for every thread count (serial included:
     /// [`Table::join_map`] is this method at one thread).
+    ///
+    /// When `cfg` carries a shard count above 1 the probe side is first
+    /// split into that many contiguous row segments, each executed as its
+    /// own pool region in segment order — the relational mirror of the
+    /// native engines' one-region-per-shard execution (all workers stream
+    /// one storage segment at a time). Segment outputs concatenate in
+    /// order, so the result is identical at any shard × thread
+    /// combination.
     #[allow(clippy::too_many_arguments)] // join_map's surface + the config
     pub fn join_map_with(
         &self,
@@ -226,23 +234,30 @@ impl Table {
             }
             out
         };
-        let parts = cfg.partitions(probe.len().max(build.len()));
-        let rows = if parts <= 1 {
-            probe_chunk(&probe.rows)
-        } else {
-            let ranges = even_ranges(probe.len(), parts);
-            let mut partials: Vec<Vec<Vec<Value>>> = ranges.iter().map(|_| Vec::new()).collect();
-            cfg.pool().scope(|s| {
-                for (slot, range) in partials.iter_mut().zip(ranges) {
-                    let probe_chunk = &probe_chunk;
-                    s.spawn(move || *slot = probe_chunk(&probe.rows[range]));
-                }
-            });
-            partials.into_iter().flatten().collect()
-        };
+        // One probe segment per storage shard (1 = the whole probe side),
+        // each segment its own pool region in order.
+        let segments = even_ranges(probe.len(), cfg.shards());
         let mut out = Table::new(name, out_columns);
-        for row in rows {
-            out.push(row);
+        for segment in segments {
+            let seg_rows = &probe.rows[segment];
+            let parts = cfg.partitions(seg_rows.len().max(build.len()));
+            let rows = if parts <= 1 {
+                probe_chunk(seg_rows)
+            } else {
+                let ranges = even_ranges(seg_rows.len(), parts);
+                let mut partials: Vec<Vec<Vec<Value>>> =
+                    ranges.iter().map(|_| Vec::new()).collect();
+                cfg.pool().scope(|s| {
+                    for (slot, range) in partials.iter_mut().zip(ranges) {
+                        let probe_chunk = &probe_chunk;
+                        s.spawn(move || *slot = probe_chunk(&seg_rows[range]));
+                    }
+                });
+                partials.into_iter().flatten().collect()
+            };
+            for row in rows {
+                out.push(row);
+            }
         }
         out
     }

@@ -102,6 +102,31 @@ impl CsrMatrix {
         }
     }
 
+    /// Builds from already-validated compact parts — the crate-internal
+    /// constructor behind shard extraction ([`crate::ShardedCsr`]) and
+    /// reassembly, where the arrays are carved out of an existing
+    /// `CsrMatrix` and the invariants hold by construction.
+    pub(crate) fn from_trusted_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(Self::check_dims(n_rows, n_cols).is_ok());
+        debug_assert_eq!(row_ptr.len(), n_rows + 1);
+        debug_assert_eq!(row_ptr.first(), Some(&0));
+        debug_assert_eq!(row_ptr.last(), Some(&col_idx.len()));
+        debug_assert_eq!(col_idx.len(), values.len());
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// [`CsrMatrix::from_raw_parts`] with a recoverable error for graphs
     /// whose dimensions exceed the `u32` index limit ([`MAX_DIM`]).
     /// Structural invariant violations (non-monotone `row_ptr`, unsorted
@@ -241,6 +266,19 @@ impl CsrMatrix {
         &self.row_ptr
     }
 
+    /// The full compact column-index array (crate-internal: shard
+    /// extraction carves contiguous sub-slices out of it).
+    #[inline]
+    pub(crate) fn raw_col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The full value array, parallel to [`CsrMatrix::raw_col_idx`].
+    #[inline]
+    pub(crate) fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Value at `(r, c)`, or 0.0 if not stored. `O(log row_nnz)` —
     /// binary search runs directly on the compact `u32` column slice
     /// (the lookup key is narrowed once; no per-probe casts), which is
@@ -310,9 +348,11 @@ impl CsrMatrix {
 
     /// Serial SpMV kernel over the row block `rows`, writing into `block`
     /// (`block[i]` = output row `rows.start + i`). Shared verbatim by the
-    /// serial path and every parallel task. Each row accumulates in the
-    /// canonical 4-lane order ([`lsbp_linalg::simd::gather_dot4`]).
-    fn spmv_rows(&self, x: &[f64], rows: Range<usize>, block: &mut [f64]) {
+    /// serial path, every parallel task, and the sharded backend
+    /// ([`crate::ShardedCsr`], which runs it on shard-local rows). Each
+    /// row accumulates in the canonical 4-lane order
+    /// ([`lsbp_linalg::simd::gather_dot4`]).
+    pub(crate) fn spmv_rows(&self, x: &[f64], rows: Range<usize>, block: &mut [f64]) {
         for (r, out) in rows.zip(block.iter_mut()) {
             *out = gather_dot4(self.row_cols(r), self.row_values(r), x);
         }
@@ -350,14 +390,23 @@ impl CsrMatrix {
         assert_eq!(b.rows(), self.n_cols, "spmm dimension mismatch");
         assert_eq!(out.rows(), self.n_rows, "spmm output rows");
         assert_eq!(out.cols(), b.cols(), "spmm output cols");
+        self.spmm_block_with(b, out.as_mut_slice(), cfg);
+    }
+
+    /// The partitioned SpMM body over *this matrix's* rows, writing the
+    /// flat row-major `block` (exactly `n_rows · b.cols()` slots). The
+    /// sharded backend calls this once per shard as its own
+    /// persistent-pool region; [`CsrMatrix::spmm_into_with`] calls it
+    /// once for the whole matrix.
+    pub(crate) fn spmm_block_with(&self, b: &Mat, block: &mut [f64], cfg: &ParallelismConfig) {
         let parts = cfg.partitions((self.nnz() + self.n_rows) * b.cols());
         if parts <= 1 {
-            self.spmm_rows(b, 0..self.n_rows, out.as_mut_slice());
+            self.spmm_rows(b, 0..self.n_rows, block);
             return;
         }
         let ranges = weight_balanced_ranges(&self.row_ptr, parts);
         let row_len = b.cols();
-        let mut rest: &mut [f64] = out.as_mut_slice();
+        let mut rest: &mut [f64] = block;
         cfg.pool().scope(|s| {
             for range in ranges {
                 let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
@@ -368,21 +417,58 @@ impl CsrMatrix {
     }
 
     /// Serial SpMM kernel over the row block `rows`, writing into `block`
-    /// (the flat row-major storage of exactly those output rows). The
-    /// output row borrow and the `col_idx`/`values` slices are hoisted
-    /// out of the per-entry loop; the per-entry axpy runs 4 lanes wide
-    /// across the *output columns* ([`axpy4`]), which vectorizes without
-    /// reassociating any output element's sum — each element still
-    /// accumulates its contributions in CSR entry order, exactly like
-    /// the pre-SIMD kernel (and like every dense-factor kernel built on
-    /// [`axpy4`]), so SpMM results are unchanged bitwise. Unlike the
-    /// reduction kernels (SpMV, norms), there is no canonical-order
-    /// reassociation here: per-output-element sums have no lane
-    /// structure to exploit, and keeping the sequential order keeps the
-    /// whole LinBP/batch family bit-stable across the SIMD rewrite.
-    /// Shared verbatim by the serial path and every parallel task, and
-    /// allocation-free.
-    fn spmm_rows(&self, b: &Mat, rows: Range<usize>, block: &mut [f64]) {
+    /// (the flat row-major storage of exactly those output rows). Routes
+    /// the paper's common class counts (`b.cols() ∈ {2, 3, 4}`) to the
+    /// width-specialized register kernel ([`CsrMatrix::spmm_rows_k`])
+    /// and everything wider to the generic slice kernel — both compute
+    /// the identical arithmetic in the identical per-element order, so
+    /// the dispatch is invisible bitwise. Shared verbatim by the serial
+    /// path, every parallel task, and the sharded backend
+    /// ([`crate::ShardedCsr`]), and allocation-free.
+    pub(crate) fn spmm_rows(&self, b: &Mat, rows: Range<usize>, block: &mut [f64]) {
+        match b.cols() {
+            2 => self.spmm_rows_k::<2>(b, rows, block),
+            3 => self.spmm_rows_k::<3>(b, rows, block),
+            4 => self.spmm_rows_k::<4>(b, rows, block),
+            _ => self.spmm_rows_generic(b, rows, block),
+        }
+    }
+
+    /// Width-specialized SpMM row kernel: the output row lives in a
+    /// `[f64; K]` register array for the whole gather (the fused LinBP
+    /// kernel's specialization applied to the standalone SpMM), written
+    /// back once per row. Each output element still accumulates its
+    /// contributions in CSR entry order — exactly the generic kernel's
+    /// per-element order, so results are unchanged bitwise; only the
+    /// per-entry output-row loads/stores disappear.
+    fn spmm_rows_k<const K: usize>(&self, b: &Mat, rows: Range<usize>, block: &mut [f64]) {
+        debug_assert_eq!(b.cols(), K);
+        for (i, r) in rows.enumerate() {
+            // Accumulate row r of the output: Σ_c A(r,c) · B(c,·).
+            let mut acc = [0.0f64; K];
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                let b_row = b.row(c as usize);
+                for j in 0..K {
+                    acc[j] += v * b_row[j];
+                }
+            }
+            block[i * K..(i + 1) * K].copy_from_slice(&acc);
+        }
+    }
+
+    /// The generic (any-width) SpMM row kernel: the output row borrow and
+    /// the `col_idx`/`values` slices are hoisted out of the per-entry
+    /// loop; the per-entry axpy runs 4 lanes wide across the *output
+    /// columns* ([`axpy4`]), which vectorizes without reassociating any
+    /// output element's sum — each element still accumulates its
+    /// contributions in CSR entry order, exactly like the pre-SIMD
+    /// kernel. Unlike the reduction kernels (SpMV, norms), there is no
+    /// canonical-order reassociation here: per-output-element sums have
+    /// no lane structure to exploit, and keeping the sequential order
+    /// keeps the whole LinBP/batch family bit-stable. Since the
+    /// width-specialized dispatch landed this only runs off the hot path
+    /// (stacked multi-query widths and unusual class counts).
+    fn spmm_rows_generic(&self, b: &Mat, rows: Range<usize>, block: &mut [f64]) {
         let row_len = b.cols();
         block.iter_mut().for_each(|x| *x = 0.0);
         for r in rows.clone() {
@@ -672,6 +758,30 @@ mod tests {
         let sparse_prod = m.spmm(&b);
         let dense_prod = m.to_dense().matmul(&b);
         assert!(sparse_prod.max_abs_diff(&dense_prod) < 1e-14);
+    }
+
+    /// The width-specialized SpMM row kernels (k = 2/3/4) are bitwise
+    /// identical to the generic slice kernel they retired from the hot
+    /// path — same per-element CSR-entry accumulation order, registers
+    /// instead of memory.
+    #[test]
+    fn spmm_width_specialization_bitwise() {
+        let mut coo = CooMatrix::new(9, 9);
+        for i in 0..8usize {
+            coo.push_symmetric(i, i + 1, 0.3 * i as f64 + 0.1);
+            coo.push_symmetric(i / 2, i, 1.7 - 0.2 * i as f64);
+        }
+        let m = coo.to_csr();
+        for k in [2usize, 3, 4] {
+            let b = Mat::from_fn(9, k, |r, c| ((r * k + c) % 13) as f64 * 0.05 - 0.3);
+            let mut spec = vec![f64::NAN; 9 * k];
+            let mut gen = vec![f64::NAN; 9 * k];
+            m.spmm_rows(&b, 0..9, &mut spec);
+            m.spmm_rows_generic(&b, 0..9, &mut gen);
+            for (a, b) in spec.iter().zip(&gen) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k}");
+            }
+        }
     }
 
     #[test]

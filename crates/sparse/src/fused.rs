@@ -43,7 +43,8 @@ use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
 use std::ops::Range;
 
 /// The per-iteration constants of the LinBP update (Eq. 6/7), borrowed by
-/// [`CsrMatrix::linbp_step_fused_with`].
+/// [`CsrMatrix::linbp_step_fused_with`] (and the sharded backend's
+/// implementation of the same operation).
 #[derive(Clone, Copy, Debug)]
 pub struct FusedLinBpStep<'a> {
     /// Explicit residual beliefs `Ê` (`n × k·q`).
@@ -58,6 +59,96 @@ pub struct FusedLinBpStep<'a> {
     pub degrees: &'a [f64],
     /// Update damping `λ ∈ [0, 1)`; 0.0 is the paper's plain update.
     pub damping: f64,
+}
+
+/// Validates the shapes of one fused LinBP step against an `n × n`
+/// adjacency operator and returns `(k, q)`. Shared by the monolithic
+/// [`CsrMatrix::linbp_step_fused_with`] and the sharded backend so both
+/// reject malformed inputs with identical messages.
+pub(crate) fn validate_fused_step(
+    n_rows: usize,
+    n_cols: usize,
+    b: &Mat,
+    step: &FusedLinBpStep<'_>,
+    out: &Mat,
+    deltas: &[f64],
+) -> (usize, usize) {
+    let n = n_rows;
+    let kt = b.cols();
+    let k = step.h.rows();
+    assert_eq!(n_cols, n, "fused LinBP step needs a square adjacency");
+    assert_eq!(b.rows(), n, "fused LinBP step: B row count");
+    assert!(step.h.is_square(), "fused LinBP step: Ĥ must be square");
+    assert!(
+        k > 0 && kt.is_multiple_of(k),
+        "fused LinBP step: B column count {kt} is not a multiple of k = {k}"
+    );
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (n, kt),
+        "fused LinBP step: out shape"
+    );
+    assert_eq!(
+        (step.e_hat.rows(), step.e_hat.cols()),
+        (n, kt),
+        "fused LinBP step: Ê shape"
+    );
+    if let Some(h2) = step.h2 {
+        assert_eq!((h2.rows(), h2.cols()), (k, k), "fused LinBP step: Ĥ² shape");
+    }
+    assert_eq!(step.degrees.len(), n, "fused LinBP step: degrees length");
+    let q = kt / k;
+    assert_eq!(deltas.len(), q, "fused LinBP step: deltas length");
+    (k, q)
+}
+
+/// The task-local `k·q` intermediates of the generic fused kernel — the
+/// whole point of the fusion is that these stay in L1 instead of being
+/// `n × k·q` matrices. For every realistic width they are stack arrays
+/// (no per-iteration heap traffic, the design rule `LinBpScratch`
+/// established); only `kt > SCRATCH_WIDTH` falls back to one allocation
+/// per task. One value serves one row-block task — monolithic row
+/// partitions and shard-local tasks build their own, so shards own their
+/// scratch by construction.
+pub(crate) struct FusedScratch {
+    stack: [f64; 2 * SCRATCH_WIDTH],
+    heap: Vec<f64>,
+    kt: usize,
+}
+
+impl FusedScratch {
+    pub(crate) fn new(kt: usize) -> Self {
+        Self {
+            stack: [0.0; 2 * SCRATCH_WIDTH],
+            heap: if 2 * kt > 2 * SCRATCH_WIDTH {
+                vec![0.0; 2 * kt]
+            } else {
+                Vec::new()
+            },
+            kt,
+        }
+    }
+
+    /// The `(ab, echo)` buffer pair, each `k·q` long.
+    pub(crate) fn ab_echo(&mut self) -> (&mut [f64], &mut [f64]) {
+        let buf: &mut [f64] = if 2 * self.kt <= self.stack.len() {
+            &mut self.stack[..2 * self.kt]
+        } else {
+            &mut self.heap
+        };
+        buf.split_at_mut(self.kt)
+    }
+}
+
+/// Max-merges per-task residual partials into `deltas`. `max` is
+/// order-independent, so any partition of the rows (thread tasks, shards,
+/// or both) accumulates the exact serial result.
+pub(crate) fn merge_delta_partials(deltas: &mut [f64], partials: &[Vec<f64>]) {
+    for partial in partials {
+        for (d, &p) in deltas.iter_mut().zip(partial) {
+            *d = d.max(p);
+        }
+    }
 }
 
 impl CsrMatrix {
@@ -81,61 +172,56 @@ impl CsrMatrix {
     ) {
         let n = self.n_rows();
         let kt = b.cols();
-        let k = step.h.rows();
-        assert_eq!(
-            self.n_cols(),
-            n,
-            "fused LinBP step needs a square adjacency"
-        );
-        assert_eq!(b.rows(), n, "fused LinBP step: B row count");
-        assert!(step.h.is_square(), "fused LinBP step: Ĥ must be square");
-        assert!(
-            k > 0 && kt.is_multiple_of(k),
-            "fused LinBP step: B column count {kt} is not a multiple of k = {k}"
-        );
-        assert_eq!(
-            (out.rows(), out.cols()),
-            (n, kt),
-            "fused LinBP step: out shape"
-        );
-        assert_eq!(
-            (step.e_hat.rows(), step.e_hat.cols()),
-            (n, kt),
-            "fused LinBP step: Ê shape"
-        );
-        if let Some(h2) = step.h2 {
-            assert_eq!((h2.rows(), h2.cols()), (k, k), "fused LinBP step: Ĥ² shape");
-        }
-        assert_eq!(step.degrees.len(), n, "fused LinBP step: degrees length");
-        let q = kt / k;
-        assert_eq!(deltas.len(), q, "fused LinBP step: deltas length");
+        let (k, _q) = validate_fused_step(n, self.n_cols(), b, step, out, deltas);
         deltas.iter_mut().for_each(|d| *d = 0.0);
         if n == 0 || kt == 0 {
             return;
         }
+        self.fused_block_with(b, step, 0, out.as_mut_slice(), deltas, k, cfg);
+    }
 
+    /// The partitioned body of the fused step over *this matrix's* rows,
+    /// writing the flat row-major `block` (exactly `n_rows · b.cols()`
+    /// slots) and max-accumulating per-query residuals into `deltas`
+    /// (NOT zeroed here — the caller owns the across-call accumulation).
+    /// `base` is the global-row offset (see
+    /// [`CsrMatrix::fused_rows_dispatch`]): 0 for the monolithic path,
+    /// the shard's first global row for the sharded backend, which calls
+    /// this once per shard as its own persistent-pool region.
+    #[allow(clippy::too_many_arguments)] // one slot per fused-step term
+    pub(crate) fn fused_block_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        base: usize,
+        block: &mut [f64],
+        deltas: &mut [f64],
+        k: usize,
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        if n == 0 {
+            return;
+        }
         let parts = cfg.partitions((self.nnz() + n) * kt);
         if parts <= 1 {
-            self.fused_rows_dispatch(b, step, 0..n, out.as_mut_slice(), deltas, k);
+            self.fused_rows_dispatch(b, step, 0..n, base, block, deltas, k);
             return;
         }
         let ranges = weight_balanced_ranges(self.row_offsets(), parts);
-        let mut partials: Vec<Vec<f64>> = vec![vec![0.0; q]; ranges.len()];
-        let mut rest: &mut [f64] = out.as_mut_slice();
+        let mut partials: Vec<Vec<f64>> = vec![vec![0.0; deltas.len()]; ranges.len()];
+        let mut rest: &mut [f64] = block;
         cfg.pool().scope(|s| {
             for (range, partial) in ranges.into_iter().zip(partials.iter_mut()) {
                 let (chunk, tail) = rest.split_at_mut((range.end - range.start) * kt);
                 rest = tail;
-                s.spawn(move || self.fused_rows_dispatch(b, step, range, chunk, partial, k));
+                s.spawn(move || self.fused_rows_dispatch(b, step, range, base, chunk, partial, k));
             }
         });
         // Combine the per-task residual maxima — order-independent, so
         // this equals the serial accumulation bitwise.
-        for partial in &partials {
-            for (d, &p) in deltas.iter_mut().zip(partial) {
-                *d = d.max(p);
-            }
-        }
+        merge_delta_partials(deltas, &partials);
     }
 
     /// Routes a row block to the width-specialized kernel for the paper's
@@ -144,24 +230,32 @@ impl CsrMatrix {
     /// the identical arithmetic in the identical order — the
     /// specialization only turns the tiny per-row loops into fully
     /// unrolled register code (property-tested bitwise equal).
-    fn fused_rows_dispatch(
+    ///
+    /// `rows` indexes *this matrix's* rows; `base` is the global-row
+    /// offset of row 0 into `b`/`Ê`/`degrees`/`deltas`' coordinate frame.
+    /// The monolithic path passes `base = 0` (its rows *are* global); the
+    /// sharded backend passes each shard's first global row, running the
+    /// identical kernel on the shard-local block.
+    #[allow(clippy::too_many_arguments)] // one slot per fused-step term
+    pub(crate) fn fused_rows_dispatch(
         &self,
         b: &Mat,
         step: &FusedLinBpStep<'_>,
         rows: Range<usize>,
+        base: usize,
         block: &mut [f64],
         deltas: &mut [f64],
         k: usize,
     ) {
         if b.cols() == k {
             match k {
-                2 => return self.fused_rows_k::<2>(b, step, rows, block, deltas),
-                3 => return self.fused_rows_k::<3>(b, step, rows, block, deltas),
-                4 => return self.fused_rows_k::<4>(b, step, rows, block, deltas),
+                2 => return self.fused_rows_k::<2>(b, step, rows, base, block, deltas),
+                3 => return self.fused_rows_k::<3>(b, step, rows, base, block, deltas),
+                4 => return self.fused_rows_k::<4>(b, step, rows, base, block, deltas),
                 _ => {}
             }
         }
-        self.fused_rows(b, step, rows, block, deltas, k)
+        self.fused_rows(b, step, rows, base, block, deltas, k)
     }
 
     /// Width-specialized single-query fused kernel: every per-row
@@ -174,6 +268,7 @@ impl CsrMatrix {
         b: &Mat,
         step: &FusedLinBpStep<'_>,
         rows: Range<usize>,
+        base: usize,
         block: &mut [f64],
         deltas: &mut [f64],
     ) {
@@ -210,10 +305,10 @@ impl CsrMatrix {
                 }
             }
             // echo = (d_r·B(r,·))·Ĥ², zero-skipping the scaled entries.
-            let b_row = b.row(r);
+            let b_row = b.row(base + r);
             let mut echo = [0.0f64; K];
             if echo_on {
-                let d = step.degrees[r];
+                let d = step.degrees[base + r];
                 for i in 0..K {
                     let a = d * b_row[i];
                     if a == 0.0 {
@@ -227,7 +322,7 @@ impl CsrMatrix {
             // Combine, damp, write, residual — one unrolled pass. The
             // element order matches the unfused composition exactly:
             // (o + ê) − echo, then the blend, then |new − old|.
-            let e_row = step.e_hat.row(r);
+            let e_row = step.e_hat.row(base + r);
             let o_out = &mut block[(r - rows.start) * K..(r - rows.start + 1) * K];
             for j in 0..K {
                 let mut x = o[j] + e_row[j];
@@ -249,31 +344,24 @@ impl CsrMatrix {
     /// output rows) and max-accumulating per-query residuals into
     /// `deltas`. Shared verbatim by the serial path and every parallel
     /// task.
+    #[allow(clippy::too_many_arguments)] // one slot per fused-step term
     fn fused_rows(
         &self,
         b: &Mat,
         step: &FusedLinBpStep<'_>,
         rows: Range<usize>,
+        base: usize,
         block: &mut [f64],
         deltas: &mut [f64],
         k: usize,
     ) {
         let kt = b.cols();
         let q = kt / k;
-        // Task-local intermediates — the whole point of the fusion is
-        // that these stay in L1 instead of being n × k·q matrices. For
-        // every realistic width they are stack arrays (no per-iteration
-        // heap traffic); only kt > SCRATCH_WIDTH falls back to one
-        // allocation per row-block task.
-        let mut stack = [0.0f64; 2 * SCRATCH_WIDTH];
-        let mut heap;
-        let scratch: &mut [f64] = if 2 * kt <= stack.len() {
-            &mut stack[..2 * kt]
-        } else {
-            heap = vec![0.0f64; 2 * kt];
-            &mut heap
-        };
-        let (ab, echo) = scratch.split_at_mut(kt);
+        // Task-local intermediates (see [`FusedScratch`]): stack arrays
+        // for every realistic width, one allocation per row-block task
+        // beyond SCRATCH_WIDTH.
+        let mut scratch = FusedScratch::new(kt);
+        let (ab, echo) = scratch.ab_echo();
         for r in rows.clone() {
             let o = &mut block[(r - rows.start) * kt..(r - rows.start + 1) * kt];
             // ab = A(r,·)·B — the exact `spmm_rows` gather-axpy order.
@@ -297,9 +385,9 @@ impl CsrMatrix {
             // Echo term: (d_r·B(r,·))·(I_q ⊗ Ĥ²), the scaled entries
             // computed inline (same values and zero skip as the unfused
             // `scaled_rows_into` + block-diagonal matmul composition).
-            let b_row = b.row(r);
+            let b_row = b.row(base + r);
             let echo_on = if let Some(h2) = step.h2 {
-                let d = step.degrees[r];
+                let d = step.degrees[base + r];
                 echo.iter_mut().for_each(|x| *x = 0.0);
                 for blk in 0..q {
                     let b_blk = &b_row[blk * k..(blk + 1) * k];
@@ -319,7 +407,7 @@ impl CsrMatrix {
             // Combine `(o + ê) − echo`, damp, and accumulate the
             // per-query residual in one pass — the element order of the
             // unfused add/sub/blend/max passes.
-            let e_row = step.e_hat.row(r);
+            let e_row = step.e_hat.row(base + r);
             let lambda = step.damping;
             for (blk, slot) in deltas.iter_mut().enumerate() {
                 let cols = blk * k..(blk + 1) * k;

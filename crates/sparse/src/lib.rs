@@ -13,6 +13,12 @@
 //! * the fused LinBP step ([`FusedLinBpStep`]) — one row-partitioned,
 //!   cache-resident pass per iteration instead of SpMM + echo + norm
 //!   sweeps,
+//! * [`PropagationOperator`] — the unified linear-operator surface every
+//!   propagation solver runs on (SpMV / SpMM / fused step / transpose /
+//!   row statistics / neighbor access), with [`CsrMatrix`] as the
+//!   monolithic reference implementation and [`ShardedCsr`] as the
+//!   nnz-balanced row-range sharded backend (bitwise identical at any
+//!   shard × thread combination),
 //! * [`EdgeMatrixOp`] — the matrix-free "edge matrix" `A_edge` of
 //!   Appendix G (2|E| × 2|E|), used to evaluate the Mooij–Kappen
 //!   convergence bound for standard BP without materializing it.
@@ -21,8 +27,12 @@ pub mod coo;
 pub mod csr;
 pub mod edge_op;
 pub mod fused;
+pub mod operator;
+pub mod sharded;
 
 pub use coo::CooMatrix;
 pub use csr::{CsrError, CsrMatrix, MAX_DIM};
 pub use edge_op::EdgeMatrixOp;
 pub use fused::FusedLinBpStep;
+pub use operator::{PropagationOperator, RowIter};
+pub use sharded::ShardedCsr;

@@ -1,0 +1,223 @@
+//! The unified linear-operator surface of the propagation engine.
+//!
+//! LinBP's whole pitch is that belief propagation becomes plain sparse
+//! linear algebra — which makes scale-out a *storage/layout* problem, not
+//! an algorithm problem. [`PropagationOperator`] is the seam that turns
+//! that observation into architecture: every propagator (LinBP, LinBP\*,
+//! RWR, SBP, the batched multi-query family) is written against this
+//! trait, and the storage layer behind it is interchangeable:
+//!
+//! * [`CsrMatrix`](crate::CsrMatrix) — the monolithic in-memory reference
+//!   implementation (the semantics every other backend must reproduce
+//!   **bitwise**), and
+//! * [`ShardedCsr`](crate::ShardedCsr) — the graph split into
+//!   nnz-balanced row-range shards, the layout that out-of-core and
+//!   distributed deployments partition along.
+//!
+//! The surface is exactly what the propagators consume: the two sparse
+//! products (SpMV / SpMM), the fused LinBP step, transposition, the
+//! row-statistics vectors (degrees for echo cancellation and RWR), and
+//! per-row neighbor access (BFS layering for SBP).
+//!
+//! **Bitwise contract.** Implementations must accumulate every output
+//! element in the canonical per-element order of the `CsrMatrix` kernels
+//! (CSR entry order per output element, 4-lane reassociation only where
+//! the monolithic kernels use it) and combine any cross-partition
+//! reductions with order-independent operations. Under that contract a
+//! solver's result is a function of the *graph*, not of the storage
+//! layout, the shard count, or the thread count — which is what lets a
+//! deployment re-shard a live system without changing a single answer.
+
+use crate::csr::CsrMatrix;
+use crate::fused::FusedLinBpStep;
+use lsbp_linalg::{Mat, ParallelismConfig};
+
+/// Iterator over one row's `(col, value)` pairs, columns widened to
+/// `usize` — the trait-level counterpart of `CsrMatrix::row_iter`,
+/// concrete so the trait stays object-safe-free of generics.
+pub struct RowIter<'a> {
+    cols: std::slice::Iter<'a, u32>,
+    values: std::slice::Iter<'a, f64>,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (usize, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, f64)> {
+        Some((*self.cols.next()? as usize, *self.values.next()?))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.cols.size_hint()
+    }
+}
+
+/// A sparse graph operator a propagation solver can run on — see the
+/// module docs for the architecture and the bitwise contract.
+///
+/// `Sync` is a supertrait because solvers hand `&self` to persistent-pool
+/// tasks (SBP's layer recomputation spawns directly against the
+/// operator).
+pub trait PropagationOperator: Sync {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+
+    /// Number of columns.
+    fn n_cols(&self) -> usize;
+
+    /// Number of stored entries.
+    fn nnz(&self) -> usize;
+
+    /// Number of stored entries in row `r` (the node degree for adjacency
+    /// matrices without explicit zeros).
+    fn row_nnz(&self, r: usize) -> usize;
+
+    /// Column indices of row `r` (sorted ascending, global coordinates),
+    /// as the compact `u32` storage type.
+    fn row_cols(&self, r: usize) -> &[u32];
+
+    /// Values of row `r`, parallel to [`PropagationOperator::row_cols`].
+    fn row_values(&self, r: usize) -> &[f64];
+
+    /// Iterates `(col, value)` pairs of row `r` (columns widened to
+    /// `usize` for ergonomic indexing).
+    fn row_iter(&self, r: usize) -> RowIter<'_> {
+        RowIter {
+            cols: self.row_cols(r).iter(),
+            values: self.row_values(r).iter(),
+        }
+    }
+
+    /// Sparse matrix × dense vector into a caller-provided buffer:
+    /// `y = A·x`, executed per `cfg`.
+    fn spmv_into_with(&self, x: &[f64], y: &mut [f64], cfg: &ParallelismConfig);
+
+    /// Sparse × dense matrix product into a caller-provided output
+    /// (overwrites `out`): `out = A·B`, executed per `cfg`. This is the
+    /// LinBP workhorse (`A·B̂`, `O(nnz·k)`).
+    fn spmm_into_with(&self, b: &Mat, out: &mut Mat, cfg: &ParallelismConfig);
+
+    /// One fused LinBP update `out = Ê + A·B·Ĥ [− D·B·Ĥ²]` (damped), with
+    /// the per-query max-abs belief change accumulated into `deltas` —
+    /// the solver-facing per-iteration kernel. Semantics and panics match
+    /// [`CsrMatrix::linbp_step_fused_with`] exactly.
+    fn linbp_step_fused_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        cfg: &ParallelismConfig,
+    );
+
+    /// Transpose, materialized as a monolithic [`CsrMatrix`] (the
+    /// assembly step a distributed backend would run at import time).
+    fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix;
+
+    /// Plain weighted row sums `Σ_t w(s,t)` (RWR's walk normalization),
+    /// accumulated in the canonical 4-lane order.
+    fn row_sums(&self) -> Vec<f64>;
+
+    /// The weighted degree vector of Sect. 5.2: `d_s = Σ_t w(s,t)²` (the
+    /// echo-cancellation degrees).
+    fn squared_weight_degrees(&self) -> Vec<f64>;
+}
+
+impl PropagationOperator for CsrMatrix {
+    #[inline]
+    fn n_rows(&self) -> usize {
+        CsrMatrix::n_rows(self)
+    }
+
+    #[inline]
+    fn n_cols(&self) -> usize {
+        CsrMatrix::n_cols(self)
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    #[inline]
+    fn row_nnz(&self, r: usize) -> usize {
+        CsrMatrix::row_nnz(self, r)
+    }
+
+    #[inline]
+    fn row_cols(&self, r: usize) -> &[u32] {
+        CsrMatrix::row_cols(self, r)
+    }
+
+    #[inline]
+    fn row_values(&self, r: usize) -> &[f64] {
+        CsrMatrix::row_values(self, r)
+    }
+
+    fn spmv_into_with(&self, x: &[f64], y: &mut [f64], cfg: &ParallelismConfig) {
+        CsrMatrix::spmv_into_with(self, x, y, cfg)
+    }
+
+    fn spmm_into_with(&self, b: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
+        CsrMatrix::spmm_into_with(self, b, out, cfg)
+    }
+
+    fn linbp_step_fused_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        cfg: &ParallelismConfig,
+    ) {
+        CsrMatrix::linbp_step_fused_with(self, b, step, out, deltas, cfg)
+    }
+
+    fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix {
+        CsrMatrix::transpose_with(self, cfg)
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        CsrMatrix::row_sums(self)
+    }
+
+    fn squared_weight_degrees(&self) -> Vec<f64> {
+        CsrMatrix::squared_weight_degrees(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn small() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 1, 2.0);
+        coo.push_symmetric(1, 2, 3.0);
+        coo.push(2, 2, 1.0);
+        coo.to_csr()
+    }
+
+    /// The trait impl on `CsrMatrix` is a pure forwarder: every method
+    /// answers exactly like the inherent API.
+    #[test]
+    fn csr_impl_forwards() {
+        let m = small();
+        let op: &dyn PropagationOperator = &m;
+        assert_eq!(op.n_rows(), 3);
+        assert_eq!(op.nnz(), 5);
+        assert_eq!(op.row_nnz(1), 2);
+        assert_eq!(op.row_cols(1), &[0, 2]);
+        assert_eq!(op.row_values(2), &[3.0, 1.0]);
+        assert_eq!(op.row_iter(1).collect::<Vec<_>>(), vec![(0, 2.0), (2, 3.0)]);
+        let cfg = ParallelismConfig::serial();
+        let mut y = vec![0.0; 3];
+        op.spmv_into_with(&[1.0, 1.0, 1.0], &mut y, &cfg);
+        assert_eq!(y, vec![2.0, 5.0, 4.0]);
+        assert_eq!(op.row_sums(), m.row_sums());
+        assert_eq!(op.squared_weight_degrees(), m.squared_weight_degrees());
+        assert_eq!(op.transpose_with(&cfg), m.transpose());
+    }
+}

@@ -1,0 +1,407 @@
+//! Row-partitioned graph shards — the scale-out storage layout.
+//!
+//! [`ShardedCsr`] splits a graph into nnz-balanced, contiguous row-range
+//! shards (the partition computed by
+//! [`lsbp_linalg::weight_balanced_ranges`], exactly like the kernels'
+//! thread partitions). Each shard is an independent, compact
+//! (`u32`-indexed) CSR block over its own rows with *global* column
+//! indices, so a shard can gather from the full belief matrix without any
+//! index translation — and, in a future out-of-core or distributed
+//! deployment, can live in its own file, memory arena, or process.
+//!
+//! Execution model: every kernel walks the shards **in row order**, and
+//! each shard runs as **one persistent-pool region** (further
+//! row-partitioned inside per the [`ParallelismConfig`]). All workers
+//! therefore stream one shard's arrays at a time — shard affinity and
+//! cache residency — and the region boundary is exactly where an
+//! out-of-core engine would page the next shard in.
+//!
+//! **Bitwise contract.** Shards are row-aligned and run the *same* row
+//! kernels as the monolithic [`CsrMatrix`] (the canonical 4-lane
+//! accumulation order per output element); cross-shard reductions are
+//! order-independent maxima. Every result is therefore bitwise identical
+//! to the monolithic path at any shard × thread combination — re-sharding
+//! a live system never changes an answer (property-tested in
+//! `tests/sharded_engine.rs`).
+
+use crate::csr::CsrMatrix;
+use crate::fused::{validate_fused_step, FusedLinBpStep};
+use crate::operator::PropagationOperator;
+use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
+use std::ops::Range;
+
+/// A sparse square-or-rectangular matrix stored as nnz-balanced,
+/// contiguous row-range shards behind the [`PropagationOperator`]
+/// interface — see the module docs for layout, execution model and the
+/// bitwise contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedCsr {
+    n_cols: usize,
+    nnz: usize,
+    /// Shard row boundaries: shard `i` covers global rows
+    /// `starts[i]..starts[i + 1]`; `starts[0] == 0`,
+    /// `starts[len - 1] == n_rows`. Non-decreasing (empty shards allowed).
+    starts: Vec<usize>,
+    /// Per-shard CSR blocks (`starts[i+1] − starts[i]` rows × `n_cols`
+    /// columns, global column indices).
+    shards: Vec<CsrMatrix>,
+}
+
+impl ShardedCsr {
+    /// Splits `m` into at most `shards` nnz-balanced row-range shards
+    /// (fewer when the graph has fewer non-empty row ranges than
+    /// requested — exactly [`weight_balanced_ranges`]' contract).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn from_csr(m: &CsrMatrix, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        let ranges = weight_balanced_ranges(m.row_offsets(), shards);
+        Self::from_csr_ranges(m, &ranges)
+    }
+
+    /// Splits `m` along an explicit row partition. The ranges must tile
+    /// `0..n_rows` in order; empty ranges are allowed (they become empty
+    /// shards — a layout a rebalancer can produce transiently).
+    ///
+    /// # Panics
+    /// Panics if the ranges do not tile `0..n_rows` contiguously.
+    pub fn from_csr_ranges(m: &CsrMatrix, ranges: &[Range<usize>]) -> Self {
+        let mut starts = Vec::with_capacity(ranges.len() + 1);
+        starts.push(0usize);
+        let mut shards = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            assert_eq!(
+                range.start,
+                *starts.last().unwrap(),
+                "shard ranges must tile the rows contiguously"
+            );
+            assert!(range.end >= range.start, "inverted shard range");
+            assert!(range.end <= m.n_rows(), "shard range beyond the matrix");
+            starts.push(range.end);
+            shards.push(Self::extract_block(m, range.clone()));
+        }
+        assert_eq!(
+            *starts.last().unwrap(),
+            m.n_rows(),
+            "shard ranges must cover every row"
+        );
+        Self {
+            n_cols: m.n_cols(),
+            nnz: m.nnz(),
+            starts,
+            shards,
+        }
+    }
+
+    /// Carves the CSR block of `rows` out of `m`: local row pointers,
+    /// global (unchanged) column indices.
+    fn extract_block(m: &CsrMatrix, rows: Range<usize>) -> CsrMatrix {
+        let off = m.row_offsets();
+        let lo = off[rows.start];
+        let hi = off[rows.end];
+        let row_ptr: Vec<usize> = off[rows.start..=rows.end].iter().map(|&p| p - lo).collect();
+        CsrMatrix::from_trusted_parts(
+            rows.end - rows.start,
+            m.n_cols(),
+            row_ptr,
+            m.raw_col_idx()[lo..hi].to_vec(),
+            m.raw_values()[lo..hi].to_vec(),
+        )
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global row range of shard `i`.
+    pub fn shard_rows(&self, i: usize) -> Range<usize> {
+        self.starts[i]..self.starts[i + 1]
+    }
+
+    /// The CSR block of shard `i` (local rows, global columns).
+    pub fn shard(&self, i: usize) -> &CsrMatrix {
+        &self.shards[i]
+    }
+
+    /// Reassembles the monolithic [`CsrMatrix`] (the inverse of
+    /// [`ShardedCsr::from_csr`] — bit-for-bit, since shard extraction
+    /// only slices the original arrays).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n_rows = self.n_rows();
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for shard in &self.shards {
+            let base = *row_ptr.last().unwrap();
+            row_ptr.extend(shard.row_offsets()[1..].iter().map(|&p| base + p));
+            col_idx.extend_from_slice(shard.raw_col_idx());
+            values.extend_from_slice(shard.raw_values());
+        }
+        CsrMatrix::from_trusted_parts(n_rows, self.n_cols, row_ptr, col_idx, values)
+    }
+
+    /// The shard holding global row `r` and `r`'s local row index within
+    /// it. Empty shards are skipped by construction (`starts` jumps past
+    /// them).
+    #[inline]
+    fn locate(&self, r: usize) -> (usize, usize) {
+        debug_assert!(r < self.n_rows(), "row {r} out of range");
+        // First boundary strictly past r, minus one — the unique shard
+        // with starts[s] <= r < starts[s + 1].
+        let s = self.starts.partition_point(|&x| x <= r) - 1;
+        (s, r - self.starts[s])
+    }
+}
+
+impl PropagationOperator for ShardedCsr {
+    #[inline]
+    fn n_rows(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    #[inline]
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    #[inline]
+    fn row_nnz(&self, r: usize) -> usize {
+        let (s, local) = self.locate(r);
+        self.shards[s].row_nnz(local)
+    }
+
+    #[inline]
+    fn row_cols(&self, r: usize) -> &[u32] {
+        let (s, local) = self.locate(r);
+        self.shards[s].row_cols(local)
+    }
+
+    #[inline]
+    fn row_values(&self, r: usize) -> &[f64] {
+        let (s, local) = self.locate(r);
+        self.shards[s].row_values(local)
+    }
+
+    /// `y = A·x`, one persistent-pool region per shard in row order; each
+    /// shard's rows run the monolithic SpMV kernel on its own block.
+    fn spmv_into_with(&self, x: &[f64], y: &mut [f64], cfg: &ParallelismConfig) {
+        assert_eq!(x.len(), self.n_cols, "spmv dimension mismatch");
+        assert_eq!(y.len(), self.n_rows(), "spmv output dimension mismatch");
+        for (i, shard) in self.shards.iter().enumerate() {
+            let rows = self.shard_rows(i);
+            shard.spmv_into_with(x, &mut y[rows], cfg);
+        }
+    }
+
+    /// `out = A·B`, one persistent-pool region per shard in row order;
+    /// each shard streams its block through the monolithic SpMM row
+    /// kernels (width-specialized like the reference path).
+    fn spmm_into_with(&self, b: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
+        assert_eq!(b.rows(), self.n_cols, "spmm dimension mismatch");
+        assert_eq!(out.rows(), self.n_rows(), "spmm output rows");
+        assert_eq!(out.cols(), b.cols(), "spmm output cols");
+        let kt = b.cols();
+        let flat = out.as_mut_slice();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let rows = self.shard_rows(i);
+            shard.spmm_block_with(b, &mut flat[rows.start * kt..rows.end * kt], cfg);
+        }
+    }
+
+    /// The fused LinBP step, one persistent-pool region per shard in row
+    /// order. Each shard gathers from the full belief matrix (global
+    /// column indices) but reads `Ê`/`B`/`degrees` rows at its own
+    /// global offset; per-query residual maxima accumulate across shards
+    /// with the order-independent `max`, so the result equals the
+    /// monolithic step bitwise.
+    fn linbp_step_fused_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        let (k, _q) = validate_fused_step(n, self.n_cols, b, step, out, deltas);
+        deltas.iter_mut().for_each(|d| *d = 0.0);
+        if n == 0 || kt == 0 {
+            return;
+        }
+        let flat = out.as_mut_slice();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let rows = self.shard_rows(i);
+            shard.fused_block_with(
+                b,
+                step,
+                rows.start,
+                &mut flat[rows.start * kt..rows.end * kt],
+                deltas,
+                k,
+                cfg,
+            );
+        }
+    }
+
+    fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix {
+        self.to_csr().transpose_with(cfg)
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_rows());
+        for shard in &self.shards {
+            out.extend(shard.row_sums());
+        }
+        out
+    }
+
+    fn squared_weight_degrees(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_rows());
+        for shard in &self.shards {
+            out.extend(shard.squared_weight_degrees());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    /// A small weighted graph with hubs, leaves and an isolated row.
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(7, 7);
+        coo.push_symmetric(0, 1, 2.0);
+        coo.push_symmetric(0, 2, 1.0);
+        coo.push_symmetric(0, 3, 0.5);
+        coo.push_symmetric(1, 4, 3.0);
+        coo.push_symmetric(2, 4, 1.5);
+        coo.push_symmetric(4, 5, 0.25);
+        // Node 6 is isolated.
+        coo.to_csr()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = sample();
+        for shards in [1usize, 2, 3, 7, 20] {
+            let sh = ShardedCsr::from_csr(&m, shards);
+            assert_eq!(sh.to_csr(), m, "{shards} shards");
+            assert_eq!(sh.nnz(), m.nnz());
+            assert_eq!(sh.n_rows(), m.n_rows());
+            assert_eq!(sh.n_cols(), m.n_cols());
+        }
+    }
+
+    #[test]
+    fn row_access_matches_monolithic() {
+        let m = sample();
+        let sh = ShardedCsr::from_csr(&m, 3);
+        for r in 0..m.n_rows() {
+            assert_eq!(sh.row_nnz(r), m.row_nnz(r), "row {r}");
+            assert_eq!(sh.row_cols(r), m.row_cols(r), "row {r}");
+            assert_eq!(sh.row_values(r), m.row_values(r), "row {r}");
+            assert_eq!(
+                sh.row_iter(r).collect::<Vec<_>>(),
+                m.row_iter(r).collect::<Vec<_>>(),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_row_shards() {
+        let m = sample();
+        // Empty shard in the middle, single-row shards at both ends.
+        let ranges = [0..1, 1..1, 1..2, 2..6, 6..7];
+        let sh = ShardedCsr::from_csr_ranges(&m, &ranges);
+        assert_eq!(sh.num_shards(), 5);
+        assert_eq!(sh.shard(1).n_rows(), 0);
+        assert_eq!(sh.to_csr(), m);
+        // Row lookups skip the empty shard.
+        assert_eq!(sh.row_cols(1), m.row_cols(1));
+        let cfg = ParallelismConfig::serial();
+        let x: Vec<f64> = (0..7).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let mut y_mono = vec![0.0; 7];
+        let mut y_shard = vec![0.0; 7];
+        m.spmv_into_with(&x, &mut y_mono, &cfg);
+        sh.spmv_into_with(&x, &mut y_shard, &cfg);
+        assert_eq!(y_mono, y_shard);
+    }
+
+    #[test]
+    fn empty_matrix_shards() {
+        let m = CsrMatrix::empty(0, 0);
+        let sh = ShardedCsr::from_csr(&m, 4);
+        assert_eq!(sh.n_rows(), 0);
+        assert_eq!(sh.to_csr(), m);
+    }
+
+    #[test]
+    fn kernels_match_monolithic_bitwise() {
+        let m = sample();
+        let n = m.n_rows();
+        let b = Mat::from_fn(n, 3, |r, c| ((r * 3 + c) % 11) as f64 * 0.07 - 0.3);
+        for shards in [1usize, 2, 4, 7] {
+            let sh = ShardedCsr::from_csr(&m, shards);
+            for cfg in [
+                ParallelismConfig::serial(),
+                ParallelismConfig::with_threads(4).with_min_work(1),
+            ] {
+                let x: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.2 - 0.4).collect();
+                let mut y_mono = vec![0.0; n];
+                let mut y_shard = vec![0.0; n];
+                m.spmv_into_with(&x, &mut y_mono, &cfg);
+                sh.spmv_into_with(&x, &mut y_shard, &cfg);
+                let same = y_mono
+                    .iter()
+                    .zip(&y_shard)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "spmv, {shards} shards");
+
+                let mut o_mono = Mat::zeros(n, 3);
+                let mut o_shard = Mat::zeros(n, 3);
+                m.spmm_into_with(&b, &mut o_mono, &cfg);
+                sh.spmm_into_with(&b, &mut o_shard, &cfg);
+                let same = o_mono
+                    .as_slice()
+                    .iter()
+                    .zip(o_shard.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "spmm, {shards} shards");
+
+                assert_eq!(sh.transpose_with(&cfg), m.transpose_with(&cfg));
+            }
+            assert_eq!(sh.row_sums(), m.row_sums(), "{shards} shards");
+            assert_eq!(
+                sh.squared_weight_degrees(),
+                m.squared_weight_degrees(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the rows contiguously")]
+    fn gapped_ranges_rejected() {
+        let m = sample();
+        let _ = ShardedCsr::from_csr_ranges(&m, &[0..2, 3..7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every row")]
+    fn short_ranges_rejected() {
+        let m = sample();
+        let _ = ShardedCsr::from_csr_ranges(&m, &[0..2, 2..6]);
+    }
+}

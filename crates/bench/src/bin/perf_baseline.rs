@@ -23,9 +23,12 @@ use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
 use lsbp_graph::generators::{dblp_like, erdos_renyi_gnm, kronecker_graph, DblpConfig};
 use lsbp_graph::Graph;
 use lsbp_linalg::{weight_balanced_ranges, Mat};
+use lsbp_net::{LinBpParams, Request, Response, WireEdge, WireNorm, WireSeed};
+use lsbp_server::{ServerConfig, ServerCore};
 use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator, ShardedCsr};
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 
 /// One timed (graph, kernel, thread-count) measurement.
 struct Record {
@@ -645,6 +648,206 @@ fn run_sharded_suite(
     }
 }
 
+/// One sequential-vs-coalesced serving measurement: the same `q` LinBP
+/// queries answered one at a time versus stacked by the server's
+/// admission coalescer into a single batched solve.
+struct ServingRecord {
+    graph: String,
+    nodes: usize,
+    directed_edges: usize,
+    queries: usize,
+    sequential_secs: f64,
+    coalesced_secs: f64,
+    /// SpMM sweeps the sequential server executed (Σ per-query iterations).
+    sequential_spmm_passes: u64,
+    /// SpMM sweeps the coalescing server executed (max iterations in the
+    /// one stacked solve).
+    coalesced_spmm_passes: u64,
+    /// `sequential / coalesced` — the pass-count reduction coalescing buys.
+    spmm_pass_ratio: f64,
+    largest_batch: u64,
+    identical: bool,
+}
+
+/// The `q` benchmark queries: disjoint seed blocks of `n / 40` nodes,
+/// class assignment rotated per query so no two queries share a cache key.
+fn serving_seeds(n: usize, k: usize, queries: usize) -> Vec<Vec<WireSeed>> {
+    let block = (n / 40).max(1).min(n / queries.max(1)).max(1);
+    (0..queries)
+        .map(|j| {
+            (0..block)
+                .map(|i| {
+                    let mut residual = vec![-2.0 / (k as f64 - 1.0); k];
+                    residual[(i + j) % k] = 2.0;
+                    WireSeed {
+                        node: (j * block + i) as u64,
+                        residual,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the same `q` queries through two fresh in-process [`ServerCore`]s
+/// — one that answers each query alone, one that coalesces all `q` into a
+/// single stacked solve — and records wall time, SpMM pass counts, and
+/// the bitwise identity of the two answer sets. This is the `serving`
+/// section of the JSON: the admission coalescer's concurrency win,
+/// measured end to end through the real serving engine.
+#[allow(clippy::too_many_arguments)] // a flat experiment descriptor
+fn run_serving_suite(
+    records: &mut Vec<ServingRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    queries: usize,
+    reps: usize,
+) {
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let de = graph.num_directed_edges();
+    // Register the already-symmetric adjacency entry by entry.
+    let edges: Vec<WireEdge> = (0..n)
+        .flat_map(|r| {
+            adj.row_cols(r)
+                .iter()
+                .zip(adj.row_values(r))
+                .map(move |(&c, &v)| WireEdge {
+                    src: r as u64,
+                    dst: u64::from(c),
+                    weight: v,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let params = LinBpParams {
+        echo: true,
+        k: k as u32,
+        h_residual: h_residual_unscaled.scale(eps).as_slice().to_vec(),
+        max_iter: 100,
+        tol: 1e-9,
+        norm: WireNorm::MaxAbs,
+        damping: 0.0,
+        divergence_guard: 1e12,
+    };
+    let seeds = serving_seeds(n, k, queries);
+    let solve = |j: usize| Request::SolveLinBp {
+        graph_id: 1,
+        params: params.clone(),
+        seeds: seeds[j].clone(),
+    };
+    let fresh_core = |max_batch: usize| {
+        let core = ServerCore::new(ServerConfig {
+            // The coalescing core drains the moment the `queries`-th job
+            // arrives (max_batch trigger); the window is never the trigger.
+            coalesce_window: Duration::from_secs(5),
+            max_batch,
+            ..ServerConfig::default()
+        });
+        let registered = core.handle_blocking(Request::RegisterGraph {
+            graph_id: 1,
+            n_nodes: n as u64,
+            symmetric: false,
+            edges: edges.clone(),
+        });
+        assert!(
+            matches!(registered, Response::Registered { .. }),
+            "benchmark graph registration failed: {registered:?}"
+        );
+        core
+    };
+    let beliefs_of = |r: Response| match r {
+        Response::Beliefs(payload) => payload,
+        other => panic!("benchmark solve failed: {other:?}"),
+    };
+
+    let mut record: Option<ServingRecord> = None;
+    for _ in 0..reps {
+        // Sequential: max_batch = 1 makes every admission drain
+        // immediately as a batch of one.
+        let sequential = fresh_core(1);
+        let (seq_payloads, seq_elapsed) = time_once(|| {
+            (0..queries)
+                .map(|j| beliefs_of(sequential.handle_blocking(solve(j))))
+                .collect::<Vec<_>>()
+        });
+        let seq_stats = sequential.stats();
+
+        // Coalesced: all `q` submitted up front; the admission layer
+        // stacks them into one batched solve.
+        let coalesced = fresh_core(queries);
+        let (mut co_payloads, co_elapsed) = time_once(|| {
+            let (tx, rx) = mpsc::channel();
+            for j in 0..queries {
+                let tx = tx.clone();
+                coalesced.submit(solve(j), Box::new(move |r| drop(tx.send((j, r)))));
+            }
+            let mut payloads: Vec<_> = (0..queries).map(|_| None).collect();
+            for _ in 0..queries {
+                let (j, r) = rx.recv().expect("responder always fires");
+                payloads[j] = Some(beliefs_of(r));
+            }
+            payloads
+        });
+        let co_stats = coalesced.stats();
+
+        let identical = seq_payloads
+            .iter()
+            .zip(co_payloads.iter_mut())
+            .all(|(a, b)| {
+                let b = b.as_ref().expect("all queries answered");
+                a.iterations == b.iterations
+                    && a.beliefs.len() == b.beliefs.len()
+                    && a.beliefs
+                        .iter()
+                        .zip(&b.beliefs)
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            });
+        let seq_secs = seq_elapsed.as_secs_f64();
+        let co_secs = co_elapsed.as_secs_f64();
+        match &mut record {
+            Some(r) => {
+                r.sequential_secs = r.sequential_secs.min(seq_secs);
+                r.coalesced_secs = r.coalesced_secs.min(co_secs);
+                r.identical &= identical;
+            }
+            None => {
+                record = Some(ServingRecord {
+                    graph: label.to_string(),
+                    nodes: n,
+                    directed_edges: de,
+                    queries,
+                    sequential_secs: seq_secs,
+                    coalesced_secs: co_secs,
+                    sequential_spmm_passes: seq_stats.spmm_passes,
+                    coalesced_spmm_passes: co_stats.spmm_passes,
+                    spmm_pass_ratio: seq_stats.spmm_passes as f64 / co_stats.spmm_passes as f64,
+                    largest_batch: co_stats.largest_batch,
+                    identical,
+                });
+            }
+        }
+    }
+    let rec = record.expect("reps >= 1");
+    println!(
+        "{:>14} serving q={} sequential {:>12.6}s / {} passes  coalesced {:>12.6}s / {} passes  \
+         ratio {:>5.2}x  batch={}  identical={}",
+        rec.graph,
+        rec.queries,
+        rec.sequential_secs,
+        rec.sequential_spmm_passes,
+        rec.coalesced_secs,
+        rec.coalesced_spmm_passes,
+        rec.spmm_pass_ratio,
+        rec.largest_batch,
+        rec.identical
+    );
+    records.push(rec);
+}
+
 /// One (threads, executor) measurement of the pool-overhead benchmark.
 struct PoolRecord {
     threads: usize,
@@ -784,10 +987,12 @@ fn main() {
     let out_path = arg_string("--out", "BENCH_kernels.json");
 
     let shard_sweep = arg_shard_list();
+    let serving_queries = arg_usize("--serving-q", 8).max(2);
     let mut records = Vec::new();
     let mut simd_records = Vec::new();
     let mut fused_records = Vec::new();
     let mut sharded_records = Vec::new();
+    let mut serving_records = Vec::new();
     let ho3 = CouplingMatrix::fig6b_residual();
     let mut exponents = vec![7u32.min(m), m];
     exponents.dedup();
@@ -814,6 +1019,16 @@ fn main() {
             &ho3,
             0.0005,
             &shard_sweep,
+            reps,
+        );
+        run_serving_suite(
+            &mut serving_records,
+            &label,
+            &graph,
+            3,
+            &ho3,
+            0.0005,
+            serving_queries,
             reps,
         );
     }
@@ -852,6 +1067,16 @@ fn main() {
             &shard_sweep,
             reps,
         );
+        run_serving_suite(
+            &mut serving_records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
+            serving_queries,
+            reps,
+        );
     }
 
     // Persistent-pool dispatch overhead vs. the old scoped-spawn executor
@@ -887,6 +1112,17 @@ fn main() {
         .map(|r| r.rel_throughput)
         .fold(f64::NAN, f64::min);
     let sharded_all_identical = sharded_records.iter().all(|r| r.identical);
+    // Serving acceptance read-out: the SpMM-pass reduction admission
+    // coalescing buys on the largest Kronecker graph (the ≥ 2× bar of the
+    // serving PR — ideally ≈ q), and the global coalesced-equals-
+    // sequential bitwise flag.
+    let serving_ratio_largest = serving_records
+        .iter()
+        .filter(|r| r.graph == format!("kronecker_m{m}"))
+        .map(|r| r.spmm_pass_ratio)
+        .fold(f64::NAN, f64::max);
+    let serving_all_identical = serving_records.iter().all(|r| r.identical);
+    let serving_ratio_ok = serving_ratio_largest >= 2.0;
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -924,6 +1160,16 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"sharded_bitwise_identical_to_monolithic\": {sharded_all_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"serving_spmm_pass_reduction_q{serving_queries}_largest_kronecker\": {},\n",
+        json_f64(serving_ratio_largest)
+    ));
+    json.push_str(&format!(
+        "    \"serving_spmm_pass_reduction_at_least_2x\": {serving_ratio_ok},\n"
+    ));
+    json.push_str(&format!(
+        "    \"serving_coalesced_bitwise_identical_to_sequential\": {serving_all_identical},\n"
     ));
     json.push_str(&format!(
         "    \"all_parallel_results_bitwise_identical_to_serial\": {all_identical}\n"
@@ -1020,6 +1266,37 @@ fn main() {
         ));
     }
     json.push_str("    ]\n  },\n");
+    // Sequential vs. admission-coalesced serving of the same q queries
+    // through the in-process ServerCore, with the bitwise check inline.
+    json.push_str(&format!(
+        "  \"serving\": {{\n    \"queries\": {serving_queries},\n    \"results\": [\n"
+    ));
+    for (i, r) in serving_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"nodes\": {}, \"directed_edges\": {}, \
+             \"queries\": {}, \"sequential_secs\": {}, \"coalesced_secs\": {}, \
+             \"sequential_spmm_passes\": {}, \"coalesced_spmm_passes\": {}, \
+             \"spmm_pass_ratio\": {}, \"largest_batch\": {}, \
+             \"identical_to_sequential\": {}}}{}\n",
+            r.graph,
+            r.nodes,
+            r.directed_edges,
+            r.queries,
+            json_f64(r.sequential_secs),
+            json_f64(r.coalesced_secs),
+            r.sequential_spmm_passes,
+            r.coalesced_spmm_passes,
+            json_f64(r.spmm_pass_ratio),
+            r.largest_batch,
+            r.identical,
+            if i + 1 == serving_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     // The persistent-pool overhead section: µs of dispatch+compute per
     // small-kernel region, resident workers vs. per-region scoped spawn.
     json.push_str("  \"pool\": {\n");
@@ -1048,13 +1325,17 @@ fn main() {
     println!(
         "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}, \
          fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}, \
-         sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}",
+         sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}, \
+         serving spmm pass reduction q={serving_queries} (kronecker_m{m}) = {}, \
+         serving identical = {}",
         json_f64(spmm_speedup_4t),
         all_identical,
         json_f64(fused_speedup_largest),
         fused_all_identical,
         json_f64(sharded_linbp_min_rel),
-        sharded_all_identical
+        sharded_all_identical,
+        json_f64(serving_ratio_largest),
+        serving_all_identical
     );
     assert!(
         all_identical,
@@ -1067,5 +1348,9 @@ fn main() {
     assert!(
         sharded_all_identical,
         "sharded kernel produced a result differing from the monolithic reference"
+    );
+    assert!(
+        serving_all_identical,
+        "coalesced serving produced beliefs differing from sequential serving"
     );
 }

@@ -1,0 +1,202 @@
+#![warn(missing_docs)]
+
+//! # lsbp-client — typed client for the propagation service
+//!
+//! A thin blocking client over the [`lsbp_net`] wire protocol: one
+//! request in flight per connection (open more connections for
+//! concurrency — that is what the server's admission layer coalesces
+//! across). [`Client`] offers typed helpers per request; the raw
+//! [`Client::request`] escape hatch sends any [`Request`].
+
+use lsbp_net::{
+    read_frame, write_frame, BeliefsPayload, ErrorCode, LinBpParams, Request, Response, RwrParams,
+    ServerStats, WireEdge, WireError, WireSeed,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, protocol, or a typed server error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes did not decode as a response frame.
+    Wire(WireError),
+    /// The server answered with [`Response::Error`].
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with the wrong response variant.
+    Unexpected(&'static str),
+    /// The connection closed before a response arrived.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(wanted) => {
+                write!(f, "unexpected response variant (wanted {wanted})")
+            }
+            ClientError::Disconnected => write!(f, "connection closed mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to an `lsbp-server`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, so small request frames do not sit
+    /// in Nagle buffers while the server's coalesce window runs).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Pings; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u16, ClientError> {
+        match self.checked(&Request::Ping)? {
+            Response::Pong { protocol_version } => Ok(protocol_version),
+            _ => Err(ClientError::Unexpected("Pong")),
+        }
+    }
+
+    /// Registers a graph; returns `(version, nnz)`.
+    pub fn register_graph(
+        &mut self,
+        graph_id: u64,
+        n_nodes: u64,
+        symmetric: bool,
+        edges: Vec<WireEdge>,
+    ) -> Result<(u64, u64), ClientError> {
+        let req = Request::RegisterGraph {
+            graph_id,
+            n_nodes,
+            symmetric,
+            edges,
+        };
+        match self.checked(&req)? {
+            Response::Registered { version, nnz, .. } => Ok((version, nnz)),
+            _ => Err(ClientError::Unexpected("Registered")),
+        }
+    }
+
+    /// Runs a LinBP (or LinBP\*) solve.
+    pub fn solve_linbp(
+        &mut self,
+        graph_id: u64,
+        params: LinBpParams,
+        seeds: Vec<WireSeed>,
+    ) -> Result<BeliefsPayload, ClientError> {
+        let req = Request::SolveLinBp {
+            graph_id,
+            params,
+            seeds,
+        };
+        match self.checked(&req)? {
+            Response::Beliefs(payload) => Ok(payload),
+            _ => Err(ClientError::Unexpected("Beliefs")),
+        }
+    }
+
+    /// Runs an RWR solve.
+    pub fn solve_rwr(
+        &mut self,
+        graph_id: u64,
+        params: RwrParams,
+        seeds: Vec<WireSeed>,
+    ) -> Result<BeliefsPayload, ClientError> {
+        let req = Request::SolveRwr {
+            graph_id,
+            params,
+            seeds,
+        };
+        match self.checked(&req)? {
+            Response::Beliefs(payload) => Ok(payload),
+            _ => Err(ClientError::Unexpected("Beliefs")),
+        }
+    }
+
+    /// Applies additive edge deltas; returns `(new_version, patched,
+    /// invalidated)` cache-entry counts.
+    pub fn edge_delta(
+        &mut self,
+        graph_id: u64,
+        symmetric: bool,
+        deltas: Vec<WireEdge>,
+    ) -> Result<(u64, u64, u64), ClientError> {
+        let req = Request::EdgeDelta {
+            graph_id,
+            symmetric,
+            deltas,
+        };
+        match self.checked(&req)? {
+            Response::DeltaApplied {
+                version,
+                patched,
+                invalidated,
+                ..
+            } => Ok((version, patched, invalidated)),
+            _ => Err(ClientError::Unexpected("DeltaApplied")),
+        }
+    }
+
+    /// Fetches serving counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.checked(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::Unexpected("Stats")),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.checked(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected("ShuttingDown")),
+        }
+    }
+
+    fn checked(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+}

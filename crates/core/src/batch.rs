@@ -515,6 +515,23 @@ pub fn linbp_update_batch(
     opts: &LinBpOptions,
     echo: bool,
 ) -> Result<Vec<LinBpResult>, LinBpError> {
+    crate::with_operator(adj, &opts.parallelism, |op| {
+        linbp_update_batch_on(op, previous, deltas, h_residual, opts, echo)
+    })
+}
+
+/// [`linbp_update_batch`] against any [`PropagationOperator`] — the
+/// operator is used as given (no re-sharding), which is what a serving
+/// deployment holding a prebuilt [`lsbp_sparse::ShardedCsr`] in its graph
+/// registry calls on the cache-patching path.
+pub fn linbp_update_batch_on<A: PropagationOperator + ?Sized>(
+    adj: &A,
+    previous: &[&BeliefMatrix],
+    deltas: &[ExplicitBeliefs],
+    h_residual: &Mat,
+    opts: &LinBpOptions,
+    echo: bool,
+) -> Result<Vec<LinBpResult>, LinBpError> {
     if previous.len() != deltas.len() {
         return Err(LinBpError::DimensionMismatch);
     }
@@ -523,11 +540,7 @@ pub fn linbp_update_batch(
             return Err(LinBpError::DimensionMismatch);
         }
     }
-    let delta_runs = if echo {
-        linbp_batch(adj, deltas, h_residual, opts)?
-    } else {
-        linbp_star_batch(adj, deltas, h_residual, opts)?
-    };
+    let delta_runs = linbp_batch_run_on(adj, deltas, h_residual, opts, echo)?;
     Ok(previous
         .iter()
         .zip(delta_runs)

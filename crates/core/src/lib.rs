@@ -54,6 +54,7 @@ pub mod bp;
 pub mod closed_form;
 pub mod convergence;
 pub mod coupling;
+pub mod edge_delta;
 pub mod learning;
 pub mod linbp;
 pub mod metrics;
@@ -85,7 +86,7 @@ pub(crate) fn with_operator<R>(
 pub mod prelude {
     pub use crate::batch::{
         linbp_batch, linbp_batch_on, linbp_star_batch, linbp_star_batch_on, linbp_update_batch,
-        rwr_batch, rwr_batch_on,
+        linbp_update_batch_on, rwr_batch, rwr_batch_on,
     };
     pub use crate::beliefs::{BeliefMatrix, ExplicitBeliefs};
     pub use crate::bp::{bp, BpOptions, BpResult};
@@ -95,6 +96,7 @@ pub mod prelude {
         eps_max_sufficient_linbp_star, mooij_constant, mooij_guarantees_bp_convergence,
     };
     pub use crate::coupling::{CouplingError, CouplingMatrix};
+    pub use crate::edge_delta::linbp_edge_delta_seed;
     pub use crate::learning::{learn_coupling, learn_coupling_from_classes, LearnOptions};
     pub use crate::linbp::{
         linbp, linbp_observed, linbp_on, linbp_star, linbp_star_on, linbp_step, linbp_update,

@@ -25,18 +25,45 @@ const PARTS_PER_THREAD: usize = 2;
 /// to single-row shards).
 pub const MAX_SHARDS: usize = 65_536;
 
+/// Parses an `LSBP_SHARDS` override. Returns the shard count to use plus
+/// a warning to surface when the variable was set but unusable (fell back
+/// to 1) or above [`MAX_SHARDS`] (clamped). A silently-ignored typo here
+/// is a silent 1-shard run — the warning names the variable, the rejected
+/// value, and the fallback so misconfiguration is visible exactly once.
+pub(crate) fn parse_shards_env(value: Option<&str>) -> (usize, Option<String>) {
+    let Some(raw) = value else { return (1, None) };
+    match raw.trim().parse::<usize>() {
+        Ok(s) if (1..=MAX_SHARDS).contains(&s) => (s, None),
+        Ok(s) if s > MAX_SHARDS => (
+            MAX_SHARDS,
+            Some(format!(
+                "lsbp: LSBP_SHARDS={raw:?} exceeds the maximum of {MAX_SHARDS}; \
+                 clamping to {MAX_SHARDS}"
+            )),
+        ),
+        _ => (
+            1,
+            Some(format!(
+                "lsbp: ignoring invalid LSBP_SHARDS={raw:?} (expected an integer in \
+                 1..={MAX_SHARDS}); falling back to 1 shard"
+            )),
+        ),
+    }
+}
+
 /// The process-default shard count: `LSBP_SHARDS` if set to a positive
 /// integer, otherwise 1 (monolithic storage). Parsed exactly once per
-/// process, mirroring how `LSBP_THREADS` is handled by the pool runtime.
+/// process, mirroring how `LSBP_THREADS` is handled by the pool runtime;
+/// a set-but-invalid value emits a one-time stderr warning naming the
+/// variable and the fallback instead of being silently swallowed.
 pub fn default_num_shards() -> usize {
     static DEFAULT_SHARDS: OnceLock<usize> = OnceLock::new();
     *DEFAULT_SHARDS.get_or_init(|| {
-        std::env::var("LSBP_SHARDS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&s| s >= 1)
-            .unwrap_or(1)
-            .min(MAX_SHARDS)
+        let (shards, warning) = parse_shards_env(std::env::var("LSBP_SHARDS").ok().as_deref());
+        if let Some(message) = warning {
+            eprintln!("{message}");
+        }
+        shards
     })
 }
 
@@ -192,7 +219,9 @@ pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let mut out = Vec::with_capacity(parts);
     let mut start = 0;
     for i in 0..parts {
-        let end = n * (i + 1) / parts;
+        // u128 product: `n * (i + 1)` overflows usize for huge `n`,
+        // silently mis-partitioning (or panicking in debug).
+        let end = (n as u128 * (i as u128 + 1) / parts as u128) as usize;
         if end > start {
             out.push(start..end);
             start = end;
@@ -332,5 +361,34 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn zero_shards_rejected() {
         let _ = ParallelismConfig::serial().with_shards(0);
+    }
+
+    #[test]
+    fn parse_shards_env_rules() {
+        // Usable values parse silently.
+        assert_eq!(parse_shards_env(None), (1, None));
+        assert_eq!(parse_shards_env(Some("1")), (1, None));
+        assert_eq!(parse_shards_env(Some(" 16 ")), (16, None));
+        assert_eq!(parse_shards_env(Some("65536")), (MAX_SHARDS, None));
+        // Set-but-unusable values fall back to 1 AND warn, naming the
+        // variable, the rejected value, and the fallback.
+        for bad in ["abc", "0", "-3", "", "1.5"] {
+            let (shards, warning) = parse_shards_env(Some(bad));
+            assert_eq!(shards, 1, "LSBP_SHARDS={bad:?} must fall back to 1");
+            let warning = warning.expect("invalid value must warn");
+            assert!(
+                warning.contains("LSBP_SHARDS"),
+                "warning names the variable"
+            );
+            assert!(warning.contains(bad), "warning echoes the rejected value");
+            assert!(
+                warning.contains("falling back to 1"),
+                "warning names the fallback"
+            );
+        }
+        // Above the cap: clamped, with a warning saying so.
+        let (shards, warning) = parse_shards_env(Some("99999999"));
+        assert_eq!(shards, MAX_SHARDS);
+        assert!(warning.expect("clamp must warn").contains("clamping"));
     }
 }

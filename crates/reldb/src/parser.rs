@@ -30,81 +30,125 @@ pub enum Token {
     Symbol(String),
 }
 
-/// Parse errors with a human-readable message.
+/// Parse errors: a human-readable message plus, when known, the byte
+/// offset into the original SQL string where the problem sits — so a
+/// failure in a generated multi-line script reads
+/// `unexpected character '%' at byte 17` instead of leaving the caller
+/// to hunt through the whole statement.
 #[derive(Clone, Debug, PartialEq)]
-pub struct ParseError(pub String);
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending character/token in the input, when
+    /// the error can be pinned to one.
+    pub offset: Option<usize>,
+}
+
+impl ParseError {
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Shifts the recorded offset by `base` bytes — used to translate a
+    /// per-statement offset into a whole-script offset.
+    fn rebase(mut self, base: usize) -> Self {
+        self.offset = self.offset.map(|o| o + base);
+        self
+    }
+}
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error: {}", self.0)
+        write!(f, "SQL parse error: {}", self.message)?;
+        if let Some(offset) = self.offset {
+            write!(f, " at byte {offset}")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for ParseError {}
 
-/// Tokenizes a SQL string.
-pub fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
+/// Tokenizes a SQL string, tagging every token with the byte offset of
+/// its first character in `sql`.
+pub fn tokenize_spanned(sql: &str) -> Result<Vec<(Token, usize)>, ParseError> {
     let mut tokens = Vec::new();
-    let chars: Vec<char> = sql.chars().collect();
+    let chars: Vec<(usize, char)> = sql.char_indices().collect();
     let mut i = 0;
     while i < chars.len() {
-        let c = chars[i];
+        let (at, c) = chars[i];
         if c.is_whitespace() {
             i += 1;
         } else if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            while i < chars.len() && (chars[i].1.is_ascii_alphanumeric() || chars[i].1 == '_') {
                 i += 1;
             }
-            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            let text: String = chars[start..i].iter().map(|&(_, c)| c).collect();
+            tokens.push((Token::Ident(text), at));
         } else if c.is_ascii_digit()
-            || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+            || (c == '.' && i + 1 < chars.len() && chars[i + 1].1.is_ascii_digit())
         {
             let start = i;
             while i < chars.len()
-                && (chars[i].is_ascii_digit()
-                    || chars[i] == '.'
-                    || chars[i] == 'e'
-                    || chars[i] == 'E'
-                    || ((chars[i] == '+' || chars[i] == '-') && matches!(chars[i - 1], 'e' | 'E')))
+                && (chars[i].1.is_ascii_digit()
+                    || chars[i].1 == '.'
+                    || chars[i].1 == 'e'
+                    || chars[i].1 == 'E'
+                    || ((chars[i].1 == '+' || chars[i].1 == '-')
+                        && matches!(chars[i - 1].1, 'e' | 'E')))
             {
                 i += 1;
             }
-            let text: String = chars[start..i].iter().collect();
+            let text: String = chars[start..i].iter().map(|&(_, c)| c).collect();
             let value: f64 = text
                 .parse()
-                .map_err(|_| ParseError(format!("bad number literal '{text}'")))?;
-            tokens.push(Token::Number(value));
+                .map_err(|_| ParseError::at(format!("bad number literal '{text}'"), at))?;
+            tokens.push((Token::Number(value), at));
         } else if c == '\'' {
             // Quoted literal — the paper quotes integers ('0', '1').
             let start = i + 1;
             i += 1;
-            while i < chars.len() && chars[i] != '\'' {
+            while i < chars.len() && chars[i].1 != '\'' {
                 i += 1;
             }
             if i >= chars.len() {
-                return Err(ParseError("unterminated string literal".into()));
+                return Err(ParseError::at("unterminated string literal", at));
             }
-            let text: String = chars[start..i].iter().collect();
+            let text: String = chars[start..i].iter().map(|&(_, c)| c).collect();
             i += 1; // closing quote
             let value: f64 = text.parse().map_err(|_| {
-                ParseError(format!("only numeric quoted literals supported: '{text}'"))
+                ParseError::at(
+                    format!("only numeric quoted literals supported: '{text}'"),
+                    at,
+                )
             })?;
-            tokens.push(Token::Number(value));
-        } else if c == '<' && i + 1 < chars.len() && (chars[i + 1] == '=' || chars[i + 1] == '>') {
-            tokens.push(Token::Symbol(format!("<{}", chars[i + 1])));
+            tokens.push((Token::Number(value), at));
+        } else if c == '<'
+            && i + 1 < chars.len()
+            && (chars[i + 1].1 == '=' || chars[i + 1].1 == '>')
+        {
+            tokens.push((Token::Symbol(format!("<{}", chars[i + 1].1)), at));
             i += 2;
-        } else if c == '>' && i + 1 < chars.len() && chars[i + 1] == '=' {
-            tokens.push(Token::Symbol(">=".into()));
+        } else if c == '>' && i + 1 < chars.len() && chars[i + 1].1 == '=' {
+            tokens.push((Token::Symbol(">=".into()), at));
             i += 2;
         } else if "().,*+-/=<>;".contains(c) {
-            tokens.push(Token::Symbol(c.to_string()));
+            tokens.push((Token::Symbol(c.to_string()), at));
             i += 1;
         } else {
-            return Err(ParseError(format!("unexpected character '{c}'")));
+            return Err(ParseError::at(format!("unexpected character '{c}'"), at));
         }
     }
     Ok(tokens)
+}
+
+/// Tokenizes a SQL string (offsets discarded — see [`tokenize_spanned`]).
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, ParseError> {
+    Ok(tokenize_spanned(sql)?.into_iter().map(|(t, _)| t).collect())
 }
 
 /// A (possibly qualified) column reference.
@@ -243,43 +287,58 @@ pub enum Statement {
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, usize)>,
     pos: usize,
+    /// Byte length of the input — where errors at end-of-input point.
+    end: usize,
 }
 
 /// Parses one SQL statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
     let mut p = Parser {
-        tokens: tokenize(sql)?,
+        tokens: tokenize_spanned(sql)?,
         pos: 0,
+        end: sql.len(),
     };
     let stmt = p.statement()?;
     p.eat_symbol(";"); // optional
     if p.pos != p.tokens.len() {
-        return Err(ParseError(format!(
-            "trailing tokens after statement: {:?}",
-            p.peek()
-        )));
+        return Err(ParseError::at(
+            format!("trailing tokens after statement: {:?}", p.peek()),
+            p.offset(),
+        ));
     }
     Ok(stmt)
 }
 
-/// Parses a `;`-separated script.
+/// Parses a `;`-separated script. Error offsets refer to the whole
+/// script string, not the failing statement alone.
 pub fn parse_script(sql: &str) -> Result<Vec<Statement>, ParseError> {
-    sql.split(';')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(parse)
-        .collect()
+    let mut statements = Vec::new();
+    let mut base = 0;
+    for piece in sql.split(';') {
+        let trimmed = piece.trim();
+        if !trimmed.is_empty() {
+            let lead = piece.len() - piece.trim_start().len();
+            statements.push(parse(trimmed).map_err(|e| e.rebase(base + lead))?);
+        }
+        base += piece.len() + 1; // + the ';' separator
+    }
+    Ok(statements)
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Byte offset of the current token (end of input when exhausted).
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |&(_, o)| o)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -303,10 +362,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(ParseError(format!(
-                "expected keyword {kw}, found {:?}",
-                self.peek()
-            )))
+            Err(ParseError::at(
+                format!("expected keyword {kw}, found {:?}", self.peek()),
+                self.offset(),
+            ))
         }
     }
 
@@ -323,17 +382,21 @@ impl Parser {
         if self.eat_symbol(sym) {
             Ok(())
         } else {
-            Err(ParseError(format!(
-                "expected '{sym}', found {:?}",
-                self.peek()
-            )))
+            Err(ParseError::at(
+                format!("expected '{sym}', found {:?}", self.peek()),
+                self.offset(),
+            ))
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
+        let at = self.offset();
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(ParseError(format!("expected identifier, found {other:?}"))),
+            other => Err(ParseError::at(
+                format!("expected identifier, found {other:?}"),
+                at,
+            )),
         }
     }
 
@@ -373,10 +436,10 @@ impl Parser {
             let name = self.ident()?;
             Ok(Statement::DropTable { name })
         } else {
-            Err(ParseError(format!(
-                "expected a statement, found {:?}",
-                self.peek()
-            )))
+            Err(ParseError::at(
+                format!("expected a statement, found {:?}", self.peek()),
+                self.offset(),
+            ))
         }
     }
 
@@ -423,7 +486,7 @@ impl Parser {
             ("max", AggregateFun::Max),
         ] {
             if self.peek_keyword(kw)
-                && matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(s)) if s == "(")
+                && matches!(self.tokens.get(self.pos + 1), Some((Token::Symbol(s), _)) if s == "(")
             {
                 self.pos += 1;
                 self.expect_symbol("(")?;
@@ -502,9 +565,15 @@ impl Parser {
                 negated: false,
             });
         }
+        let at = self.offset();
         let op = match self.next() {
             Some(Token::Symbol(s)) if ["=", "<", ">", "<=", ">=", "<>"].contains(&s.as_str()) => s,
-            other => return Err(ParseError(format!("expected comparison, found {other:?}"))),
+            other => {
+                return Err(ParseError::at(
+                    format!("expected comparison, found {other:?}"),
+                    at,
+                ))
+            }
         };
         let rhs = self.expr()?;
         Ok(Predicate::Compare(lhs, op, rhs))
@@ -546,6 +615,7 @@ impl Parser {
             let e = self.factor()?;
             return Ok(Expr::Binary(Box::new(Expr::Literal(0.0)), '-', Box::new(e)));
         }
+        let at = self.offset();
         match self.next() {
             Some(Token::Number(v)) => Ok(Expr::Literal(v)),
             Some(Token::Ident(name)) => {
@@ -562,7 +632,10 @@ impl Parser {
                     }))
                 }
             }
-            other => Err(ParseError(format!("expected expression, found {other:?}"))),
+            other => Err(ParseError::at(
+                format!("expected expression, found {other:?}"),
+                at,
+            )),
         }
     }
 
@@ -728,5 +801,53 @@ mod tests {
             parse("drop table Bn").unwrap(),
             Statement::DropTable { name } if name == "Bn"
         ));
+    }
+
+    #[test]
+    fn lexer_errors_carry_byte_offsets() {
+        // "select a from t %" — the '%' sits at byte 16.
+        let err = tokenize("select a from t %").unwrap_err();
+        assert_eq!(err.offset, Some(16));
+        assert_eq!(
+            err.to_string(),
+            "SQL parse error: unexpected character '%' at byte 16"
+        );
+
+        // Multi-byte characters before the bad one (U+00A0 no-break
+        // space): offsets are *byte* offsets, not char counts.
+        let sql = "select\u{00A0}a from t %";
+        let err = tokenize(sql).unwrap_err();
+        assert_eq!(err.offset, Some(sql.find('%').unwrap()));
+
+        let err = tokenize("select 'abc' from t").unwrap_err();
+        assert_eq!(err.offset, Some(7)); // the opening quote
+        let err = tokenize("select 1.2.3").unwrap_err();
+        assert_eq!(err.offset, Some(7)); // start of the bad number
+        let err = tokenize("select 'oops").unwrap_err();
+        assert_eq!(err.offset, Some(7)); // the unterminated quote
+    }
+
+    #[test]
+    fn parser_errors_carry_byte_offsets() {
+        // The offending token (not just "somewhere in the statement").
+        let err = parse("select a frm t").unwrap_err();
+        assert_eq!(err.offset, Some(9)); // "frm"
+        let err = parse("select a from t where a ==").unwrap_err();
+        assert_eq!(err.offset, Some(25)); // the second '='
+                                          // Exhausted input points at end-of-string.
+        let err = parse("select a from").unwrap_err();
+        assert_eq!(err.offset, Some(13));
+        let err = parse("select a from t extra junk").unwrap_err();
+        assert_eq!(err.offset, Some(22)); // "junk" (t..extra parse as table+alias)
+    }
+
+    #[test]
+    fn script_errors_rebase_to_whole_script_offsets() {
+        let script = "delete from B where v in (select Bn.v from Bn); select %";
+        let err = parse_script(script).unwrap_err();
+        assert_eq!(err.offset, Some(script.find('%').unwrap()));
+        assert!(err
+            .to_string()
+            .ends_with(&format!("at byte {}", script.find('%').unwrap())));
     }
 }

@@ -1,0 +1,87 @@
+//! The `lsbp-server` binary: binds a TCP listener and serves the
+//! propagation protocol until a client sends `Shutdown`.
+//!
+//! ```text
+//! lsbp-server [--addr HOST:PORT] [--coalesce-window-ms N] [--max-batch N]
+//!             [--max-pending N] [--cache-capacity N]
+//! ```
+//!
+//! Prints `listening on <addr>` (with the resolved port) to stdout once
+//! ready — scripts wait for that line.
+
+use lsbp_server::{serve, ServerConfig, ServerCore};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lsbp-server [--addr HOST:PORT] [--coalesce-window-ms N] \
+         [--max-batch N] [--max-pending N] [--cache-capacity N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7461");
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--coalesce-window-ms" => {
+                config.coalesce_window =
+                    Duration::from_millis(parse(&value("--coalesce-window-ms")))
+            }
+            "--max-batch" => config.max_batch = parse(&value("--max-batch")) as usize,
+            "--max-pending" => config.max_pending = parse(&value("--max-pending")) as usize,
+            "--cache-capacity" => {
+                config.cache_capacity = parse(&value("--cache-capacity")) as usize
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if config.max_batch == 0 || config.max_pending == 0 {
+        eprintln!("--max-batch and --max-pending must be positive");
+        return ExitCode::from(2);
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("listening on {local}");
+
+    let core = ServerCore::new(config);
+    match serve(listener, &core) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a non-negative integer, got {s:?}");
+        usage()
+    })
+}

@@ -1,0 +1,351 @@
+//! TCP transport: a small poll(2) event loop (no async runtime) that
+//! decodes frames off nonblocking sockets, feeds them to the
+//! [`ServerCore`], and streams encoded responses back as they complete.
+//!
+//! The wire model is **one outstanding request per connection** — a client
+//! wanting concurrency opens more connections, which is exactly what lets
+//! the admission layer coalesce across clients. Responses produced on the
+//! solver thread travel back through an [`mpsc`] channel the event loop
+//! drains every tick, so socket writes stay on the single transport
+//! thread.
+
+use crate::core::ServerCore;
+use lsbp_net::{extract_frame, ErrorCode, Request, Response, WireError};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+
+/// Connection identity within one `serve` call.
+type ConnId = u64;
+
+/// Runs the serving loop on an already-bound listener until the core
+/// accepts a shutdown and every in-flight response has been flushed.
+pub fn serve(listener: TcpListener, core: &ServerCore) -> io::Result<()> {
+    imp::serve(listener, core)
+}
+
+struct ConnState<S> {
+    stream: S,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Requests submitted on this connection still awaiting a response.
+    in_flight: u64,
+    /// Stop reading and drop the connection once the write buffer drains.
+    closing: bool,
+}
+
+impl<S> ConnState<S> {
+    fn new(stream: S) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            in_flight: 0,
+            closing: false,
+        }
+    }
+
+    fn queue(&mut self, frame_payload: &[u8]) {
+        let len = frame_payload.len() as u32;
+        self.write_buf.extend_from_slice(&len.to_le_bytes());
+        self.write_buf.extend_from_slice(frame_payload);
+    }
+
+    fn pending_write(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+}
+
+/// Decodes and submits every complete frame in `conn.read_buf`; malformed
+/// input queues an error response and marks the connection closing.
+fn pump_requests<S>(
+    conn: &mut ConnState<S>,
+    id: ConnId,
+    core: &ServerCore,
+    tx: &mpsc::Sender<(ConnId, Vec<u8>)>,
+) {
+    loop {
+        match extract_frame(&mut conn.read_buf) {
+            Ok(Some(payload)) => match Request::decode(&payload) {
+                Ok(request) => {
+                    conn.in_flight += 1;
+                    let tx = tx.clone();
+                    core.submit(
+                        request,
+                        Box::new(move |response| {
+                            let _ = tx.send((id, response.encode()));
+                        }),
+                    );
+                }
+                Err(e) => {
+                    conn.queue(&decode_error(&e).encode());
+                    conn.closing = true;
+                    return;
+                }
+            },
+            Ok(None) => return,
+            Err(e) => {
+                conn.queue(&decode_error(&e).encode());
+                conn.closing = true;
+                return;
+            }
+        }
+    }
+}
+
+fn decode_error(e: &WireError) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: format!("malformed request frame: {e}"),
+    }
+}
+
+fn flush<S: Write>(conn: &mut ConnState<S>) -> io::Result<()> {
+    while conn.pending_write() {
+        match conn.stream.write(&conn.write_buf[conn.written..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if conn.written == conn.write_buf.len() && conn.written > 0 {
+        conn.write_buf.clear();
+        conn.written = 0;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+    use std::net::TcpStream;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+    const POLLNVAL: c_short = 0x020;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: RawFd,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    fn poll_fds(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+        loop {
+            let rc = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as c_ulong,
+                    timeout.as_millis() as c_int,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn serve(listener: TcpListener, core: &ServerCore) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<(ConnId, Vec<u8>)>();
+        let mut conns: HashMap<ConnId, ConnState<TcpStream>> = HashMap::new();
+        let mut next_id: ConnId = 0;
+
+        loop {
+            // Deliver finished responses to their connections' write buffers.
+            while let Ok((id, payload)) = rx.try_recv() {
+                if let Some(conn) = conns.get_mut(&id) {
+                    conn.in_flight = conn.in_flight.saturating_sub(1);
+                    conn.queue(&payload);
+                }
+            }
+
+            let stopping = core.is_stopping();
+            if stopping {
+                // Drain: no new connections; leave once nothing is owed.
+                let owed = conns.values().any(|c| c.in_flight > 0 || c.pending_write());
+                if !owed {
+                    return Ok(());
+                }
+            }
+
+            let mut fds = Vec::with_capacity(conns.len() + 1);
+            let mut index: Vec<Option<ConnId>> = Vec::with_capacity(conns.len() + 1);
+            if !stopping {
+                fds.push(PollFd {
+                    fd: listener.as_raw_fd(),
+                    events: POLLIN,
+                    revents: 0,
+                });
+                index.push(None);
+            }
+            for (&id, conn) in &conns {
+                let mut events = 0;
+                if !conn.closing {
+                    events |= POLLIN;
+                }
+                if conn.pending_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                index.push(Some(id));
+            }
+            // Short timeout: the channel above has no fd to poll on, so
+            // ticks double as its drain cadence.
+            poll_fds(&mut fds, Duration::from_millis(5))?;
+
+            let mut dead: Vec<ConnId> = Vec::new();
+            for (slot, fd) in index.iter().zip(&fds) {
+                match slot {
+                    None => {
+                        if fd.revents & POLLIN != 0 {
+                            loop {
+                                match listener.accept() {
+                                    Ok((stream, _)) => {
+                                        stream.set_nonblocking(true)?;
+                                        stream.set_nodelay(true).ok();
+                                        let id = next_id;
+                                        next_id += 1;
+                                        conns.insert(id, ConnState::new(stream));
+                                    }
+                                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                    }
+                    Some(id) => {
+                        let conn = conns.get_mut(id).expect("indexed connection exists");
+                        if fd.revents & (POLLERR | POLLNVAL) != 0 {
+                            dead.push(*id);
+                            continue;
+                        }
+                        if fd.revents & (POLLIN | POLLHUP) != 0 && !conn.closing {
+                            match read_available(conn) {
+                                Ok(open) => {
+                                    pump_requests(conn, *id, core, &tx);
+                                    if !open {
+                                        if conn.pending_write() || conn.in_flight > 0 {
+                                            conn.closing = true;
+                                        } else {
+                                            dead.push(*id);
+                                            continue;
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    dead.push(*id);
+                                    continue;
+                                }
+                            }
+                        }
+                        if conn.pending_write() && flush(conn).is_err() {
+                            dead.push(*id);
+                            continue;
+                        }
+                        if conn.closing && !conn.pending_write() && conn.in_flight == 0 {
+                            dead.push(*id);
+                        }
+                    }
+                }
+            }
+            for id in dead {
+                conns.remove(&id);
+            }
+        }
+    }
+
+    /// Nonblocking read into the connection's frame buffer. `Ok(false)`
+    /// means the peer closed its write side.
+    fn read_available(conn: &mut ConnState<TcpStream>) -> io::Result<bool> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => return Ok(false),
+                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(true),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::*;
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    /// Portable fallback: one blocking thread per connection. Coalescing
+    /// still happens — all threads feed the same admission layer.
+    pub fn serve(listener: TcpListener, core: &ServerCore) -> io::Result<()> {
+        thread::scope(|scope| {
+            let live = Arc::new(AtomicU64::new(0));
+            for stream in listener.incoming() {
+                if core.is_stopping() {
+                    break;
+                }
+                let stream = stream?;
+                let live = Arc::clone(&live);
+                live.fetch_add(1, Ordering::SeqCst);
+                scope.spawn(move || {
+                    let _ = handle_conn(stream, core);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Ok(())
+        })
+    }
+
+    fn handle_conn(stream: TcpStream, core: &ServerCore) -> io::Result<()> {
+        let mut conn = ConnState::new(stream);
+        let (tx, rx) = mpsc::channel::<(ConnId, Vec<u8>)>();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let n = conn.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(());
+            }
+            conn.read_buf.extend_from_slice(&chunk[..n]);
+            pump_requests(&mut conn, 0, core, &tx);
+            while conn.in_flight > 0 {
+                let (_, payload) = rx.recv().expect("responder fires");
+                conn.in_flight -= 1;
+                conn.queue(&payload);
+            }
+            let buf = std::mem::take(&mut conn.write_buf);
+            conn.stream.write_all(&buf[conn.written..])?;
+            conn.written = 0;
+            if conn.closing {
+                return Ok(());
+            }
+        }
+    }
+}

@@ -27,6 +27,15 @@ pub enum CsrError {
         /// The offending dimension size.
         size: usize,
     },
+    /// An edge-delta coordinate lies outside the matrix — the recoverable
+    /// rejection path for client-supplied deltas
+    /// ([`CsrMatrix::try_with_edge_deltas`]).
+    EntryOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+    },
 }
 
 impl std::fmt::Display for CsrError {
@@ -36,6 +45,9 @@ impl std::fmt::Display for CsrError {
                 f,
                 "CSR {dim} count {size} exceeds the u32 index limit ({MAX_DIM})"
             ),
+            CsrError::EntryOutOfBounds { row, col } => {
+                write!(f, "edge delta ({row}, {col}) is outside the matrix")
+            }
         }
     }
 }
@@ -635,6 +647,83 @@ impl CsrMatrix {
         out
     }
 
+    /// Returns a copy with additive edge-weight `deltas` merged in:
+    /// `out[r, c] = self[r, c] + Σ δ` over every `(r, c, δ)` in the list
+    /// (duplicates sum). A coordinate whose *resulting* weight is exactly
+    /// `0.0` is not stored — a delta that cancels an edge removes it from
+    /// the structure — while untouched explicit zeros are preserved
+    /// as-is. Out-of-bounds coordinates are a recoverable
+    /// [`CsrError::EntryOutOfBounds`] (deltas arrive from remote clients),
+    /// and on error `self` is unchanged.
+    ///
+    /// This is the serving layer's graph-version step: rebuilding the CSR
+    /// costs one merge pass over `nnz + |deltas|` entries instead of a
+    /// full COO re-sort, and the untouched rows are byte-for-byte copies
+    /// of the old ones.
+    pub fn try_with_edge_deltas(
+        &self,
+        deltas: &[(usize, usize, f64)],
+    ) -> Result<CsrMatrix, CsrError> {
+        use std::collections::BTreeMap;
+        for &(r, c, _) in deltas {
+            if r >= self.n_rows || c >= self.n_cols {
+                return Err(CsrError::EntryOutOfBounds { row: r, col: c });
+            }
+        }
+        // Per-row sorted delta maps, duplicates summed in arrival order.
+        let mut by_row: BTreeMap<usize, BTreeMap<u32, f64>> = BTreeMap::new();
+        for &(r, c, d) in deltas {
+            *by_row.entry(r).or_default().entry(c as u32).or_insert(0.0) += d;
+        }
+
+        let mut row_ptr = vec![0usize; self.n_rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.nnz() + deltas.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.nnz() + deltas.len());
+        for r in 0..self.n_rows {
+            let old_cols = self.row_cols(r);
+            let old_vals = self.row_values(r);
+            match by_row.get(&r) {
+                None => {
+                    col_idx.extend_from_slice(old_cols);
+                    values.extend_from_slice(old_vals);
+                }
+                Some(row_deltas) => {
+                    // Sorted two-way merge of the old row and its deltas.
+                    // Only *touched* coordinates go through the zero-prune;
+                    // untouched entries pass through verbatim.
+                    let mut i = 0;
+                    for (&c, &d) in row_deltas {
+                        while i < old_cols.len() && old_cols[i] < c {
+                            col_idx.push(old_cols[i]);
+                            values.push(old_vals[i]);
+                            i += 1;
+                        }
+                        let merged = if i < old_cols.len() && old_cols[i] == c {
+                            i += 1;
+                            old_vals[i - 1] + d
+                        } else {
+                            d
+                        };
+                        if merged != 0.0 {
+                            col_idx.push(c);
+                            values.push(merged);
+                        }
+                    }
+                    col_idx.extend_from_slice(&old_cols[i..]);
+                    values.extend_from_slice(&old_vals[i..]);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
     /// Returns a copy with exact-zero entries removed.
     pub fn prune_zeros(&self) -> CsrMatrix {
         let mut row_ptr = vec![0usize; self.n_rows + 1];
@@ -913,5 +1002,62 @@ mod tests {
             CsrMatrix::try_from_raw_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![5.0, 1.0]).unwrap();
         assert_eq!(m.get(0, 2), 5.0);
         assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn edge_deltas_merge_sum_and_prune() {
+        // Row 0: [ . 2 . ], row 1: [ 1 . 3 ], row 2 empty.
+        let m =
+            CsrMatrix::from_raw_parts(3, 3, vec![0, 1, 3, 3], vec![1, 0, 2], vec![2.0, 1.0, 3.0]);
+        let out = m
+            .try_with_edge_deltas(&[
+                (0, 1, 0.5),  // adjust an existing entry
+                (0, 0, 4.0),  // insert before it
+                (1, 2, -3.0), // cancel exactly → pruned
+                (2, 1, 0.25), // insert into an empty row
+                (2, 1, 0.25), // duplicate delta sums
+            ])
+            .unwrap();
+        assert_eq!(out.get(0, 0), 4.0);
+        assert_eq!(out.get(0, 1), 2.5);
+        assert_eq!(out.get(1, 0), 1.0);
+        assert_eq!(out.entry_index(1, 2), None); // cancelled edge removed
+        assert_eq!(out.get(2, 1), 0.5);
+        assert_eq!(out.nnz(), 4);
+        // The original is untouched.
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn edge_deltas_reject_out_of_bounds() {
+        let m = CsrMatrix::identity(2);
+        assert_eq!(
+            m.try_with_edge_deltas(&[(0, 5, 1.0)]).unwrap_err(),
+            CsrError::EntryOutOfBounds { row: 0, col: 5 }
+        );
+        assert_eq!(
+            m.try_with_edge_deltas(&[(9, 0, 1.0)]).unwrap_err(),
+            CsrError::EntryOutOfBounds { row: 9, col: 0 }
+        );
+    }
+
+    #[test]
+    fn edge_deltas_untouched_rows_identical() {
+        let m = CsrMatrix::from_raw_parts(
+            3,
+            3,
+            vec![0, 2, 3, 4],
+            vec![0, 2, 1, 0],
+            vec![
+                1.0, 0.0, // note: explicit zero survives in untouched rows
+                2.0, 3.0,
+            ],
+        );
+        let out = m.try_with_edge_deltas(&[(1, 1, 1.0)]).unwrap();
+        assert_eq!(out.row_cols(0), m.row_cols(0));
+        assert_eq!(out.row_values(0), m.row_values(0));
+        assert_eq!(out.get(1, 1), 3.0);
+        assert_eq!(out.row_cols(2), m.row_cols(2));
     }
 }

@@ -1,0 +1,460 @@
+//! End-to-end tests of the serving layer: a real `lsbp-server` core
+//! behind a real TCP socket, exercised by `lsbp-client` connections.
+//!
+//! The central claim under test is **bitwise identity**: whatever the
+//! server does — solo solve, admission-coalesced batch, cache hit, or
+//! edge-delta patch — every belief vector it returns is bit-for-bit the
+//! one the `lsbp` library produces for the same query.
+
+use lsbp::prelude::*;
+use lsbp_client::{Client, ClientError};
+use lsbp_graph::Graph;
+use lsbp_linalg::Mat;
+use lsbp_net::{
+    ErrorCode, LinBpParams, Request, Response, ServedVia, WireEdge, WireNorm, WireSeed,
+};
+use lsbp_server::{serve, ServerConfig, ServerCore};
+use lsbp_sparse::CsrMatrix;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+const K: usize = 3;
+
+/// Binds an ephemeral port and serves `core` from a background thread.
+/// The server thread exits when a client requests shutdown.
+fn spawn_server(config: ServerConfig) -> (SocketAddr, Arc<ServerCore>, thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let core = Arc::new(ServerCore::new(config));
+    let serve_core = Arc::clone(&core);
+    let handle = thread::spawn(move || serve(listener, &serve_core).expect("serve"));
+    (addr, core, handle)
+}
+
+fn fixture_edges() -> Vec<(usize, usize, f64)> {
+    let mut edges: Vec<(usize, usize, f64)> = (0..10).map(|i| (i, (i + 1) % 10, 1.0)).collect();
+    edges.extend_from_slice(&[(0, 5, 0.5), (2, 7, 1.25), (3, 8, 0.75)]);
+    edges
+}
+
+fn fixture_adjacency() -> CsrMatrix {
+    let mut g = Graph::new(10);
+    for (s, t, w) in fixture_edges() {
+        g.add_edge(s, t, w);
+    }
+    g.adjacency()
+}
+
+fn wire_edges() -> Vec<WireEdge> {
+    fixture_edges()
+        .into_iter()
+        .map(|(s, t, w)| WireEdge {
+            src: s as u64,
+            dst: t as u64,
+            weight: w,
+        })
+        .collect()
+}
+
+fn coupling() -> Mat {
+    CouplingMatrix::fig1c().unwrap().scaled_residual(0.05)
+}
+
+fn wire_params(h: &Mat) -> LinBpParams {
+    LinBpParams {
+        echo: true,
+        k: K as u32,
+        h_residual: h.as_slice().to_vec(),
+        max_iter: 300,
+        tol: 1e-12,
+        norm: WireNorm::MaxAbs,
+        damping: 0.0,
+        divergence_guard: 1e12,
+    }
+}
+
+fn lib_opts() -> LinBpOptions {
+    LinBpOptions {
+        max_iter: 300,
+        tol: 1e-12,
+        norm: ToleranceNorm::MaxAbs,
+        damping: 0.0,
+        divergence_guard: 1e12,
+        parallelism: ParallelismConfig::from_env(),
+    }
+}
+
+/// One seeded node per class; `scale` stretches the residual magnitudes
+/// (larger seeds take more iterations to converge under an absolute tol).
+fn seed_rows(shift: usize, scale: f64) -> Vec<(usize, [f64; K])> {
+    vec![
+        (shift % 10, [2.0 * scale, -scale, -scale]),
+        ((3 + shift) % 10, [-scale, 2.0 * scale, -scale]),
+        ((6 + shift) % 10, [-scale, -scale, 2.0 * scale]),
+    ]
+}
+
+fn wire_seeds(shift: usize, scale: f64) -> Vec<WireSeed> {
+    seed_rows(shift, scale)
+        .into_iter()
+        .map(|(node, row)| WireSeed {
+            node: node as u64,
+            residual: row.to_vec(),
+        })
+        .collect()
+}
+
+fn lib_seeds(shift: usize, scale: f64) -> ExplicitBeliefs {
+    let mut e = ExplicitBeliefs::new(10, K);
+    for (node, row) in seed_rows(shift, scale) {
+        e.set_residual(node, &row).unwrap();
+    }
+    e
+}
+
+fn assert_bitwise(label: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len(), "{label}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{label}: belief mismatch at flat index {i}: {g:e} vs {w:e}"
+        );
+    }
+}
+
+/// k concurrent clients against the same graph and parameters: the server
+/// coalesces them into one stacked solve, and every answer is bitwise the
+/// per-query library solve.
+#[test]
+fn coalesced_queries_are_bitwise_identical_to_solo_solves() {
+    let config = ServerConfig {
+        // A wide window so all clients land in one admission batch
+        // regardless of scheduling jitter.
+        coalesce_window: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let (addr, core, handle) = spawn_server(config);
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(1, 10, true, wire_edges()).unwrap();
+
+    let h = coupling();
+    let queries = 8;
+    let barrier = Barrier::new(queries);
+    let payloads: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..queries)
+            .map(|q| {
+                let (barrier, h) = (&barrier, &h);
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    c.solve_linbp(1, wire_params(h), wire_seeds(q, 1.0))
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    let adj = fixture_adjacency();
+    let opts = lib_opts();
+    let mut coalesced = 0;
+    for (q, payload) in payloads.iter().enumerate() {
+        let reference = linbp(&adj, &lib_seeds(q, 1.0), &h, &opts).unwrap();
+        assert!(payload.converged && reference.converged);
+        assert_eq!(payload.iterations, reference.iterations as u64);
+        assert_bitwise(
+            &format!("query {q}"),
+            &payload.beliefs,
+            reference.beliefs.residual().as_slice(),
+        );
+        if matches!(payload.served, ServedVia::Coalesced { .. }) {
+            coalesced += 1;
+        }
+    }
+    // With a 150 ms window and a start barrier, the queries must have
+    // actually shared batches — the bitwise check above is what proves
+    // sharing is safe.
+    assert!(
+        coalesced >= 2,
+        "expected admission coalescing to engage, served: {:?}",
+        payloads.iter().map(|p| p.served).collect::<Vec<_>>()
+    );
+    let stats = core.stats();
+    assert!(stats.coalesced_batches >= 1);
+    assert!(stats.largest_batch >= 2);
+    // Stacking q queries costs max(iters) SpMM passes, not Σ iters.
+    assert!(stats.spmm_passes < stats.spmm_passes_sequential_equiv);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Queries whose convergence points differ by orders of magnitude still
+/// coalesce safely: per-query freeze masks keep each answer identical to
+/// its solo solve even though the batch runs to the slowest query's
+/// iteration count.
+#[test]
+fn mixed_convergence_batch_matches_per_query_solves() {
+    let config = ServerConfig {
+        coalesce_window: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let (addr, _core, handle) = spawn_server(config);
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(7, 10, true, wire_edges()).unwrap();
+
+    let h = coupling();
+    // Same params (so the queries group), wildly different seed scales
+    // (so their convergence iterations differ under the absolute tol).
+    let scales = [1.0, 1e8];
+    let barrier = Barrier::new(scales.len());
+    let payloads: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = scales
+            .iter()
+            .map(|&scale| {
+                let (barrier, h) = (&barrier, &h);
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    barrier.wait();
+                    c.solve_linbp(7, wire_params(h), wire_seeds(0, scale))
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+
+    let adj = fixture_adjacency();
+    let opts = lib_opts();
+    for (payload, &scale) in payloads.iter().zip(&scales) {
+        let reference = linbp(&adj, &lib_seeds(0, scale), &h, &opts).unwrap();
+        assert!(payload.converged && reference.converged);
+        assert_eq!(
+            payload.iterations, reference.iterations as u64,
+            "scale {scale}: freeze mask must preserve the solo iteration count"
+        );
+        assert_bitwise(
+            &format!("scale {scale}"),
+            &payload.beliefs,
+            reference.beliefs.residual().as_slice(),
+        );
+    }
+    // The point of the fixture: the two queries converge at genuinely
+    // different iterations.
+    assert_ne!(payloads[0].iterations, payloads[1].iterations);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A full admission queue rejects further queries with `Overloaded`
+/// instead of buffering without bound.
+#[test]
+fn admission_backpressure_rejects_with_overloaded() {
+    // No TCP needed: drive the core directly so the queue can be held
+    // full (the long window keeps parked jobs parked).
+    let core = ServerCore::new(ServerConfig {
+        coalesce_window: Duration::from_secs(30),
+        max_batch: 64,
+        max_pending: 2,
+        ..ServerConfig::default()
+    });
+    let register = Request::RegisterGraph {
+        graph_id: 1,
+        n_nodes: 10,
+        symmetric: true,
+        edges: wire_edges(),
+    };
+    assert!(matches!(
+        core.handle_blocking(register),
+        Response::Registered { .. }
+    ));
+
+    let h = coupling();
+    let (tx, rx) = mpsc::channel();
+    for q in 0..3 {
+        let tx = tx.clone();
+        core.submit(
+            Request::SolveLinBp {
+                graph_id: 1,
+                params: wire_params(&h),
+                seeds: wire_seeds(q, 1.0),
+            },
+            Box::new(move |r| drop(tx.send((q, r)))),
+        );
+    }
+    // Only the third query (queue already holds max_pending = 2) answers
+    // immediately — with Overloaded.
+    let (q, response) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(q, 2);
+    match response {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Dropping the core force-drains the two parked queries; their
+    // responders must still fire (with real results).
+    drop(core);
+    for _ in 0..2 {
+        let (_, response) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(response, Response::Beliefs(_)));
+    }
+}
+
+/// Cache behavior across an edge delta: repeat queries hit the cache,
+/// the delta patches (not invalidates) LinBP entries, and the patched
+/// entry is bitwise the library patch path.
+#[test]
+fn edge_delta_patches_cache_bitwise() {
+    let (addr, core, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(3, 10, true, wire_edges()).unwrap();
+
+    let h = coupling();
+    let first = client
+        .solve_linbp(3, wire_params(&h), wire_seeds(0, 1.0))
+        .unwrap();
+    assert_eq!(first.served, ServedVia::Solo);
+
+    let again = client
+        .solve_linbp(3, wire_params(&h), wire_seeds(0, 1.0))
+        .unwrap();
+    assert_eq!(again.served, ServedVia::Cache);
+    assert_bitwise("cache hit", &again.beliefs, &first.beliefs);
+    assert_eq!(core.stats().cache_hits, 1);
+
+    let raw_deltas = [(1usize, 2usize, 0.5), (0, 4, 0.75)];
+    let deltas: Vec<WireEdge> = raw_deltas
+        .iter()
+        .map(|&(s, t, w)| WireEdge {
+            src: s as u64,
+            dst: t as u64,
+            weight: w,
+        })
+        .collect();
+    let (version, patched, invalidated) = client.edge_delta(3, true, deltas).unwrap();
+    assert_eq!(version, 2);
+    assert_eq!(patched, 1, "the cached LinBP entry must be patched forward");
+    assert_eq!(invalidated, 0);
+
+    let requeried = client
+        .solve_linbp(3, wire_params(&h), wire_seeds(0, 1.0))
+        .unwrap();
+    assert_eq!(requeried.served, ServedVia::CachePatched);
+
+    // Library patch path on the same inputs.
+    let adj = fixture_adjacency();
+    let mut both_dirs = Vec::new();
+    for &(s, t, w) in &raw_deltas {
+        both_dirs.push((s, t, w));
+        both_dirs.push((t, s, w));
+    }
+    let new_adj = adj.try_with_edge_deltas(&both_dirs).unwrap();
+    let previous = BeliefMatrix::from_mat(Mat::from_vec(10, K, first.beliefs.clone()));
+    let seed = linbp_edge_delta_seed(&adj, &both_dirs, &previous, &h, true).unwrap();
+    let patched_ref = linbp_update(&new_adj, &previous, &seed, &h, &lib_opts(), true).unwrap();
+    assert_bitwise(
+        "patched entry",
+        &requeried.beliefs,
+        patched_ref.beliefs.residual().as_slice(),
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Hostile or invalid inputs come back as typed errors — never panics,
+/// never poisoned batches.
+#[test]
+fn invalid_requests_get_typed_errors() {
+    let (addr, _core, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    fn expect_err<T: std::fmt::Debug>(r: Result<T, ClientError>, want: ErrorCode, label: &str) {
+        match r {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, want, "{label}"),
+            other => panic!("{label}: expected {want:?}, got {other:?}"),
+        }
+    }
+
+    let h = coupling();
+    // Unknown graph.
+    expect_err(
+        client.solve_linbp(99, wire_params(&h), wire_seeds(0, 1.0)),
+        ErrorCode::UnknownGraph,
+        "unknown graph",
+    );
+    client.register_graph(1, 10, true, wire_edges()).unwrap();
+    // Duplicate registration.
+    expect_err(
+        client.register_graph(1, 10, true, wire_edges()),
+        ErrorCode::GraphAlreadyRegistered,
+        "duplicate register",
+    );
+    // k = 1 would panic ExplicitBeliefs::new if it reached the solver.
+    let mut bad = wire_params(&h);
+    bad.k = 1;
+    bad.h_residual = vec![0.0];
+    expect_err(
+        client.solve_linbp(1, bad, vec![]),
+        ErrorCode::BadRequest,
+        "k too small",
+    );
+    // Seed node out of range (CooMatrix/ExplicitBeliefs would panic).
+    expect_err(
+        client.solve_linbp(
+            1,
+            wire_params(&h),
+            vec![WireSeed {
+                node: 10,
+                residual: vec![2.0, -1.0, -1.0],
+            }],
+        ),
+        ErrorCode::BadRequest,
+        "seed out of range",
+    );
+    // Non-centered seed row.
+    expect_err(
+        client.solve_linbp(
+            1,
+            wire_params(&h),
+            vec![WireSeed {
+                node: 0,
+                residual: vec![1.0, 1.0, 1.0],
+            }],
+        ),
+        ErrorCode::BadRequest,
+        "uncentered seed",
+    );
+    // Edge delta out of bounds.
+    expect_err(
+        client.edge_delta(
+            1,
+            true,
+            vec![WireEdge {
+                src: 0,
+                dst: 99,
+                weight: 1.0,
+            }],
+        ),
+        ErrorCode::BadRequest,
+        "delta out of bounds",
+    );
+    // A malformed frame (bogus request tag) gets a typed error too — on a
+    // raw socket, below the typed client.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    lsbp_net::write_frame(&mut raw, &[0xFF, 0xFF]).unwrap();
+    let payload = lsbp_net::read_frame(&mut raw)
+        .unwrap()
+        .expect("server must answer before closing");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest for bogus tag, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -71,11 +71,23 @@ pub const MAX_THREADS: usize = 256;
 
 /// Parses a thread-count override, falling back to `fallback` when the
 /// value is absent, non-numeric, or out of the `1..=MAX_THREADS` range.
-fn parse_thread_env(value: Option<&str>, fallback: usize) -> usize {
-    value
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| (1..=MAX_THREADS).contains(&n))
-        .unwrap_or(fallback)
+/// A set-but-unusable value also yields a warning naming the variable and
+/// the fallback — a silently-ignored `LSBP_THREADS=abc` would otherwise
+/// look exactly like a deliberate hardware-sized run.
+fn parse_thread_env(value: Option<&str>, fallback: usize) -> (usize, Option<String>) {
+    let Some(raw) = value else {
+        return (fallback, None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if (1..=MAX_THREADS).contains(&n) => (n, None),
+        _ => (
+            fallback,
+            Some(format!(
+                "lsbp: ignoring invalid LSBP_THREADS={raw:?} (expected an integer in \
+                 1..={MAX_THREADS}); falling back to {fallback} thread(s)"
+            )),
+        ),
+    }
 }
 
 fn hardware_threads() -> usize {
@@ -97,10 +109,14 @@ static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 /// this) — and the parsed value is cached for the process lifetime.
 pub fn default_num_threads() -> usize {
     *DEFAULT_THREADS.get_or_init(|| {
-        parse_thread_env(
+        let (threads, warning) = parse_thread_env(
             std::env::var("LSBP_THREADS").ok().as_deref(),
             hardware_threads(),
-        )
+        );
+        if let Some(message) = warning {
+            eprintln!("{message}");
+        }
+        threads
     })
 }
 
@@ -622,14 +638,24 @@ mod tests {
 
     #[test]
     fn parse_thread_env_rules() {
-        assert_eq!(parse_thread_env(None, 7), 7);
-        assert_eq!(parse_thread_env(Some("4"), 7), 4);
-        assert_eq!(parse_thread_env(Some(" 2 "), 7), 2);
-        assert_eq!(parse_thread_env(Some("0"), 7), 7);
-        assert_eq!(parse_thread_env(Some("-3"), 7), 7);
-        assert_eq!(parse_thread_env(Some("lots"), 7), 7);
-        assert_eq!(parse_thread_env(Some("99999"), 7), 7);
-        assert_eq!(parse_thread_env(Some("1"), 7), 1);
+        // Usable values parse silently.
+        assert_eq!(parse_thread_env(None, 7), (7, None));
+        assert_eq!(parse_thread_env(Some("4"), 7), (4, None));
+        assert_eq!(parse_thread_env(Some(" 2 "), 7), (2, None));
+        assert_eq!(parse_thread_env(Some("1"), 7), (1, None));
+        // Set-but-unusable values fall back AND carry a warning that
+        // names the variable, the rejected value, and the fallback.
+        for bad in ["0", "-3", "lots", "99999", ""] {
+            let (threads, warning) = parse_thread_env(Some(bad), 7);
+            assert_eq!(threads, 7, "LSBP_THREADS={bad:?} must fall back");
+            let warning = warning.expect("invalid value must warn");
+            assert!(
+                warning.contains("LSBP_THREADS"),
+                "warning names the variable"
+            );
+            assert!(warning.contains(bad), "warning echoes the rejected value");
+            assert!(warning.contains('7'), "warning names the fallback");
+        }
     }
 
     #[test]

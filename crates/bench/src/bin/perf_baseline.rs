@@ -23,8 +23,8 @@ use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
 use lsbp_graph::generators::{dblp_like, erdos_renyi_gnm, kronecker_graph, DblpConfig};
 use lsbp_graph::Graph;
 use lsbp_linalg::{weight_balanced_ranges, Mat};
-use lsbp_net::{LinBpParams, Request, Response, WireEdge, WireNorm, WireSeed};
-use lsbp_server::{ServerConfig, ServerCore};
+use lsbp_net::{ErrorCode, LinBpParams, Request, Response, WireEdge, WireNorm, WireSeed};
+use lsbp_server::{DegradationPolicy, ServerConfig, ServerCore};
 use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator, ShardedCsr};
 use std::ops::Range;
 use std::sync::{mpsc, Mutex};
@@ -848,6 +848,205 @@ fn run_serving_suite(
     records.push(rec);
 }
 
+/// One robustness measurement: `q` clients hammering an undersized
+/// admission queue, retrying on `Overloaded` until every request is
+/// answered, under one degradation policy.
+struct RobustnessRecord {
+    graph: String,
+    nodes: usize,
+    directed_edges: usize,
+    policy: &'static str,
+    queries: usize,
+    answered: u64,
+    overloaded_rejections: u64,
+    degraded_clamped: u64,
+    wall_secs: f64,
+    qps: f64,
+    /// Every answer bitwise equal to a direct uncontended solve. Only
+    /// meaningful when the policy does not change the math (`off`);
+    /// `ClampIter` deliberately trades iterations for throughput.
+    identical_to_direct: bool,
+}
+
+/// Drives `q` concurrent clients against a core whose admission queue is
+/// deliberately too small (`max_pending = 2`), so a real fraction of
+/// requests bounce with `Overloaded` and must be recovered by retries
+/// honoring the server's `retry_after_ms` hint. Run once per degradation
+/// policy: `off` measures pure backpressure + retry; `clamp` measures
+/// how much throughput `ClampIter` buys back under the same load.
+fn run_robustness_suite(
+    records: &mut Vec<RobustnessRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    queries: usize,
+) {
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let de = graph.num_directed_edges();
+    let edges: Vec<WireEdge> = (0..n)
+        .flat_map(|r| {
+            adj.row_cols(r)
+                .iter()
+                .zip(adj.row_values(r))
+                .map(move |(&c, &v)| WireEdge {
+                    src: r as u64,
+                    dst: u64::from(c),
+                    weight: v,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let params = LinBpParams {
+        echo: true,
+        k: k as u32,
+        h_residual: h_residual_unscaled.scale(eps).as_slice().to_vec(),
+        max_iter: 100,
+        // No early exit: every query runs its full budget, so the queue
+        // actually backs up and `ClampIter` has iterations to reclaim.
+        tol: 0.0,
+        norm: WireNorm::MaxAbs,
+        damping: 0.0,
+        divergence_guard: f64::INFINITY,
+    };
+    let seeds = serving_seeds(n, k, queries);
+    let solve = |j: usize| Request::SolveLinBp {
+        graph_id: 1,
+        params: params.clone(),
+        seeds: seeds[j].clone(),
+    };
+    let register = || Request::RegisterGraph {
+        graph_id: 1,
+        n_nodes: n as u64,
+        symmetric: false,
+        edges: edges.clone(),
+    };
+
+    // Uncontended references: one solo solve per query on a roomy core.
+    let direct = ServerCore::new(ServerConfig {
+        coalesce_window: Duration::from_millis(0),
+        max_batch: 1,
+        ..ServerConfig::default()
+    });
+    assert!(matches!(
+        direct.handle_blocking(register()),
+        Response::Registered { .. }
+    ));
+    let references: Vec<_> = (0..queries)
+        .map(|j| match direct.handle_blocking(solve(j)) {
+            Response::Beliefs(p) => p,
+            other => panic!("reference solve failed: {other:?}"),
+        })
+        .collect();
+
+    for (policy, degradation) in [
+        ("off", DegradationPolicy::Off),
+        ("clamp", DegradationPolicy::ClampIter(10)),
+    ] {
+        let core = ServerCore::new(ServerConfig {
+            coalesce_window: Duration::from_millis(10),
+            max_batch: 4,
+            // Undersized on purpose: the whole point is to overflow it.
+            max_pending: 2,
+            retry_after_hint: Duration::from_millis(2),
+            degradation,
+            ..ServerConfig::default()
+        });
+        assert!(matches!(
+            core.handle_blocking(register()),
+            Response::Registered { .. }
+        ));
+
+        let (payloads, elapsed) = time_once(|| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..queries)
+                    .map(|j| {
+                        let (core, solve) = (&core, &solve);
+                        scope.spawn(move || {
+                            // Retry with growing backoff until the request
+                            // lands. The budget is wall-clock, not
+                            // attempt-count: on larger graphs a single
+                            // coalesced solve can hold the queue for tens
+                            // of milliseconds, so a fixed retry count
+                            // starves late contenders.
+                            let start = std::time::Instant::now();
+                            let mut backoff_ms = 0u64;
+                            loop {
+                                match core.handle_blocking(solve(j)) {
+                                    Response::Beliefs(p) => return Some(p),
+                                    Response::Error {
+                                        code: ErrorCode::Overloaded,
+                                        retry_after_ms,
+                                        ..
+                                    } => {
+                                        if start.elapsed() > Duration::from_secs(120) {
+                                            return None;
+                                        }
+                                        let hint = retry_after_ms.unwrap_or(2).clamp(1, 50);
+                                        backoff_ms = (backoff_ms.max(hint) * 2).min(250);
+                                        // Stagger contenders so they don't
+                                        // re-collide in lockstep.
+                                        std::thread::sleep(Duration::from_millis(
+                                            backoff_ms + (j as u64 % 7),
+                                        ));
+                                    }
+                                    other => panic!("unexpected response: {other:?}"),
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+        });
+        let stats = core.stats();
+        let answered = payloads.iter().filter(|p| p.is_some()).count() as u64;
+        let identical_to_direct = policy != "off"
+            || payloads.iter().zip(&references).all(|(p, r)| {
+                p.as_ref().is_some_and(|p| {
+                    p.beliefs.len() == r.beliefs.len()
+                        && p.beliefs
+                            .iter()
+                            .zip(&r.beliefs)
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                })
+            });
+        let wall_secs = elapsed.as_secs_f64();
+        let rec = RobustnessRecord {
+            graph: label.to_string(),
+            nodes: n,
+            directed_edges: de,
+            policy,
+            queries,
+            answered,
+            overloaded_rejections: stats.rejected_overloaded,
+            degraded_clamped: stats.degraded_clamped,
+            wall_secs,
+            qps: answered as f64 / wall_secs,
+            identical_to_direct,
+        };
+        println!(
+            "{:>14} robustness policy={:<5} q={} answered={} rejections={} clamped={} \
+             {:>9.4}s ({:>8.1} q/s)  identical={}",
+            rec.graph,
+            rec.policy,
+            rec.queries,
+            rec.answered,
+            rec.overloaded_rejections,
+            rec.degraded_clamped,
+            rec.wall_secs,
+            rec.qps,
+            rec.identical_to_direct
+        );
+        records.push(rec);
+    }
+}
+
 /// One (threads, executor) measurement of the pool-overhead benchmark.
 struct PoolRecord {
     threads: usize,
@@ -993,6 +1192,8 @@ fn main() {
     let mut fused_records = Vec::new();
     let mut sharded_records = Vec::new();
     let mut serving_records = Vec::new();
+    let robustness_queries = arg_usize("--robust-q", 16).max(4);
+    let mut robustness_records = Vec::new();
     let ho3 = CouplingMatrix::fig6b_residual();
     let mut exponents = vec![7u32.min(m), m];
     exponents.dedup();
@@ -1030,6 +1231,15 @@ fn main() {
             0.0005,
             serving_queries,
             reps,
+        );
+        run_robustness_suite(
+            &mut robustness_records,
+            &label,
+            &graph,
+            3,
+            &ho3,
+            0.0005,
+            robustness_queries,
         );
     }
     if with_dblp {
@@ -1077,6 +1287,15 @@ fn main() {
             serving_queries,
             reps,
         );
+        run_robustness_suite(
+            &mut robustness_records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
+            robustness_queries,
+        );
     }
 
     // Persistent-pool dispatch overhead vs. the old scoped-spawn executor
@@ -1123,6 +1342,32 @@ fn main() {
         .fold(f64::NAN, f64::max);
     let serving_all_identical = serving_records.iter().all(|r| r.identical);
     let serving_ratio_ok = serving_ratio_largest >= 2.0;
+    // Robustness acceptance read-outs: every retried request recovered
+    // under both policies, backpressure genuinely engaged under `off`,
+    // answers bitwise-identical to uncontended solves when the policy
+    // does not change the math, and the throughput `ClampIter` buys back
+    // on the largest Kronecker graph.
+    let robustness_all_recovered = robustness_records
+        .iter()
+        .all(|r| r.answered == r.queries as u64);
+    let robustness_backpressure_engaged = robustness_records
+        .iter()
+        .filter(|r| r.policy == "off")
+        .all(|r| r.overloaded_rejections >= 1);
+    let robustness_off_identical = robustness_records
+        .iter()
+        .filter(|r| r.policy == "off")
+        .all(|r| r.identical_to_direct);
+    let robustness_clamp_qps_ratio = {
+        let qps_of = |policy: &str| {
+            robustness_records
+                .iter()
+                .filter(|r| r.policy == policy && r.graph == format!("kronecker_m{m}"))
+                .map(|r| r.qps)
+                .fold(f64::NAN, f64::max)
+        };
+        qps_of("clamp") / qps_of("off")
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -1297,6 +1542,50 @@ fn main() {
         ));
     }
     json.push_str("    ]\n  },\n");
+    // Robustness under synthetic overload: an undersized admission queue,
+    // retrying clients, and the degradation-policy comparison.
+    json.push_str(&format!(
+        "  \"robustness\": {{\n    \"queries\": {robustness_queries},\n    \"max_pending\": 2,\n"
+    ));
+    json.push_str(&format!(
+        "    \"all_requests_recovered\": {robustness_all_recovered},\n"
+    ));
+    json.push_str(&format!(
+        "    \"backpressure_engaged\": {robustness_backpressure_engaged},\n"
+    ));
+    json.push_str(&format!(
+        "    \"off_policy_bitwise_identical_to_direct\": {robustness_off_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"clamp_qps_ratio_largest_kronecker\": {},\n",
+        json_f64(robustness_clamp_qps_ratio)
+    ));
+    json.push_str("    \"results\": [\n");
+    for (i, r) in robustness_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"nodes\": {}, \"directed_edges\": {}, \
+             \"policy\": \"{}\", \"queries\": {}, \"answered\": {}, \
+             \"overloaded_rejections\": {}, \"degraded_clamped\": {}, \
+             \"wall_secs\": {}, \"qps\": {}, \"identical_to_direct\": {}}}{}\n",
+            r.graph,
+            r.nodes,
+            r.directed_edges,
+            r.policy,
+            r.queries,
+            r.answered,
+            r.overloaded_rejections,
+            r.degraded_clamped,
+            json_f64(r.wall_secs),
+            json_f64(r.qps),
+            r.identical_to_direct,
+            if i + 1 == robustness_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     // The persistent-pool overhead section: µs of dispatch+compute per
     // small-kernel region, resident workers vs. per-region scoped spawn.
     json.push_str("  \"pool\": {\n");
@@ -1327,7 +1616,7 @@ fn main() {
          fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}, \
          sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}, \
          serving spmm pass reduction q={serving_queries} (kronecker_m{m}) = {}, \
-         serving identical = {}",
+         serving identical = {}, robustness recovered = {}, robustness clamp qps ratio = {}",
         json_f64(spmm_speedup_4t),
         all_identical,
         json_f64(fused_speedup_largest),
@@ -1335,7 +1624,9 @@ fn main() {
         json_f64(sharded_linbp_min_rel),
         sharded_all_identical,
         json_f64(serving_ratio_largest),
-        serving_all_identical
+        serving_all_identical,
+        robustness_all_recovered,
+        json_f64(robustness_clamp_qps_ratio)
     );
     assert!(
         all_identical,
@@ -1352,5 +1643,13 @@ fn main() {
     assert!(
         serving_all_identical,
         "coalesced serving produced beliefs differing from sequential serving"
+    );
+    assert!(
+        robustness_all_recovered,
+        "a retried request was never recovered under synthetic overload"
+    );
+    assert!(
+        robustness_off_identical,
+        "an answer under overload (policy off) diverged bitwise from the uncontended solve"
     );
 }

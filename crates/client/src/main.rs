@@ -1,10 +1,12 @@
 //! The `lsbp-client` binary.
 //!
 //! ```text
-//! lsbp-client ping     [--addr HOST:PORT]
-//! lsbp-client stats    [--addr HOST:PORT]
-//! lsbp-client shutdown [--addr HOST:PORT]
-//! lsbp-client selftest [--addr HOST:PORT] [--shutdown]
+//! lsbp-client ping     [--addr HOST:PORT] [--connect-timeout-ms N]
+//! lsbp-client health   [--addr HOST:PORT] [--connect-timeout-ms N]
+//! lsbp-client stats    [--addr HOST:PORT] [--connect-timeout-ms N]
+//! lsbp-client shutdown [--addr HOST:PORT] [--connect-timeout-ms N]
+//! lsbp-client selftest [--addr HOST:PORT] [--connect-timeout-ms N]
+//!                      [--shutdown] [--chaos-seed N]
 //! ```
 //!
 //! `selftest` drives a live server through the full protocol — register,
@@ -14,17 +16,34 @@
 //! `lsbp` library (valid across processes by the workspace's
 //! bitwise-determinism invariant: results do not depend on thread or
 //! shard counts). Exits nonzero on any mismatch.
+//!
+//! `--chaos-seed N` additionally runs a seeded saboteur thread for the
+//! duration of the selftest: it hammers the same server with garbage
+//! bytes, byte-dribbled oversized frame headers, truncated frames,
+//! bit-corrupted requests, instant disconnects, and mid-frame stalls.
+//! The selftest still has to pass bitwise — and a final health check
+//! proves the server outlived the abuse.
 
 use lsbp::prelude::*;
-use lsbp_client::Client;
+use lsbp_client::{Client, ClientConfig};
 use lsbp_graph::Graph;
 use lsbp_linalg::Mat;
-use lsbp_net::{LinBpParams, RwrParams, ServedVia, WireEdge, WireNorm, WireSeed};
+use lsbp_net::{
+    LinBpParams, Request, RequestEnvelope, RwrParams, ServedVia, WireEdge, WireNorm, WireSeed,
+};
 use lsbp_sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: lsbp-client <ping|stats|shutdown|selftest> [--addr HOST:PORT] [--shutdown]");
+    eprintln!(
+        "usage: lsbp-client <ping|health|stats|shutdown|selftest> [--addr HOST:PORT] \
+         [--connect-timeout-ms N] [--shutdown] [--chaos-seed N]"
+    );
     std::process::exit(2);
 }
 
@@ -33,10 +52,20 @@ fn main() -> ExitCode {
     let Some(command) = args.next() else { usage() };
     let mut addr = String::from("127.0.0.1:7461");
     let mut shutdown_after = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut config = ClientConfig::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--addr" => match args.next() {
                 Some(a) => addr = a,
+                None => usage(),
+            },
+            "--connect-timeout-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => config.connect_timeout = Some(Duration::from_millis(ms)),
+                None => usage(),
+            },
+            "--chaos-seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => chaos_seed = Some(seed),
                 None => usage(),
             },
             "--shutdown" => shutdown_after = true,
@@ -47,24 +76,30 @@ fn main() -> ExitCode {
     let run = || -> Result<(), String> {
         match command.as_str() {
             "ping" => {
-                let mut client = connect(&addr)?;
+                let mut client = connect(&addr, &config)?;
                 let version = client.ping().map_err(|e| e.to_string())?;
                 println!("pong (protocol version {version})");
                 Ok(())
             }
+            "health" => {
+                let mut client = connect(&addr, &config)?;
+                let health = client.health().map_err(|e| e.to_string())?;
+                println!("{health:#?}");
+                Ok(())
+            }
             "stats" => {
-                let mut client = connect(&addr)?;
+                let mut client = connect(&addr, &config)?;
                 let stats = client.stats().map_err(|e| e.to_string())?;
                 println!("{stats:#?}");
                 Ok(())
             }
             "shutdown" => {
-                let mut client = connect(&addr)?;
+                let mut client = connect(&addr, &config)?;
                 client.shutdown().map_err(|e| e.to_string())?;
                 println!("server shutting down");
                 Ok(())
             }
-            "selftest" => selftest(&addr, shutdown_after),
+            "selftest" => selftest(&addr, &config, shutdown_after, chaos_seed),
             _ => usage(),
         }
     };
@@ -77,8 +112,87 @@ fn main() -> ExitCode {
     }
 }
 
-fn connect(addr: &str) -> Result<Client, String> {
-    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+fn connect(addr: &str, config: &ClientConfig) -> Result<Client, String> {
+    Client::connect_with(addr, config).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// saboteur (selftest --chaos-seed)
+// ---------------------------------------------------------------------------
+
+/// Hostile traffic generator: every round opens a fresh connection and
+/// misbehaves in one of six seeded ways. All I/O errors are swallowed —
+/// the saboteur's job is to provoke, the selftest's job is to prove the
+/// server did not care.
+fn sabotage(addr: &str, seed: u64, rounds: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rounds {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .ok();
+        match rng.gen_range(0u8..6) {
+            // Raw garbage: bytes that are not even a plausible frame.
+            0 => {
+                let n = rng.gen_range(1usize..64);
+                let junk: Vec<u8> = (0..n).map(|_| rng.gen_range(0u16..256) as u8).collect();
+                let _ = stream.write_all(&junk);
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut sink = [0u8; 256];
+                let _ = stream.read(&mut sink);
+            }
+            // Oversized frame header, dribbled one byte at a time — the
+            // server must reject at the 4th byte, not buffer toward the
+            // claimed gigabytes.
+            1 => {
+                let claimed = (rng.gen_range(257u64..4096) * 1024 * 1024) as u32;
+                for byte in claimed.to_le_bytes() {
+                    if stream.write_all(&[byte]).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let mut sink = [0u8; 256];
+                let _ = stream.read(&mut sink);
+            }
+            // Truncated frame: honest header, partial body, gone.
+            2 => {
+                let payload =
+                    RequestEnvelope::new(rng.gen_range(0u64..u64::MAX), Request::Ping).encode();
+                let keep = rng.gen_range(1usize..payload.len());
+                let _ = stream.write_all(&(payload.len() as u32).to_le_bytes());
+                let _ = stream.write_all(&payload[..keep]);
+            }
+            // Bit-corrupted request: valid framing, garbled content.
+            3 => {
+                let mut payload =
+                    RequestEnvelope::new(rng.gen_range(0u64..u64::MAX), Request::Ping).encode();
+                let flips = rng.gen_range(1usize..4);
+                for _ in 0..flips {
+                    let at = rng.gen_range(0..payload.len());
+                    payload[at] ^= 1 << rng.gen_range(0u32..8);
+                }
+                let _ = stream.write_all(&(payload.len() as u32).to_le_bytes());
+                let _ = stream.write_all(&payload);
+                let mut sink = [0u8; 256];
+                let _ = stream.read(&mut sink);
+            }
+            // Connect-and-vanish.
+            4 => {}
+            // Mid-frame stall, then vanish.
+            _ => {
+                let payload =
+                    RequestEnvelope::new(rng.gen_range(0u64..u64::MAX), Request::Ping).encode();
+                let _ = stream.write_all(&(payload.len() as u32).to_le_bytes());
+                let _ = stream.write_all(&payload[..payload.len() / 2]);
+                std::thread::sleep(Duration::from_millis(rng.gen_range(1u64..20)));
+            }
+        }
+        drop(stream);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -183,8 +297,21 @@ fn assert_bitwise(label: &str, got: &[f64], want: &[f64]) -> Result<(), String> 
     Ok(())
 }
 
-fn selftest(addr: &str, shutdown_after: bool) -> Result<(), String> {
-    let mut client = connect(addr)?;
+fn selftest(
+    addr: &str,
+    config: &ClientConfig,
+    shutdown_after: bool,
+    chaos_seed: Option<u64>,
+) -> Result<(), String> {
+    // Start the saboteur before the first real query so hostile traffic
+    // overlaps every phase below.
+    let saboteur = chaos_seed.map(|seed| {
+        println!("[selftest] chaos: saboteur running with seed {seed}");
+        let addr = addr.to_string();
+        std::thread::spawn(move || sabotage(&addr, seed, 48))
+    });
+
+    let mut client = connect(addr, config)?;
     let version = client.ping().map_err(|e| format!("ping: {e}"))?;
     println!("[selftest] connected, protocol version {version}");
 
@@ -286,7 +413,7 @@ fn selftest(addr: &str, shutdown_after: bool) -> Result<(), String> {
                 let (barrier, h, addr) = (&barrier, &h, addr);
                 scope.spawn(move || -> Result<(), String> {
                     let shift = 2 + t; // distinct from the cached queries
-                    let mut c = connect(addr)?;
+                    let mut c = connect(addr, &ClientConfig::default())?;
                     barrier.wait();
                     let payload = c
                         .solve_linbp(graph_id, wire_params(true, h), wire_seeds(shift))
@@ -373,6 +500,20 @@ fn selftest(addr: &str, shutdown_after: bool) -> Result<(), String> {
         patched_reference.beliefs.residual().as_slice(),
     )?;
     println!("[selftest] patched cache entry bitwise-matches the library patch path");
+
+    if let Some(handle) = saboteur {
+        handle.join().map_err(|_| "saboteur thread panicked")?;
+        // The abuse is over; the server must still answer like nothing
+        // happened.
+        let health = client
+            .health()
+            .map_err(|e| format!("post-chaos health: {e}"))?;
+        println!(
+            "[selftest] chaos: server survived (queue depth {}, {} graphs, {} cached entries, \
+             up {} ms)",
+            health.queue_depth, health.graphs, health.cached_entries, health.uptime_ms
+        );
+    }
 
     if shutdown_after {
         client.shutdown().map_err(|e| e.to_string())?;

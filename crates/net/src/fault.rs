@@ -1,0 +1,209 @@
+//! # Fault injection for chaos testing (feature `fault-inject`)
+//!
+//! [`FaultInjector`] wraps a [`TcpStream`] and sabotages the **write**
+//! side on a deterministic, seeded schedule: truncating frames mid-body,
+//! stalling mid-frame, flipping bits, or dropping the connection outright
+//! while claiming success. The read side passes through untouched, so a
+//! chaos test can still observe whatever the server manages to answer.
+//!
+//! Everything is seeded — `tests/chaos.rs` replays the exact same byte
+//! stream every run, which keeps "server survives fault N" a regression
+//! test rather than a flake generator.
+//!
+//! This module is compiled only under the `fault-inject` cargo feature
+//! (enabled from the workspace's dev-dependencies); release builds of the
+//! serving binaries never contain it.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One sabotage mode applied to a connection's write side.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// Deliver writes untouched.
+    None,
+    /// Deliver only the first `n` bytes, then shut down the write side —
+    /// the peer sees a clean-looking stream that ends mid-frame. Writes
+    /// past the limit still claim success (the worst case for the peer).
+    TruncateAfter {
+        /// Bytes delivered before the cut.
+        n: usize,
+    },
+    /// Deliver the first `n` bytes, then drop the whole connection
+    /// (`Shutdown::Both`) while claiming the write succeeded.
+    DropAfter {
+        /// Bytes delivered before the drop.
+        n: usize,
+    },
+    /// Sleep `pause` immediately before delivering byte `offset` — a
+    /// mid-frame stall that parks the peer's read loop on a partial frame.
+    StallAt {
+        /// Byte offset the stall precedes.
+        offset: usize,
+        /// How long to stall.
+        pause: Duration,
+    },
+    /// Flip one random bit in each delivered byte with probability
+    /// `per_mille`/1000, using the injector's seeded rng.
+    CorruptBits {
+        /// Corruption probability in thousandths.
+        per_mille: u32,
+    },
+}
+
+/// A seeded [`TcpStream`] wrapper that injects one [`Fault`] into the
+/// write side. Reads pass through. See the module docs.
+pub struct FaultInjector {
+    inner: TcpStream,
+    fault: Fault,
+    rng: StdRng,
+    written: usize,
+    severed: bool,
+}
+
+impl FaultInjector {
+    /// Wraps `stream`, applying `fault`; `seed` drives bit corruption.
+    pub fn new(stream: TcpStream, fault: Fault, seed: u64) -> Self {
+        Self {
+            inner: stream,
+            fault,
+            rng: StdRng::seed_from_u64(seed),
+            written: 0,
+            severed: false,
+        }
+    }
+
+    /// Total bytes actually delivered to the peer.
+    pub fn delivered(&self) -> usize {
+        self.written.min(match self.fault {
+            Fault::TruncateAfter { n } | Fault::DropAfter { n } => n,
+            _ => usize::MAX,
+        })
+    }
+
+    /// The wrapped stream (reads are never sabotaged).
+    pub fn stream(&self) -> &TcpStream {
+        &self.inner
+    }
+
+    fn deliver(&mut self, buf: &[u8]) -> io::Result<()> {
+        if let Fault::CorruptBits { per_mille } = self.fault {
+            let mut corrupted = buf.to_vec();
+            for byte in &mut corrupted {
+                if self.rng.gen_range(0u32..1000) < per_mille {
+                    *byte ^= 1u8 << self.rng.gen_range(0u32..8);
+                }
+            }
+            self.inner.write_all(&corrupted)
+        } else {
+            self.inner.write_all(buf)
+        }
+    }
+}
+
+impl Write for FaultInjector {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.severed {
+            // Keep claiming success after the cut: the caller believes the
+            // request went out, which is exactly the ambiguity a retry
+            // policy has to cope with.
+            self.written += buf.len();
+            return Ok(buf.len());
+        }
+        match self.fault {
+            Fault::TruncateAfter { n } | Fault::DropAfter { n } => {
+                let budget = n.saturating_sub(self.written);
+                let deliver = budget.min(buf.len());
+                if deliver > 0 {
+                    self.deliver(&buf[..deliver])?;
+                }
+                if self.written + buf.len() >= n {
+                    let how = if matches!(self.fault, Fault::DropAfter { .. }) {
+                        Shutdown::Both
+                    } else {
+                        Shutdown::Write
+                    };
+                    let _ = self.inner.shutdown(how);
+                    self.severed = true;
+                }
+            }
+            Fault::StallAt { offset, pause } => {
+                if self.written <= offset && offset < self.written + buf.len() {
+                    let pre = offset - self.written;
+                    if pre > 0 {
+                        self.deliver(&buf[..pre])?;
+                    }
+                    std::thread::sleep(pause);
+                    self.deliver(&buf[pre..])?;
+                } else {
+                    self.deliver(buf)?;
+                }
+            }
+            Fault::None | Fault::CorruptBits { .. } => self.deliver(buf)?,
+        }
+        self.written += buf.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.severed {
+            Ok(())
+        } else {
+            self.inner.flush()
+        }
+    }
+}
+
+impl Read for FaultInjector {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+/// A deterministic stream of faults: each call to [`next_fault`] yields
+/// a pseudo-random sabotage mode drawn from the seed, so a chaos loop
+/// can hammer a server with a reproducible mixed schedule.
+///
+/// [`next_fault`]: FaultSchedule::next_fault
+pub struct FaultSchedule {
+    rng: StdRng,
+}
+
+impl FaultSchedule {
+    /// Schedule seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next fault. `frame_len` should approximate the bytes the
+    /// connection is about to send, so cut points land mid-frame.
+    pub fn next_fault(&mut self, frame_len: usize) -> Fault {
+        let cap = frame_len.max(2);
+        match self.rng.gen_range(0u32..5) {
+            0 => Fault::None,
+            1 => Fault::TruncateAfter {
+                n: self.rng.gen_range(1..cap),
+            },
+            2 => Fault::DropAfter {
+                n: self.rng.gen_range(1..cap),
+            },
+            3 => Fault::StallAt {
+                offset: self.rng.gen_range(1..cap),
+                pause: Duration::from_millis(self.rng.gen_range(1u64..40)),
+            },
+            _ => Fault::CorruptBits {
+                per_mille: self.rng.gen_range(20u32..200),
+            },
+        }
+    }
+
+    /// Fresh per-connection corruption seed.
+    pub fn next_seed(&mut self) -> u64 {
+        self.rng.gen_range(0u64..u64::MAX)
+    }
+}

@@ -26,7 +26,17 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Protocol revision carried in [`Response::Pong`].
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history:
+/// * **1** — initial serving protocol (PR 6): bare `Request`/`Response`
+///   payloads, one frame per message.
+/// * **2** — fault-tolerance revision (PR 7): frames carry
+///   [`RequestEnvelope`]/[`ResponseEnvelope`] (a `request_id` echoed in
+///   every reply plus an optional `deadline_ms` budget),
+///   [`Response::Error`] gains a `retry_after_ms` hint,
+///   [`ErrorCode::DeadlineExceeded`], [`ServedVia::Stale`], and the
+///   [`Request::Health`]/[`Response::Health`] probe.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on a frame payload (length prefix), checked before any
 /// allocation. Large enough for a multi-million-edge graph registration,
@@ -489,6 +499,9 @@ pub enum Request {
     Stats,
     /// Asks the server to exit after flushing responses.
     Shutdown,
+    /// Lightweight liveness probe answered inline (never queued behind
+    /// solves): queue depth, cache size, uptime.
+    Health,
 }
 
 impl Request {
@@ -541,6 +554,7 @@ impl Request {
             }
             Request::Stats => w.u8(5),
             Request::Shutdown => w.u8(6),
+            Request::Health => w.u8(7),
         }
         w.into_bytes()
     }
@@ -548,31 +562,38 @@ impl Request {
     /// Deserializes a frame payload (must consume every byte).
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(bytes);
+        let req = Self::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(req)
+    }
+
+    fn decode_body(r: &mut WireReader) -> Result<Self, WireError> {
         let req = match r.u8()? {
             0 => Request::Ping,
             1 => Request::RegisterGraph {
                 graph_id: r.u64()?,
                 n_nodes: r.u64()?,
                 symmetric: r.bool()?,
-                edges: decode_edges(&mut r)?,
+                edges: decode_edges(r)?,
             },
             2 => Request::SolveLinBp {
                 graph_id: r.u64()?,
-                params: LinBpParams::decode(&mut r)?,
-                seeds: decode_seeds(&mut r)?,
+                params: LinBpParams::decode(r)?,
+                seeds: decode_seeds(r)?,
             },
             3 => Request::SolveRwr {
                 graph_id: r.u64()?,
-                params: RwrParams::decode(&mut r)?,
-                seeds: decode_seeds(&mut r)?,
+                params: RwrParams::decode(r)?,
+                seeds: decode_seeds(r)?,
             },
             4 => Request::EdgeDelta {
                 graph_id: r.u64()?,
                 symmetric: r.bool()?,
-                deltas: decode_edges(&mut r)?,
+                deltas: decode_edges(r)?,
             },
             5 => Request::Stats,
             6 => Request::Shutdown,
+            7 => Request::Health,
             t => {
                 return Err(WireError::UnknownTag {
                     kind: "Request",
@@ -580,8 +601,22 @@ impl Request {
                 })
             }
         };
-        r.finish()?;
         Ok(req)
+    }
+
+    /// `true` for requests that are safe to retry after an ambiguous
+    /// failure: they either do not mutate server state (`Ping`, `Health`,
+    /// `Stats`) or are derived deterministically from registered state
+    /// (solves). Registration, deltas, and shutdown are **not** idempotent.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Health
+                | Request::Stats
+                | Request::SolveLinBp { .. }
+                | Request::SolveRwr { .. }
+        )
     }
 }
 
@@ -604,6 +639,14 @@ pub enum ServedVia {
     Cache,
     /// Returned from the belief cache after an edge-delta patch.
     CachePatched,
+    /// Graceful degradation: served from a cache entry computed against
+    /// an **older graph version** because the server was overloaded.
+    /// The beliefs are still bitwise equal to a library solve — of the
+    /// stale version, not the current one.
+    Stale {
+        /// Graph version the cached answer was computed against.
+        version: u64,
+    },
 }
 
 impl ServedVia {
@@ -616,6 +659,10 @@ impl ServedVia {
             }
             ServedVia::Cache => w.u8(2),
             ServedVia::CachePatched => w.u8(3),
+            ServedVia::Stale { version } => {
+                w.u8(4);
+                w.u64(version);
+            }
         }
     }
 
@@ -625,6 +672,7 @@ impl ServedVia {
             1 => Ok(ServedVia::Coalesced { batch: r.u32()? }),
             2 => Ok(ServedVia::Cache),
             3 => Ok(ServedVia::CachePatched),
+            4 => Ok(ServedVia::Stale { version: r.u64()? }),
             t => Err(WireError::UnknownTag {
                 kind: "ServedVia",
                 tag: t as u16,
@@ -647,6 +695,9 @@ pub enum ErrorCode {
     Overloaded,
     /// Unexpected server-side failure.
     Internal,
+    /// The request's `deadline_ms` budget expired before (or while) the
+    /// query was waiting for a solve slot. Retryable with a fresh budget.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -657,6 +708,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 2,
             ErrorCode::Overloaded => 3,
             ErrorCode::Internal => 4,
+            ErrorCode::DeadlineExceeded => 5,
         });
     }
 
@@ -667,6 +719,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::BadRequest),
             3 => Ok(ErrorCode::Overloaded),
             4 => Ok(ErrorCode::Internal),
+            5 => Ok(ErrorCode::DeadlineExceeded),
             t => Err(WireError::UnknownTag {
                 kind: "ErrorCode",
                 tag: t,
@@ -723,6 +776,23 @@ pub struct ServerStats {
     pub patched_entries: u64,
     /// Cache entries invalidated by edge deltas (RWR scores).
     pub invalidated_entries: u64,
+    /// Queries rejected because the admission queue was full.
+    pub rejected_overloaded: u64,
+    /// Queries answered `DeadlineExceeded` (expired at admission or while
+    /// parked in a coalescing group).
+    pub rejected_deadline: u64,
+    /// Requests rejected by validation (`BadRequest`, `UnknownGraph`,
+    /// `GraphAlreadyRegistered`).
+    pub rejected_invalid: u64,
+    /// Solver panics caught by the isolation boundary (each answered its
+    /// batch with `Internal` and left the event loop running).
+    pub panics_caught: u64,
+    /// Queries served stale from an older graph version under the
+    /// `StaleCache` degradation policy.
+    pub degraded_stale: u64,
+    /// Queries admitted with a clamped `max_iter` under the `ClampIter`
+    /// degradation policy.
+    pub degraded_clamped: u64,
 }
 
 impl ServerStats {
@@ -739,6 +809,12 @@ impl ServerStats {
             self.spmm_passes_sequential_equiv,
             self.patched_entries,
             self.invalidated_entries,
+            self.rejected_overloaded,
+            self.rejected_deadline,
+            self.rejected_invalid,
+            self.panics_caught,
+            self.degraded_stale,
+            self.degraded_clamped,
         ] {
             w.u64(v);
         }
@@ -757,6 +833,48 @@ impl ServerStats {
             spmm_passes_sequential_equiv: r.u64()?,
             patched_entries: r.u64()?,
             invalidated_entries: r.u64()?,
+            rejected_overloaded: r.u64()?,
+            rejected_deadline: r.u64()?,
+            rejected_invalid: r.u64()?,
+            panics_caught: r.u64()?,
+            degraded_stale: r.u64()?,
+            degraded_clamped: r.u64()?,
+        })
+    }
+}
+
+/// Reply payload of [`Request::Health`] — cheap liveness data a load
+/// balancer or retry loop can poll without queueing behind solves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// The server's [`PROTOCOL_VERSION`].
+    pub protocol_version: u16,
+    /// Registered graphs.
+    pub graphs: u64,
+    /// Queries currently parked in coalescing groups.
+    pub queue_depth: u64,
+    /// Live belief-cache entries.
+    pub cached_entries: u64,
+    /// Milliseconds since the core started.
+    pub uptime_ms: u64,
+}
+
+impl HealthInfo {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.protocol_version);
+        w.u64(self.graphs);
+        w.u64(self.queue_depth);
+        w.u64(self.cached_entries);
+        w.u64(self.uptime_ms);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(Self {
+            protocol_version: r.u16()?,
+            graphs: r.u64()?,
+            queue_depth: r.u64()?,
+            cached_entries: r.u64()?,
+            uptime_ms: r.u64()?,
         })
     }
 }
@@ -799,11 +917,16 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// For `Overloaded`/`DeadlineExceeded`: how long the client
+        /// should wait before retrying. `None` = no hint.
+        retry_after_ms: Option<u64>,
     },
     /// Reply to [`Request::Stats`].
     Stats(ServerStats),
     /// Reply to [`Request::Shutdown`]; the connection closes after this.
     ShuttingDown,
+    /// Reply to [`Request::Health`].
+    Health(HealthInfo),
 }
 
 impl Response {
@@ -850,16 +973,31 @@ impl Response {
                 w.u64(*patched);
                 w.u64(*invalidated);
             }
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => {
                 w.u8(4);
                 code.encode(&mut w);
                 w.string(message);
+                match retry_after_ms {
+                    Some(ms) => {
+                        w.bool(true);
+                        w.u64(*ms);
+                    }
+                    None => w.bool(false),
+                }
             }
             Response::Stats(s) => {
                 w.u8(5);
                 s.encode(&mut w);
             }
             Response::ShuttingDown => w.u8(6),
+            Response::Health(h) => {
+                w.u8(7);
+                h.encode(&mut w);
+            }
         }
         w.into_bytes()
     }
@@ -867,6 +1005,12 @@ impl Response {
     /// Deserializes a frame payload (must consume every byte).
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(bytes);
+        let resp = Self::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(resp)
+    }
+
+    fn decode_body(r: &mut WireReader) -> Result<Self, WireError> {
         let resp = match r.u8()? {
             0 => Response::Pong {
                 protocol_version: r.u16()?,
@@ -885,7 +1029,7 @@ impl Response {
                 diverged: r.bool()?,
                 iterations: r.u64()?,
                 final_delta: r.f64()?,
-                served: ServedVia::decode(&mut r)?,
+                served: ServedVia::decode(r)?,
             }),
             3 => Response::DeltaApplied {
                 graph_id: r.u64()?,
@@ -894,11 +1038,13 @@ impl Response {
                 invalidated: r.u64()?,
             },
             4 => Response::Error {
-                code: ErrorCode::decode(&mut r)?,
+                code: ErrorCode::decode(r)?,
                 message: r.string()?,
+                retry_after_ms: if r.bool()? { Some(r.u64()?) } else { None },
             },
-            5 => Response::Stats(ServerStats::decode(&mut r)?),
+            5 => Response::Stats(ServerStats::decode(r)?),
             6 => Response::ShuttingDown,
+            7 => Response::Health(HealthInfo::decode(r)?),
             t => {
                 return Err(WireError::UnknownTag {
                     kind: "Response",
@@ -906,8 +1052,121 @@ impl Response {
                 })
             }
         };
-        r.finish()?;
         Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Envelopes (protocol v2)
+// ---------------------------------------------------------------------------
+
+/// A v2 request frame: client-chosen correlation id, optional deadline
+/// budget, and the request body. The server echoes `request_id` in the
+/// matching [`ResponseEnvelope`], so pipelined clients can match answers
+/// to questions and retry loops can discard late replies from a previous
+/// attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Optional time budget in milliseconds, measured by the server from
+    /// the moment the frame is decoded. A query whose budget expires
+    /// before its solve starts is answered [`ErrorCode::DeadlineExceeded`]
+    /// without burning a solve slot.
+    pub deadline_ms: Option<u64>,
+    /// The request body.
+    pub request: Request,
+}
+
+impl RequestEnvelope {
+    /// Wraps a request with no deadline.
+    pub fn new(request_id: u64, request: Request) -> Self {
+        Self {
+            request_id,
+            deadline_ms: None,
+            request,
+        }
+    }
+
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.request_id);
+        match self.deadline_ms {
+            Some(ms) => {
+                w.bool(true);
+                w.u64(ms);
+            }
+            None => w.bool(false),
+        }
+        w.buf.extend_from_slice(&self.request.encode());
+        w.into_bytes()
+    }
+
+    /// Deserializes a frame payload (must consume every byte).
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let request_id = r.u64()?;
+        let deadline_ms = if r.bool()? { Some(r.u64()?) } else { None };
+        let request = Request::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(Self {
+            request_id,
+            deadline_ms,
+            request,
+        })
+    }
+}
+
+/// A v2 response frame: the echoed `request_id` plus the response body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseEnvelope {
+    /// The id from the request this answers (0 when the request was too
+    /// mangled to recover one).
+    pub request_id: u64,
+    /// The response body.
+    pub response: Response,
+}
+
+impl ResponseEnvelope {
+    /// Wraps a response.
+    pub fn new(request_id: u64, response: Response) -> Self {
+        Self {
+            request_id,
+            response,
+        }
+    }
+
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.request_id);
+        w.buf.extend_from_slice(&self.response.encode());
+        w.into_bytes()
+    }
+
+    /// Deserializes a frame payload (must consume every byte).
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let request_id = r.u64()?;
+        let response = Response::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(Self {
+            request_id,
+            response,
+        })
+    }
+}
+
+/// Best-effort salvage of the correlation id from a frame that failed
+/// [`RequestEnvelope::decode`]: the id is the first 8 bytes, so it is
+/// recoverable even when the body is garbage. Returns 0 when even the id
+/// was truncated.
+pub fn salvage_request_id(bytes: &[u8]) -> u64 {
+    if bytes.len() >= 8 {
+        u64::from_le_bytes(bytes[..8].try_into().unwrap())
+    } else {
+        0
     }
 }
 
@@ -969,6 +1228,26 @@ pub fn extract_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, WireError> {
     buf.drain(..4 + len);
     Ok(Some(payload))
 }
+
+/// Cheap mid-read guard: once at least 4 bytes of a frame header have
+/// accumulated, returns `Some(claimed_len)` if the length prefix exceeds
+/// [`MAX_FRAME_LEN`]. Lets a read loop reject an oversized claim **while
+/// bytes are still dribbling in**, instead of buffering until the socket
+/// drains. `None` = header incomplete or length acceptable.
+pub fn oversized_claim(buf: &[u8]) -> Option<u64> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as u64;
+    if len as usize > MAX_FRAME_LEN {
+        Some(len)
+    } else {
+        None
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 
 #[cfg(test)]
 mod tests {

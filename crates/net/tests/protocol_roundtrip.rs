@@ -8,9 +8,10 @@
 //! a selector integer mapped over a tuple of all the field strategies.
 
 use lsbp_net::{
-    extract_frame, read_frame, write_frame, BeliefsPayload, ErrorCode, LinBpParams, Request,
-    Response, RwrParams, ServedVia, ServerStats, WireEdge, WireError, WireNorm, WireSeed,
-    MAX_FRAME_LEN, PROTOCOL_VERSION,
+    extract_frame, oversized_claim, read_frame, salvage_request_id, write_frame, BeliefsPayload,
+    ErrorCode, HealthInfo, LinBpParams, Request, RequestEnvelope, Response, ResponseEnvelope,
+    RwrParams, ServedVia, ServerStats, WireEdge, WireError, WireNorm, WireSeed, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -96,10 +97,10 @@ fn arb_rwr_params() -> impl proptest::Strategy<Value = RwrParams> {
     )
 }
 
-/// All seven request variants, chosen by a selector integer.
+/// All eight request variants, chosen by a selector integer.
 fn arb_request() -> impl proptest::Strategy<Value = Request> {
     (
-        0u8..7,
+        0u8..8,
         (0u64..1_000_000, 0u64..10_000, arb_bool()),
         arb_edges(12),
         (arb_linbp_params(), arb_rwr_params()),
@@ -130,49 +131,78 @@ fn arb_request() -> impl proptest::Strategy<Value = Request> {
                     deltas: edges,
                 },
                 5 => Request::Stats,
-                _ => Request::Shutdown,
+                6 => Request::Shutdown,
+                _ => Request::Health,
             },
         )
 }
 
 fn arb_served() -> impl proptest::Strategy<Value = ServedVia> {
-    (0u8..4, 1u32..64).prop_map(|(tag, batch)| match tag {
+    (0u8..5, 1u32..64, 1u64..1000).prop_map(|(tag, batch, version)| match tag {
         0 => ServedVia::Solo,
         1 => ServedVia::Coalesced { batch },
         2 => ServedVia::Cache,
-        _ => ServedVia::CachePatched,
+        3 => ServedVia::CachePatched,
+        _ => ServedVia::Stale { version },
     })
 }
 
 fn arb_error_code() -> impl proptest::Strategy<Value = ErrorCode> {
-    (0u8..5).prop_map(|t| match t {
+    (0u8..6).prop_map(|t| match t {
         0 => ErrorCode::UnknownGraph,
         1 => ErrorCode::GraphAlreadyRegistered,
         2 => ErrorCode::BadRequest,
         3 => ErrorCode::Overloaded,
-        _ => ErrorCode::Internal,
+        4 => ErrorCode::Internal,
+        _ => ErrorCode::DeadlineExceeded,
     })
+}
+
+fn arb_retry_after() -> impl proptest::Strategy<Value = Option<u64>> {
+    (0u8..2, 0u64..60_000).prop_map(|(some, ms)| if some == 1 { Some(ms) } else { None })
 }
 
 fn arb_stats() -> impl proptest::Strategy<Value = ServerStats> {
     (
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
-        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        0u64..1 << 40,
     )
-        .prop_map(|((a, b, c, d), (e, f, g, h), (i, j, k))| ServerStats {
-            graphs: a,
-            cached_entries: b,
-            queries_served: c,
-            cache_hits: d,
-            coalesced_batches: e,
-            coalesced_queries: f,
-            largest_batch: g,
-            spmm_passes: h,
-            spmm_passes_sequential_equiv: i,
-            patched_entries: j,
-            invalidated_entries: k,
-        })
+        .prop_map(
+            |((a, b, c, d), (e, f, g, h), (i, j, k, l), (m, n, o, p), q)| ServerStats {
+                graphs: a,
+                cached_entries: b,
+                queries_served: c,
+                cache_hits: d,
+                coalesced_batches: e,
+                coalesced_queries: f,
+                largest_batch: g,
+                spmm_passes: h,
+                spmm_passes_sequential_equiv: i,
+                patched_entries: j,
+                invalidated_entries: k,
+                rejected_overloaded: l,
+                rejected_deadline: m,
+                rejected_invalid: n,
+                panics_caught: o,
+                degraded_stale: p,
+                degraded_clamped: q,
+            },
+        )
+}
+
+fn arb_health() -> impl proptest::Strategy<Value = HealthInfo> {
+    (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 40).prop_map(
+        |(uptime_ms, graphs, queue_depth, cached_entries)| HealthInfo {
+            protocol_version: PROTOCOL_VERSION,
+            graphs,
+            queue_depth,
+            cached_entries,
+            uptime_ms,
+        },
+    )
 }
 
 fn arb_message() -> impl proptest::Strategy<Value = String> {
@@ -204,17 +234,23 @@ fn arb_beliefs_payload() -> impl proptest::Strategy<Value = BeliefsPayload> {
         )
 }
 
-/// All seven response variants, chosen by a selector integer.
+/// All eight response variants, chosen by a selector integer.
 fn arb_response() -> impl proptest::Strategy<Value = Response> {
     (
-        0u8..7,
+        0u8..8,
         (0u64..1_000_000, 1u64..100, 0u64..10_000, 0u64..1 << 32),
         arb_beliefs_payload(),
-        (arb_error_code(), arb_message()),
-        arb_stats(),
+        (arb_error_code(), arb_message(), arb_retry_after()),
+        (arb_stats(), arb_health()),
     )
         .prop_map(
-            |(tag, (graph_id, version, n_nodes, nnz), payload, (code, message), stats)| match tag {
+            |(
+                tag,
+                (graph_id, version, n_nodes, nnz),
+                payload,
+                (code, message, retry_after_ms),
+                (stats, health),
+            )| match tag {
                 0 => Response::Pong {
                     protocol_version: PROTOCOL_VERSION,
                 },
@@ -231,11 +267,26 @@ fn arb_response() -> impl proptest::Strategy<Value = Response> {
                     patched: n_nodes,
                     invalidated: nnz,
                 },
-                4 => Response::Error { code, message },
+                4 => Response::Error {
+                    code,
+                    message,
+                    retry_after_ms,
+                },
                 5 => Response::Stats(stats),
-                _ => Response::ShuttingDown,
+                6 => Response::ShuttingDown,
+                _ => Response::Health(health),
             },
         )
+}
+
+fn arb_request_envelope() -> impl proptest::Strategy<Value = RequestEnvelope> {
+    (arb_request(), 0u64..u64::MAX, arb_retry_after()).prop_map(
+        |(request, request_id, deadline_ms)| RequestEnvelope {
+            request_id,
+            deadline_ms,
+            request,
+        },
+    )
 }
 
 /// Bitwise equality for f64 vectors (`PartialEq` treats NaN ≠ NaN and
@@ -374,6 +425,43 @@ proptest! {
     fn fuzz_decode_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+        let _ = RequestEnvelope::decode(&bytes);
+        let _ = ResponseEnvelope::decode(&bytes);
+    }
+
+    /// A v2 request envelope round-trips bit-exactly with canonical bytes,
+    /// and the correlation id is salvageable from the raw payload even
+    /// without a full decode.
+    #[test]
+    fn request_envelope_roundtrip(env in arb_request_envelope()) {
+        let bytes = env.encode();
+        let back = RequestEnvelope::decode(&bytes).expect("decode own encoding");
+        prop_assert_eq!(back.request_id, env.request_id);
+        prop_assert_eq!(back.deadline_ms, env.deadline_ms);
+        prop_assert!(request_bits_eq(&env.request, &back.request));
+        prop_assert_eq!(back.encode(), bytes.clone());
+        prop_assert_eq!(salvage_request_id(&bytes), env.request_id);
+    }
+
+    /// A v2 response envelope round-trips with canonical bytes and echoes
+    /// its id.
+    #[test]
+    fn response_envelope_roundtrip(resp in arb_response(), id in 0u64..u64::MAX) {
+        let env = ResponseEnvelope::new(id, resp);
+        let bytes = env.encode();
+        let back = ResponseEnvelope::decode(&bytes).expect("decode own encoding");
+        prop_assert_eq!(back.request_id, id);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Any strict prefix of an encoded request envelope fails to decode.
+    #[test]
+    fn truncated_envelope_never_panics(env in arb_request_envelope(), cut in 0usize..64) {
+        let bytes = env.encode();
+        if bytes.len() > 1 {
+            let cut = 1 + cut % (bytes.len() - 1);
+            prop_assert!(RequestEnvelope::decode(&bytes[..bytes.len() - cut]).is_err());
+        }
     }
 }
 
@@ -434,4 +522,33 @@ fn unknown_tags_are_typed_errors() {
 fn empty_payload_is_truncated() {
     assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
     assert_eq!(Response::decode(&[]), Err(WireError::Truncated));
+    assert!(RequestEnvelope::decode(&[]).is_err());
+    assert!(ResponseEnvelope::decode(&[]).is_err());
+}
+
+#[test]
+fn oversized_claim_detects_hostile_header_before_body() {
+    // A dribbling client: the check must stay quiet on a partial header
+    // (the top length byte arrives last in LE), then fire the moment the
+    // 4th byte lands — long before any body bytes.
+    let hostile = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+    for keep in 0..4 {
+        assert_eq!(oversized_claim(&hostile[..keep]), None);
+    }
+    assert_eq!(oversized_claim(&hostile), Some((MAX_FRAME_LEN + 1) as u64));
+
+    // An acceptable length never trips the guard, with or without body.
+    let fine = (64u32).to_le_bytes();
+    assert_eq!(oversized_claim(&fine), None);
+    let mut with_body = fine.to_vec();
+    with_body.extend_from_slice(&[0u8; 32]);
+    assert_eq!(oversized_claim(&with_body), None);
+}
+
+#[test]
+fn salvage_request_id_handles_short_payloads() {
+    assert_eq!(salvage_request_id(&[]), 0);
+    assert_eq!(salvage_request_id(&[1, 2, 3]), 0);
+    let env = RequestEnvelope::new(0xDEAD_BEEF_CAFE_F00D, Request::Ping);
+    assert_eq!(salvage_request_id(&env.encode()), 0xDEAD_BEEF_CAFE_F00D);
 }

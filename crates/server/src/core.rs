@@ -41,11 +41,12 @@ use lsbp::prelude::*;
 use lsbp::{edge_delta::linbp_edge_delta_seed, linbp::LinBpError, rwr::RwrError};
 use lsbp_linalg::Mat;
 use lsbp_net::{
-    BeliefsPayload, ErrorCode, LinBpParams, Request, Response, RwrParams, ServedVia, ServerStats,
-    WireNorm, WireSeed, WireWriter,
+    BeliefsPayload, ErrorCode, HealthInfo, LinBpParams, Request, Response, RwrParams, ServedVia,
+    ServerStats, WireNorm, WireSeed, WireWriter,
 };
 use lsbp_sparse::{CooMatrix, CsrMatrix};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
@@ -61,6 +62,27 @@ pub const MAX_CLASSES: u32 = 1024;
 
 /// Upper bound on solve iterations a client may request.
 pub const MAX_ITER_CAP: u64 = 1_000_000;
+
+/// What the server does with a solve it would otherwise reject
+/// `Overloaded` — the graceful-degradation policy. Off by default: the
+/// strict bitwise-determinism contract holds unless an operator opts in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Reject with `Overloaded` (plus a `retry_after_ms` hint).
+    #[default]
+    Off,
+    /// Serve the query from a cache entry computed against an **older
+    /// graph version** when one matches (same params + seeds), marked
+    /// [`ServedVia::Stale`]. Under this policy, edge deltas *retain*
+    /// unpatchable cache entries at their old version instead of
+    /// dropping them, so stale answers stay available under load.
+    StaleCache,
+    /// Once the admission backlog crosses half of `max_pending`, admit
+    /// further solves with `max_iter` clamped to this value — cheaper,
+    /// still bitwise equal to a library solve *with the clamped budget*.
+    /// A completely full queue still rejects `Overloaded`.
+    ClampIter(usize),
+}
 
 /// Serving knobs.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +101,25 @@ pub struct ServerConfig {
     /// Execution config for solves (threads follow `LSBP_THREADS`; the
     /// shard knob picks the operator layout **once at registration**).
     pub parallelism: ParallelismConfig,
+    /// Drop a connection with no in-flight work and no traffic for this
+    /// long (also reaps peers parked mid-frame forever).
+    pub idle_timeout: Duration,
+    /// Drop a connection whose pending response bytes make no write
+    /// progress for this long (a reader that stopped reading).
+    pub write_stall_timeout: Duration,
+    /// Upper bound on buffered response bytes per connection; a pipelining
+    /// client that stops reading past this is dropped, not buffered.
+    pub max_write_buf: usize,
+    /// The `retry_after_ms` hint attached to `Overloaded` and
+    /// `DeadlineExceeded` rejections.
+    pub retry_after_hint: Duration,
+    /// What to do under sustained overload. Default [`DegradationPolicy::Off`].
+    pub degradation: DegradationPolicy,
+    /// Fault-injection hook for the panic-isolation boundary: a batched
+    /// solve against this graph id panics deliberately. Test-only in
+    /// spirit, but kept an ordinary config knob so chaos tests exercise
+    /// exactly the production `catch_unwind` path.
+    pub panic_on_graph: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +130,12 @@ impl Default for ServerConfig {
             max_pending: 1024,
             cache_capacity: 4096,
             parallelism: ParallelismConfig::from_env(),
+            idle_timeout: Duration::from_secs(60),
+            write_stall_timeout: Duration::from_secs(10),
+            max_write_buf: 64 * 1024 * 1024,
+            retry_after_hint: Duration::from_millis(25),
+            degradation: DegradationPolicy::Off,
+            panic_on_graph: None,
         }
     }
 }
@@ -142,6 +189,9 @@ struct SolveJob {
     seeds: ExplicitBeliefs,
     cache_key: CacheKey,
     responder: Responder,
+    /// Absolute budget; a job still parked past this is answered
+    /// `DeadlineExceeded` at drain time without burning a solve slot.
+    deadline: Option<Instant>,
 }
 
 /// Cache/admission key: (graph id, graph version, method+params bytes ++
@@ -244,6 +294,12 @@ struct Counters {
     spmm_passes_sequential_equiv: u64,
     patched_entries: u64,
     invalidated_entries: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
+    rejected_invalid: u64,
+    panics_caught: u64,
+    degraded_stale: u64,
+    degraded_clamped: u64,
 }
 
 struct Shared {
@@ -254,6 +310,7 @@ struct Shared {
     wakeup: Condvar,
     counters: Mutex<Counters>,
     stopping: AtomicBool,
+    started: Instant,
 }
 
 /// The serving engine. See the module docs for the data flow.
@@ -273,6 +330,7 @@ impl ServerCore {
             wakeup: Condvar::new(),
             counters: Mutex::new(Counters::default()),
             stopping: AtomicBool::new(false),
+            started: Instant::now(),
         });
         let solver_shared = Arc::clone(&shared);
         let solver = thread::Builder::new()
@@ -285,15 +343,43 @@ impl ServerCore {
         }
     }
 
-    /// Handles one request; the response is delivered through `responder`
-    /// (inline for registry/cache/metadata operations, from the solver
-    /// thread for solves that miss the cache).
+    /// Handles one request with no deadline; the response is delivered
+    /// through `responder` (inline for registry/cache/metadata operations,
+    /// from the solver thread for solves that miss the cache).
     pub fn submit(&self, request: Request, responder: Responder) {
+        self.submit_at(request, None, responder);
+    }
+
+    /// [`ServerCore::submit`] with an absolute deadline. Solves whose
+    /// budget has already expired (or expires while parked in a
+    /// coalescing group) are answered [`ErrorCode::DeadlineExceeded`]
+    /// without consuming a solve slot; metadata requests ignore the
+    /// deadline (they answer inline anyway).
+    ///
+    /// Every rejection delivered through the responder — wherever it is
+    /// produced — bumps the matching typed counter in [`ServerStats`].
+    pub fn submit_at(&self, request: Request, deadline: Option<Instant>, responder: Responder) {
+        let counters = Arc::clone(&self.shared);
+        let responder: Responder = Box::new(move |resp: Response| {
+            if let Response::Error { code, .. } = &resp {
+                let mut c = counters.counters.lock().unwrap();
+                match code {
+                    ErrorCode::Overloaded => c.rejected_overloaded += 1,
+                    ErrorCode::DeadlineExceeded => c.rejected_deadline += 1,
+                    ErrorCode::BadRequest
+                    | ErrorCode::UnknownGraph
+                    | ErrorCode::GraphAlreadyRegistered => c.rejected_invalid += 1,
+                    ErrorCode::Internal => {}
+                }
+            }
+            responder(resp)
+        });
         match request {
             Request::Ping => responder(Response::Pong {
                 protocol_version: lsbp_net::PROTOCOL_VERSION,
             }),
             Request::Stats => responder(Response::Stats(self.stats())),
+            Request::Health => responder(Response::Health(self.health())),
             Request::Shutdown => {
                 self.shared.stopping.store(true, Ordering::SeqCst);
                 self.shared.wakeup.notify_all();
@@ -314,13 +400,33 @@ impl ServerCore {
                 graph_id,
                 params,
                 seeds,
-            } => self.admit_linbp(graph_id, params, seeds, responder),
+            } => self.admit_linbp(graph_id, params, seeds, deadline, responder),
             Request::SolveRwr {
                 graph_id,
                 params,
                 seeds,
-            } => self.admit_rwr(graph_id, params, seeds, responder),
+            } => self.admit_rwr(graph_id, params, seeds, deadline, responder),
         }
+    }
+
+    /// Cheap liveness snapshot (answered inline, never queued).
+    pub fn health(&self) -> HealthInfo {
+        let queue_depth: u64 = {
+            let admission = self.shared.admission.lock().unwrap();
+            admission.groups.values().map(|g| g.jobs.len() as u64).sum()
+        };
+        HealthInfo {
+            protocol_version: lsbp_net::PROTOCOL_VERSION,
+            graphs: self.shared.registry.read().unwrap().len() as u64,
+            queue_depth,
+            cached_entries: self.shared.cache.lock().unwrap().entries.len() as u64,
+            uptime_ms: self.shared.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// The knobs this core was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
     }
 
     /// [`ServerCore::submit`] with an in-place wait — the convenience
@@ -358,6 +464,12 @@ impl ServerCore {
             spmm_passes_sequential_equiv: c.spmm_passes_sequential_equiv,
             patched_entries: c.patched_entries,
             invalidated_entries: c.invalidated_entries,
+            rejected_overloaded: c.rejected_overloaded,
+            rejected_deadline: c.rejected_deadline,
+            rejected_invalid: c.rejected_invalid,
+            panics_caught: c.panics_caught,
+            degraded_stale: c.degraded_stale,
+            degraded_clamped: c.degraded_clamped,
         }
     }
 
@@ -399,6 +511,7 @@ impl ServerCore {
             return Response::Error {
                 code: ErrorCode::GraphAlreadyRegistered,
                 message: format!("graph {graph_id} is already registered"),
+                retry_after_ms: None,
             };
         }
         registry.insert(graph_id, entry);
@@ -495,6 +608,13 @@ impl ServerCore {
         let mut patched = 0u64;
         let mut invalidated = 0u64;
 
+        // Under the StaleCache degradation policy, entries that cannot be
+        // patched forward are *retained* at their old version (still
+        // counted invalidated) — they are only reachable through the
+        // stale-serving overload path, never a normal cache hit.
+        let keep_stale = self.shared.config.degradation == DegradationPolicy::StaleCache;
+        let cap = self.shared.config.cache_capacity;
+
         // Group patchable entries by identical solve parameters so each
         // group refreshes in ONE batched update pass.
         let mut groups: HashMap<Vec<u8>, Vec<(CacheKey, CacheEntry)>> = HashMap::new();
@@ -502,7 +622,12 @@ impl ServerCore {
             let entry = cache.entries.remove(&key).unwrap();
             cache.order.retain(|k| *k != key);
             match &entry.patch {
-                PatchInfo::None => invalidated += 1,
+                PatchInfo::None => {
+                    invalidated += 1;
+                    if keep_stale {
+                        cache.insert(key, entry, cap);
+                    }
+                }
                 PatchInfo::LinBp { .. } => {
                     // The params live in the key tail (method + params
                     // bytes precede the seed bytes) — but grouping by the
@@ -542,6 +667,11 @@ impl ServerCore {
             }
             if !ok {
                 invalidated += group.len() as u64;
+                if keep_stale {
+                    for (key, entry) in group {
+                        cache.insert(key, entry, cap);
+                    }
+                }
                 continue;
             }
             let prev_refs: Vec<&BeliefMatrix> = prev.iter().collect();
@@ -556,12 +686,20 @@ impl ServerCore {
                 Ok(r) => r,
                 Err(_) => {
                     invalidated += group.len() as u64;
+                    if keep_stale {
+                        for (key, entry) in group {
+                            cache.insert(key, entry, cap);
+                        }
+                    }
                     continue;
                 }
             };
             for ((key, entry), run) in group.into_iter().zip(runs) {
                 if run.diverged {
                     invalidated += 1;
+                    if keep_stale {
+                        cache.insert(key, entry, cap);
+                    }
                     continue;
                 }
                 let new_key = CacheKey {
@@ -578,7 +716,6 @@ impl ServerCore {
                     ..entry
                 };
                 patched += 1;
-                let cap = self.shared.config.cache_capacity;
                 cache.insert(new_key, refreshed, cap);
             }
         }
@@ -596,13 +733,14 @@ impl ServerCore {
         graph_id: u64,
         params: LinBpParams,
         seeds: Vec<WireSeed>,
+        deadline: Option<Instant>,
         responder: Responder,
     ) {
         let graph = match self.lookup_graph(graph_id) {
             Some(g) => g,
             None => return responder(unknown_graph(graph_id)),
         };
-        let (h, opts) = match validate_linbp_params(&params) {
+        let (h, mut opts) = match validate_linbp_params(&params) {
             Ok(v) => v,
             Err(msg) => return responder(bad_request(msg)),
         };
@@ -610,6 +748,15 @@ impl ServerCore {
             Ok(e) => e,
             Err(msg) => return responder(bad_request(msg)),
         };
+        // ClampIter degradation: past the high-water mark, shrink the
+        // iteration budget. The clamped opts feed the params bytes below,
+        // so clamped queries coalesce and cache among themselves.
+        if let DegradationPolicy::ClampIter(cap) = self.shared.config.degradation {
+            if opts.max_iter > cap.max(1) && self.backlog() >= self.shared.config.max_pending / 2 {
+                opts.max_iter = cap.max(1);
+                self.shared.counters.lock().unwrap().degraded_clamped += 1;
+            }
+        }
         let kind = JobKind::LinBp {
             echo: params.echo,
             h,
@@ -623,8 +770,15 @@ impl ServerCore {
             explicit,
             params_bytes,
             &seeds,
+            deadline,
             responder,
         );
+    }
+
+    /// Total queries parked across all admission queues.
+    fn backlog(&self) -> usize {
+        let admission = self.shared.admission.lock().unwrap();
+        admission.groups.values().map(|g| g.jobs.len()).sum()
     }
 
     /// Validates an RWR solve, then serves it from cache or parks it.
@@ -633,6 +787,7 @@ impl ServerCore {
         graph_id: u64,
         params: RwrParams,
         seeds: Vec<WireSeed>,
+        deadline: Option<Instant>,
         responder: Responder,
     ) {
         let graph = match self.lookup_graph(graph_id) {
@@ -665,6 +820,7 @@ impl ServerCore {
             explicit,
             params_bytes,
             &seeds,
+            deadline,
             responder,
         );
     }
@@ -678,6 +834,7 @@ impl ServerCore {
         seeds: ExplicitBeliefs,
         params_bytes: Vec<u8>,
         wire_seeds: &[WireSeed],
+        deadline: Option<Instant>,
         responder: Responder,
     ) {
         let mut tail = params_bytes.clone();
@@ -687,6 +844,12 @@ impl ServerCore {
             version: graph.version,
             tail,
         };
+
+        // Deadline check at admission: a budget that is already gone
+        // gets its typed answer immediately.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return responder(deadline_exceeded(self.shared.config.retry_after_hint));
+        }
 
         // Cache first.
         {
@@ -718,6 +881,7 @@ impl ServerCore {
             seeds,
             cache_key,
             responder,
+            deadline,
         };
         let mut admission = self.shared.admission.lock().unwrap();
         let group = admission
@@ -729,14 +893,41 @@ impl ServerCore {
             });
         if group.jobs.len() >= self.shared.config.max_pending {
             drop(admission);
+            // StaleCache degradation: a matching answer for an older graph
+            // version beats a rejection.
+            if self.shared.config.degradation == DegradationPolicy::StaleCache {
+                if let Some(payload) = self.stale_lookup(&job.cache_key) {
+                    let mut c = self.shared.counters.lock().unwrap();
+                    c.queries_served += 1;
+                    c.degraded_stale += 1;
+                    drop(c);
+                    return (job.responder)(Response::Beliefs(payload));
+                }
+            }
+            let hint = self.shared.config.retry_after_hint;
             return (job.responder)(Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "admission queue full, retry later".into(),
+                retry_after_ms: Some(hint.as_millis() as u64),
             });
         }
         group.jobs.push(job);
         drop(admission);
         self.shared.wakeup.notify_all();
+    }
+
+    /// Newest cache entry answering the same query (params + seeds)
+    /// against any **older** version of the same graph.
+    fn stale_lookup(&self, key: &CacheKey) -> Option<BeliefsPayload> {
+        let cache = self.shared.cache.lock().unwrap();
+        cache
+            .entries
+            .iter()
+            .filter(|(k, _)| {
+                k.graph_id == key.graph_id && k.version < key.version && k.tail == key.tail
+            })
+            .max_by_key(|(k, _)| k.version)
+            .map(|(k, entry)| entry.payload(ServedVia::Stale { version: k.version }))
     }
 }
 
@@ -767,6 +958,7 @@ fn bad_request(message: String) -> Response {
     Response::Error {
         code: ErrorCode::BadRequest,
         message,
+        retry_after_ms: None,
     }
 }
 
@@ -774,6 +966,15 @@ fn unknown_graph(graph_id: u64) -> Response {
     Response::Error {
         code: ErrorCode::UnknownGraph,
         message: format!("no graph registered under id {graph_id}"),
+        retry_after_ms: None,
+    }
+}
+
+fn deadline_exceeded(hint: Duration) -> Response {
+    Response::Error {
+        code: ErrorCode::DeadlineExceeded,
+        message: "deadline expired before the solve could start".into(),
+        retry_after_ms: Some(hint.as_millis() as u64),
     }
 }
 
@@ -1001,52 +1202,95 @@ fn solver_loop(shared: &Shared) {
 
 /// Runs one drained admission queue as a single stacked solve and fans the
 /// per-query results back out to their responders and into the cache.
+///
+/// Two fault boundaries live here. **Deadlines:** jobs whose budget
+/// expired while parked are answered `DeadlineExceeded` up front and do
+/// not join the stacked solve (dropping an expired query never perturbs
+/// its batch-mates' answers — per-query convergence masks keep each
+/// result equal to its solo solve). **Panics:** the solve runs under
+/// [`catch_unwind`]; a panicking solve answers every query in its batch
+/// with `Internal` and leaves the solver thread, the registry, the cache,
+/// and all other parked groups untouched.
 fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
+    // Deadline check at drain time.
+    let now = Instant::now();
+    let (jobs, expired): (Vec<SolveJob>, Vec<SolveJob>) = jobs
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| now < d));
+    for job in expired {
+        (job.responder)(deadline_exceeded(shared.config.retry_after_hint));
+    }
     if jobs.is_empty() {
         return;
     }
     let q = jobs.len();
     let graph = Arc::clone(&jobs[0].graph);
-    let op = graph.operator();
     let queries: Vec<ExplicitBeliefs> = jobs.iter().map(|j| j.seeds.clone()).collect();
 
     // (beliefs, converged, diverged, iterations, final_delta) per query.
     type Solved = (Mat, bool, bool, u64, f64);
-    let solved: Result<Vec<Solved>, String> = match &jobs[0].kind {
-        JobKind::LinBp { echo, h, opts } => {
-            let run = if *echo {
-                linbp_batch_on(op, &queries, h, opts)
-            } else {
-                linbp_star_batch_on(op, &queries, h, opts)
-            };
-            run.map(|results| {
-                results
-                    .into_iter()
-                    .map(|r| {
-                        (
-                            r.beliefs.into_mat(),
-                            r.converged,
-                            r.diverged,
-                            r.iterations as u64,
-                            r.final_delta,
-                        )
-                    })
-                    .collect()
-            })
-            .map_err(|e: LinBpError| e.to_string())
+    let panic_on_graph = shared.config.panic_on_graph;
+    let batch_graph_id = jobs[0].cache_key.graph_id;
+    let kind = &jobs[0].kind;
+    let solved: Result<Result<Vec<Solved>, String>, _> = catch_unwind(AssertUnwindSafe(|| {
+        if panic_on_graph == Some(batch_graph_id) {
+            panic!("injected solver fault for graph {batch_graph_id}");
         }
-        JobKind::Rwr { opts } => rwr_batch_on(op, &queries, opts)
-            .map(|results| {
-                results
-                    .into_iter()
-                    .map(|r| {
-                        let iters = r.iterations as u64;
-                        let conv = r.converged;
-                        (r.beliefs.into_mat(), conv, false, iters, f64::NAN)
-                    })
-                    .collect()
-            })
-            .map_err(|e: RwrError| e.to_string()),
+        let op = graph.operator();
+        match kind {
+            JobKind::LinBp { echo, h, opts } => {
+                let run = if *echo {
+                    linbp_batch_on(op, &queries, h, opts)
+                } else {
+                    linbp_star_batch_on(op, &queries, h, opts)
+                };
+                run.map(|results| {
+                    results
+                        .into_iter()
+                        .map(|r| {
+                            (
+                                r.beliefs.into_mat(),
+                                r.converged,
+                                r.diverged,
+                                r.iterations as u64,
+                                r.final_delta,
+                            )
+                        })
+                        .collect()
+                })
+                .map_err(|e: LinBpError| e.to_string())
+            }
+            JobKind::Rwr { opts } => rwr_batch_on(op, &queries, opts)
+                .map(|results| {
+                    results
+                        .into_iter()
+                        .map(|r| {
+                            let iters = r.iterations as u64;
+                            let conv = r.converged;
+                            (r.beliefs.into_mat(), conv, false, iters, f64::NAN)
+                        })
+                        .collect()
+                })
+                .map_err(|e: RwrError| e.to_string()),
+        }
+    }));
+
+    let solved = match solved {
+        Ok(inner) => inner,
+        Err(_) => {
+            // The solve panicked. Answer every query in the batch with a
+            // typed Internal error; nothing else is poisoned — the next
+            // batch (this graph included) solves normally.
+            shared.counters.lock().unwrap().panics_caught += 1;
+            for job in jobs {
+                (job.responder)(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "solver panicked; query not answered".into(),
+                    retry_after_ms: None,
+                });
+            }
+            return;
+        }
     };
 
     let results = match solved {
@@ -1058,6 +1302,7 @@ fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
                 (job.responder)(Response::Error {
                     code: ErrorCode::BadRequest,
                     message: message.clone(),
+                    retry_after_ms: None,
                 });
             }
             return;

@@ -21,5 +21,7 @@
 pub mod core;
 pub mod tcp;
 
-pub use crate::core::{Responder, ServerConfig, ServerCore, MAX_CLASSES, MAX_ITER_CAP, MAX_NODES};
+pub use crate::core::{
+    DegradationPolicy, Responder, ServerConfig, ServerCore, MAX_CLASSES, MAX_ITER_CAP, MAX_NODES,
+};
 pub use crate::tcp::serve;

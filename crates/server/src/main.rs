@@ -4,12 +4,15 @@
 //! ```text
 //! lsbp-server [--addr HOST:PORT] [--coalesce-window-ms N] [--max-batch N]
 //!             [--max-pending N] [--cache-capacity N]
+//!             [--idle-timeout-ms N] [--write-stall-timeout-ms N]
+//!             [--max-write-buf BYTES] [--retry-after-hint-ms N]
+//!             [--degradation off|stale|clamp:N]
 //! ```
 //!
 //! Prints `listening on <addr>` (with the resolved port) to stdout once
 //! ready — scripts wait for that line.
 
-use lsbp_server::{serve, ServerConfig, ServerCore};
+use lsbp_server::{serve, DegradationPolicy, ServerConfig, ServerCore};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -17,7 +20,10 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: lsbp-server [--addr HOST:PORT] [--coalesce-window-ms N] \
-         [--max-batch N] [--max-pending N] [--cache-capacity N]"
+         [--max-batch N] [--max-pending N] [--cache-capacity N] \
+         [--idle-timeout-ms N] [--write-stall-timeout-ms N] \
+         [--max-write-buf BYTES] [--retry-after-hint-ms N] \
+         [--degradation off|stale|clamp:N]"
     );
     std::process::exit(2);
 }
@@ -44,6 +50,31 @@ fn main() -> ExitCode {
             "--max-pending" => config.max_pending = parse(&value("--max-pending")) as usize,
             "--cache-capacity" => {
                 config.cache_capacity = parse(&value("--cache-capacity")) as usize
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(parse(&value("--idle-timeout-ms")))
+            }
+            "--write-stall-timeout-ms" => {
+                config.write_stall_timeout =
+                    Duration::from_millis(parse(&value("--write-stall-timeout-ms")))
+            }
+            "--max-write-buf" => config.max_write_buf = parse(&value("--max-write-buf")) as usize,
+            "--retry-after-hint-ms" => {
+                config.retry_after_hint =
+                    Duration::from_millis(parse(&value("--retry-after-hint-ms")))
+            }
+            "--degradation" => {
+                config.degradation = match value("--degradation").as_str() {
+                    "off" => DegradationPolicy::Off,
+                    "stale" => DegradationPolicy::StaleCache,
+                    other => match other.strip_prefix("clamp:") {
+                        Some(n) => DegradationPolicy::ClampIter(parse(n) as usize),
+                        None => {
+                            eprintln!("--degradation expects off|stale|clamp:N, got {other:?}");
+                            usage();
+                        }
+                    },
+                }
             }
             "--help" | "-h" => usage(),
             other => {

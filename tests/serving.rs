@@ -7,19 +7,21 @@
 //! one the `lsbp` library produces for the same query.
 
 use lsbp::prelude::*;
-use lsbp_client::{Client, ClientError};
+use lsbp_client::{Client, ClientConfig, ClientError, RetryPolicy, RetryingClient};
 use lsbp_graph::Graph;
 use lsbp_linalg::Mat;
 use lsbp_net::{
-    ErrorCode, LinBpParams, Request, Response, ServedVia, WireEdge, WireNorm, WireSeed,
+    ErrorCode, LinBpParams, Request, RequestEnvelope, Response, ResponseEnvelope, RwrParams,
+    ServedVia, WireEdge, WireNorm, WireSeed, PROTOCOL_VERSION,
 };
-use lsbp_server::{serve, ServerConfig, ServerCore};
+use lsbp_server::{serve, DegradationPolicy, ServerConfig, ServerCore};
 use lsbp_sparse::CsrMatrix;
-use std::net::{SocketAddr, TcpListener};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::{Arc, Barrier};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const K: usize = 3;
 
@@ -443,18 +445,564 @@ fn invalid_requests_get_typed_errors() {
         ErrorCode::BadRequest,
         "delta out of bounds",
     );
-    // A malformed frame (bogus request tag) gets a typed error too — on a
-    // raw socket, below the typed client.
+    // A malformed frame (bogus request tag inside a valid envelope) gets
+    // a typed error too — on a raw socket, below the typed client. The
+    // error envelope must echo the salvaged correlation id.
     let mut raw = std::net::TcpStream::connect(addr).unwrap();
-    lsbp_net::write_frame(&mut raw, &[0xFF, 0xFF]).unwrap();
+    let mut bogus = 0xDEAD_BEEFu64.to_le_bytes().to_vec(); // request id
+    bogus.push(0); // no deadline
+    bogus.extend_from_slice(&[0xFF, 0xFF]); // unknown request tag
+    lsbp_net::write_frame(&mut raw, &bogus).unwrap();
     let payload = lsbp_net::read_frame(&mut raw)
         .unwrap()
         .expect("server must answer before closing");
-    match Response::decode(&payload).unwrap() {
+    let envelope = ResponseEnvelope::decode(&payload).unwrap();
+    assert_eq!(envelope.request_id, 0xDEAD_BEEF);
+    match envelope.response {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
         other => panic!("expected BadRequest for bogus tag, got {other:?}"),
     }
 
     client.shutdown().unwrap();
     handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: deadlines, panic isolation, slow writers, retries,
+// degradation. (The seeded fault-injection storm lives in tests/chaos.rs.)
+// ---------------------------------------------------------------------------
+
+/// A request whose deadline expires while parked in the admission queue
+/// is answered with `DeadlineExceeded` at drain time — without burning a
+/// solve slot and without touching its batch-mates.
+#[test]
+fn deadline_expired_while_parked_is_answered_typed() {
+    let core = ServerCore::new(ServerConfig {
+        // A window long enough that drain is triggered by batch-full, so
+        // the expiry happens strictly while parked.
+        coalesce_window: Duration::from_secs(10),
+        max_batch: 2,
+        ..ServerConfig::default()
+    });
+    assert!(matches!(
+        core.handle_blocking(Request::RegisterGraph {
+            graph_id: 1,
+            n_nodes: 10,
+            symmetric: true,
+            edges: wire_edges(),
+        }),
+        Response::Registered { .. }
+    ));
+
+    let h = coupling();
+    let (tx, rx) = mpsc::channel();
+    let tx1 = tx.clone();
+    core.submit_at(
+        Request::SolveLinBp {
+            graph_id: 1,
+            params: wire_params(&h),
+            seeds: wire_seeds(0, 1.0),
+        },
+        Some(Instant::now() + Duration::from_millis(50)),
+        Box::new(move |r| drop(tx1.send((0, r)))),
+    );
+    thread::sleep(Duration::from_millis(120)); // let the budget lapse
+    core.submit_at(
+        Request::SolveLinBp {
+            graph_id: 1,
+            params: wire_params(&h),
+            seeds: wire_seeds(1, 1.0),
+        },
+        None,
+        Box::new(move |r| drop(tx.send((1, r)))),
+    );
+
+    let mut responses = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let (q, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        responses.insert(q, r);
+    }
+    match &responses[&0] {
+        Response::Error {
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(*code, ErrorCode::DeadlineExceeded);
+            assert!(retry_after_ms.is_some(), "deadline errors carry a hint");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    match &responses[&1] {
+        Response::Beliefs(payload) => {
+            let reference =
+                linbp(&fixture_adjacency(), &lib_seeds(1, 1.0), &h, &lib_opts()).unwrap();
+            assert_bitwise(
+                "batch-mate of expired job",
+                &payload.beliefs,
+                reference.beliefs.residual().as_slice(),
+            );
+        }
+        other => panic!("expected Beliefs, got {other:?}"),
+    }
+    let stats = core.stats();
+    assert_eq!(stats.rejected_deadline, 1);
+}
+
+/// An already-expired deadline is rejected at admission, straight off the
+/// wire, and the connection remains usable.
+#[test]
+fn expired_deadline_is_rejected_at_admission() {
+    let (addr, core, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(1, 10, true, wire_edges()).unwrap();
+
+    let h = coupling();
+    client.set_deadline_ms(Some(0));
+    match client.solve_linbp(1, wire_params(&h), wire_seeds(0, 1.0)) {
+        Err(ClientError::Server {
+            code,
+            retry_after_ms,
+            ..
+        }) => {
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+            assert!(retry_after_ms.is_some());
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // Same connection, budget cleared: everything still works.
+    client.set_deadline_ms(None);
+    let payload = client
+        .solve_linbp(1, wire_params(&h), wire_seeds(0, 1.0))
+        .unwrap();
+    let reference = linbp(&fixture_adjacency(), &lib_seeds(0, 1.0), &h, &lib_opts()).unwrap();
+    assert_bitwise(
+        "post-deadline solve",
+        &payload.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+    assert_eq!(core.stats().rejected_deadline, 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A panic inside a solve answers that batch with `Internal` and leaves
+/// the server fully operational: same connection, other graphs, registry
+/// and cache all intact.
+#[test]
+fn panicking_solve_is_isolated_from_the_event_loop() {
+    let (addr, core, handle) = spawn_server(ServerConfig {
+        // Fault-injection hook: graph 13 panics inside the solver.
+        panic_on_graph: Some(13),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(13, 10, true, wire_edges()).unwrap();
+    client.register_graph(14, 10, true, wire_edges()).unwrap();
+
+    let h = coupling();
+    match client.solve_linbp(13, wire_params(&h), wire_seeds(0, 1.0)) {
+        Err(ClientError::Server { code, message, .. }) => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(message.contains("panic"), "message was: {message}");
+        }
+        other => panic!("expected Internal from panicking solve, got {other:?}"),
+    }
+
+    // The same connection survived the panic, and an unrelated graph
+    // solves bitwise-clean.
+    assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+    let payload = client
+        .solve_linbp(14, wire_params(&h), wire_seeds(2, 1.0))
+        .unwrap();
+    let reference = linbp(&fixture_adjacency(), &lib_seeds(2, 1.0), &h, &lib_opts()).unwrap();
+    assert_bitwise(
+        "solve after panic",
+        &payload.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+    let health = client.health().unwrap();
+    assert_eq!(health.graphs, 2, "registry intact after panic");
+    assert_eq!(core.stats().panics_caught, 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A peer that requests a pile of large responses and never reads them
+/// is evicted once its buffered response bytes exceed `max_write_buf` —
+/// while a well-behaved client on the same server is answered bitwise.
+#[test]
+fn slow_writer_is_evicted_without_harming_others() {
+    // Large enough that one belief payload (n·k·8 ≈ 2.4 MB) cannot hide
+    // in kernel socket buffers — the server's own write buffer must hold
+    // the bytes, which is what the bound evicts on.
+    let n: usize = 100_000;
+    let (addr, _core, handle) = spawn_server(ServerConfig {
+        // One belief payload for the big ring is ~2.4 MB, far past this.
+        max_write_buf: 64 * 1024,
+        write_stall_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+
+    let ring: Vec<WireEdge> = (0..n)
+        .map(|i| WireEdge {
+            src: i as u64,
+            dst: ((i + 1) % n) as u64,
+            weight: 1.0,
+        })
+        .collect();
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(42, n as u64, true, ring).unwrap();
+
+    let h = coupling();
+    let seeds = vec![
+        WireSeed {
+            node: 0,
+            residual: vec![2.0, -1.0, -1.0],
+        },
+        WireSeed {
+            node: (n / 2) as u64,
+            residual: vec![-1.0, 2.0, -1.0],
+        },
+    ];
+    let solve = Request::SolveLinBp {
+        graph_id: 42,
+        params: wire_params(&h),
+        seeds: seeds.clone(),
+    };
+
+    // The slow writer: pipeline eight large solves, read nothing.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    for rid in 1..=8u64 {
+        let payload = RequestEnvelope::new(rid, solve.clone()).encode();
+        slow.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        slow.write_all(&payload).unwrap();
+    }
+
+    // Meanwhile a well-behaved client gets its (identical) answer.
+    let payload = client.solve_linbp(42, wire_params(&h), seeds).unwrap();
+    let mut ring_graph = Graph::new(n);
+    for i in 0..n {
+        ring_graph.add_edge(i, (i + 1) % n, 1.0);
+    }
+    let mut explicit = ExplicitBeliefs::new(n, K);
+    explicit.set_residual(0, &[2.0, -1.0, -1.0]).unwrap();
+    explicit.set_residual(n / 2, &[-1.0, 2.0, -1.0]).unwrap();
+    let reference = linbp(&ring_graph.adjacency(), &explicit, &h, &lib_opts()).unwrap();
+    assert_bitwise(
+        "well-behaved client during slow-writer abuse",
+        &payload.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+
+    // The slow writer must be evicted (EOF or reset), not served forever
+    // from an unbounded buffer. Drain with a timeout so a regression
+    // fails fast instead of hanging.
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let start = Instant::now();
+    let mut sink = vec![0u8; 64 * 1024];
+    loop {
+        match slow.read(&mut sink) {
+            Ok(0) => break, // clean close
+            Ok(_) => {}     // residual buffered bytes
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                break
+            }
+            Err(e) => panic!("expected eviction, got {e}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "slow writer was never evicted"
+        );
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Under real overload (full admission group), a `RetryingClient`
+/// backs off per the server's hint and recovers the answer — bitwise.
+#[test]
+fn retrying_client_recovers_from_overload() {
+    let (addr, core, handle) = spawn_server(ServerConfig {
+        coalesce_window: Duration::from_millis(150),
+        max_pending: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).unwrap();
+    client.register_graph(5, 10, true, wire_edges()).unwrap();
+
+    let h = coupling();
+    // Occupier: parks one job, filling the group (max_pending = 1).
+    let occupier = {
+        let h = h.clone();
+        thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.solve_linbp(5, wire_params(&h), wire_seeds(3, 1.0))
+                .unwrap()
+        })
+    };
+    thread::sleep(Duration::from_millis(30)); // let the occupier park
+
+    let mut retrying = RetryingClient::new(
+        addr.to_string(),
+        ClientConfig::default(),
+        RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(30),
+            max_delay: Duration::from_millis(500),
+            seed: 7,
+        },
+    );
+    let payload = retrying
+        .solve_linbp(5, wire_params(&h), &wire_seeds(4, 1.0))
+        .expect("retry policy must recover the answer");
+    let reference = linbp(&fixture_adjacency(), &lib_seeds(4, 1.0), &h, &lib_opts()).unwrap();
+    assert_bitwise(
+        "retried solve",
+        &payload.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+    occupier.join().unwrap();
+    assert!(
+        core.stats().rejected_overloaded >= 1,
+        "the test must have exercised a real rejection"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// `Health` answers instantly with liveness numbers, and every rejection
+/// path increments its typed counter.
+#[test]
+fn health_ping_and_rejection_counters() {
+    let (addr, core, handle) = spawn_server(ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let health = client.health().unwrap();
+    assert_eq!(health.protocol_version, PROTOCOL_VERSION);
+    assert_eq!(health.graphs, 0);
+    assert_eq!(health.queue_depth, 0);
+
+    client.register_graph(1, 10, true, wire_edges()).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.graphs, 1);
+
+    let h = coupling();
+    // Two invalid requests: unknown graph, then malformed params.
+    let _ = client.solve_linbp(99, wire_params(&h), wire_seeds(0, 1.0));
+    let mut bad = wire_params(&h);
+    bad.k = 1;
+    bad.h_residual = vec![0.0];
+    let _ = client.solve_linbp(1, bad, vec![]);
+    let stats = core.stats();
+    assert_eq!(stats.rejected_invalid, 2);
+    assert_eq!(stats.rejected_overloaded, 0);
+    assert_eq!(stats.rejected_deadline, 0);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Satellite regression: a frame header claiming an absurd length is
+/// rejected with a clean typed error the moment the 4th header byte
+/// arrives — even dribbled one byte at a time — and a partial header
+/// followed by silence never wedges the accept loop.
+#[test]
+fn oversized_header_dribble_gets_clean_bad_request() {
+    let (addr, _core, handle) = spawn_server(ServerConfig::default());
+
+    // Dribble a 1 GiB claim one byte at a time.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_nodelay(true).unwrap();
+    for byte in (1u32 << 30).to_le_bytes() {
+        raw.write_all(&[byte]).unwrap();
+        thread::sleep(Duration::from_millis(5));
+    }
+    let payload = lsbp_net::read_frame(&mut raw)
+        .unwrap()
+        .expect("server must answer the oversize claim before closing");
+    let envelope = ResponseEnvelope::decode(&payload).unwrap();
+    match envelope.response {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest for oversized claim, got {other:?}"),
+    }
+    // And the connection is then closed, not left buffering.
+    assert!(lsbp_net::read_frame(&mut raw).unwrap().is_none());
+
+    // A half-header that goes silent: drop it and make sure the server
+    // still serves everyone else.
+    let mut stall = TcpStream::connect(addr).unwrap();
+    stall.write_all(&[0x10, 0x00]).unwrap();
+    drop(stall);
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.ping().unwrap(), PROTOCOL_VERSION);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Opt-in `StaleCache` degradation: when the admission group is full, a
+/// query whose exact answer exists for an **older** graph version is
+/// served that answer, labelled `ServedVia::Stale`, instead of being
+/// rejected.
+#[test]
+fn stale_cache_degradation_serves_old_version_when_overloaded() {
+    let core = ServerCore::new(ServerConfig {
+        coalesce_window: Duration::from_millis(200),
+        max_pending: 1,
+        degradation: DegradationPolicy::StaleCache,
+        ..ServerConfig::default()
+    });
+    assert!(matches!(
+        core.handle_blocking(Request::RegisterGraph {
+            graph_id: 9,
+            n_nodes: 10,
+            symmetric: true,
+            edges: wire_edges(),
+        }),
+        Response::Registered { .. }
+    ));
+
+    let rwr_params = RwrParams {
+        k: K as u32,
+        restart: 0.15,
+        max_iter: 300,
+        tol: 1e-12,
+        norm: WireNorm::MaxAbs,
+    };
+    let rwr_query = |seeds| Request::SolveRwr {
+        graph_id: 9,
+        params: rwr_params,
+        seeds,
+    };
+    // Populate the cache at v1 (blocks for one coalesce window).
+    let v1 = match core.handle_blocking(rwr_query(wire_seeds(0, 1.0))) {
+        Response::Beliefs(p) => p,
+        other => panic!("expected Beliefs, got {other:?}"),
+    };
+
+    // Advance the graph to v2. RWR entries cannot be patched; under
+    // StaleCache they are retained at their old version instead of
+    // discarded.
+    match core.handle_blocking(Request::EdgeDelta {
+        graph_id: 9,
+        symmetric: true,
+        deltas: vec![WireEdge {
+            src: 0,
+            dst: 4,
+            weight: 0.5,
+        }],
+    }) {
+        Response::DeltaApplied { invalidated, .. } => assert!(invalidated >= 1),
+        other => panic!("expected DeltaApplied, got {other:?}"),
+    }
+
+    // Fill the v2 group (max_pending = 1), then ask again: full group +
+    // a v1 answer on file = degraded stale serve.
+    let (tx, rx) = mpsc::channel();
+    core.submit(
+        rwr_query(wire_seeds(0, 1.0)),
+        Box::new(move |r| drop(tx.send(r))),
+    );
+    let degraded = match core.handle_blocking(rwr_query(wire_seeds(0, 1.0))) {
+        Response::Beliefs(p) => p,
+        other => panic!("expected degraded Beliefs, got {other:?}"),
+    };
+    assert_eq!(degraded.served, ServedVia::Stale { version: 1 });
+    assert_bitwise("stale serve == v1 answer", &degraded.beliefs, &v1.beliefs);
+    assert_eq!(core.stats().degraded_stale, 1);
+
+    // The parked v2 job still drains with a real (fresh) solve.
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Response::Beliefs(fresh) => {
+            assert!(!matches!(fresh.served, ServedVia::Stale { .. }));
+        }
+        other => panic!("expected fresh Beliefs for parked job, got {other:?}"),
+    }
+}
+
+/// Opt-in `ClampIter` degradation: past the backlog high-water mark,
+/// expensive queries get their iteration budget clamped — and the served
+/// answer is bitwise the library solve at the clamped budget.
+#[test]
+fn clamp_iter_degradation_is_bitwise_at_the_clamped_budget() {
+    let core = ServerCore::new(ServerConfig {
+        coalesce_window: Duration::from_millis(150),
+        max_pending: 2, // high-water mark = 1 parked job
+        degradation: DegradationPolicy::ClampIter(50),
+        ..ServerConfig::default()
+    });
+    assert!(matches!(
+        core.handle_blocking(Request::RegisterGraph {
+            graph_id: 2,
+            n_nodes: 10,
+            symmetric: true,
+            edges: wire_edges(),
+        }),
+        Response::Registered { .. }
+    ));
+
+    let h = coupling();
+    // Park one job (distinct params => its own group, un-clamped since
+    // the backlog was empty when it arrived).
+    let mut parked_params = wire_params(&h);
+    parked_params.tol = 1e-10;
+    let (tx, rx) = mpsc::channel();
+    let tx_parked = tx.clone();
+    core.submit(
+        Request::SolveLinBp {
+            graph_id: 2,
+            params: parked_params,
+            seeds: wire_seeds(1, 1.0),
+        },
+        Box::new(move |r| drop(tx_parked.send(("parked", r)))),
+    );
+
+    // Now the backlog is at the high-water mark: this query's 300
+    // iterations are clamped to 50.
+    core.submit(
+        Request::SolveLinBp {
+            graph_id: 2,
+            params: wire_params(&h),
+            seeds: wire_seeds(0, 1.0),
+        },
+        Box::new(move |r| drop(tx.send(("clamped", r)))),
+    );
+
+    let mut clamped_payload = None;
+    for _ in 0..2 {
+        let (who, r) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        match r {
+            Response::Beliefs(p) => {
+                if who == "clamped" {
+                    clamped_payload = Some(p);
+                }
+            }
+            other => panic!("{who}: expected Beliefs, got {other:?}"),
+        }
+    }
+    let clamped = clamped_payload.expect("clamped query answered");
+    let mut clamped_opts = lib_opts();
+    clamped_opts.max_iter = 50;
+    let reference = linbp(&fixture_adjacency(), &lib_seeds(0, 1.0), &h, &clamped_opts).unwrap();
+    assert_eq!(clamped.iterations, reference.iterations as u64);
+    assert_bitwise(
+        "clamped solve == library at clamped budget",
+        &clamped.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+    assert_eq!(core.stats().degraded_clamped, 1);
 }

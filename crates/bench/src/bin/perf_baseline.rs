@@ -648,6 +648,238 @@ fn run_sharded_suite(
     }
 }
 
+/// One resident-vs-paged measurement at one buffer-pool budget.
+struct OutOfCoreRecord {
+    graph: String,
+    kernel: &'static str,
+    /// "unbudgeted", "half" or "quarter" (of the resident CSR bytes).
+    budget: &'static str,
+    budget_bytes: u64,
+    resident_secs: f64,
+    /// First pass on a freshly opened store — includes the demand loads.
+    cold_secs: f64,
+    /// Best-of-reps after the store has been walked once.
+    warm_secs: f64,
+    /// `resident_secs / warm_secs` — the acceptance bar is ≥ 0.5 on the
+    /// warm unbudgeted pass (paging must cost at most 2× once resident).
+    warm_rel_throughput: f64,
+    misses: u64,
+    evictions: u64,
+    prefetches: u64,
+    identical: bool,
+}
+
+/// Resident [`CsrMatrix`] vs. the spilled [`PagedCsr`] at buffer-pool
+/// budgets {∞, ½, ¼} of the CSR's resident bytes, single-threaded, on
+/// the fused LinBP step (5 iterations) and the standalone SpMM — the
+/// `out_of_core` section of the JSON, with the bitwise-identity check
+/// inline. The ½ and ¼ budgets force eviction cycling on every pass;
+/// the unbudgeted run measures steady-state (warm, all-hits) overhead.
+fn run_out_of_core_suite(
+    records: &mut Vec<OutOfCoreRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    reps: usize,
+) {
+    const ITERS: usize = 5;
+    const SHARDS: usize = 8;
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let cfg = ParallelismConfig::serial();
+    let explicit = kronecker_style_beliefs(n, k, (n / 20).max(1), 7, false);
+    let e_hat = explicit.residual_matrix().clone();
+    let h = h_residual_unscaled.scale(eps);
+    let h2 = h.matmul(&h);
+    let degrees = adj.squared_weight_degrees();
+    let b_spmm = Mat::from_fn(n, k, |r, c| ((r * k + c) % 17) as f64 * 0.01 - 0.08);
+
+    let run_linbp = |op: &dyn PropagationOperator| {
+        let mut b = e_hat.clone();
+        let mut next = Mat::zeros(n, k);
+        let mut deltas = [0.0f64];
+        let step = FusedLinBpStep {
+            e_hat: &e_hat,
+            h: &h,
+            h2: Some(&h2),
+            degrees: &degrees,
+            damping: 0.0,
+        };
+        for _ in 0..ITERS {
+            op.linbp_step_fused_with(&b, &step, &mut next, &mut deltas, &cfg);
+            std::mem::swap(&mut b, &mut next);
+        }
+        (b, deltas[0])
+    };
+    let run_spmm = |op: &dyn PropagationOperator| {
+        let mut out = Mat::zeros(n, k);
+        op.spmm_into_with(&b_spmm, &mut out, &cfg);
+        out
+    };
+    let best_of = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, d) = time_once(&mut *f);
+            best = best.min(d.as_secs_f64());
+        }
+        best
+    };
+
+    let (res_linbp, res_delta) = run_linbp(&adj);
+    let res_linbp_secs = best_of(&mut || {
+        let _ = run_linbp(&adj);
+    });
+    let res_spmm = run_spmm(&adj);
+    let res_spmm_secs = best_of(&mut || {
+        let _ = run_spmm(&adj);
+    });
+
+    let csr_bytes = (adj.n_rows() + 1) * std::mem::size_of::<usize>() + adj.nnz() * (4 + 8);
+    let dir = std::env::temp_dir().join(format!("lsbp-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench spill dir");
+    let path = dir.join(format!("{label}.lsbp"));
+    PagedCsr::spill(&adj, &path, SHARDS, PagedOptions::default())
+        .expect("spilling the bench graph");
+
+    for (budget, bname) in [
+        (None, "unbudgeted"),
+        (Some(csr_bytes / 2), "half"),
+        (Some(csr_bytes / 4), "quarter"),
+    ] {
+        let opts = PagedOptions::default().with_budget(budget);
+        for kernel in ["linbp_5iter", "spmm"] {
+            // Fresh open per kernel so the cold pass really demand-loads.
+            let paged = PagedCsr::open(&path, opts).expect("reopening the bench store");
+            let (cold_secs, identical) = if kernel == "linbp_5iter" {
+                let (out, d0) = time_once(|| run_linbp(&paged));
+                let (b, delta) = out;
+                (
+                    d0.as_secs_f64(),
+                    b.as_slice()
+                        .iter()
+                        .zip(res_linbp.as_slice())
+                        .all(|(a, c)| a.to_bits() == c.to_bits())
+                        && delta.to_bits() == res_delta.to_bits(),
+                )
+            } else {
+                let (out, d0) = time_once(|| run_spmm(&paged));
+                (
+                    d0.as_secs_f64(),
+                    out.as_slice()
+                        .iter()
+                        .zip(res_spmm.as_slice())
+                        .all(|(a, c)| a.to_bits() == c.to_bits()),
+                )
+            };
+            let warm_secs = if kernel == "linbp_5iter" {
+                best_of(&mut || {
+                    let _ = run_linbp(&paged);
+                })
+            } else {
+                best_of(&mut || {
+                    let _ = run_spmm(&paged);
+                })
+            };
+            let stats = paged.stats();
+            let resident_secs = if kernel == "linbp_5iter" {
+                res_linbp_secs
+            } else {
+                res_spmm_secs
+            };
+            let rec = OutOfCoreRecord {
+                graph: label.to_string(),
+                kernel: if kernel == "linbp_5iter" {
+                    "linbp_5iter"
+                } else {
+                    "spmm"
+                },
+                budget: bname,
+                budget_bytes: budget.unwrap_or(0) as u64,
+                resident_secs,
+                cold_secs,
+                warm_secs,
+                warm_rel_throughput: resident_secs / warm_secs,
+                misses: stats.misses,
+                evictions: stats.evictions,
+                prefetches: stats.prefetches,
+                identical,
+            };
+            println!(
+                "{:>14} {:>12} budget={:<10} resident {:>12.6}s  cold {:>12.6}s  \
+                 warm {:>12.6}s  rel {:>5.2}x  misses={} evictions={} prefetches={} \
+                 identical={}",
+                rec.graph,
+                rec.kernel,
+                rec.budget,
+                rec.resident_secs,
+                rec.cold_secs,
+                rec.warm_secs,
+                rec.warm_rel_throughput,
+                rec.misses,
+                rec.evictions,
+                rec.prefetches,
+                rec.identical
+            );
+            records.push(rec);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `gather_dot4` exactly as shipped, minus the software prefetch hints —
+/// the "before" half of the gather-prefetch measurement. Identical lane
+/// structure, so the result is bit-for-bit the hinted kernel's.
+fn gather_dot4_no_prefetch(idx: &[u32], w: &[f64], x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut ic = idx.chunks_exact(4);
+    let mut wc = w.chunks_exact(4);
+    for (ii, ww) in (&mut ic).zip(&mut wc) {
+        for l in 0..4 {
+            acc[l] += ww[l] * x[ii[l] as usize];
+        }
+    }
+    for (l, (&i, &v)) in ic.remainder().iter().zip(wc.remainder()).enumerate() {
+        acc[l] += v * x[i as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Full-matrix SpMV via per-row gathers, with and without the software
+/// prefetch hints in the gather loop — the before/after line for the
+/// gather-prefetch change. Returns (without_secs, with_secs, identical).
+fn bench_gather_prefetch(graph: &Graph, reps: usize) -> (f64, f64, bool) {
+    let adj = graph.adjacency();
+    let n = adj.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| (i % 23) as f64 * 0.03 - 0.31).collect();
+    type GatherFn = dyn Fn(&[u32], &[f64], &[f64]) -> f64;
+    let sweep = |gather: &GatherFn, y: &mut [f64]| {
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = gather(adj.row_cols(r), adj.row_values(r), &x);
+        }
+    };
+    let best_of = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(3) {
+            let (_, d) = time_once(&mut *f);
+            best = best.min(d.as_secs_f64());
+        }
+        best
+    };
+    let mut y_without = vec![0.0; n];
+    let mut y_with = vec![0.0; n];
+    sweep(&gather_dot4_no_prefetch, &mut y_without);
+    sweep(&lsbp_linalg::simd::gather_dot4, &mut y_with);
+    let identical = y_without
+        .iter()
+        .zip(&y_with)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    let without_secs = best_of(&mut || sweep(&gather_dot4_no_prefetch, &mut y_without));
+    let with_secs = best_of(&mut || sweep(&lsbp_linalg::simd::gather_dot4, &mut y_with));
+    (without_secs, with_secs, identical)
+}
+
 /// One sequential-vs-coalesced serving measurement: the same `q` LinBP
 /// queries answered one at a time versus stacked by the server's
 /// admission coalescer into a single batched solve.
@@ -1191,6 +1423,8 @@ fn main() {
     let mut simd_records = Vec::new();
     let mut fused_records = Vec::new();
     let mut sharded_records = Vec::new();
+    let mut out_of_core_records = Vec::new();
+    let mut gather_prefetch: Option<(f64, f64, bool)> = None;
     let mut serving_records = Vec::new();
     let robustness_queries = arg_usize("--robust-q", 16).max(4);
     let mut robustness_records = Vec::new();
@@ -1222,6 +1456,18 @@ fn main() {
             &shard_sweep,
             reps,
         );
+        run_out_of_core_suite(
+            &mut out_of_core_records,
+            &label,
+            &graph,
+            3,
+            &ho3,
+            0.0005,
+            reps,
+        );
+        if exp == m {
+            gather_prefetch = Some(bench_gather_prefetch(&graph, reps));
+        }
         run_serving_suite(
             &mut serving_records,
             &label,
@@ -1275,6 +1521,15 @@ fn main() {
             &ho4,
             0.005,
             &shard_sweep,
+            reps,
+        );
+        run_out_of_core_suite(
+            &mut out_of_core_records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
             reps,
         );
         run_serving_suite(
@@ -1331,6 +1586,17 @@ fn main() {
         .map(|r| r.rel_throughput)
         .fold(f64::NAN, f64::min);
     let sharded_all_identical = sharded_records.iter().all(|r| r.identical);
+    // Out-of-core acceptance read-outs: the global paged-equals-resident
+    // bitwise flag across every budget × kernel × graph cell, and the
+    // worst warm relative throughput of the *unbudgeted* pool on the
+    // largest Kronecker graph (the ≥ 0.5× bar — once the working set is
+    // resident, paging must cost at most 2× over the in-RAM matrix).
+    let paged_all_identical = out_of_core_records.iter().all(|r| r.identical);
+    let paged_warm_rel_largest = out_of_core_records
+        .iter()
+        .filter(|r| r.graph == format!("kronecker_m{m}") && r.budget == "unbudgeted")
+        .map(|r| r.warm_rel_throughput)
+        .fold(f64::NAN, f64::min);
     // Serving acceptance read-out: the SpMM-pass reduction admission
     // coalescing buys on the largest Kronecker graph (the ≥ 2× bar of the
     // serving PR — ideally ≈ q), and the global coalesced-equals-
@@ -1405,6 +1671,13 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"sharded_bitwise_identical_to_monolithic\": {sharded_all_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"paged_warm_rel_throughput_largest_kronecker\": {},\n",
+        json_f64(paged_warm_rel_largest)
+    ));
+    json.push_str(&format!(
+        "    \"paged_bitwise_identical_to_resident\": {paged_all_identical},\n"
     ));
     json.push_str(&format!(
         "    \"serving_spmm_pass_reduction_q{serving_queries}_largest_kronecker\": {},\n",
@@ -1504,6 +1777,49 @@ fn main() {
             json_f64(r.build_secs),
             r.identical,
             if i + 1 == sharded_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    // Resident CsrMatrix vs. the spilled PagedCsr behind the budgeted
+    // buffer pool (single-threaded, fused LinBP + SpMM), with the
+    // paged-equals-resident bitwise check inline, plus the before/after
+    // line for the software prefetch hints in the gather loops.
+    json.push_str("  \"out_of_core\": {\n    \"iters_per_measurement\": 5,\n    \"shards\": 8,\n");
+    if let Some((without_secs, with_secs, identical)) = gather_prefetch {
+        json.push_str(&format!(
+            "    \"gather_prefetch\": {{\"graph\": \"kronecker_m{m}\", \
+             \"without_hint_secs\": {}, \"with_hint_secs\": {}, \"speedup\": {}, \
+             \"identical\": {}}},\n",
+            json_f64(without_secs),
+            json_f64(with_secs),
+            json_f64(without_secs / with_secs),
+            identical
+        ));
+    }
+    json.push_str("    \"results\": [\n");
+    for (i, r) in out_of_core_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"kernel\": \"{}\", \"budget\": \"{}\", \
+             \"budget_bytes\": {}, \"resident_secs\": {}, \"paged_cold_secs\": {}, \
+             \"paged_warm_secs\": {}, \"warm_rel_throughput\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"prefetches\": {}, \"identical_to_resident\": {}}}{}\n",
+            r.graph,
+            r.kernel,
+            r.budget,
+            r.budget_bytes,
+            json_f64(r.resident_secs),
+            json_f64(r.cold_secs),
+            json_f64(r.warm_secs),
+            json_f64(r.warm_rel_throughput),
+            r.misses,
+            r.evictions,
+            r.prefetches,
+            r.identical,
+            if i + 1 == out_of_core_records.len() {
                 ""
             } else {
                 ","
@@ -1615,6 +1931,7 @@ fn main() {
         "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}, \
          fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}, \
          sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}, \
+         paged warm rel throughput (kronecker_m{m}) = {}, paged identical = {}, \
          serving spmm pass reduction q={serving_queries} (kronecker_m{m}) = {}, \
          serving identical = {}, robustness recovered = {}, robustness clamp qps ratio = {}",
         json_f64(spmm_speedup_4t),
@@ -1623,6 +1940,8 @@ fn main() {
         fused_all_identical,
         json_f64(sharded_linbp_min_rel),
         sharded_all_identical,
+        json_f64(paged_warm_rel_largest),
+        paged_all_identical,
         json_f64(serving_ratio_largest),
         serving_all_identical,
         robustness_all_recovered,
@@ -1639,6 +1958,10 @@ fn main() {
     assert!(
         sharded_all_identical,
         "sharded kernel produced a result differing from the monolithic reference"
+    );
+    assert!(
+        paged_all_identical,
+        "paged (out-of-core) kernel produced a result differing from the resident reference"
     );
     assert!(
         serving_all_identical,

@@ -501,6 +501,53 @@ fn selftest(
     )?;
     println!("[selftest] patched cache entry bitwise-matches the library patch path");
 
+    // Out-of-core phase: when the server runs with `--spill-dir`, every
+    // registered graph is served from an on-disk shard store through the
+    // budgeted buffer pool. Register a fresh copy of the fixture under a
+    // distinct id, solve it over the wire, and check both the bitwise
+    // answer and that the pager actually did the serving.
+    let health = client.health().map_err(|e| format!("health: {e}"))?;
+    if health.spill_enabled {
+        let paged_id = u64::from(std::process::id()) << 16 | 0x9a6e;
+        let paged_edges: Vec<WireEdge> = fixture_edges()
+            .into_iter()
+            .map(|(s, t, w)| WireEdge {
+                src: s as u64,
+                dst: t as u64,
+                weight: w,
+            })
+            .collect();
+        client
+            .register_graph(paged_id, 12, true, paged_edges)
+            .map_err(|e| format!("paged register: {e}"))?;
+        let payload_paged = client
+            .solve_linbp(paged_id, wire_params(true, &h), wire_seeds(3))
+            .map_err(|e| format!("paged solve: {e}"))?;
+        let reference_paged = linbp(&adj, &lib_seeds(3), &h, &opts).map_err(|e| e.to_string())?;
+        assert_bitwise(
+            "paged",
+            &payload_paged.beliefs,
+            reference_paged.beliefs.residual().as_slice(),
+        )?;
+        let health = client
+            .health()
+            .map_err(|e| format!("post-paged health: {e}"))?;
+        if health.pager_misses == 0 {
+            return Err(
+                "paged: spill is enabled but the pager reports zero misses — \
+                 the solve cannot have streamed from disk"
+                    .into(),
+            );
+        }
+        println!(
+            "[selftest] out-of-core: bitwise match (pager: {} hits, {} misses, \
+             {} evictions, {} prefetches)",
+            health.pager_hits, health.pager_misses, health.pager_evictions, health.pager_prefetches
+        );
+    } else {
+        println!("[selftest] out-of-core: skipped (server has no --spill-dir)");
+    }
+
     if let Some(handle) = saboteur {
         handle.join().map_err(|_| "saboteur thread panicked")?;
         // The abuse is over; the server must still answer like nothing

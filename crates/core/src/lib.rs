@@ -82,6 +82,35 @@ pub(crate) fn with_operator<R>(
     }
 }
 
+/// Spills `adj` to `path` as an on-disk shard store and opens it as a
+/// [`lsbp_sparse::PagedCsr`] configured from `cfg`: the shard count comes
+/// from `cfg.shards()` (at least 1) and the buffer-pool byte budget from
+/// `cfg.memory_budget()` (unbudgeted when the knob is unset). The
+/// returned operator plugs into every `*_on` entry point —
+/// `linbp_on(&paged, …)` is the out-of-core LinBP path — and is bitwise
+/// identical to solving on the in-memory matrix at any budget.
+pub fn spill_paged(
+    adj: &lsbp_sparse::CsrMatrix,
+    path: impl AsRef<std::path::Path>,
+    cfg: &ParallelismConfig,
+) -> Result<lsbp_sparse::PagedCsr, lsbp_sparse::ShardFileError> {
+    lsbp_sparse::PagedCsr::spill(adj, path, cfg.shards().max(1), paged_options(cfg))
+}
+
+/// Opens an existing shard store (written by [`spill_paged`] or
+/// [`lsbp_sparse::ShardFile::write`]) as a paged operator with the
+/// buffer-pool budget from `cfg.memory_budget()`. See [`spill_paged`].
+pub fn open_paged(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ParallelismConfig,
+) -> Result<lsbp_sparse::PagedCsr, lsbp_sparse::ShardFileError> {
+    lsbp_sparse::PagedCsr::open(path, paged_options(cfg))
+}
+
+fn paged_options(cfg: &ParallelismConfig) -> lsbp_sparse::PagedOptions {
+    lsbp_sparse::PagedOptions::default().with_budget(cfg.memory_budget())
+}
+
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
     pub use crate::batch::{
@@ -109,11 +138,15 @@ pub mod prelude {
     pub use crate::sbp::{
         sbp, sbp_add_edges, sbp_add_explicit, sbp_observed, sbp_on, sbp_with, SbpResult,
     };
+    pub use crate::{open_paged, spill_paged};
     pub use lsbp_linalg::{
         FixedPointOp, FixedPointSolver, IterationEvent, ParallelismConfig, SolveOutcome,
         StepOutcome, StepStatus, ToleranceNorm,
     };
-    pub use lsbp_sparse::{PropagationOperator, ShardedCsr};
+    pub use lsbp_sparse::{
+        PagedCsr, PagedOptions, PagerStats, PropagationOperator, ShardFile, ShardFileError,
+        ShardedCsr,
+    };
 }
 
 pub use prelude::*;

@@ -72,15 +72,15 @@ pub fn geodesic_numbers<A: PropagationOperator + ?Sized>(adj: &A, sources: &[usi
     layers.push(layer0);
     while let Some(u) = queue.pop_front() {
         let gu = g[u as usize];
-        for &v in adj.row_cols(u as usize) {
-            if g[v as usize] == UNREACHABLE {
+        for (v, _) in adj.row_iter(u as usize) {
+            if g[v] == UNREACHABLE {
                 let gv = gu + 1;
-                g[v as usize] = gv;
+                g[v] = gv;
                 if layers.len() <= gv as usize {
                     layers.push(Vec::new());
                 }
-                layers[gv as usize].push(v);
-                queue.push_back(v);
+                layers[gv as usize].push(v as u32);
+                queue.push_back(v as u32);
             }
         }
     }

@@ -67,6 +67,65 @@ pub fn default_num_shards() -> usize {
     })
 }
 
+/// Parses a byte-size string: a non-negative integer with an optional
+/// `K`/`M`/`G`/`T` suffix (case-insensitive, binary multiples, optional
+/// trailing `B` as in `64KB`). Returns `None` on anything else. Shared
+/// by the `LSBP_MEMORY_BUDGET` environment parse and the server's
+/// `--memory-budget` flag.
+pub fn parse_byte_size(raw: &str) -> Option<usize> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let upper = s.to_ascii_uppercase();
+    let body = upper.strip_suffix('B').unwrap_or(&upper);
+    let (digits, shift) = match body.as_bytes().last()? {
+        b'K' => (&body[..body.len() - 1], 10u32),
+        b'M' => (&body[..body.len() - 1], 20),
+        b'G' => (&body[..body.len() - 1], 30),
+        b'T' => (&body[..body.len() - 1], 40),
+        b'0'..=b'9' => (body, 0),
+        _ => return None,
+    };
+    let base: usize = digits.trim().parse().ok()?;
+    base.checked_shl(shift).filter(|v| v >> shift == base)
+}
+
+/// Parses an `LSBP_MEMORY_BUDGET` override. Returns the budget in bytes
+/// (0 = unbudgeted) plus a warning to surface when the variable was set
+/// but unusable — same discipline as [`parse_shards_env`]: a silently
+/// swallowed typo here would be a silently unbudgeted run.
+pub(crate) fn parse_memory_budget_env(value: Option<&str>) -> (usize, Option<String>) {
+    let Some(raw) = value else { return (0, None) };
+    match parse_byte_size(raw) {
+        Some(bytes) if bytes > 0 => (bytes, None),
+        _ => (
+            0,
+            Some(format!(
+                "lsbp: ignoring invalid LSBP_MEMORY_BUDGET={raw:?} (expected a positive \
+                 byte count, optionally suffixed K/M/G/T); running unbudgeted"
+            )),
+        ),
+    }
+}
+
+/// The process-default pager memory budget in bytes (0 = unbudgeted):
+/// `LSBP_MEMORY_BUDGET` if set to a usable byte size, otherwise 0.
+/// Parsed exactly once per process like [`default_num_shards`]; a
+/// set-but-invalid value emits a one-time stderr warning instead of
+/// being silently swallowed.
+pub fn default_memory_budget() -> usize {
+    static DEFAULT_BUDGET: OnceLock<usize> = OnceLock::new();
+    *DEFAULT_BUDGET.get_or_init(|| {
+        let (bytes, warning) =
+            parse_memory_budget_env(std::env::var("LSBP_MEMORY_BUDGET").ok().as_deref());
+        if let Some(message) = warning {
+            eprintln!("{message}");
+        }
+        bytes
+    })
+}
+
 /// Default minimum per-kernel work (≈ flops or touched entries) before a
 /// kernel goes parallel. The pool spawns scoped OS threads per parallel
 /// region (~tens of µs), so the floor is set where one region's compute
@@ -84,21 +143,24 @@ pub struct ParallelismConfig {
     threads: usize,
     min_work: usize,
     shards: usize,
+    /// Pager byte budget for paged (out-of-core) backends; 0 = unbudgeted.
+    memory_budget: usize,
 }
 
 impl ParallelismConfig {
     /// Strictly serial execution (the reference semantics): one thread,
-    /// monolithic storage.
+    /// monolithic storage, no memory budget.
     pub const fn serial() -> Self {
         Self {
             threads: 1,
             min_work: PAR_MIN_WORK,
             shards: 1,
+            memory_budget: 0,
         }
     }
 
     /// Pooled execution on `threads` workers (1 = serial), monolithic
-    /// storage.
+    /// storage, no memory budget.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
@@ -108,6 +170,7 @@ impl ParallelismConfig {
             threads: threads.min(rayon::MAX_THREADS),
             min_work: PAR_MIN_WORK,
             shards: 1,
+            memory_budget: 0,
         }
     }
 
@@ -129,6 +192,7 @@ impl ParallelismConfig {
             threads: rayon::default_num_threads(),
             min_work: PAR_MIN_WORK,
             shards: default_num_shards(),
+            memory_budget: default_memory_budget(),
         }
     }
 
@@ -172,6 +236,24 @@ impl ParallelismConfig {
     /// Configured shard count (1 = monolithic storage).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Sets the pager byte budget consulted by paged (out-of-core)
+    /// storage backends (`lsbp_sparse::PagedCsr`): the target number of
+    /// bytes of shard blocks kept resident in the buffer pool. `0`
+    /// clears the budget (everything may stay resident). Resident
+    /// backends ignore it — the budget caps the *pool*, not the solve's
+    /// dense working set.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Configured pager byte budget, or `None` when unbudgeted. Follows
+    /// `LSBP_MEMORY_BUDGET` for configs built by
+    /// [`ParallelismConfig::from_env`] / [`ParallelismConfig::default`].
+    pub fn memory_budget(&self) -> Option<usize> {
+        (self.memory_budget > 0).then_some(self.memory_budget)
     }
 
     /// `true` iff this config never spawns threads.
@@ -246,26 +328,32 @@ pub fn weight_balanced_ranges(cum: &[usize], parts: usize) -> Vec<Range<usize>> 
     if total == 0 || parts <= 1 {
         return even_ranges(n, parts);
     }
-    let mut out = Vec::with_capacity(parts.min(n.max(1)));
+    // Cut targets are the weight shares `total·(i+1)/parts`. Most cut
+    // indices produce no new range when `parts` is huge relative to the
+    // items (usize::MAX shards on a 7-row graph), so instead of walking
+    // every `i` — O(parts), ~2⁶⁴ empty iterations in that case — jump
+    // straight to the smallest `i` whose target lies past the current
+    // range's start: the smallest `i` with `total·(i+1)/parts > cum[start]`,
+    // i.e. `i + 1 = ⌈(cum[start]+1)·parts/total⌉`. Each emitted range
+    // advances `start`, so the loop is O(n · log n) regardless of `parts`.
+    let parts = parts as u128;
+    let total_w = total as u128;
+    let mut out = Vec::with_capacity((parts as usize).min(n));
     let mut start = 0;
-    for i in 0..parts {
-        // First index whose prefix weight reaches the i+1-th share.
-        let target = (total as u128 * (i as u128 + 1) / parts as u128) as usize;
-        let end = if i + 1 == parts {
-            n
-        } else {
-            cum.partition_point(|&w| w < target).min(n).max(start)
-        };
-        if end > start {
-            out.push(start..end);
-            start = end;
+    while start < n {
+        let i_plus_1 = ((cum[start] as u128 + 1) * parts).div_ceil(total_w);
+        if i_plus_1 >= parts {
+            // Last share: runs to the end by construction.
+            out.push(start..n);
+            break;
         }
-    }
-    if start < n {
-        out.push(start..n);
-    }
-    if out.is_empty() && n > 0 {
-        out.push(0..n);
+        let target = (total_w * i_plus_1 / parts) as usize;
+        // `target > cum[start]`, so the first index with prefix weight
+        // `>= target` is strictly past `start` — every range is non-empty.
+        let end = cum.partition_point(|&w| w < target).min(n);
+        debug_assert!(end > start);
+        out.push(start..end);
+        start = end;
     }
     out
 }
@@ -329,6 +417,31 @@ mod tests {
         assert!(two[0].end >= 1 && two[0].end <= 4);
     }
 
+    /// More parts than items must terminate promptly and still produce a
+    /// clean tiling — the `shards > n_rows` edge. Before the clamp the
+    /// cut loop ran O(parts) iterations, so `usize::MAX` parts on a
+    /// 4-item array effectively hung.
+    #[test]
+    fn weight_balanced_more_parts_than_items() {
+        let cum = [0usize, 3, 3, 10, 12];
+        for parts in [5usize, 64, MAX_SHARDS, usize::MAX] {
+            let ranges = weight_balanced_ranges(&cum, parts);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= 4, "at most one range per item");
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "parts={parts}");
+                assert!(r.end > r.start, "parts={parts}: no degenerate range");
+                next = r.end;
+            }
+            assert_eq!(next, 4, "parts={parts}: ranges must cover every item");
+        }
+        // Single item, astronomical parts: one range, immediately.
+        assert_eq!(weight_balanced_ranges(&[0, 7], usize::MAX), vec![0..1]);
+        // Zero items: nothing, for any parts.
+        assert!(weight_balanced_ranges(&[0], usize::MAX).is_empty());
+    }
+
     #[test]
     fn weight_balanced_all_zero_falls_back_to_even() {
         let cum = [0usize, 0, 0, 0, 0];
@@ -361,6 +474,55 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn zero_shards_rejected() {
         let _ = ParallelismConfig::serial().with_shards(0);
+    }
+
+    #[test]
+    fn memory_budget_knob_defaults_and_clears() {
+        assert_eq!(ParallelismConfig::serial().memory_budget(), None);
+        assert_eq!(ParallelismConfig::with_threads(4).memory_budget(), None);
+        let cfg = ParallelismConfig::serial().with_memory_budget(1 << 20);
+        assert_eq!(cfg.memory_budget(), Some(1 << 20));
+        assert_eq!(cfg.with_memory_budget(0).memory_budget(), None);
+    }
+
+    #[test]
+    fn parse_byte_size_grammar() {
+        assert_eq!(parse_byte_size("0"), Some(0));
+        assert_eq!(parse_byte_size("12345"), Some(12345));
+        assert_eq!(parse_byte_size(" 64K "), Some(64 << 10));
+        assert_eq!(parse_byte_size("64KB"), Some(64 << 10));
+        assert_eq!(parse_byte_size("512m"), Some(512 << 20));
+        assert_eq!(parse_byte_size("2G"), Some(2 << 30));
+        assert_eq!(parse_byte_size("1T"), Some(1 << 40));
+        for bad in ["", "abc", "-3", "1.5", "K", "64Q", "1e6"] {
+            assert_eq!(parse_byte_size(bad), None, "{bad:?}");
+        }
+        // Overflow is rejected, not wrapped.
+        assert_eq!(parse_byte_size("999999999999T"), None);
+    }
+
+    #[test]
+    fn parse_memory_budget_env_rules() {
+        // Usable values parse silently.
+        assert_eq!(parse_memory_budget_env(None), (0, None));
+        assert_eq!(parse_memory_budget_env(Some("65536")), (65536, None));
+        assert_eq!(parse_memory_budget_env(Some("64K")), (64 << 10, None));
+        // Set-but-unusable values (including 0: a zero-byte pool cannot
+        // hold any shard) fall back to unbudgeted AND warn.
+        for bad in ["abc", "0", "-3", "", "1.5GBs"] {
+            let (bytes, warning) = parse_memory_budget_env(Some(bad));
+            assert_eq!(bytes, 0, "LSBP_MEMORY_BUDGET={bad:?} must fall back");
+            let warning = warning.expect("invalid value must warn");
+            assert!(
+                warning.contains("ignoring invalid LSBP_MEMORY_BUDGET"),
+                "warning names the variable"
+            );
+            assert!(warning.contains(bad), "warning echoes the rejected value");
+            assert!(
+                warning.contains("running unbudgeted"),
+                "warning names the fallback"
+            );
+        }
     }
 
     #[test]

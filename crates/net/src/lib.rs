@@ -36,7 +36,12 @@ use std::io::{self, Read, Write};
 ///   [`Response::Error`] gains a `retry_after_ms` hint,
 ///   [`ErrorCode::DeadlineExceeded`], [`ServedVia::Stale`], and the
 ///   [`Request::Health`]/[`Response::Health`] probe.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// * **3** — out-of-core revision (PR 8): [`ServerStats`] and
+///   [`HealthInfo`] grow the buffer-pool pager counters
+///   (`pager_hits`/`pager_misses`/`pager_evictions`/`pager_prefetches`),
+///   and [`HealthInfo`] reports whether the server spills registered
+///   graphs to disk (`spill_enabled`).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard cap on a frame payload (length prefix), checked before any
 /// allocation. Large enough for a multi-million-edge graph registration,
@@ -793,6 +798,15 @@ pub struct ServerStats {
     /// Queries admitted with a clamped `max_iter` under the `ClampIter`
     /// degradation policy.
     pub degraded_clamped: u64,
+    /// Buffer-pool accesses served by an already-resident shard block
+    /// (zero when the server runs fully in memory).
+    pub pager_hits: u64,
+    /// Buffer-pool demand loads that read a shard block from disk.
+    pub pager_misses: u64,
+    /// Shard blocks evicted to stay under the memory budget.
+    pub pager_evictions: u64,
+    /// Shard blocks loaded ahead of the kernels by the prefetch thread.
+    pub pager_prefetches: u64,
 }
 
 impl ServerStats {
@@ -815,6 +829,10 @@ impl ServerStats {
             self.panics_caught,
             self.degraded_stale,
             self.degraded_clamped,
+            self.pager_hits,
+            self.pager_misses,
+            self.pager_evictions,
+            self.pager_prefetches,
         ] {
             w.u64(v);
         }
@@ -839,6 +857,10 @@ impl ServerStats {
             panics_caught: r.u64()?,
             degraded_stale: r.u64()?,
             degraded_clamped: r.u64()?,
+            pager_hits: r.u64()?,
+            pager_misses: r.u64()?,
+            pager_evictions: r.u64()?,
+            pager_prefetches: r.u64()?,
         })
     }
 }
@@ -857,6 +879,17 @@ pub struct HealthInfo {
     pub cached_entries: u64,
     /// Milliseconds since the core started.
     pub uptime_ms: u64,
+    /// Whether registered graphs spill to an on-disk shard store (the
+    /// server was started with a spill directory).
+    pub spill_enabled: bool,
+    /// Buffer-pool hits since startup (see [`ServerStats::pager_hits`]).
+    pub pager_hits: u64,
+    /// Buffer-pool demand loads since startup.
+    pub pager_misses: u64,
+    /// Buffer-pool evictions since startup.
+    pub pager_evictions: u64,
+    /// Buffer-pool prefetch loads since startup.
+    pub pager_prefetches: u64,
 }
 
 impl HealthInfo {
@@ -866,6 +899,11 @@ impl HealthInfo {
         w.u64(self.queue_depth);
         w.u64(self.cached_entries);
         w.u64(self.uptime_ms);
+        w.bool(self.spill_enabled);
+        w.u64(self.pager_hits);
+        w.u64(self.pager_misses);
+        w.u64(self.pager_evictions);
+        w.u64(self.pager_prefetches);
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, WireError> {
@@ -875,6 +913,11 @@ impl HealthInfo {
             queue_depth: r.u64()?,
             cached_entries: r.u64()?,
             uptime_ms: r.u64()?,
+            spill_enabled: r.bool()?,
+            pager_hits: r.u64()?,
+            pager_misses: r.u64()?,
+            pager_evictions: r.u64()?,
+            pager_prefetches: r.u64()?,
         })
     }
 }

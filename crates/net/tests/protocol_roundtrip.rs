@@ -164,45 +164,68 @@ fn arb_retry_after() -> impl proptest::Strategy<Value = Option<u64>> {
 
 fn arb_stats() -> impl proptest::Strategy<Value = ServerStats> {
     (
-        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
-        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (
+            (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+            (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+            (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        ),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         0u64..1 << 40,
     )
         .prop_map(
-            |((a, b, c, d), (e, f, g, h), (i, j, k, l), (m, n, o, p), q)| ServerStats {
-                graphs: a,
-                cached_entries: b,
-                queries_served: c,
-                cache_hits: d,
-                coalesced_batches: e,
-                coalesced_queries: f,
-                largest_batch: g,
-                spmm_passes: h,
-                spmm_passes_sequential_equiv: i,
-                patched_entries: j,
-                invalidated_entries: k,
-                rejected_overloaded: l,
-                rejected_deadline: m,
-                rejected_invalid: n,
-                panics_caught: o,
-                degraded_stale: p,
-                degraded_clamped: q,
+            |(((a, b, c, d), (e, f, g, h), (i, j, k, l)), (m, n, o, p), (q, r, s, t), u)| {
+                ServerStats {
+                    graphs: a,
+                    cached_entries: b,
+                    queries_served: c,
+                    cache_hits: d,
+                    coalesced_batches: e,
+                    coalesced_queries: f,
+                    largest_batch: g,
+                    spmm_passes: h,
+                    spmm_passes_sequential_equiv: i,
+                    patched_entries: j,
+                    invalidated_entries: k,
+                    rejected_overloaded: l,
+                    rejected_deadline: m,
+                    rejected_invalid: n,
+                    panics_caught: o,
+                    degraded_stale: p,
+                    degraded_clamped: q,
+                    pager_hits: r,
+                    pager_misses: s,
+                    pager_evictions: t,
+                    pager_prefetches: u,
+                }
             },
         )
 }
 
 fn arb_health() -> impl proptest::Strategy<Value = HealthInfo> {
-    (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 40).prop_map(
-        |(uptime_ms, graphs, queue_depth, cached_entries)| HealthInfo {
-            protocol_version: PROTOCOL_VERSION,
-            graphs,
-            queue_depth,
-            cached_entries,
-            uptime_ms,
-        },
+    (
+        (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 40),
+        arb_bool(),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
     )
+        .prop_map(
+            |(
+                (uptime_ms, graphs, queue_depth, cached_entries),
+                spill_enabled,
+                (pager_hits, pager_misses, pager_evictions, pager_prefetches),
+            )| HealthInfo {
+                protocol_version: PROTOCOL_VERSION,
+                graphs,
+                queue_depth,
+                cached_entries,
+                uptime_ms,
+                spill_enabled,
+                pager_hits,
+                pager_misses,
+                pager_evictions,
+                pager_prefetches,
+            },
+        )
 }
 
 fn arb_message() -> impl proptest::Strategy<Value = String> {

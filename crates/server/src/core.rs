@@ -44,7 +44,7 @@ use lsbp_net::{
     BeliefsPayload, ErrorCode, HealthInfo, LinBpParams, Request, Response, RwrParams, ServedVia,
     ServerStats, WireNorm, WireSeed, WireWriter,
 };
-use lsbp_sparse::{CooMatrix, CsrMatrix};
+use lsbp_sparse::{CooMatrix, CsrMatrix, PagedCsr, PagerStats};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -85,7 +85,7 @@ pub enum DegradationPolicy {
 }
 
 /// Serving knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// How long the solver waits after the *first* query parks in an
     /// admission queue before draining it — the window in which
@@ -120,6 +120,12 @@ pub struct ServerConfig {
     /// spirit, but kept an ordinary config knob so chaos tests exercise
     /// exactly the production `catch_unwind` path.
     pub panic_on_graph: Option<u64>,
+    /// When set, every registered graph is spilled to an on-disk shard
+    /// store under this directory and served through the paged operator
+    /// (buffer-pool budget from `parallelism.memory_budget()`). A spill
+    /// failure falls back to the resident operator with a warning —
+    /// registration never fails on pager trouble.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +142,7 @@ impl Default for ServerConfig {
             retry_after_hint: Duration::from_millis(25),
             degradation: DegradationPolicy::Off,
             panic_on_graph: None,
+            spill_dir: None,
         }
     }
 }
@@ -150,22 +157,62 @@ struct GraphEntry {
     version: u64,
     csr: CsrMatrix,
     sharded: Option<ShardedCsr>,
+    /// Set when the server spills registrations to disk: the same graph
+    /// behind the budgeted buffer pool. Solves run out-of-core through
+    /// it (bitwise equal to the resident path); the resident `csr` stays
+    /// for edge-delta rebuilds and validation.
+    paged: Option<PagedCsr>,
 }
 
 impl GraphEntry {
-    fn build(csr: CsrMatrix, version: u64, cfg: &ParallelismConfig) -> Self {
-        let sharded = (cfg.shards() > 1).then(|| ShardedCsr::from_csr(&csr, cfg.shards()));
+    fn build(csr: CsrMatrix, version: u64, graph_id: u64, config: &ServerConfig) -> Self {
+        let cfg = &config.parallelism;
+        let paged = config.spill_dir.as_ref().and_then(|dir| {
+            let path = dir.join(format!("graph-{graph_id:016x}-v{version}.lsbp"));
+            std::fs::create_dir_all(dir)
+                .map_err(lsbp::ShardFileError::Io)
+                .and_then(|()| lsbp::spill_paged(&csr, &path, cfg))
+                .map_err(|e| {
+                    eprintln!(
+                        "lsbp-server: failed to spill graph {graph_id} v{version} to \
+                         {path:?}: {e}; serving resident"
+                    );
+                })
+                .ok()
+        });
+        let sharded =
+            (paged.is_none() && cfg.shards() > 1).then(|| ShardedCsr::from_csr(&csr, cfg.shards()));
         Self {
             version,
             csr,
             sharded,
+            paged,
         }
     }
 
     fn operator(&self) -> &dyn PropagationOperator {
+        if let Some(p) = &self.paged {
+            return p;
+        }
         match &self.sharded {
             Some(s) => s,
             None => &self.csr,
+        }
+    }
+
+    fn pager_stats(&self) -> PagerStats {
+        self.paged.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+}
+
+impl Drop for GraphEntry {
+    fn drop(&mut self) {
+        // Spill files are per (graph, version) — once the entry is gone
+        // nothing can reopen them, so reclaim the disk.
+        if let Some(p) = self.paged.take() {
+            let path = p.path().to_path_buf();
+            drop(p);
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -300,6 +347,10 @@ struct Counters {
     panics_caught: u64,
     degraded_stale: u64,
     degraded_clamped: u64,
+    /// Pager activity of graph entries already replaced by edge deltas
+    /// — added at replacement time so the served totals stay monotone
+    /// as spilled versions retire.
+    pager_retired: PagerStats,
 }
 
 struct Shared {
@@ -415,13 +466,33 @@ impl ServerCore {
             let admission = self.shared.admission.lock().unwrap();
             admission.groups.values().map(|g| g.jobs.len() as u64).sum()
         };
+        let pager = self.pager_totals();
         HealthInfo {
             protocol_version: lsbp_net::PROTOCOL_VERSION,
             graphs: self.shared.registry.read().unwrap().len() as u64,
             queue_depth,
             cached_entries: self.shared.cache.lock().unwrap().entries.len() as u64,
             uptime_ms: self.shared.started.elapsed().as_millis() as u64,
+            spill_enabled: self.shared.config.spill_dir.is_some(),
+            pager_hits: pager.hits,
+            pager_misses: pager.misses,
+            pager_evictions: pager.evictions,
+            pager_prefetches: pager.prefetches,
         }
+    }
+
+    /// Pager activity summed over every live spilled graph plus the
+    /// retired totals banked when versions were replaced.
+    fn pager_totals(&self) -> PagerStats {
+        let mut total = self.shared.counters.lock().unwrap().pager_retired;
+        for entry in self.shared.registry.read().unwrap().values() {
+            let s = entry.pager_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.prefetches += s.prefetches;
+        }
+        total
     }
 
     /// The knobs this core was started with.
@@ -451,6 +522,7 @@ impl ServerCore {
 
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
+        let pager = self.pager_totals();
         let c = self.shared.counters.lock().unwrap();
         ServerStats {
             graphs: self.shared.registry.read().unwrap().len() as u64,
@@ -470,6 +542,10 @@ impl ServerCore {
             panics_caught: c.panics_caught,
             degraded_stale: c.degraded_stale,
             degraded_clamped: c.degraded_clamped,
+            pager_hits: pager.hits,
+            pager_misses: pager.misses,
+            pager_evictions: pager.evictions,
+            pager_prefetches: pager.prefetches,
         }
     }
 
@@ -505,7 +581,7 @@ impl ServerCore {
             Err(e) => return bad_request(e.to_string()),
         };
         let nnz = csr.nnz() as u64;
-        let entry = Arc::new(GraphEntry::build(csr, 1, &self.shared.config.parallelism));
+        let entry = Arc::new(GraphEntry::build(csr, 1, graph_id, &self.shared.config));
         let mut registry = self.shared.registry.write().unwrap();
         if registry.contains_key(&graph_id) {
             return Response::Error {
@@ -562,11 +638,22 @@ impl ServerCore {
         let new_entry = Arc::new(GraphEntry::build(
             new_csr,
             new_version,
-            &self.shared.config.parallelism,
+            graph_id,
+            &self.shared.config,
         ));
 
         // Publish the new version first: queries admitted from here on
-        // solve (and cache) against it.
+        // solve (and cache) against it. The outgoing version's pager
+        // activity banks into the retired counters so totals stay
+        // monotone.
+        {
+            let old_pager = old.pager_stats();
+            let mut c = self.shared.counters.lock().unwrap();
+            c.pager_retired.hits += old_pager.hits;
+            c.pager_retired.misses += old_pager.misses;
+            c.pager_retired.evictions += old_pager.evictions;
+            c.pager_retired.prefetches += old_pager.prefetches;
+        }
         self.shared
             .registry
             .write()

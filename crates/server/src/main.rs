@@ -7,7 +7,13 @@
 //!             [--idle-timeout-ms N] [--write-stall-timeout-ms N]
 //!             [--max-write-buf BYTES] [--retry-after-hint-ms N]
 //!             [--degradation off|stale|clamp:N]
+//!             [--spill-dir PATH] [--memory-budget BYTES[K|M|G|T]]
 //! ```
+//!
+//! With `--spill-dir`, registered graphs are written to on-disk shard
+//! stores under that directory and served out-of-core through the
+//! budgeted buffer pool; `--memory-budget` caps the pool's resident
+//! bytes (same grammar as `LSBP_MEMORY_BUDGET`, which it overrides).
 //!
 //! Prints `listening on <addr>` (with the resolved port) to stdout once
 //! ready — scripts wait for that line.
@@ -23,7 +29,8 @@ fn usage() -> ! {
          [--max-batch N] [--max-pending N] [--cache-capacity N] \
          [--idle-timeout-ms N] [--write-stall-timeout-ms N] \
          [--max-write-buf BYTES] [--retry-after-hint-ms N] \
-         [--degradation off|stale|clamp:N]"
+         [--degradation off|stale|clamp:N] \
+         [--spill-dir PATH] [--memory-budget BYTES[K|M|G|T]]"
     );
     std::process::exit(2);
 }
@@ -74,6 +81,24 @@ fn main() -> ExitCode {
                             usage();
                         }
                     },
+                }
+            }
+            "--spill-dir" => {
+                config.spill_dir = Some(std::path::PathBuf::from(value("--spill-dir")))
+            }
+            "--memory-budget" => {
+                let raw = value("--memory-budget");
+                match lsbp_linalg::parse_byte_size(&raw) {
+                    Some(bytes) if bytes > 0 => {
+                        config.parallelism = config.parallelism.with_memory_budget(bytes)
+                    }
+                    _ => {
+                        eprintln!(
+                            "--memory-budget expects a positive byte count \
+                             (optionally suffixed K/M/G/T), got {raw:?}"
+                        );
+                        usage();
+                    }
                 }
             }
             "--help" | "-h" => usage(),

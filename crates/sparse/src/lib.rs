@@ -21,13 +21,20 @@
 //!   shard × thread combination),
 //! * [`EdgeMatrixOp`] — the matrix-free "edge matrix" `A_edge` of
 //!   Appendix G (2|E| × 2|E|), used to evaluate the Mooij–Kappen
-//!   convergence bound for standard BP without materializing it.
+//!   convergence bound for standard BP without materializing it,
+//! * the out-of-core engine — [`ShardFile`] (the versioned, checksummed
+//!   on-disk shard store) and [`PagedCsr`] (the sharded execution model
+//!   behind a budgeted [`paged::BufferPool`] with LRU eviction, pins and
+//!   background prefetch), bitwise identical to the resident backends at
+//!   any budget × shard × thread combination.
 
 pub mod coo;
 pub mod csr;
 pub mod edge_op;
 pub mod fused;
 pub mod operator;
+pub mod paged;
+pub mod shard_file;
 pub mod sharded;
 
 pub use coo::CooMatrix;
@@ -35,4 +42,6 @@ pub use csr::{CsrError, CsrMatrix, MAX_DIM};
 pub use edge_op::EdgeMatrixOp;
 pub use fused::FusedLinBpStep;
 pub use operator::{PropagationOperator, RowIter};
+pub use paged::{PagedCsr, PagedOptions, PagerStats};
+pub use shard_file::{ShardFile, ShardFileError};
 pub use sharded::ShardedCsr;

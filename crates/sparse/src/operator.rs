@@ -35,9 +35,58 @@ use lsbp_linalg::{Mat, ParallelismConfig};
 /// Iterator over one row's `(col, value)` pairs, columns widened to
 /// `usize` — the trait-level counterpart of `CsrMatrix::row_iter`,
 /// concrete so the trait stays object-safe-free of generics.
+///
+/// Resident backends hand out a **borrowed** view straight into their
+/// arrays (zero-copy); backends whose storage can move or be evicted
+/// underneath a borrow — the paged store, where the buffer pool may
+/// drop a shard at any time — return an **owned** copy of the row
+/// instead. That split is why the trait exposes row access through this
+/// iterator rather than through `&[u32]`/`&[f64]` slices: a slice
+/// borrow from an evictable pool region cannot be made sound.
 pub struct RowIter<'a> {
-    cols: std::slice::Iter<'a, u32>,
-    values: std::slice::Iter<'a, f64>,
+    inner: RowIterInner<'a>,
+}
+
+enum RowIterInner<'a> {
+    Borrowed {
+        cols: std::slice::Iter<'a, u32>,
+        values: std::slice::Iter<'a, f64>,
+    },
+    Owned {
+        pos: usize,
+        cols: Vec<u32>,
+        values: Vec<f64>,
+    },
+}
+
+impl<'a> RowIter<'a> {
+    /// A zero-copy view over a resident row (the `CsrMatrix` /
+    /// `ShardedCsr` path).
+    #[inline]
+    pub fn borrowed(cols: &'a [u32], values: &'a [f64]) -> RowIter<'a> {
+        debug_assert_eq!(cols.len(), values.len(), "row slices must be parallel");
+        RowIter {
+            inner: RowIterInner::Borrowed {
+                cols: cols.iter(),
+                values: values.iter(),
+            },
+        }
+    }
+
+    /// An owning iterator over a row copied out of evictable storage
+    /// (the `PagedCsr` path — the copy happens under the pool pin, so
+    /// the iterator stays valid after the shard is evicted).
+    #[inline]
+    pub fn owned(cols: Vec<u32>, values: Vec<f64>) -> RowIter<'static> {
+        debug_assert_eq!(cols.len(), values.len(), "row vectors must be parallel");
+        RowIter {
+            inner: RowIterInner::Owned {
+                pos: 0,
+                cols,
+                values,
+            },
+        }
+    }
 }
 
 impl Iterator for RowIter<'_> {
@@ -45,13 +94,30 @@ impl Iterator for RowIter<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<(usize, f64)> {
-        Some((*self.cols.next()? as usize, *self.values.next()?))
+        match &mut self.inner {
+            RowIterInner::Borrowed { cols, values } => {
+                Some((*cols.next()? as usize, *values.next()?))
+            }
+            RowIterInner::Owned { pos, cols, values } => {
+                let item = (*cols.get(*pos)? as usize, values[*pos]);
+                *pos += 1;
+                Some(item)
+            }
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.cols.size_hint()
+        match &self.inner {
+            RowIterInner::Borrowed { cols, .. } => cols.size_hint(),
+            RowIterInner::Owned { pos, cols, .. } => {
+                let left = cols.len() - pos;
+                (left, Some(left))
+            }
+        }
     }
 }
+
+impl ExactSizeIterator for RowIter<'_> {}
 
 /// A sparse graph operator a propagation solver can run on — see the
 /// module docs for the architecture and the bitwise contract.
@@ -73,21 +139,14 @@ pub trait PropagationOperator: Sync {
     /// matrices without explicit zeros).
     fn row_nnz(&self, r: usize) -> usize;
 
-    /// Column indices of row `r` (sorted ascending, global coordinates),
-    /// as the compact `u32` storage type.
-    fn row_cols(&self, r: usize) -> &[u32];
-
-    /// Values of row `r`, parallel to [`PropagationOperator::row_cols`].
-    fn row_values(&self, r: usize) -> &[f64];
-
-    /// Iterates `(col, value)` pairs of row `r` (columns widened to
-    /// `usize` for ergonomic indexing).
-    fn row_iter(&self, r: usize) -> RowIter<'_> {
-        RowIter {
-            cols: self.row_cols(r).iter(),
-            values: self.row_values(r).iter(),
-        }
-    }
+    /// Iterates `(col, value)` pairs of row `r` in ascending column
+    /// order (columns widened to `usize` for ergonomic indexing).
+    ///
+    /// This is the trait's *only* row-access surface — deliberately an
+    /// iterator, not slices, so backends with evictable storage (the
+    /// paged store) can hand out an owned copy where resident backends
+    /// hand out a zero-copy borrow. See [`RowIter`].
+    fn row_iter(&self, r: usize) -> RowIter<'_>;
 
     /// Sparse matrix × dense vector into a caller-provided buffer:
     /// `y = A·x`, executed per `cfg`.
@@ -146,13 +205,8 @@ impl PropagationOperator for CsrMatrix {
     }
 
     #[inline]
-    fn row_cols(&self, r: usize) -> &[u32] {
-        CsrMatrix::row_cols(self, r)
-    }
-
-    #[inline]
-    fn row_values(&self, r: usize) -> &[f64] {
-        CsrMatrix::row_values(self, r)
+    fn row_iter(&self, r: usize) -> RowIter<'_> {
+        RowIter::borrowed(CsrMatrix::row_cols(self, r), CsrMatrix::row_values(self, r))
     }
 
     fn spmv_into_with(&self, x: &[f64], y: &mut [f64], cfg: &ParallelismConfig) {
@@ -209,9 +263,8 @@ mod tests {
         assert_eq!(op.n_rows(), 3);
         assert_eq!(op.nnz(), 5);
         assert_eq!(op.row_nnz(1), 2);
-        assert_eq!(op.row_cols(1), &[0, 2]);
-        assert_eq!(op.row_values(2), &[3.0, 1.0]);
         assert_eq!(op.row_iter(1).collect::<Vec<_>>(), vec![(0, 2.0), (2, 3.0)]);
+        assert_eq!(op.row_iter(2).collect::<Vec<_>>(), vec![(1, 3.0), (2, 1.0)]);
         let cfg = ParallelismConfig::serial();
         let mut y = vec![0.0; 3];
         op.spmv_into_with(&[1.0, 1.0, 1.0], &mut y, &cfg);
@@ -219,5 +272,19 @@ mod tests {
         assert_eq!(op.row_sums(), m.row_sums());
         assert_eq!(op.squared_weight_degrees(), m.squared_weight_degrees());
         assert_eq!(op.transpose_with(&cfg), m.transpose());
+    }
+
+    /// Borrowed and owned row iterators walk the same row identically —
+    /// the equivalence the paged backend's owned copies rely on.
+    #[test]
+    fn owned_row_iter_matches_borrowed() {
+        let m = small();
+        for r in 0..m.n_rows() {
+            let borrowed: Vec<(usize, f64)> =
+                RowIter::borrowed(m.row_cols(r), m.row_values(r)).collect();
+            let owned_iter = RowIter::owned(m.row_cols(r).to_vec(), m.row_values(r).to_vec());
+            assert_eq!(owned_iter.len(), borrowed.len(), "row {r}");
+            assert_eq!(owned_iter.collect::<Vec<_>>(), borrowed, "row {r}");
+        }
     }
 }

@@ -1,0 +1,810 @@
+//! The out-of-core propagation backend: [`ShardedCsr`]'s execution
+//! model with the shards living on disk behind a budgeted buffer pool.
+//!
+//! [`PagedCsr`] opens a [`ShardFile`](crate::ShardFile) and implements
+//! the full [`PropagationOperator`] surface by walking the shards **in
+//! row order** — exactly like [`ShardedCsr`] — except that each shard
+//! block is paged in through a [`BufferPool`] rather than held
+//! resident:
+//!
+//! * **Budget.** The pool holds at most `budget_bytes` of deserialized
+//!   shard blocks (unbudgeted when `None`). Loading past the budget
+//!   evicts the least-recently-used *unpinned* blocks first.
+//! * **Pins.** Every kernel pins the shard it is walking (and the
+//!   prefetched next shard stays resident until something evictable
+//!   must go), so the working set — current shard + next shard — can
+//!   transiently overshoot a tiny budget rather than deadlock. A pin is
+//!   a guard object; dropping it unpins.
+//! * **Prefetch.** A background thread reads shard `i + 1` from disk
+//!   while the workers walk shard `i` (classic double buffering), so a
+//!   warm sequential pass overlaps I/O with compute. Prefetch failures
+//!   are ignored — the demand load retries and surfaces the error.
+//!
+//! **Bitwise contract.** Blocks deserialize to the *same* `CsrMatrix`
+//! shard blocks `ShardedCsr` holds in memory (bit-identical values,
+//! same local row pointers, same global columns), and the kernel
+//! dispatch below is line-for-line the `ShardedCsr` dispatch. Results
+//! are therefore bitwise identical to the resident paths at **any**
+//! budget × shard × thread combination — the pool changes when bytes
+//! move, never what the kernels compute (property-tested in
+//! `tests/out_of_core.rs`).
+//!
+//! **Error surface.** Construction and [`PagedCsr::load_shard`] return
+//! typed [`ShardFileError`]s (corrupt or truncated stores never panic
+//! there). A block that turns corrupt *after* open, observed mid-solve
+//! inside a kernel, panics with a clear message — consistent with the
+//! kernels' dimension-mismatch asserts, and the reason `load_shard`
+//! exists as the checked warm-up path.
+
+use crate::csr::CsrMatrix;
+use crate::fused::{validate_fused_step, FusedLinBpStep};
+use crate::operator::{PropagationOperator, RowIter};
+use crate::shard_file::{ShardFile, ShardFileError};
+use lsbp_linalg::{Mat, ParallelismConfig};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::ops::{Deref, Range};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Tuning knobs for a [`PagedCsr`].
+#[derive(Clone, Copy, Debug)]
+pub struct PagedOptions {
+    /// Byte budget for resident shard blocks; `None` means unbudgeted
+    /// (every block stays resident once loaded — the pool degenerates
+    /// to a lazily-loaded `ShardedCsr`).
+    pub budget_bytes: Option<usize>,
+    /// Run the background prefetch thread (shard `i + 1` reads overlap
+    /// shard `i` compute). Disable for strictly deterministic I/O
+    /// schedules in tests.
+    pub prefetch: bool,
+}
+
+impl Default for PagedOptions {
+    fn default() -> Self {
+        Self {
+            budget_bytes: None,
+            prefetch: true,
+        }
+    }
+}
+
+impl PagedOptions {
+    /// Sets the byte budget (`None` clears it).
+    pub fn with_budget(mut self, bytes: Option<usize>) -> Self {
+        self.budget_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the prefetch thread.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+}
+
+/// Pager activity counters — monotone over the life of the operator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Accesses served by an already-resident block.
+    pub hits: u64,
+    /// Accesses that had to read the block from disk.
+    pub misses: u64,
+    /// Blocks evicted to make room under the budget.
+    pub evictions: u64,
+    /// Blocks loaded by the background prefetch thread.
+    pub prefetches: u64,
+}
+
+/// One resident shard block plus its pool bookkeeping.
+#[derive(Debug)]
+struct Slot {
+    block: Arc<CsrMatrix>,
+    bytes: usize,
+    /// Logical clock of the most recent access — the LRU key.
+    last_used: u64,
+    /// Kernels currently holding this block; pinned slots are never
+    /// evicted.
+    pins: usize,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    slots: HashMap<usize, Slot>,
+    /// Shards currently being read from disk (by a demand load or the
+    /// prefetcher) — waiters block on the condvar instead of issuing a
+    /// duplicate read.
+    loading: HashSet<usize>,
+    resident_bytes: usize,
+    clock: u64,
+}
+
+/// The budgeted block cache in front of a [`ShardFile`] — shared
+/// between the kernels and the prefetch thread.
+#[derive(Debug)]
+pub struct BufferPool {
+    file: ShardFile,
+    /// `usize::MAX` when unbudgeted.
+    budget: usize,
+    state: Mutex<PoolState>,
+    cond: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    prefetches: AtomicU64,
+}
+
+/// A pinned, resident shard block. Derefs to the block's [`CsrMatrix`];
+/// the pool will not evict the block while this guard lives.
+struct PinnedShard {
+    pool: Arc<BufferPool>,
+    idx: usize,
+    block: Arc<CsrMatrix>,
+}
+
+impl Deref for PinnedShard {
+    type Target = CsrMatrix;
+
+    #[inline]
+    fn deref(&self) -> &CsrMatrix {
+        &self.block
+    }
+}
+
+impl Drop for PinnedShard {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock().unwrap();
+        if let Some(slot) = st.slots.get_mut(&self.idx) {
+            slot.pins -= 1;
+        }
+        // A transient overshoot (everything was pinned when a load needed
+        // room) is corrected as soon as pins release — otherwise a pool
+        // with a single oversized shard would squat over budget forever.
+        if st.resident_bytes > self.pool.budget {
+            self.pool.make_room(&mut st, 0);
+        }
+    }
+}
+
+impl BufferPool {
+    fn new(file: ShardFile, budget: Option<usize>) -> Self {
+        Self {
+            file,
+            budget: budget.unwrap_or(usize::MAX),
+            state: Mutex::new(PoolState::default()),
+            cond: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            prefetches: AtomicU64::new(0),
+        }
+    }
+
+    /// Evicts least-recently-used unpinned blocks until `incoming` more
+    /// bytes fit the budget. May leave the pool over budget when
+    /// everything left is pinned — the working set always resides (the
+    /// documented transient overshoot) rather than deadlocking.
+    fn make_room(&self, st: &mut PoolState, incoming: usize) {
+        while st.resident_bytes.saturating_add(incoming) > self.budget {
+            let victim = st
+                .slots
+                .iter()
+                .filter(|(_, slot)| slot.pins == 0)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(&i, _)| i);
+            match victim {
+                Some(i) => {
+                    let slot = st.slots.remove(&i).unwrap();
+                    st.resident_bytes -= slot.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Pins shard `i`, demand-loading it if absent. Concurrent requests
+    /// for the same shard coalesce onto one disk read (waiters park on
+    /// the condvar until the loader publishes the block or fails).
+    fn acquire(self: &Arc<Self>, i: usize) -> Result<PinnedShard, ShardFileError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            st.clock += 1;
+            let clock = st.clock;
+            if let Some(slot) = st.slots.get_mut(&i) {
+                slot.pins += 1;
+                slot.last_used = clock;
+                let block = Arc::clone(&slot.block);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PinnedShard {
+                    pool: Arc::clone(self),
+                    idx: i,
+                    block,
+                });
+            }
+            if st.loading.contains(&i) {
+                st = self.cond.wait(st).unwrap();
+                continue;
+            }
+            st.loading.insert(i);
+            break;
+        }
+        drop(st);
+
+        let loaded = self.file.read_shard(i);
+        let mut st = self.state.lock().unwrap();
+        st.loading.remove(&i);
+        match loaded {
+            Err(e) => {
+                self.cond.notify_all();
+                Err(e)
+            }
+            Ok(block) => {
+                let bytes = self.file.shard_meta(i).resident_bytes();
+                self.make_room(&mut st, bytes);
+                let block = Arc::new(block);
+                st.clock += 1;
+                let clock = st.clock;
+                st.slots.insert(
+                    i,
+                    Slot {
+                        block: Arc::clone(&block),
+                        bytes,
+                        last_used: clock,
+                        pins: 1,
+                    },
+                );
+                st.resident_bytes += bytes;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.cond.notify_all();
+                Ok(PinnedShard {
+                    pool: Arc::clone(self),
+                    idx: i,
+                    block,
+                })
+            }
+        }
+    }
+
+    /// Loads shard `i` unpinned — the prefetch thread's entry point.
+    /// No-ops when the block is already resident or someone else is
+    /// reading it; read failures are swallowed (the demand load retries
+    /// and owns the error).
+    fn prefetch_load(&self, i: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.slots.contains_key(&i) || st.loading.contains(&i) {
+                return;
+            }
+            st.loading.insert(i);
+        }
+        let loaded = self.file.read_shard(i);
+        let mut st = self.state.lock().unwrap();
+        st.loading.remove(&i);
+        if let Ok(block) = loaded {
+            let bytes = self.file.shard_meta(i).resident_bytes();
+            self.make_room(&mut st, bytes);
+            st.clock += 1;
+            let clock = st.clock;
+            st.slots.insert(
+                i,
+                Slot {
+                    block: Arc::new(block),
+                    bytes,
+                    last_used: clock,
+                    pins: 0,
+                },
+            );
+            st.resident_bytes += bytes;
+            self.prefetches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cond.notify_all();
+    }
+
+    fn stats(&self) -> PagerStats {
+        PagerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The background prefetcher: a channel of shard indices drained by one
+/// thread. Dropping the handle closes the channel and joins the thread.
+#[derive(Debug)]
+struct PrefetchHandle {
+    tx: Option<Sender<usize>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PrefetchHandle {
+    fn spawn(pool: Arc<BufferPool>) -> Self {
+        let (tx, rx): (Sender<usize>, Receiver<usize>) = std::sync::mpsc::channel();
+        let thread = std::thread::Builder::new()
+            .name("lsbp-prefetch".into())
+            .spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    pool.prefetch_load(i);
+                }
+            })
+            .expect("spawning the prefetch thread");
+        Self {
+            tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for PrefetchHandle {
+    fn drop(&mut self) {
+        // Closing the channel ends the receive loop; joining bounds any
+        // in-flight read so the pool never outlives its file handle
+        // assumptions.
+        drop(self.tx.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// An on-disk graph behind the [`PropagationOperator`] interface — see
+/// the module docs for the execution model, the bitwise contract and
+/// the error surface.
+#[derive(Debug)]
+pub struct PagedCsr {
+    pool: Arc<BufferPool>,
+    /// Shard row boundaries, `ShardedCsr`-style: shard `i` covers
+    /// global rows `starts[i]..starts[i + 1]`.
+    starts: Vec<usize>,
+    prefetch: Option<PrefetchHandle>,
+}
+
+impl PagedCsr {
+    /// Opens an existing shard store for paged execution.
+    pub fn open(path: impl AsRef<Path>, opts: PagedOptions) -> Result<Self, ShardFileError> {
+        Ok(Self::from_file(ShardFile::open(path)?, opts))
+    }
+
+    /// Spills `m` to `path` as a `shards`-way shard store and opens it
+    /// — the one-call "make this graph out-of-core" path.
+    pub fn spill(
+        m: &CsrMatrix,
+        path: impl AsRef<Path>,
+        shards: usize,
+        opts: PagedOptions,
+    ) -> Result<Self, ShardFileError> {
+        let path = path.as_ref();
+        ShardFile::write_csr(path, m, shards)?;
+        Self::open(path, opts)
+    }
+
+    /// Wraps an already-opened shard store.
+    pub fn from_file(file: ShardFile, opts: PagedOptions) -> Self {
+        let starts = file.starts();
+        let pool = Arc::new(BufferPool::new(file, opts.budget_bytes));
+        let prefetch = opts
+            .prefetch
+            .then(|| PrefetchHandle::spawn(Arc::clone(&pool)));
+        Self {
+            pool,
+            starts,
+            prefetch,
+        }
+    }
+
+    /// Number of shards in the backing store.
+    pub fn num_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// The global row range of shard `i`.
+    pub fn shard_rows(&self, i: usize) -> Range<usize> {
+        self.starts[i]..self.starts[i + 1]
+    }
+
+    /// Path of the backing shard store.
+    pub fn path(&self) -> &Path {
+        self.pool.file.path()
+    }
+
+    /// Pager activity so far.
+    pub fn stats(&self) -> PagerStats {
+        self.pool.stats()
+    }
+
+    /// The checked load path: pages shard `i` in through the pool
+    /// (verifying its checksum) and releases the pin. This is the typed
+    /// error surface for post-open corruption — call it to validate or
+    /// warm a store without risking a kernel panic.
+    pub fn load_shard(&self, i: usize) -> Result<(), ShardFileError> {
+        self.pool.acquire(i).map(|_pin| ())
+    }
+
+    /// Reassembles the monolithic [`CsrMatrix`] by streaming every
+    /// shard through the pool (bit-exact by the store's round-trip
+    /// guarantee).
+    ///
+    /// # Panics
+    /// Panics if a block fails its checksum mid-stream — use
+    /// [`PagedCsr::load_shard`] first for a checked pass.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n_rows = PropagationOperator::n_rows(self);
+        let nnz = PropagationOperator::nnz(self);
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            let shard = self.pin(i);
+            let base = *row_ptr.last().unwrap();
+            row_ptr.extend(shard.row_offsets()[1..].iter().map(|&p| base + p));
+            col_idx.extend_from_slice(shard.raw_col_idx());
+            values.extend_from_slice(shard.raw_values());
+        }
+        CsrMatrix::from_trusted_parts(n_rows, self.pool.file.n_cols(), row_ptr, col_idx, values)
+    }
+
+    /// Pins shard `i` for kernel use.
+    ///
+    /// # Panics
+    /// Panics on a post-open read/checksum failure (see the module docs'
+    /// error surface).
+    fn pin(&self, i: usize) -> PinnedShard {
+        self.pool.acquire(i).unwrap_or_else(|e| {
+            panic!(
+                "paged operator failed to load shard {i} of {:?} mid-solve: {e}",
+                self.pool.file.path()
+            )
+        })
+    }
+
+    /// Asks the prefetch thread for shard `i` (no-op when prefetch is
+    /// off, the index is past the end, or the channel is gone).
+    #[inline]
+    fn request_prefetch(&self, i: usize) {
+        if i >= self.num_shards() {
+            return;
+        }
+        if let Some(handle) = &self.prefetch {
+            if let Some(tx) = &handle.tx {
+                let _ = tx.send(i);
+            }
+        }
+    }
+
+    /// The shard holding global row `r` and `r`'s local index within it
+    /// — same boundary arithmetic as `ShardedCsr::locate`.
+    #[inline]
+    fn locate(&self, r: usize) -> (usize, usize) {
+        debug_assert!(
+            r < PropagationOperator::n_rows(self),
+            "row {r} out of range"
+        );
+        let s = self.starts.partition_point(|&x| x <= r) - 1;
+        (s, r - self.starts[s])
+    }
+}
+
+impl PropagationOperator for PagedCsr {
+    #[inline]
+    fn n_rows(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    #[inline]
+    fn n_cols(&self) -> usize {
+        self.pool.file.n_cols()
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.pool.file.nnz()
+    }
+
+    fn row_nnz(&self, r: usize) -> usize {
+        let (s, local) = self.locate(r);
+        self.pin(s).row_nnz(local)
+    }
+
+    /// Row access copies the row out **under the pool pin**, then
+    /// releases it — the returned iterator stays valid however the pool
+    /// evicts afterwards (the `RowIter::owned` half of the trait's
+    /// soundness story).
+    fn row_iter(&self, r: usize) -> RowIter<'_> {
+        let (s, local) = self.locate(r);
+        let shard = self.pin(s);
+        RowIter::owned(
+            shard.row_cols(local).to_vec(),
+            shard.row_values(local).to_vec(),
+        )
+    }
+
+    /// `y = A·x`, shards walked in row order; each block runs the
+    /// monolithic SpMV kernel while the next block streams in from disk.
+    fn spmv_into_with(&self, x: &[f64], y: &mut [f64], cfg: &ParallelismConfig) {
+        assert_eq!(x.len(), self.n_cols(), "spmv dimension mismatch");
+        assert_eq!(y.len(), self.n_rows(), "spmv output dimension mismatch");
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            let shard = self.pin(i);
+            let rows = self.shard_rows(i);
+            shard.spmv_into_with(x, &mut y[rows], cfg);
+        }
+    }
+
+    /// `out = A·B`, shards walked in row order through the monolithic
+    /// SpMM row kernels — dispatch identical to `ShardedCsr`.
+    fn spmm_into_with(&self, b: &Mat, out: &mut Mat, cfg: &ParallelismConfig) {
+        assert_eq!(b.rows(), self.n_cols(), "spmm dimension mismatch");
+        assert_eq!(out.rows(), self.n_rows(), "spmm output rows");
+        assert_eq!(out.cols(), b.cols(), "spmm output cols");
+        let kt = b.cols();
+        let flat = out.as_mut_slice();
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            let shard = self.pin(i);
+            let rows = self.shard_rows(i);
+            shard.spmm_block_with(b, &mut flat[rows.start * kt..rows.end * kt], cfg);
+        }
+    }
+
+    /// The fused LinBP step over paged shards — same global-offset
+    /// block dispatch and order-independent delta maxima as
+    /// `ShardedCsr`, hence bitwise the monolithic step.
+    fn linbp_step_fused_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        let (k, _q) = validate_fused_step(n, self.n_cols(), b, step, out, deltas);
+        deltas.iter_mut().for_each(|d| *d = 0.0);
+        if n == 0 || kt == 0 {
+            return;
+        }
+        let flat = out.as_mut_slice();
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            let shard = self.pin(i);
+            let rows = self.shard_rows(i);
+            shard.fused_block_with(
+                b,
+                step,
+                rows.start,
+                &mut flat[rows.start * kt..rows.end * kt],
+                deltas,
+                k,
+                cfg,
+            );
+        }
+    }
+
+    fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix {
+        self.to_csr().transpose_with(cfg)
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_rows());
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            out.extend(self.pin(i).row_sums());
+        }
+        out
+    }
+
+    fn squared_weight_degrees(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_rows());
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            out.extend(self.pin(i).squared_weight_degrees());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::sharded::ShardedCsr;
+    use std::path::PathBuf;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(7, 7);
+        coo.push_symmetric(0, 1, 2.0);
+        coo.push_symmetric(0, 2, 1.0);
+        coo.push_symmetric(0, 3, 0.5);
+        coo.push_symmetric(1, 4, 3.0);
+        coo.push_symmetric(2, 4, 1.5);
+        coo.push_symmetric(4, 5, 0.25);
+        coo.to_csr()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lsbp-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn kernels_match_resident_bitwise_at_any_budget() {
+        let m = sample();
+        let n = m.n_rows();
+        let b = Mat::from_fn(n, 3, |r, c| ((r * 3 + c) % 11) as f64 * 0.07 - 0.3);
+        let cfg = ParallelismConfig::with_threads(2).with_min_work(1);
+        let x: Vec<f64> = (0..n).map(|i| (i % 5) as f64 * 0.2 - 0.4).collect();
+        let mut y_mono = vec![0.0; n];
+        m.spmv_into_with(&x, &mut y_mono, &cfg);
+        let mut o_mono = Mat::zeros(n, 3);
+        m.spmm_into_with(&b, &mut o_mono, &cfg);
+
+        for budget in [Some(1usize), Some(200), None] {
+            let path = tmp(&format!("kernels-{budget:?}.lsbp"));
+            let paged =
+                PagedCsr::spill(&m, &path, 3, PagedOptions::default().with_budget(budget)).unwrap();
+            let mut y = vec![0.0; n];
+            paged.spmv_into_with(&x, &mut y, &cfg);
+            assert!(bits_eq(&y, &y_mono), "spmv, budget {budget:?}");
+            let mut o = Mat::zeros(n, 3);
+            paged.spmm_into_with(&b, &mut o, &cfg);
+            assert!(
+                bits_eq(o.as_slice(), o_mono.as_slice()),
+                "spmm, budget {budget:?}"
+            );
+            assert_eq!(paged.to_csr(), m, "assembly, budget {budget:?}");
+            assert_eq!(paged.row_sums(), m.row_sums());
+            assert_eq!(paged.squared_weight_degrees(), m.squared_weight_degrees());
+            assert_eq!(paged.transpose_with(&cfg), m.transpose_with(&cfg));
+            drop(paged);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn row_access_is_owned_and_correct() {
+        let m = sample();
+        let path = tmp("rows.lsbp");
+        // One-byte budget: every shard is evicted as soon as it is
+        // unpinned, so a dangling borrow would be caught immediately.
+        let paged = PagedCsr::spill(
+            &m,
+            &path,
+            4,
+            PagedOptions::default()
+                .with_budget(Some(1))
+                .with_prefetch(false),
+        )
+        .unwrap();
+        let rows: Vec<Vec<(usize, f64)>> = (0..m.n_rows())
+            .map(|r| paged.row_iter(r).collect())
+            .collect();
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(paged.row_nnz(r), m.row_nnz(r), "row {r}");
+            assert_eq!(*row, m.row_iter(r).collect::<Vec<_>>(), "row {r}");
+        }
+        drop(paged);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiny_budget_evicts_and_counts() {
+        let m = sample();
+        let path = tmp("evict.lsbp");
+        let paged = PagedCsr::spill(
+            &m,
+            &path,
+            4,
+            PagedOptions::default()
+                .with_budget(Some(1))
+                .with_prefetch(false),
+        )
+        .unwrap();
+        let cfg = ParallelismConfig::serial();
+        let x = vec![1.0; m.n_cols()];
+        let mut y = vec![0.0; m.n_rows()];
+        paged.spmv_into_with(&x, &mut y, &cfg);
+        paged.spmv_into_with(&x, &mut y, &cfg);
+        let stats = paged.stats();
+        // A 1-byte budget forces a miss for every shard visit on both
+        // passes and an eviction for (nearly) every load.
+        assert_eq!(stats.misses, 2 * paged.num_shards() as u64);
+        assert!(stats.evictions >= stats.misses - 1, "{stats:?}");
+        assert_eq!(stats.hits, 0);
+        drop(paged);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unbudgeted_second_pass_is_all_hits() {
+        let m = sample();
+        let path = tmp("warm.lsbp");
+        let paged =
+            PagedCsr::spill(&m, &path, 3, PagedOptions::default().with_prefetch(false)).unwrap();
+        let cfg = ParallelismConfig::serial();
+        let x = vec![1.0; m.n_cols()];
+        let mut y = vec![0.0; m.n_rows()];
+        paged.spmv_into_with(&x, &mut y, &cfg);
+        let cold = paged.stats();
+        assert_eq!(cold.misses, paged.num_shards() as u64);
+        paged.spmv_into_with(&x, &mut y, &cfg);
+        let warm = paged.stats();
+        assert_eq!(warm.misses, cold.misses, "no new disk reads when warm");
+        assert_eq!(warm.hits, paged.num_shards() as u64);
+        assert_eq!(warm.evictions, 0);
+        drop(paged);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prefetch_thread_loads_ahead() {
+        let m = sample();
+        let path = tmp("prefetch.lsbp");
+        let paged = PagedCsr::spill(&m, &path, 4, PagedOptions::default()).unwrap();
+        let cfg = ParallelismConfig::serial();
+        let x = vec![1.0; m.n_cols()];
+        let mut y = vec![0.0; m.n_rows()];
+        // Drive several passes; the prefetcher races the demand loads,
+        // so eventually some loads land as prefetches (and whatever it
+        // loaded is consumed as hits). Either way the answers match.
+        let mut y_mono = vec![0.0; m.n_rows()];
+        m.spmv_into_with(&x, &mut y_mono, &cfg);
+        for _ in 0..4 {
+            paged.spmv_into_with(&x, &mut y, &cfg);
+            assert!(bits_eq(&y, &y_mono));
+        }
+        let stats = paged.stats();
+        // Every shard visit is exactly one hit or one demand miss;
+        // prefetch loads are extra reads on top.
+        assert_eq!(stats.hits + stats.misses, 4 * paged.num_shards() as u64);
+        drop(paged);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_shard_surfaces_corruption_as_typed_error() {
+        let m = sample();
+        let path = tmp("corrupt.lsbp");
+        ShardFile::write_csr(&path, &m, 2).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let paged = PagedCsr::open(&path, PagedOptions::default().with_prefetch(false)).unwrap();
+        assert!(paged.load_shard(0).is_ok());
+        assert!(matches!(
+            paged.load_shard(1),
+            Err(ShardFileError::ChecksumMismatch(_))
+        ));
+        drop(paged);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matches_sharded_layout_exactly() {
+        let m = sample();
+        for shards in [1usize, 2, 4, 7] {
+            let path = tmp(&format!("layout-{shards}.lsbp"));
+            let paged = PagedCsr::spill(&m, &path, shards, PagedOptions::default()).unwrap();
+            let sh = ShardedCsr::from_csr(&m, shards);
+            assert_eq!(paged.num_shards(), sh.num_shards());
+            for i in 0..sh.num_shards() {
+                assert_eq!(paged.shard_rows(i), sh.shard_rows(i));
+            }
+            drop(paged);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

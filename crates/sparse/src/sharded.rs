@@ -26,7 +26,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::fused::{validate_fused_step, FusedLinBpStep};
-use crate::operator::PropagationOperator;
+use crate::operator::{PropagationOperator, RowIter};
 use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
 use std::ops::Range;
 
@@ -143,6 +143,21 @@ impl ShardedCsr {
         CsrMatrix::from_trusted_parts(n_rows, self.n_cols, row_ptr, col_idx, values)
     }
 
+    /// Column indices of row `r` (sorted ascending, global coordinates)
+    /// — zero-copy, straight out of the owning shard's arrays.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        let (s, local) = self.locate(r);
+        self.shards[s].row_cols(local)
+    }
+
+    /// Values of row `r`, parallel to [`ShardedCsr::row_cols`].
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f64] {
+        let (s, local) = self.locate(r);
+        self.shards[s].row_values(local)
+    }
+
     /// The shard holding global row `r` and `r`'s local row index within
     /// it. Empty shards are skipped by construction (`starts` jumps past
     /// them).
@@ -179,15 +194,8 @@ impl PropagationOperator for ShardedCsr {
     }
 
     #[inline]
-    fn row_cols(&self, r: usize) -> &[u32] {
-        let (s, local) = self.locate(r);
-        self.shards[s].row_cols(local)
-    }
-
-    #[inline]
-    fn row_values(&self, r: usize) -> &[f64] {
-        let (s, local) = self.locate(r);
-        self.shards[s].row_values(local)
+    fn row_iter(&self, r: usize) -> RowIter<'_> {
+        RowIter::borrowed(self.row_cols(r), self.row_values(r))
     }
 
     /// `y = A·x`, one persistent-pool region per shard in row order; each

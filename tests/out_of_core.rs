@@ -1,0 +1,348 @@
+//! The out-of-core contract: every propagator running on a [`PagedCsr`]
+//! — the spilled shard store behind a budgeted buffer pool — must be
+//! **bitwise identical** to the resident [`CsrMatrix`] path at every
+//! budget × shard × thread combination, cold cache and warm cache alike.
+//! Eviction pressure mid-solve must never change an answer, and damaged
+//! shard files must surface as typed errors, never garbage beliefs.
+
+use lsbp::prelude::*;
+use lsbp_graph::generators::erdos_renyi_gnm;
+use lsbp_linalg::Mat;
+use lsbp_sparse::CsrMatrix;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn bits_equal(a: &Mat, b: &Mat) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn seeds(n: usize, k: usize, picks: &[(usize, usize)]) -> ExplicitBeliefs {
+    let mut e = ExplicitBeliefs::new(n, k);
+    for &(v, c) in picks {
+        let _ = e.set_label(v % n, c % k, 1.0);
+    }
+    e
+}
+
+/// Per-process scratch directory for spill files; tests use distinct
+/// file names so they can run concurrently.
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsbp-ooc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Approximate resident bytes of a CSR: row pointers + columns + values.
+fn csr_bytes(m: &CsrMatrix) -> usize {
+    (m.n_rows() + 1) * std::mem::size_of::<usize>() + m.nnz() * (4 + 8)
+}
+
+fn assert_linbp_equal(got: &LinBpResult, want: &LinBpResult, label: &str) {
+    assert_eq!(got.converged, want.converged, "{label}");
+    assert_eq!(got.diverged, want.diverged, "{label}");
+    assert_eq!(got.iterations, want.iterations, "{label}");
+    assert_eq!(
+        got.final_delta.to_bits(),
+        want.final_delta.to_bits(),
+        "{label}"
+    );
+    assert!(
+        bits_equal(got.beliefs.residual(), want.beliefs.residual()),
+        "{label}: paged beliefs differ from resident"
+    );
+}
+
+/// The acceptance grid: budgets {tiny, half, ample} × shards {1, 2, 8}
+/// × threads {1, 4}, for LinBP, LinBP*, RWR and SBP. Every cell must be
+/// bitwise identical to the serial resident reference.
+#[test]
+fn paged_solves_match_resident_across_budget_grid() {
+    let n = 60;
+    let adj = erdos_renyi_gnm(n, 180, 7).adjacency();
+    let e = seeds(n, 3, &[(0, 0), (13, 1), (41, 2)]);
+    let coupling = CouplingMatrix::fig1c().unwrap();
+    let h = coupling.scaled_residual(0.04);
+    let hr = coupling.residual();
+    let reference_opts = LinBpOptions {
+        max_iter: 120,
+        tol: 1e-10,
+        parallelism: ParallelismConfig::serial(),
+        ..Default::default()
+    };
+    let want = linbp(&adj, &e, &h, &reference_opts).unwrap();
+    let want_star = linbp_star(&adj, &e, &h, &reference_opts).unwrap();
+    let want_rwr = rwr(
+        &adj,
+        &e,
+        &RwrOptions {
+            parallelism: ParallelismConfig::serial(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let want_sbp = sbp_with(&adj, &e, &hr, &ParallelismConfig::serial()).unwrap();
+
+    let bytes = csr_bytes(&adj);
+    // `tiny` cannot hold even one shard — every access misses and evicts.
+    for (budget, bname) in [(1usize, "tiny"), (bytes / 2, "half"), (bytes * 4, "ample")] {
+        for threads in [1usize, 4] {
+            for shards in [1usize, 2, 8] {
+                let cfg = ParallelismConfig::with_threads(threads)
+                    .with_min_work(1)
+                    .with_shards(shards)
+                    .with_memory_budget(budget);
+                let path = tmp(&format!("grid-{bname}-t{threads}-s{shards}.lsbp"));
+                let paged = spill_paged(&adj, &path, &cfg).unwrap();
+                assert!(paged.num_shards() >= 1 && paged.num_shards() <= shards);
+                let label = format!("budget={bname} t={threads} s={shards}");
+                let opts = LinBpOptions {
+                    parallelism: cfg,
+                    ..reference_opts
+                };
+                let got = linbp_on(&paged, &e, &h, &opts).unwrap();
+                assert_linbp_equal(&got, &want, &label);
+                let got_star = linbp_star_on(&paged, &e, &h, &opts).unwrap();
+                assert_linbp_equal(&got_star, &want_star, &format!("{label} (star)"));
+                let got_rwr = rwr_on(
+                    &paged,
+                    &e,
+                    &RwrOptions {
+                        parallelism: cfg,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(got_rwr.iterations, want_rwr.iterations, "{label}");
+                assert!(
+                    bits_equal(got_rwr.beliefs.residual(), want_rwr.beliefs.residual()),
+                    "{label}: rwr"
+                );
+                let got_sbp = sbp_on(&paged, &e, &hr, &cfg).unwrap();
+                assert_eq!(got_sbp.geodesics.g, want_sbp.geodesics.g, "{label}");
+                assert!(
+                    bits_equal(got_sbp.beliefs.residual(), want_sbp.beliefs.residual()),
+                    "{label}: sbp"
+                );
+                // Tiny budgets must actually exercise the pager: every
+                // shard visit after the first pass is still a miss.
+                let stats = paged.stats();
+                if bname == "tiny" {
+                    assert!(
+                        stats.evictions > 0,
+                        "{label}: no evictions under 1-byte budget"
+                    );
+                }
+                assert!(
+                    stats.hits + stats.misses > 0,
+                    "{label}: pager never touched"
+                );
+            }
+        }
+    }
+}
+
+/// A cold first solve and a warm second solve return bit-identical
+/// beliefs, and a generous budget makes the warm pass all hits.
+#[test]
+fn cold_and_warm_solves_are_bit_identical() {
+    let n = 48;
+    let adj = erdos_renyi_gnm(n, 140, 11).adjacency();
+    let e = seeds(n, 3, &[(3, 0), (20, 1), (33, 2)]);
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.05);
+    let cfg = ParallelismConfig::with_threads(2)
+        .with_min_work(1)
+        .with_shards(4);
+    let opts = LinBpOptions {
+        max_iter: 100,
+        tol: 1e-10,
+        parallelism: cfg,
+        ..Default::default()
+    };
+    let path = tmp("cold-warm.lsbp");
+    // Unbudgeted (no memory budget set) → everything stays resident
+    // after first touch.
+    let paged = spill_paged(&adj, &path, &cfg).unwrap();
+    let cold = linbp_on(&paged, &e, &h, &opts).unwrap();
+    let after_cold = paged.stats();
+    assert!(after_cold.misses > 0, "cold run must demand-load shards");
+    let warm = linbp_on(&paged, &e, &h, &opts).unwrap();
+    let after_warm = paged.stats();
+    assert_linbp_equal(&warm, &cold, "warm vs cold");
+    assert_eq!(
+        after_warm.misses, after_cold.misses,
+        "warm run must not touch the disk again"
+    );
+    assert_eq!(after_warm.evictions, 0, "unbudgeted pool must never evict");
+    // Re-open the same file fresh (cold again) and match the resident run.
+    let reopened = open_paged(&path, &cfg).unwrap();
+    let want = linbp(&adj, &e, &h, &opts).unwrap();
+    let got = linbp_on(&reopened, &e, &h, &opts).unwrap();
+    assert_linbp_equal(&got, &want, "reopened vs resident");
+}
+
+/// Eviction pressure *mid-solve*: a budget that holds roughly one shard
+/// forces the pool to cycle residency on every iteration of a long
+/// multi-iteration solve — the answer must not change.
+#[test]
+fn eviction_under_pressure_mid_solve() {
+    let n = 64;
+    let adj = erdos_renyi_gnm(n, 220, 23).adjacency();
+    let e = seeds(n, 3, &[(5, 0), (31, 1), (50, 2)]);
+    let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.06);
+    let shards = 8;
+    // Budget ≈ one shard: walking 8 shards per iteration evicts 7 times
+    // per sweep, interleaved with the solve's own vector updates.
+    let budget = csr_bytes(&adj) / shards + 64;
+    let cfg = ParallelismConfig::with_threads(4)
+        .with_min_work(1)
+        .with_shards(shards)
+        .with_memory_budget(budget);
+    let opts = LinBpOptions {
+        max_iter: 200,
+        tol: 1e-12,
+        parallelism: cfg,
+        ..Default::default()
+    };
+    let want = linbp(
+        &adj,
+        &e,
+        &h,
+        &LinBpOptions {
+            parallelism: ParallelismConfig::serial(),
+            ..opts
+        },
+    )
+    .unwrap();
+    let path = tmp("pressure.lsbp");
+    let paged = spill_paged(&adj, &path, &cfg).unwrap();
+    let got = linbp_on(&paged, &e, &h, &opts).unwrap();
+    assert_linbp_equal(&got, &want, "pressure");
+    let stats = paged.stats();
+    assert!(
+        stats.evictions >= shards as u64,
+        "one-shard budget must evict continuously, saw {}",
+        stats.evictions
+    );
+}
+
+/// Damaged shard stores surface as typed [`ShardFileError`]s: truncation
+/// is caught at `open` (or shard load), bit flips at shard load — never a
+/// panic, never silently wrong data.
+#[test]
+fn damaged_files_are_typed_errors() {
+    let adj = erdos_renyi_gnm(30, 90, 3).adjacency();
+    let cfg = ParallelismConfig::serial().with_shards(3);
+    let path = tmp("damaged.lsbp");
+    drop(spill_paged(&adj, &path, &cfg).unwrap());
+    let full = std::fs::read(&path).unwrap();
+
+    // Truncations at every granularity: header, directory, mid-block.
+    for keep in [0usize, 4, 40, full.len() / 2, full.len() - 1] {
+        let tpath = tmp(&format!("trunc-{keep}.lsbp"));
+        std::fs::write(&tpath, &full[..keep]).unwrap();
+        let verdict = open_paged(&tpath, &cfg)
+            .and_then(|p| (0..p.num_shards()).try_for_each(|i| p.load_shard(i)));
+        assert!(
+            verdict.is_err(),
+            "truncated to {keep} of {} bytes must fail typed",
+            full.len()
+        );
+    }
+
+    // A flipped bit in the payload fails the block checksum on load.
+    let mut flipped = full.clone();
+    let last = flipped.len() - 5;
+    flipped[last] ^= 0x40;
+    let fpath = tmp("flipped.lsbp");
+    std::fs::write(&fpath, &flipped).unwrap();
+    let paged = open_paged(&fpath, &cfg).unwrap();
+    let verdict = (0..paged.num_shards()).try_for_each(|i| paged.load_shard(i));
+    assert!(matches!(verdict, Err(ShardFileError::ChecksumMismatch(_))));
+
+    // Not a shard file at all.
+    let gpath = tmp("garbage.lsbp");
+    std::fs::write(&gpath, b"definitely not a shard store").unwrap();
+    assert!(open_paged(&gpath, &cfg).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random graphs × random budgets × random shard counts: the paged
+    /// LinBP run equals the resident run bitwise, and the store
+    /// round-trips the exact matrix.
+    #[test]
+    fn paged_linbp_random(
+        seed in 0u64..500,
+        shards in 1usize..10,
+        threads in 1usize..5,
+        budget_frac in 0usize..4,
+    ) {
+        let n = 36;
+        let adj = erdos_renyi_gnm(n, 90, seed).adjacency();
+        let h = CouplingMatrix::fig1c().unwrap().scaled_residual(0.05);
+        let e = seeds(n, 3, &[(seed as usize % n, 0), ((seed as usize * 5 + 2) % n, 1)]);
+        let budget = match budget_frac {
+            0 => 1,                      // thrash
+            1 => csr_bytes(&adj) / 4,
+            2 => csr_bytes(&adj) / 2,
+            _ => usize::MAX,             // never evict
+        };
+        let base_opts = LinBpOptions {
+            max_iter: 120,
+            tol: 1e-10,
+            parallelism: ParallelismConfig::serial(),
+            ..Default::default()
+        };
+        let want = linbp(&adj, &e, &h, &base_opts).unwrap();
+        let cfg = ParallelismConfig::with_threads(threads)
+            .with_min_work(1)
+            .with_shards(shards)
+            .with_memory_budget(budget);
+        let path = tmp(&format!("prop-{seed}-{shards}-{threads}-{budget_frac}.lsbp"));
+        let paged = spill_paged(&adj, &path, &cfg).unwrap();
+        prop_assert_eq!(paged.to_csr(), adj.clone());
+        let got = linbp_on(&paged, &e, &h, &LinBpOptions { parallelism: cfg, ..base_opts }).unwrap();
+        prop_assert_eq!(got.iterations, want.iterations);
+        prop_assert!(bits_equal(got.beliefs.residual(), want.beliefs.residual()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The `shards > n_rows` edge: both the in-memory sharded layout and
+    /// the spilled store collapse to at most one shard per row, tile the
+    /// row space exactly, and still solve bitwise-identically.
+    #[test]
+    fn more_shards_than_rows_is_well_formed(
+        n in 1usize..7,
+        extra in 1usize..60,
+        seed in 0u64..100,
+    ) {
+        let m = (n * n.saturating_sub(1) / 2).min(12);
+        let adj = erdos_renyi_gnm(n, m, seed).adjacency();
+        let shards = n + extra;
+        let sharded = ShardedCsr::from_csr(&adj, shards);
+        prop_assert!(sharded.num_shards() <= n.max(1));
+        // Shards tile 0..n contiguously.
+        let mut next = 0;
+        for i in 0..sharded.num_shards() {
+            let r = sharded.shard_rows(i);
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+        prop_assert_eq!(sharded.to_csr(), adj.clone());
+        // Same edge through the paged store.
+        let cfg = ParallelismConfig::serial().with_shards(shards);
+        let path = tmp(&format!("edge-{n}-{extra}-{seed}.lsbp"));
+        let paged = spill_paged(&adj, &path, &cfg).unwrap();
+        prop_assert!(paged.num_shards() <= n.max(1));
+        prop_assert_eq!(paged.to_csr(), adj.clone());
+        let _ = std::fs::remove_file(&path);
+    }
+}

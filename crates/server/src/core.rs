@@ -164,11 +164,18 @@ struct GraphEntry {
     paged: Option<PagedCsr>,
 }
 
+/// Distinguishes spill files across builds of the same (graph, version):
+/// rejected duplicate registrations and racing delta rebuilds each write
+/// their own file, so a losing build's `Drop` can only ever delete its
+/// own spill — never the live entry's.
+static SPILL_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl GraphEntry {
     fn build(csr: CsrMatrix, version: u64, graph_id: u64, config: &ServerConfig) -> Self {
         let cfg = &config.parallelism;
         let paged = config.spill_dir.as_ref().and_then(|dir| {
-            let path = dir.join(format!("graph-{graph_id:016x}-v{version}.lsbp"));
+            let nonce = SPILL_NONCE.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!("graph-{graph_id:016x}-v{version}-{nonce}.lsbp"));
             std::fs::create_dir_all(dir)
                 .map_err(lsbp::ShardFileError::Io)
                 .and_then(|()| lsbp::spill_paged(&csr, &path, cfg))
@@ -356,6 +363,13 @@ struct Counters {
 struct Shared {
     config: ServerConfig,
     registry: RwLock<HashMap<u64, Arc<GraphEntry>>>,
+    /// Serializes graph mutations (register / edge delta) so a delta's
+    /// read-rebuild-publish sequence is atomic: without it two racing
+    /// deltas both rebuild from the same old version and one update is
+    /// silently lost. Held only by the rare control-plane requests —
+    /// solves never touch it. Lock order: `mutations` → `registry` →
+    /// `counters`.
+    mutations: Mutex<()>,
     cache: Mutex<Cache>,
     admission: Mutex<Admission>,
     wakeup: Condvar,
@@ -376,6 +390,7 @@ impl ServerCore {
         let shared = Arc::new(Shared {
             config,
             registry: RwLock::new(HashMap::new()),
+            mutations: Mutex::new(()),
             cache: Mutex::new(Cache::default()),
             admission: Mutex::new(Admission::default()),
             wakeup: Condvar::new(),
@@ -482,10 +497,15 @@ impl ServerCore {
     }
 
     /// Pager activity summed over every live spilled graph plus the
-    /// retired totals banked when versions were replaced.
+    /// retired totals banked when versions were replaced. The registry
+    /// lock is held across the counter read (same `registry` →
+    /// `counters` order as the banking in [`Self::apply_edge_delta`]),
+    /// so a retiring version is counted exactly once: either still
+    /// registered or already banked, never both.
     fn pager_totals(&self) -> PagerStats {
+        let registry = self.shared.registry.read().unwrap();
         let mut total = self.shared.counters.lock().unwrap().pager_retired;
-        for entry in self.shared.registry.read().unwrap().values() {
+        for entry in registry.values() {
             let s = entry.pager_stats();
             total.hits += s.hits;
             total.misses += s.misses;
@@ -523,10 +543,15 @@ impl ServerCore {
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
         let pager = self.pager_totals();
+        // Registry and cache are read *before* taking the counters lock:
+        // version retirement nests `registry` → `counters`, so grabbing
+        // them the other way round here would risk a deadlock.
+        let graphs = self.shared.registry.read().unwrap().len() as u64;
+        let cached_entries = self.shared.cache.lock().unwrap().entries.len() as u64;
         let c = self.shared.counters.lock().unwrap();
         ServerStats {
-            graphs: self.shared.registry.read().unwrap().len() as u64,
-            cached_entries: self.shared.cache.lock().unwrap().entries.len() as u64,
+            graphs,
+            cached_entries,
             queries_served: c.queries_served,
             cache_hits: c.cache_hits,
             coalesced_batches: c.coalesced_batches,
@@ -558,6 +583,18 @@ impl ServerCore {
     ) -> Response {
         if n_nodes == 0 || n_nodes > MAX_NODES {
             return bad_request(format!("n_nodes must be in 1..={MAX_NODES}, got {n_nodes}"));
+        }
+        // Reject duplicates *before* GraphEntry::build runs: the build
+        // spills to disk, and doing it first for an id that is already
+        // live would waste the work (and, before spill paths carried a
+        // nonce, truncated the live entry's file).
+        let _mutation = self.shared.mutations.lock().unwrap();
+        if self.shared.registry.read().unwrap().contains_key(&graph_id) {
+            return Response::Error {
+                code: ErrorCode::GraphAlreadyRegistered,
+                message: format!("graph {graph_id} is already registered"),
+                retry_after_ms: None,
+            };
         }
         let n = n_nodes as usize;
         let mut coo = CooMatrix::new(n, n);
@@ -609,6 +646,10 @@ impl ServerCore {
         symmetric: bool,
         deltas: &[lsbp_net::WireEdge],
     ) -> Response {
+        // Serialize the read-rebuild-publish sequence per core: two
+        // racing deltas would otherwise both rebuild from the same old
+        // version and one of the updates would be silently lost.
+        let _mutation = self.shared.mutations.lock().unwrap();
         let old = match self.shared.registry.read().unwrap().get(&graph_id) {
             Some(e) => Arc::clone(e),
             None => return unknown_graph(graph_id),
@@ -644,21 +685,22 @@ impl ServerCore {
 
         // Publish the new version first: queries admitted from here on
         // solve (and cache) against it. The outgoing version's pager
-        // activity banks into the retired counters so totals stay
+        // activity banks into the retired counters in the same
+        // registry-write critical section that unregisters it, so a
+        // concurrent Health/Stats sum never sees the old entry both
+        // banked and still registered (or neither) — totals stay
         // monotone.
         {
+            let mut registry = self.shared.registry.write().unwrap();
             let old_pager = old.pager_stats();
             let mut c = self.shared.counters.lock().unwrap();
             c.pager_retired.hits += old_pager.hits;
             c.pager_retired.misses += old_pager.misses;
             c.pager_retired.evictions += old_pager.evictions;
             c.pager_retired.prefetches += old_pager.prefetches;
+            drop(c);
+            registry.insert(graph_id, Arc::clone(&new_entry));
         }
-        self.shared
-            .registry
-            .write()
-            .unwrap()
-            .insert(graph_id, Arc::clone(&new_entry));
 
         let (patched, invalidated) = self.patch_cache(graph_id, &old, &new_entry, &list);
         {

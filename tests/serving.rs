@@ -1006,3 +1006,230 @@ fn clamp_iter_degradation_is_bitwise_at_the_clamped_budget() {
     );
     assert_eq!(core.stats().degraded_clamped, 1);
 }
+
+/// Per-process scratch directory for server spill tests; each test
+/// keys its own subdirectory so runs never share files.
+fn spill_scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsbp-serve-spill-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A spilling server config with several shards and a deliberately tiny
+/// buffer-pool budget, so every solve iteration evicts and demand-loads
+/// shards from disk — a destroyed or truncated spill file surfaces
+/// immediately instead of hiding behind a warm single-shard pool.
+fn spill_config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        spill_dir: Some(dir.to_path_buf()),
+        parallelism: ParallelismConfig::serial()
+            .with_shards(4)
+            .with_memory_budget(1),
+        ..ServerConfig::default()
+    }
+}
+
+/// A rejected duplicate registration must not touch the live entry's
+/// spill file: the graph keeps solving out-of-core, bitwise equal to
+/// the library, after the duplicate is turned away.
+#[test]
+fn duplicate_register_with_spill_keeps_live_graph_servable() {
+    let dir = spill_scratch("dup-register");
+    let core = ServerCore::new(spill_config(&dir));
+    let register = |edges: Vec<WireEdge>| Request::RegisterGraph {
+        graph_id: 9,
+        n_nodes: 10,
+        symmetric: true,
+        edges,
+    };
+    assert!(matches!(
+        core.handle_blocking(register(wire_edges())),
+        Response::Registered { .. }
+    ));
+
+    let h = coupling();
+    let solve = |shift: usize| Request::SolveLinBp {
+        graph_id: 9,
+        params: wire_params(&h),
+        seeds: wire_seeds(shift, 1.0),
+    };
+    assert!(matches!(
+        core.handle_blocking(solve(0)),
+        Response::Beliefs(_)
+    ));
+    assert!(
+        core.stats().pager_misses > 0,
+        "solves must actually run through the paged operator"
+    );
+
+    match core.handle_blocking(register(wire_edges()[..3].to_vec())) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::GraphAlreadyRegistered),
+        other => panic!("expected GraphAlreadyRegistered, got {other:?}"),
+    }
+
+    // Fresh seeds (no cache hit) force demand loads from the spill file
+    // the rejected registration must not have damaged.
+    let survived = match core.handle_blocking(solve(1)) {
+        Response::Beliefs(p) => p,
+        other => panic!("graph unservable after duplicate register: {other:?}"),
+    };
+    let reference = linbp(&fixture_adjacency(), &lib_seeds(1, 1.0), &h, &lib_opts()).unwrap();
+    assert_bitwise(
+        "post-duplicate solve",
+        &survived.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+}
+
+/// Racing edge deltas to one spilled graph: every delta must land
+/// (distinct versions, none lost to a read-rebuild-publish race) and
+/// the surviving paged operator must hold ALL of them.
+#[test]
+fn racing_edge_deltas_to_spilled_graph_all_land() {
+    let dir = spill_scratch("racing-deltas");
+    let core = Arc::new(ServerCore::new(spill_config(&dir)));
+    assert!(matches!(
+        core.handle_blocking(Request::RegisterGraph {
+            graph_id: 7,
+            n_nodes: 10,
+            symmetric: true,
+            edges: wire_edges(),
+        }),
+        Response::Registered { .. }
+    ));
+
+    let raw_deltas: Vec<(usize, usize, f64)> = (0..4)
+        .map(|t| (t, (t + 5) % 10, 0.3 + t as f64 * 0.1))
+        .collect();
+    let barrier = Arc::new(Barrier::new(raw_deltas.len()));
+    let workers: Vec<_> = raw_deltas
+        .iter()
+        .map(|&(s, t, w)| {
+            let core = Arc::clone(&core);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                core.handle_blocking(Request::EdgeDelta {
+                    graph_id: 7,
+                    symmetric: true,
+                    deltas: vec![WireEdge {
+                        src: s as u64,
+                        dst: t as u64,
+                        weight: w,
+                    }],
+                })
+            })
+        })
+        .collect();
+    let mut versions: Vec<u64> = workers
+        .into_iter()
+        .map(|w| match w.join().unwrap() {
+            Response::DeltaApplied { version, .. } => version,
+            other => panic!("expected DeltaApplied, got {other:?}"),
+        })
+        .collect();
+    versions.sort_unstable();
+    assert_eq!(
+        versions,
+        vec![2, 3, 4, 5],
+        "each racing delta must claim its own version — a repeat means one update was lost"
+    );
+
+    // The published operator must reflect every delta, served from its
+    // (undamaged) spill file.
+    let h = coupling();
+    let got = match core.handle_blocking(Request::SolveLinBp {
+        graph_id: 7,
+        params: wire_params(&h),
+        seeds: wire_seeds(2, 1.0),
+    }) {
+        Response::Beliefs(p) => p,
+        other => panic!("spilled graph unservable after racing deltas: {other:?}"),
+    };
+    let mut both_dirs = Vec::new();
+    for &(s, t, w) in &raw_deltas {
+        both_dirs.push((s, t, w));
+        both_dirs.push((t, s, w));
+    }
+    let new_adj = fixture_adjacency()
+        .try_with_edge_deltas(&both_dirs)
+        .unwrap();
+    let reference = linbp(&new_adj, &lib_seeds(2, 1.0), &h, &lib_opts()).unwrap();
+    assert_bitwise(
+        "solve after racing deltas",
+        &got.beliefs,
+        reference.beliefs.residual().as_slice(),
+    );
+}
+
+/// Served pager totals must be monotone while versions retire: banking
+/// a retiring entry's stats and unregistering it happen atomically, so
+/// an observer never sees a version counted twice (or not at all).
+#[test]
+fn pager_totals_stay_monotone_across_version_retirement() {
+    let dir = spill_scratch("monotone-totals");
+    let core = Arc::new(ServerCore::new(spill_config(&dir)));
+    assert!(matches!(
+        core.handle_blocking(Request::RegisterGraph {
+            graph_id: 5,
+            n_nodes: 10,
+            symmetric: true,
+            edges: wire_edges(),
+        }),
+        Response::Registered { .. }
+    ));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poller = {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut last = (0u64, 0u64, 0u64, 0u64);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let s = core.stats();
+                let now = (
+                    s.pager_hits,
+                    s.pager_misses,
+                    s.pager_evictions,
+                    s.pager_prefetches,
+                );
+                assert!(
+                    now.0 >= last.0 && now.1 >= last.1 && now.2 >= last.2 && now.3 >= last.3,
+                    "pager totals went backwards: {last:?} -> {now:?}"
+                );
+                last = now;
+            }
+        })
+    };
+
+    let h = coupling();
+    for i in 0..12usize {
+        assert!(matches!(
+            core.handle_blocking(Request::SolveLinBp {
+                graph_id: 5,
+                params: wire_params(&h),
+                seeds: wire_seeds(i, 1.0 + i as f64 * 0.01),
+            }),
+            Response::Beliefs(_)
+        ));
+        assert!(matches!(
+            core.handle_blocking(Request::EdgeDelta {
+                graph_id: 5,
+                symmetric: true,
+                deltas: vec![WireEdge {
+                    src: (i % 10) as u64,
+                    dst: ((i + 3) % 10) as u64,
+                    weight: 0.05,
+                }],
+            }),
+            Response::DeltaApplied { .. }
+        ));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    poller.join().unwrap();
+    let final_stats = core.stats();
+    assert!(
+        final_stats.pager_misses > 0,
+        "retirement churn must have produced pager activity"
+    );
+}

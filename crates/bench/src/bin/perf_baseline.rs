@@ -19,7 +19,7 @@
 //! bitwise-identity assertion stays meaningful at smoke sizes.
 
 use lsbp::prelude::*;
-use lsbp_bench::{arg_usize, kronecker_style_beliefs, time_once};
+use lsbp_bench::{arg_usize, fmt_duration, kronecker_style_beliefs, time_once};
 use lsbp_graph::generators::{dblp_like, erdos_renyi_gnm, kronecker_graph, DblpConfig};
 use lsbp_graph::Graph;
 use lsbp_linalg::{weight_balanced_ranges, Mat};
@@ -1410,6 +1410,163 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// One query-planner measurement: a hub-skewed multi-way join executed
+/// with the pre-planner fixed left-to-right strategy vs. the
+/// cost-bounded planner, plus the multiset-identity check between the
+/// two results.
+struct PlannerRecord {
+    workload: &'static str,
+    fixed_secs: f64,
+    planned_secs: f64,
+    speedup: f64,
+    identical: bool,
+    join_order: String,
+}
+
+fn planner_sorted_rows(t: &lsbp_reldb::Table) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = t
+        .rows()
+        .iter()
+        .map(|r| r.iter().map(|v| v.as_float().to_bits()).collect())
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// The three canonical skewed workloads (chain, star, triangle), each
+/// shaped so the fixed FROM-order strategy materializes a quadratic
+/// intermediate the planner's bound-minimal order avoids. All values are
+/// integers and the queries are aggregate-free, so "identical" means the
+/// exact same row multiset bit for bit.
+fn planner_workloads() -> Vec<(&'static str, lsbp_reldb::Database, &'static str)> {
+    use lsbp_reldb::{Database, Table, Value};
+    let int = Value::Int;
+
+    // Chain R — S — Sel: R ⋈ S explodes on a hub key, S ⋈ Sel is tiny.
+    let chain = {
+        let (n, hub) = (2000i64, 400i64);
+        let mut r = Table::new("R", &["k", "p"]);
+        let mut s = Table::new("S", &["k", "j"]);
+        let mut sel = Table::new("Sel", &["j"]);
+        for i in 0..n {
+            let k = if i < hub { 0 } else { i };
+            r.push(vec![int(k), int(i)]);
+            let j = if i < hub { n + i } else { i % 50 };
+            s.push(vec![int(k), int(j)]);
+        }
+        for j in 0..25 {
+            sel.push(vec![int(j)]);
+        }
+        let mut db = Database::new();
+        db.insert_table("R", r);
+        db.insert_table("S", s);
+        db.insert_table("Sel", sel);
+        db
+    };
+
+    // Star D1, D2, F with the fact table last in FROM order: the fixed
+    // strategy cross-products the two dimension tables first.
+    let star = {
+        let n = 400i64;
+        let mut d1 = Table::new("D1", &["d", "p"]);
+        let mut d2 = Table::new("D2", &["e", "q"]);
+        let mut f = Table::new("F", &["f1", "f2"]);
+        for i in 0..n {
+            d1.push(vec![int(i), int(i * 2)]);
+            d2.push(vec![int(i), int(i * 3)]);
+        }
+        for i in 0..(2 * n) {
+            f.push(vec![int(i % n), int((i * 7) % n)]);
+        }
+        let mut db = Database::new();
+        db.insert_table("D1", d1);
+        db.insert_table("D2", d2);
+        db.insert_table("F", f);
+        db
+    };
+
+    // Triangle R(a,b) — S(b,c) — T(c,a) with a hub on b and a small
+    // selective T: the fixed order joins R ⋈ S on the hub first.
+    let triangle = {
+        let (n, hub) = (1200i64, 300i64);
+        let mut r = Table::new("R", &["a", "b"]);
+        let mut s = Table::new("S", &["b", "c"]);
+        let mut t = Table::new("T", &["c", "a"]);
+        for i in 0..n {
+            let b = if i < hub { 0 } else { i };
+            r.push(vec![int(i), int(b)]);
+            s.push(vec![int(b), int(i)]);
+        }
+        for j in 0..100 {
+            t.push(vec![int(j), int(j)]);
+        }
+        let mut db = Database::new();
+        db.insert_table("R", r);
+        db.insert_table("S", s);
+        db.insert_table("T", t);
+        db
+    };
+
+    vec![
+        (
+            "chain_skewed",
+            chain,
+            "select R.p, Sel.j from R, S, Sel where R.k = S.k and S.j = Sel.j",
+        ),
+        (
+            "star_skewed",
+            star,
+            "select D1.p, D2.q from D1, D2, F where F.f1 = D1.d and F.f2 = D2.e",
+        ),
+        (
+            "triangle_skewed",
+            triangle,
+            "select R.a, T.c from R, S, T where R.b = S.b and S.c = T.c and T.a = R.a",
+        ),
+    ]
+}
+
+fn bench_planner_suite(reps: usize) -> Vec<PlannerRecord> {
+    use lsbp_reldb::parser::{parse, Statement};
+    let mut out = Vec::new();
+    for (workload, db, sql) in planner_workloads() {
+        let Statement::Select(sel) = parse(sql).expect("planner bench SQL parses") else {
+            unreachable!("planner bench statements are SELECTs")
+        };
+        // Correctness + plan inspection pass (also warms both paths).
+        let (planned, plan, _) = db.run_select_planned(&sel, "r").expect("planned execution");
+        let fixed = db.run_select_fixed(&sel, "r").expect("fixed execution");
+        let identical = planner_sorted_rows(&planned) == planner_sorted_rows(&fixed);
+        let join_order = plan.scan_order().join(" -> ");
+        let mut fixed_secs = f64::INFINITY;
+        let mut planned_secs = f64::INFINITY;
+        for _ in 0..reps {
+            let (_, d) = time_once(|| std::hint::black_box(db.run_select_fixed(&sel, "r")));
+            fixed_secs = fixed_secs.min(d.as_secs_f64());
+            let (_, d) = time_once(|| std::hint::black_box(db.run_select(&sel, "r")));
+            planned_secs = planned_secs.min(d.as_secs_f64());
+        }
+        let speedup = fixed_secs / planned_secs;
+        println!(
+            "{workload:>16} fixed={} planned={} speedup={:.2}x identical={} order=[{}]",
+            fmt_duration(Duration::from_secs_f64(fixed_secs)),
+            fmt_duration(Duration::from_secs_f64(planned_secs)),
+            speedup,
+            identical,
+            join_order
+        );
+        out.push(PlannerRecord {
+            workload,
+            fixed_secs,
+            planned_secs,
+            speedup,
+            identical,
+            join_order,
+        });
+    }
+    out
+}
+
 fn main() {
     let m = arg_usize("--m", 9).clamp(5, 13) as u32;
     let reps = arg_usize("--reps", 3).max(1);
@@ -1559,6 +1716,16 @@ fn main() {
     println!("\n== pool overhead: 1k-node SpMV, {pool_regions} regions per executor ==");
     let (pool_graph, pool_records) = bench_pool_overhead(&threads, pool_regions);
 
+    // Cost-bounded query planner vs. the fixed left-to-right join order
+    // on skewed multi-way workloads.
+    println!("\n== reldb query planner: fixed join order vs. bound-minimal order ==");
+    let planner_records = bench_planner_suite(reps);
+    let planner_speedup_min = planner_records
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::NAN, f64::min);
+    let planner_all_identical = planner_records.iter().all(|r| r.identical);
+
     // Acceptance summary: best SpMM speedup at 4 threads on a
     // ≥ 100k-directed-edge graph, and global identity across the board.
     let spmm_speedup_4t = records
@@ -1688,6 +1855,13 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"serving_coalesced_bitwise_identical_to_sequential\": {serving_all_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"planner_join_speedup_skewed_multiway\": {},\n",
+        json_f64(planner_speedup_min)
+    ));
+    json.push_str(&format!(
+        "    \"planner_results_identical_to_fixed_order\": {planner_all_identical},\n"
     ));
     json.push_str(&format!(
         "    \"all_parallel_results_bitwise_identical_to_serial\": {all_identical}\n"
@@ -1902,6 +2076,35 @@ fn main() {
         ));
     }
     json.push_str("    ]\n  },\n");
+    // The reldb query-planner comparison: fixed FROM-order joins vs. the
+    // bound-minimal order, with the multiset-identity check inline.
+    json.push_str("  \"planner\": {\n");
+    json.push_str(&format!(
+        "    \"speedup_min_across_workloads\": {},\n",
+        json_f64(planner_speedup_min)
+    ));
+    json.push_str(&format!(
+        "    \"all_identical_to_fixed_order\": {planner_all_identical},\n"
+    ));
+    json.push_str("    \"results\": [\n");
+    for (i, r) in planner_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"workload\": \"{}\", \"fixed_secs\": {}, \"planned_secs\": {}, \
+             \"speedup\": {}, \"identical_to_fixed_order\": {}, \"join_order\": \"{}\"}}{}\n",
+            r.workload,
+            json_f64(r.fixed_secs),
+            json_f64(r.planned_secs),
+            json_f64(r.speedup),
+            r.identical,
+            r.join_order,
+            if i + 1 == planner_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     // The persistent-pool overhead section: µs of dispatch+compute per
     // small-kernel region, resident workers vs. per-region scoped spawn.
     json.push_str("  \"pool\": {\n");
@@ -1933,7 +2136,8 @@ fn main() {
          sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}, \
          paged warm rel throughput (kronecker_m{m}) = {}, paged identical = {}, \
          serving spmm pass reduction q={serving_queries} (kronecker_m{m}) = {}, \
-         serving identical = {}, robustness recovered = {}, robustness clamp qps ratio = {}",
+         serving identical = {}, robustness recovered = {}, robustness clamp qps ratio = {}, \
+         planner speedup (min across skewed multiway workloads) = {}, planner identical = {}",
         json_f64(spmm_speedup_4t),
         all_identical,
         json_f64(fused_speedup_largest),
@@ -1945,7 +2149,9 @@ fn main() {
         json_f64(serving_ratio_largest),
         serving_all_identical,
         robustness_all_recovered,
-        json_f64(robustness_clamp_qps_ratio)
+        json_f64(robustness_clamp_qps_ratio),
+        json_f64(planner_speedup_min),
+        planner_all_identical
     );
     assert!(
         all_identical,
@@ -1974,5 +2180,13 @@ fn main() {
     assert!(
         robustness_off_identical,
         "an answer under overload (policy off) diverged bitwise from the uncontended solve"
+    );
+    assert!(
+        planner_all_identical,
+        "planned execution produced a row multiset differing from the fixed join order"
+    );
+    assert!(
+        planner_speedup_min >= 2.0,
+        "planner speedup on skewed multiway workloads fell below the 2x acceptance bar: {planner_speedup_min}"
     );
 }

@@ -6,6 +6,7 @@
 //! node ids and class ids, exactly like the paper's `A(s,t,w)`,
 //! `E(v,c,b)`, `H(c1,c2,h)` schemas.
 
+use crate::stats::TableStats;
 use lsbp_linalg::{even_ranges, ParallelismConfig};
 use std::collections::HashMap;
 use std::fmt;
@@ -52,21 +53,53 @@ pub enum AggFun {
     MinInt,
 }
 
-/// An in-memory relation: named columns, row-major storage.
-#[derive(Clone, Debug, PartialEq)]
+/// An in-memory relation: named columns, row-major storage, plus
+/// incrementally maintained [`TableStats`] feeding the query planner.
+#[derive(Clone, Debug)]
 pub struct Table {
     name: String,
     columns: Vec<String>,
     rows: Vec<Vec<Value>>,
+    stats: TableStats,
+}
+
+/// Equality compares name, schema, and rows *in order*; the derived
+/// statistics are excluded (they are a function of the rows).
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl Table {
     /// Creates an empty table with the given column names.
     pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        let stats = TableStats::new(columns.len());
         Self {
             name: name.into(),
-            columns: columns.iter().map(|c| c.to_string()).collect(),
+            columns,
             rows: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Builds a table from pre-materialized rows, computing statistics in
+    /// one pass.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the column count.
+    pub fn from_rows(name: impl Into<String>, columns: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        let name = name.into();
+        for row in &rows {
+            assert_eq!(row.len(), columns.len(), "row arity mismatch in {name}");
+        }
+        let stats = TableStats::from_rows(columns.len(), &rows);
+        Self {
+            name,
+            columns,
+            rows,
+            stats,
         }
     }
 
@@ -95,15 +128,28 @@ impl Table {
         &self.rows
     }
 
+    /// Resolves a column name to its index, or `None` if the table has no
+    /// such column. This is the fallible lookup query execution uses — a
+    /// bad column name in SQL becomes a typed `SqlError::UnknownColumn`,
+    /// never a panic.
+    pub fn try_col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
     /// Resolves a column name to its index.
     ///
     /// # Panics
-    /// Panics on an unknown column (schema bug).
+    /// Panics on an unknown column (schema bug in *library* callers with
+    /// fixed schemas; SQL execution goes through [`Table::try_col`]).
     pub fn col(&self, name: &str) -> usize {
-        self.columns
-            .iter()
-            .position(|c| c == name)
+        self.try_col(name)
             .unwrap_or_else(|| panic!("table {}: no column named {name}", self.name))
+    }
+
+    /// The maintained statistics (row count, per-column distinct counts
+    /// and max join degrees) the planner costs joins with.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
     }
 
     /// Appends a row.
@@ -117,6 +163,7 @@ impl Table {
             "row arity mismatch in {}",
             self.name
         );
+        self.stats.observe_row(&row);
         self.rows.push(row);
     }
 
@@ -127,11 +174,49 @@ impl Table {
 
     /// `SELECT * WHERE pred(row)`.
     pub fn filter(&self, name: &str, pred: impl Fn(&[Value]) -> bool) -> Table {
-        Table {
-            name: name.into(),
-            columns: self.columns.clone(),
-            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        Table::from_rows(
+            name,
+            self.columns.clone(),
+            self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        )
+    }
+
+    /// The filtered rows themselves (no `Table` wrapper), evaluated over
+    /// the same shard-segment structure as [`Table::join_map_with`]: the
+    /// rows are split into `cfg.shards()` contiguous segments, each
+    /// segment partitioned across the pool, and chunk outputs concatenated
+    /// in order — so the output row order matches serial evaluation at any
+    /// shard × thread combination. This is the scan path the query planner
+    /// pushes predicates into.
+    pub fn filter_rows_with(
+        &self,
+        pred: &(dyn Fn(&[Value]) -> bool + Sync),
+        cfg: &ParallelismConfig,
+    ) -> Vec<Vec<Value>> {
+        let filter_chunk = |rows: &[Vec<Value>]| -> Vec<Vec<Value>> {
+            rows.iter().filter(|r| pred(r)).cloned().collect()
+        };
+        let segments = even_ranges(self.rows.len(), cfg.shards());
+        let mut out = Vec::new();
+        for segment in segments {
+            let seg_rows = &self.rows[segment];
+            let parts = cfg.partitions(seg_rows.len());
+            if parts <= 1 {
+                out.extend(filter_chunk(seg_rows));
+            } else {
+                let ranges = even_ranges(seg_rows.len(), parts);
+                let mut partials: Vec<Vec<Vec<Value>>> =
+                    ranges.iter().map(|_| Vec::new()).collect();
+                cfg.pool().scope(|s| {
+                    for (slot, range) in partials.iter_mut().zip(ranges) {
+                        let filter_chunk = &filter_chunk;
+                        s.spawn(move || *slot = filter_chunk(&seg_rows[range]));
+                    }
+                });
+                out.extend(partials.into_iter().flatten());
+            }
         }
+        out
     }
 
     /// `SELECT expr₁, expr₂, … FROM self` — projection with computed
@@ -216,9 +301,16 @@ impl Table {
             (other, &other_idx, self, &self_idx, false)
         };
         let mut index: HashMap<Vec<i64>, Vec<usize>> = HashMap::with_capacity(build.len());
+        let mut max_bucket = 0usize;
         for (i, r) in build.rows.iter().enumerate() {
-            index.entry(Self::key_of(r, build_idx)).or_default().push(i);
+            let bucket = index.entry(Self::key_of(r, build_idx)).or_default();
+            bucket.push(i);
+            max_bucket = max_bucket.max(bucket.len());
         }
+        // Degree-based pessimistic output bound: every probe row matches at
+        // most the largest build bucket. Capped so a hub key on a huge probe
+        // side cannot pre-allocate gigabytes for a join that mostly misses.
+        let reserve_bound = probe.len().saturating_mul(max_bucket).min(1 << 20);
         let probe_chunk = |rows: &[Vec<Value>]| -> Vec<Vec<Value>> {
             let mut out = Vec::new();
             for r in rows {
@@ -238,6 +330,7 @@ impl Table {
         // each segment its own pool region in order.
         let segments = even_ranges(probe.len(), cfg.shards());
         let mut out = Table::new(name, out_columns);
+        out.reserve(reserve_bound);
         for segment in segments {
             let seg_rows = &probe.rows[segment];
             let parts = cfg.partitions(seg_rows.len().max(build.len()));
@@ -273,16 +366,15 @@ impl Table {
             .iter()
             .map(|r| Self::key_of(r, &other_idx))
             .collect();
-        Table {
-            name: format!("{}∖{}", self.name, other.name),
-            columns: self.columns.clone(),
-            rows: self
-                .rows
+        Table::from_rows(
+            format!("{}∖{}", self.name, other.name),
+            self.columns.clone(),
+            self.rows
                 .iter()
                 .filter(|r| !index.contains(&Self::key_of(r, &self_idx)))
                 .cloned()
                 .collect(),
-        }
+        )
     }
 
     /// `GROUP BY keys` with a single aggregate over `expr(row)`.
@@ -335,11 +427,11 @@ impl Table {
         );
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Table {
-            name: format!("{}∪{}", self.name, other.name),
-            columns: self.columns.clone(),
+        Table::from_rows(
+            format!("{}∪{}", self.name, other.name),
+            self.columns.clone(),
             rows,
-        }
+        )
     }
 
     /// Upsert by integer key columns: rows of `updates` replace any
@@ -362,6 +454,9 @@ impl Table {
         self.rows
             .retain(|r| !updated.contains(&Self::key_of(r, &self_idx)));
         self.rows.extend(updates.rows.iter().cloned());
+        // Bulk rewrite: rebuild statistics in one pass (deletions cannot be
+        // folded incrementally without per-value reference counts).
+        self.stats = TableStats::from_rows(self.columns.len(), &self.rows);
     }
 
     /// Distinct values of one integer column.
@@ -536,6 +631,68 @@ mod tests {
     fn unknown_column_panics() {
         let a = edges();
         let _ = a.col("nope");
+    }
+
+    #[test]
+    fn try_col_is_fallible() {
+        let a = edges();
+        assert_eq!(a.try_col("s"), Some(0));
+        assert_eq!(a.try_col("nope"), None);
+    }
+
+    #[test]
+    fn stats_track_appends_and_rebuilds_on_upsert() {
+        let a = edges();
+        // Column s: values 0,1,1,2 → 3 distinct, max degree 2.
+        assert_eq!(a.stats().rows(), 4);
+        assert_eq!(a.stats().column(0).distinct(), Some(3));
+        assert_eq!(a.stats().column(0).max_freq(), Some(2));
+        // Column w is float → untracked.
+        assert_eq!(a.stats().column(2).distinct(), None);
+
+        let mut b = Table::new("B", &["v", "b"]);
+        b.push(vec![Value::Int(0), Value::Int(10)]);
+        b.push(vec![Value::Int(1), Value::Int(11)]);
+        let mut upd = Table::new("Bn", &["v", "b"]);
+        upd.push(vec![Value::Int(1), Value::Int(12)]);
+        upd.push(vec![Value::Int(2), Value::Int(13)]);
+        b.upsert(&upd, &["v"]);
+        // Rows now {0,1,2} → stats must reflect the rewrite, not the
+        // append history.
+        assert_eq!(b.stats().rows(), 3);
+        assert_eq!(b.stats().column(0).distinct(), Some(3));
+        assert_eq!(b.stats().column(0).max_freq(), Some(1));
+    }
+
+    #[test]
+    fn derived_tables_carry_stats() {
+        let a = edges();
+        let f = a.filter("f", |r| r[0].as_int() == 1);
+        assert_eq!(f.stats().rows(), 2);
+        assert_eq!(f.stats().column(0).distinct(), Some(1));
+        assert_eq!(f.stats().column(0).max_freq(), Some(2));
+        let u = a.union_all(&a);
+        assert_eq!(u.stats().rows(), 8);
+        assert_eq!(u.stats().column(0).max_freq(), Some(4));
+    }
+
+    /// The parallel segmented filter returns exactly the serial rows, in
+    /// order, for every shard × thread combination.
+    #[test]
+    fn filter_rows_with_matches_serial() {
+        let mut big = Table::new("big", &["v", "x"]);
+        for i in 0..500 {
+            big.push(vec![Value::Int(i % 7), Value::Float(i as f64)]);
+        }
+        let pred = |r: &[Value]| r[0].as_int() <= 2;
+        let serial: Vec<Vec<Value>> = big.rows().iter().filter(|r| pred(r)).cloned().collect();
+        for (threads, shards) in [(1, 1), (2, 1), (4, 3), (8, 5)] {
+            let cfg = ParallelismConfig::with_threads(threads)
+                .with_shards(shards)
+                .with_min_work(1);
+            let par = big.filter_rows_with(&pred, &cfg);
+            assert_eq!(par, serial, "threads={threads} shards={shards}");
+        }
     }
 
     #[test]

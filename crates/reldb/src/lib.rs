@@ -25,12 +25,25 @@
 //! and execute against a [`Database`], and
 //! [`sql::SqlDb::linbp_sql_text`] runs Algorithm 1 end-to-end from SQL
 //! strings alone.
+//!
+//! Multi-way queries run through a cost-bounded planner
+//! (Planner → [`plan::Plan`] → executor): per-table [`stats::TableStats`]
+//! (distinct counts, max join degrees) are maintained incrementally, the
+//! planner pushes predicates below joins into the shard-segment scan path,
+//! orders joins by *pessimistic* (worst-case, AGM/FD-style) cardinality
+//! bounds, and picks hash-join build sides by size. `EXPLAIN SELECT …`
+//! prints the chosen plan with each node's bound next to its actual
+//! cardinality.
 
 pub mod engine;
 pub mod exec;
 pub mod parser;
+pub mod plan;
 pub mod sql;
+pub mod stats;
 
 pub use engine::{AggFun, Table, Value};
 pub use exec::{Database, SqlError};
+pub use plan::{Plan, PlanNode};
 pub use sql::{SqlDb, SqlSbpState};
+pub use stats::TableStats;

@@ -158,6 +158,10 @@ pub struct ColumnRef {
     pub table: Option<String>,
     /// Column name.
     pub column: String,
+    /// Byte offset of the reference in the SQL text, when parsed from one
+    /// — lets execution-time `UnknownColumn` errors point at the exact
+    /// spot, like parse errors do.
+    pub offset: Option<usize>,
 }
 
 /// Scalar expressions.
@@ -258,6 +262,12 @@ pub struct Select {
 pub enum Statement {
     /// `SELECT …`
     Select(Select),
+    /// `EXPLAIN SELECT …` — plan the query, run it, and report the plan
+    /// tree with estimated bounds next to actual cardinalities.
+    Explain {
+        /// The query to plan and report on.
+        query: Select,
+    },
     /// `CREATE TABLE name AS SELECT …`
     CreateTableAs {
         /// New table name.
@@ -284,6 +294,123 @@ pub enum Statement {
         /// Table to remove.
         name: String,
     },
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => {
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Binary(l, op, r) => {
+                let paren = |f: &mut fmt::Formatter<'_>, e: &Expr| -> fmt::Result {
+                    if matches!(e, Expr::Binary(..)) {
+                        write!(f, "({e})")
+                    } else {
+                        write!(f, "{e}")
+                    }
+                };
+                paren(f, l)?;
+                write!(f, " {op} ")?;
+                paren(f, r)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Compare(l, op, r) => write!(f, "{l} {op} {r}"),
+            Predicate::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let not = if *negated { "not " } else { "" };
+                write!(f, "{expr} {not}in ({query})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let alias_suffix = |f: &mut fmt::Formatter<'_>, a: &Option<String>| -> fmt::Result {
+            match a {
+                Some(a) => write!(f, " as {a}"),
+                None => Ok(()),
+            }
+        };
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                alias_suffix(f, alias)
+            }
+            SelectItem::Aggregate { fun, arg, alias } => {
+                let name = match fun {
+                    AggregateFun::Sum => "sum",
+                    AggregateFun::Min => "min",
+                    AggregateFun::Max => "max",
+                };
+                write!(f, "{name}({arg})")?;
+                alias_suffix(f, alias)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => match alias {
+                Some(a) => write!(f, "{name} {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableRef::Subquery { query, alias } => write!(f, "({query}) as {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " from ")?;
+        for (i, src) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{src}")?;
+        }
+        for (i, p) in self.predicates.iter().enumerate() {
+            write!(f, " {} {p}", if i == 0 { "where" } else { "and" })?;
+        }
+        for (i, g) in self.group_by.iter().enumerate() {
+            write!(f, "{} {g}", if i == 0 { " group by" } else { "," })?;
+        }
+        Ok(())
+    }
 }
 
 struct Parser {
@@ -403,6 +530,10 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.peek_keyword("select") {
             Ok(Statement::Select(self.select()?))
+        } else if self.eat_keyword("explain") {
+            Ok(Statement::Explain {
+                query: self.select()?,
+            })
         } else if self.eat_keyword("create") {
             self.expect_keyword("table")?;
             let name = self.ident()?;
@@ -451,14 +582,27 @@ impl Parser {
         }
         self.expect_keyword("from")?;
         let mut from = vec![self.table_ref()?];
-        while self.eat_symbol(",") {
-            from.push(self.table_ref()?);
+        // Comma joins and explicit `[INNER] JOIN … ON …` mix freely; the ON
+        // conjunction desugars into ordinary WHERE predicates (the planner
+        // treats both spellings identically).
+        let mut join_predicates = Vec::new();
+        loop {
+            if self.eat_symbol(",") {
+                from.push(self.table_ref()?);
+            } else if self.peek_keyword("join") || self.peek_keyword("inner") {
+                self.eat_keyword("inner");
+                self.expect_keyword("join")?;
+                from.push(self.table_ref()?);
+                self.expect_keyword("on")?;
+                join_predicates.extend(self.predicates()?);
+            } else {
+                break;
+            }
         }
-        let predicates = if self.eat_keyword("where") {
-            self.predicates()?
-        } else {
-            Vec::new()
-        };
+        let mut predicates = join_predicates;
+        if self.eat_keyword("where") {
+            predicates.extend(self.predicates()?);
+        }
         let mut group_by = Vec::new();
         if self.eat_keyword("group") {
             self.expect_keyword("by")?;
@@ -624,11 +768,13 @@ impl Parser {
                     Ok(Expr::Column(ColumnRef {
                         table: Some(name),
                         column,
+                        offset: Some(at),
                     }))
                 } else {
                     Ok(Expr::Column(ColumnRef {
                         table: None,
                         column: name,
+                        offset: Some(at),
                     }))
                 }
             }
@@ -640,17 +786,20 @@ impl Parser {
     }
 
     fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let at = self.offset();
         let first = self.ident()?;
         if self.eat_symbol(".") {
             let column = self.ident()?;
             Ok(ColumnRef {
                 table: Some(first),
                 column,
+                offset: Some(at),
             })
         } else {
             Ok(ColumnRef {
                 table: None,
                 column: first,
+                offset: Some(at),
             })
         }
     }
@@ -793,6 +942,75 @@ mod tests {
         assert!(parse("delete B").is_err());
         assert!(parse("select a from T where a ==").is_err());
         assert!(parse("select a from T group a").is_err());
+    }
+
+    #[test]
+    fn parse_explain() {
+        let s = parse("explain select a from T where a = 1").unwrap();
+        let Statement::Explain { query } = s else {
+            panic!("{s:?}")
+        };
+        assert_eq!(query.items.len(), 1);
+        assert_eq!(query.predicates.len(), 1);
+        // EXPLAIN requires a SELECT.
+        assert!(parse("explain drop table T").is_err());
+    }
+
+    #[test]
+    fn parse_join_on_desugars_to_predicates() {
+        let s = parse(
+            "select A.t from A join B on A.s = B.v inner join H on B.c = H.c1 \
+             where H.h > 0",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from.len(), 3);
+        // Two ON equalities first, then the WHERE comparison.
+        assert_eq!(sel.predicates.len(), 3);
+        assert!(matches!(&sel.predicates[0], Predicate::Compare(_, op, _) if op == "="));
+        assert!(matches!(&sel.predicates[2], Predicate::Compare(_, op, _) if op == ">"));
+        // A JOIN without ON is rejected.
+        assert!(parse("select * from A join B").is_err());
+    }
+
+    #[test]
+    fn column_refs_carry_byte_offsets() {
+        let sql = "select a from T where T.b = 1";
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr {
+            expr: Expr::Column(a),
+            ..
+        } = &sel.items[0]
+        else {
+            panic!()
+        };
+        assert_eq!(a.offset, Some(7));
+        let Predicate::Compare(Expr::Column(b), _, _) = &sel.predicates[0] else {
+            panic!()
+        };
+        assert_eq!(b.offset, Some(sql.find("T.b").unwrap()));
+    }
+
+    #[test]
+    fn select_display_reparses_to_same_ast() {
+        for sql in [
+            "select B.v, B.c from B, (select B2.v, max(B2.b) as b from B B2 group by B2.v) as X \
+             where B.v = X.v and B.b = X.b",
+            "select A.s, sum(A.w * B.b) as b from A, B where A.s = B.v group by A.s",
+            "select s from A where t not in (select v from G) and s > 0.5",
+        ] {
+            let Statement::Select(sel) = parse(sql).unwrap() else {
+                panic!()
+            };
+            let rendered = sel.to_string();
+            let Statement::Select(again) = parse(&rendered).unwrap() else {
+                panic!("rendered SQL failed to parse: {rendered}")
+            };
+            // Offsets shift between spellings; compare offset-free shapes.
+            assert_eq!(format!("{again}"), rendered);
+        }
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! Typed query plans and the cost-bounded planner.
+//!
+//! The SQL layer is split Planner → [`Plan`] (node tree) → executor:
+//! [`crate::exec::Database`] classifies WHERE predicates (pushdown below
+//! joins vs. equi-join edges vs. residual filters), asks [`order_joins`]
+//! for a join order, and executes the resulting left-deep tree. The
+//! ordering cost model is built from the per-table statistics
+//! ([`crate::stats::TableStats`]) every [`crate::Table`] maintains.
+//!
+//! # Pessimistic cardinality bounds
+//!
+//! All estimates are *upper bounds* — numbers the data provably cannot
+//! exceed — in the spirit of worst-case output bounds for join queries
+//! (AGM bounds; Abo Khamis–Ngo–Suciu bounds under functional
+//! dependencies) and pessimistic cardinality estimation. Never
+//! independence-assumption guesses: a plan chosen by minimum bound is a
+//! plan whose worst case is smallest. For a join `S ⋈ T` on key pairs
+//! `(x, y)` the bound is
+//!
+//! ```text
+//! |S ⋈ T|  ≤  min( |S|·|T|,                              cross product
+//!                  |S|·maxfreq_T(y),                     T's max degree
+//!                  |T|·maxfreq_S(x),                     S's max degree
+//!                  min(d_S(x), d_T(y))·maxfreq_S(x)·maxfreq_T(y) )
+//! ```
+//!
+//! taking the tightest key pair, where `d` is the distinct count and
+//! `maxfreq` the multiplicity of the most frequent value. Degree
+//! statistics propagate through join prefixes (a column's max frequency
+//! can grow by at most the joined side's per-row fanout), so multi-way
+//! prefixes stay bounded. Join orders are enumerated left-deep over
+//! subsets (exhaustive dynamic programming up to [`DP_MAX_SOURCES`]
+//! relations, greedy beyond), minimizing the *sum of intermediate-result
+//! bounds* with a deterministic lexicographic tie-break.
+
+use crate::stats::TableStats;
+use std::fmt::Write as _;
+
+/// Upper-bound statistics for one column of a (possibly intermediate)
+/// relation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColBound {
+    /// Upper bound on the number of distinct values.
+    pub distinct: f64,
+    /// Upper bound on the multiplicity of the most frequent value (the
+    /// column's max degree as a join key).
+    pub max_freq: f64,
+}
+
+/// Planner-facing estimate of one FROM source after predicate pushdown.
+#[derive(Clone, Debug)]
+pub struct SourceEstimate {
+    /// Upper bound on the rows surviving the pushed-down predicates.
+    pub rows: f64,
+    /// Per-column bounds; `None` for untracked (float-bearing) columns,
+    /// for which only `rows` bounds anything.
+    pub cols: Vec<Option<ColBound>>,
+}
+
+impl SourceEstimate {
+    /// Exact estimate from a base table's maintained statistics.
+    pub fn from_stats(stats: &TableStats) -> Self {
+        let cols = stats
+            .columns()
+            .iter()
+            .map(|c| match (c.distinct(), c.max_freq()) {
+                (Some(d), Some(m)) => Some(ColBound {
+                    distinct: d as f64,
+                    max_freq: m as f64,
+                }),
+                _ => None,
+            })
+            .collect();
+        SourceEstimate {
+            rows: stats.rows() as f64,
+            cols,
+        }
+    }
+
+    /// Folds a pushed-down `col = literal` equality into the estimate: at
+    /// most `maxfreq(col)` rows can survive, and the column becomes
+    /// single-valued. Still an upper bound — the literal may match
+    /// nothing.
+    pub fn apply_eq_literal(&mut self, col: usize) {
+        if let Some(cb) = self.cols[col] {
+            self.rows = self.rows.min(cb.max_freq);
+            self.cols[col] = Some(ColBound {
+                distinct: cb.distinct.min(1.0),
+                max_freq: cb.max_freq,
+            });
+            self.clamp_to_rows();
+        }
+    }
+
+    /// Tightens every column bound to the row bound (no column of an
+    /// `r`-row relation can have more than `r` distinct values or a value
+    /// with multiplicity above `r`).
+    pub fn clamp_to_rows(&mut self) {
+        for cb in self.cols.iter_mut().flatten() {
+            cb.distinct = cb.distinct.min(self.rows);
+            cb.max_freq = cb.max_freq.min(self.rows);
+        }
+    }
+}
+
+/// An equi-join edge between two FROM sources, as `(source index, column
+/// index)` endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// One endpoint.
+    pub a: (usize, usize),
+    /// The other endpoint (a different source).
+    pub b: (usize, usize),
+}
+
+/// One step of the chosen left-deep join order.
+#[derive(Clone, Debug)]
+pub struct JoinStep {
+    /// Index of the source joined to the prefix at this step.
+    pub source: usize,
+    /// Pessimistic upper bound on the rows after this step.
+    pub bound: f64,
+}
+
+/// The chosen join order with per-prefix bounds.
+#[derive(Clone, Debug)]
+pub struct JoinOrder {
+    /// First source of the left-deep chain.
+    pub first: usize,
+    /// Remaining sources in execution order.
+    pub steps: Vec<JoinStep>,
+}
+
+impl JoinOrder {
+    /// All sources in execution order.
+    pub fn sources(&self) -> Vec<usize> {
+        let mut v = vec![self.first];
+        v.extend(self.steps.iter().map(|s| s.source));
+        v
+    }
+
+    /// Sum of the intermediate-result bounds (the planner's cost).
+    pub fn cost(&self) -> f64 {
+        self.steps.iter().map(|s| s.bound).sum()
+    }
+}
+
+/// Largest source count ordered by exhaustive subset DP; beyond this the
+/// planner falls back to a greedy bound-minimal construction.
+pub const DP_MAX_SOURCES: usize = 12;
+
+/// Per-(prefix, candidate) join bound plus the degree multipliers needed
+/// to propagate column stats into the merged prefix.
+fn join_step_bound(
+    prefix_bound: f64,
+    prefix_cols: &[Option<ColBound>],
+    mask: u64,
+    t: usize,
+    sources: &[SourceEstimate],
+    edges: &[JoinEdge],
+    offsets: &[usize],
+) -> (f64, f64, f64) {
+    let te = &sources[t];
+    let mut bound = prefix_bound * te.rows;
+    // Per-row fanout caps: how many output rows one prefix row (resp. one
+    // row of t) can produce. No join key → the other side's row bound.
+    let mut mult_prefix = te.rows;
+    let mut mult_t = prefix_bound;
+    for e in edges {
+        let (p, q) = if e.a.0 == t && mask & (1u64 << e.b.0) != 0 {
+            (e.b, e.a) // p = prefix endpoint, q = endpoint on t
+        } else if e.b.0 == t && mask & (1u64 << e.a.0) != 0 {
+            (e.a, e.b)
+        } else {
+            continue;
+        };
+        let ps = prefix_cols[offsets[p.0] + p.1];
+        let ts = te.cols[q.1];
+        if let Some(ts) = ts {
+            bound = bound.min(prefix_bound * ts.max_freq);
+            mult_prefix = mult_prefix.min(ts.max_freq);
+        }
+        if let Some(ps) = ps {
+            bound = bound.min(te.rows * ps.max_freq);
+            mult_t = mult_t.min(ps.max_freq);
+        }
+        if let (Some(ps), Some(ts)) = (ps, ts) {
+            bound = bound.min(ps.distinct.min(ts.distinct) * ps.max_freq * ts.max_freq);
+        }
+    }
+    (bound, mult_prefix, mult_t)
+}
+
+/// Merges column bounds after a join step: prefix columns fan out by at
+/// most `mult_prefix`, the new source's by at most `mult_t`, and nothing
+/// exceeds the output bound. `step` is [`join_step_bound`]'s
+/// `(bound, mult_prefix, mult_t)` result for this candidate.
+fn merge_cols(
+    prefix_cols: &[Option<ColBound>],
+    mask: u64,
+    t: usize,
+    sources: &[SourceEstimate],
+    offsets: &[usize],
+    step: (f64, f64, f64),
+) -> Vec<Option<ColBound>> {
+    let (bound, mult_prefix, mult_t) = step;
+    let mut out = vec![None; prefix_cols.len()];
+    for (s, src) in sources.iter().enumerate() {
+        let (member, mult) = if mask & (1u64 << s) != 0 {
+            (true, mult_prefix)
+        } else if s == t {
+            (false, mult_t)
+        } else {
+            continue;
+        };
+        for (c, slot) in src.cols.iter().enumerate() {
+            let cb = if member {
+                prefix_cols[offsets[s] + c]
+            } else {
+                *slot
+            };
+            if let Some(cb) = cb {
+                out[offsets[s] + c] = Some(ColBound {
+                    distinct: cb.distinct.min(bound),
+                    max_freq: (cb.max_freq * mult).min(bound),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn place_single(
+    sources: &[SourceEstimate],
+    i: usize,
+    offsets: &[usize],
+    width: usize,
+) -> Vec<Option<ColBound>> {
+    let mut cols = vec![None; width];
+    for (c, cb) in sources[i].cols.iter().enumerate() {
+        cols[offsets[i] + c] = *cb;
+    }
+    cols
+}
+
+/// Chooses a left-deep join order minimizing the summed pessimistic
+/// intermediate-result bounds. Exhaustive subset DP up to
+/// [`DP_MAX_SOURCES`] sources, greedy beyond; ties break on the
+/// lexicographically smallest source sequence, so the result is fully
+/// deterministic.
+pub fn order_joins(sources: &[SourceEstimate], edges: &[JoinEdge]) -> JoinOrder {
+    let n = sources.len();
+    assert!(n >= 1, "order_joins needs at least one source");
+    let mut offsets = Vec::with_capacity(n);
+    let mut width = 0usize;
+    for s in sources {
+        offsets.push(width);
+        width += s.cols.len();
+    }
+    if n == 1 {
+        return JoinOrder {
+            first: 0,
+            steps: Vec::new(),
+        };
+    }
+    if n <= DP_MAX_SOURCES {
+        order_joins_dp(sources, edges, &offsets, width)
+    } else {
+        order_joins_greedy(sources, edges, &offsets, width)
+    }
+}
+
+struct DpEntry {
+    cost: f64,
+    bound: f64,
+    cols: Vec<Option<ColBound>>,
+    order: Vec<usize>,
+    bounds: Vec<f64>,
+}
+
+fn order_joins_dp(
+    sources: &[SourceEstimate],
+    edges: &[JoinEdge],
+    offsets: &[usize],
+    width: usize,
+) -> JoinOrder {
+    let n = sources.len();
+    let full: u64 = (1u64 << n) - 1;
+    let mut best: Vec<Option<DpEntry>> = (0..=full).map(|_| None).collect();
+    for i in 0..n {
+        best[1usize << i] = Some(DpEntry {
+            cost: 0.0,
+            bound: sources[i].rows,
+            cols: place_single(sources, i, offsets, width),
+            order: vec![i],
+            bounds: Vec::new(),
+        });
+    }
+    for mask in 1..=full {
+        let Some(entry) = best[mask as usize].take() else {
+            continue;
+        };
+        if mask != full {
+            for t in 0..n {
+                if mask & (1u64 << t) != 0 {
+                    continue;
+                }
+                let (bound, mult_prefix, mult_t) =
+                    join_step_bound(entry.bound, &entry.cols, mask, t, sources, edges, offsets);
+                let cost = entry.cost + bound;
+                let next = (mask | (1u64 << t)) as usize;
+                let better = match &best[next] {
+                    None => true,
+                    Some(cur) => {
+                        cost < cur.cost
+                            || (cost == cur.cost && {
+                                let mut cand = entry.order.clone();
+                                cand.push(t);
+                                cand < cur.order
+                            })
+                    }
+                };
+                if better {
+                    let cols = merge_cols(
+                        &entry.cols,
+                        mask,
+                        t,
+                        sources,
+                        offsets,
+                        (bound, mult_prefix, mult_t),
+                    );
+                    let mut order = entry.order.clone();
+                    order.push(t);
+                    let mut bounds = entry.bounds.clone();
+                    bounds.push(bound);
+                    best[next] = Some(DpEntry {
+                        cost,
+                        bound,
+                        cols,
+                        order,
+                        bounds,
+                    });
+                }
+            }
+        }
+        best[mask as usize] = Some(entry);
+    }
+    let winner = best[full as usize]
+        .take()
+        .expect("DP reaches the full source set");
+    JoinOrder {
+        first: winner.order[0],
+        steps: winner.order[1..]
+            .iter()
+            .zip(&winner.bounds)
+            .map(|(&source, &bound)| JoinStep { source, bound })
+            .collect(),
+    }
+}
+
+fn order_joins_greedy(
+    sources: &[SourceEstimate],
+    edges: &[JoinEdge],
+    offsets: &[usize],
+    width: usize,
+) -> JoinOrder {
+    let n = sources.len();
+    // Start from the smallest row bound (lowest index on ties).
+    let mut first = 0;
+    for i in 1..n {
+        if sources[i].rows < sources[first].rows {
+            first = i;
+        }
+    }
+    let mut mask = 1u64 << first;
+    let mut bound = sources[first].rows;
+    let mut cols = place_single(sources, first, offsets, width);
+    let mut steps = Vec::with_capacity(n - 1);
+    while (mask.count_ones() as usize) < n {
+        let mut pick: Option<(usize, f64, f64, f64)> = None;
+        for t in 0..n {
+            if mask & (1u64 << t) != 0 {
+                continue;
+            }
+            let (b, mp, mt) = join_step_bound(bound, &cols, mask, t, sources, edges, offsets);
+            if pick.is_none_or(|p| b < p.1) {
+                pick = Some((t, b, mp, mt));
+            }
+        }
+        let (t, b, mp, mt) = pick.expect("an unjoined source remains");
+        cols = merge_cols(&cols, mask, t, sources, offsets, (b, mp, mt));
+        mask |= 1u64 << t;
+        bound = b;
+        steps.push(JoinStep {
+            source: t,
+            bound: b,
+        });
+    }
+    JoinOrder { first, steps }
+}
+
+/// A node of a compiled query plan. Every node carries a stable `id`
+/// indexing the executor's actual-cardinality array and the planner's
+/// pessimistic output bound.
+#[derive(Clone, Debug)]
+pub enum PlanNode {
+    /// Base-table (or materialized subquery) scan with pushed-down
+    /// filters applied inside the shard-segment scan.
+    Scan {
+        /// Node id.
+        id: usize,
+        /// Display label: the source's alias or table name.
+        label: String,
+        /// Rows in the underlying relation before filtering.
+        input_rows: usize,
+        /// Rendered pushed-down predicates.
+        pushed: Vec<String>,
+        /// Pessimistic bound on the scan output.
+        bound: f64,
+    },
+    /// Hash equi-join of the left-deep prefix (left child) with one scan
+    /// (right child). The executor builds the hash index on whichever
+    /// input is actually smaller at run time.
+    HashJoin {
+        /// Node id.
+        id: usize,
+        /// The joined prefix.
+        left: Box<PlanNode>,
+        /// The newly joined source.
+        right: Box<PlanNode>,
+        /// Rendered equi-join keys; empty means cross product.
+        keys: Vec<String>,
+        /// Pessimistic bound on the join output.
+        bound: f64,
+    },
+    /// Residual filter above the join tree (predicates that span several
+    /// sources without being equi-join keys).
+    Filter {
+        /// Node id.
+        id: usize,
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Rendered residual predicates.
+        preds: Vec<String>,
+        /// Pessimistic bound on the filter output.
+        bound: f64,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Node id.
+        id: usize,
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Rendered GROUP BY columns.
+        group_by: Vec<String>,
+        /// Pessimistic bound on the number of groups.
+        bound: f64,
+    },
+    /// Final projection.
+    Project {
+        /// Node id.
+        id: usize,
+        /// Input node.
+        input: Box<PlanNode>,
+        /// Rendered projection items.
+        items: Vec<String>,
+        /// Pessimistic bound on the output (the input's bound).
+        bound: f64,
+    },
+}
+
+impl PlanNode {
+    /// The node's id.
+    pub fn id(&self) -> usize {
+        match self {
+            PlanNode::Scan { id, .. }
+            | PlanNode::HashJoin { id, .. }
+            | PlanNode::Filter { id, .. }
+            | PlanNode::Aggregate { id, .. }
+            | PlanNode::Project { id, .. } => *id,
+        }
+    }
+
+    /// The node's pessimistic output bound.
+    pub fn bound(&self) -> f64 {
+        match self {
+            PlanNode::Scan { bound, .. }
+            | PlanNode::HashJoin { bound, .. }
+            | PlanNode::Filter { bound, .. }
+            | PlanNode::Aggregate { bound, .. }
+            | PlanNode::Project { bound, .. } => *bound,
+        }
+    }
+}
+
+/// Actual execution counts for one plan node, filled in by the executor.
+#[derive(Clone, Debug, Default)]
+pub struct NodeActual {
+    /// Rows the node actually produced.
+    pub rows: Option<usize>,
+    /// Free-form execution note (e.g. which join side the hash index was
+    /// built on).
+    pub note: Option<String>,
+}
+
+/// A compiled query plan: the node tree plus the number of nodes (ids are
+/// `0..node_count`).
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Root of the plan tree.
+    pub root: PlanNode,
+    /// Number of nodes; every node id is below this.
+    pub node_count: usize,
+}
+
+fn fmt_bound(b: f64) -> String {
+    if b < 1e12 {
+        format!("{b:.0}")
+    } else {
+        format!("{b:.3e}")
+    }
+}
+
+impl Plan {
+    /// Scan labels in join-execution order (the chosen join order).
+    pub fn scan_order(&self) -> Vec<String> {
+        fn walk(node: &PlanNode, out: &mut Vec<String>) {
+            match node {
+                PlanNode::Scan { label, .. } => out.push(label.clone()),
+                PlanNode::HashJoin { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                PlanNode::Filter { input, .. }
+                | PlanNode::Aggregate { input, .. }
+                | PlanNode::Project { input, .. } => walk(input, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Renders the plan tree, one node per line, with each node's
+    /// pessimistic bound (`bound<=`) next to the actual cardinality
+    /// (`actual=`) from execution. `actuals` is indexed by node id; pass
+    /// `&[]` to render estimates only.
+    pub fn render(&self, actuals: &[NodeActual]) -> String {
+        let mut out = String::new();
+        render_node(&self.root, actuals, 0, &mut out);
+        out
+    }
+}
+
+fn render_node(node: &PlanNode, actuals: &[NodeActual], depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let (id, children): (usize, Vec<&PlanNode>) = match node {
+        PlanNode::Scan {
+            id,
+            label,
+            input_rows,
+            pushed,
+            bound,
+        } => {
+            let _ = write!(out, "Scan {label}");
+            if !pushed.is_empty() {
+                let _ = write!(out, " [{}]", pushed.join(" and "));
+            }
+            let _ = write!(out, " rows={input_rows} bound<={}", fmt_bound(*bound));
+            (*id, vec![])
+        }
+        PlanNode::HashJoin {
+            id,
+            left,
+            right,
+            keys,
+            bound,
+        } => {
+            if keys.is_empty() {
+                let _ = write!(out, "HashJoin (cross product)");
+            } else {
+                let _ = write!(out, "HashJoin on {}", keys.join(" and "));
+            }
+            let _ = write!(out, " bound<={}", fmt_bound(*bound));
+            (*id, vec![left.as_ref(), right.as_ref()])
+        }
+        PlanNode::Filter {
+            id,
+            input,
+            preds,
+            bound,
+        } => {
+            let _ = write!(
+                out,
+                "Filter [{}] bound<={}",
+                preds.join(" and "),
+                fmt_bound(*bound)
+            );
+            (*id, vec![input.as_ref()])
+        }
+        PlanNode::Aggregate {
+            id,
+            input,
+            group_by,
+            bound,
+        } => {
+            let _ = write!(
+                out,
+                "Aggregate group by [{}] bound<={}",
+                group_by.join(", "),
+                fmt_bound(*bound)
+            );
+            (*id, vec![input.as_ref()])
+        }
+        PlanNode::Project {
+            id,
+            input,
+            items,
+            bound,
+        } => {
+            let _ = write!(
+                out,
+                "Project [{}] bound<={}",
+                items.join(", "),
+                fmt_bound(*bound)
+            );
+            (*id, vec![input.as_ref()])
+        }
+    };
+    if let Some(actual) = actuals.get(id) {
+        if let Some(rows) = actual.rows {
+            let _ = write!(out, " actual={rows}");
+        }
+        if let Some(note) = &actual.note {
+            let _ = write!(out, " ({note})");
+        }
+    }
+    out.push('\n');
+    for child in children {
+        render_node(child, actuals, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(rows: f64, cols: &[(f64, f64)]) -> SourceEstimate {
+        SourceEstimate {
+            rows,
+            cols: cols
+                .iter()
+                .map(|&(d, m)| {
+                    Some(ColBound {
+                        distinct: d,
+                        max_freq: m,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Chain R(k,p) ⋈ S(k,j) ⋈ Sel(j) with a hub key in R⋈S: the planner
+    /// must start from the selective S⋈Sel side, not the hub join.
+    #[test]
+    fn chain_avoids_hub_join_first() {
+        // R: 2000 rows, k has a 400-row hub. S: 2000 rows, same hub on k,
+        // j nearly unique. Sel: 50 rows, j unique.
+        let r = est(2000.0, &[(1601.0, 400.0), (2000.0, 1.0)]);
+        let s = est(2000.0, &[(1601.0, 400.0), (1000.0, 2.0)]);
+        let sel = est(50.0, &[(50.0, 1.0)]);
+        let edges = [
+            JoinEdge {
+                a: (0, 0),
+                b: (1, 0),
+            }, // R.k = S.k
+            JoinEdge {
+                a: (1, 1),
+                b: (2, 0),
+            }, // S.j = Sel.j
+        ];
+        let order = order_joins(&[r, s, sel], &edges);
+        let seq = order.sources();
+        // S and Sel (indices 1, 2) must come before R (index 0).
+        assert_eq!(seq[2], 0, "hub join deferred to last: {seq:?}");
+        // And the chosen cost must beat the fixed left-to-right order's.
+        let fixed_first_bound = 2000.0 * 400.0; // R⋈S via max degree
+        assert!(order.steps[0].bound < fixed_first_bound / 100.0);
+    }
+
+    /// Star: two dimension tables only connect through the fact table —
+    /// joining them first would be a cross product.
+    #[test]
+    fn star_avoids_cross_product() {
+        let d1 = est(300.0, &[(300.0, 1.0)]);
+        let d2 = est(300.0, &[(300.0, 1.0)]);
+        let fact = est(2000.0, &[(500.0, 4.0), (500.0, 4.0), (2000.0, 1.0)]);
+        let edges = [
+            JoinEdge {
+                a: (2, 0),
+                b: (0, 0),
+            }, // F.a = D1.a
+            JoinEdge {
+                a: (2, 1),
+                b: (1, 0),
+            }, // F.b = D2.b
+        ];
+        let order = order_joins(&[d1, d2, fact], &edges);
+        let seq = order.sources();
+        // The fact table must be joined second (never D1 ⋈ D2 first).
+        assert_eq!(seq[1], 2, "no cross product: {seq:?}");
+        // Both steps stay far below the 300·300 cross product.
+        for step in &order.steps {
+            assert!(step.bound <= 300.0 * 4.0 + 1.0, "{:?}", order.steps);
+        }
+    }
+
+    /// An empty relation collapses every bound that joins it to zero, so
+    /// it is joined as early as possible.
+    #[test]
+    fn empty_relation_zeroes_bounds() {
+        let a = est(1000.0, &[(1000.0, 1.0)]);
+        let b = est(0.0, &[(0.0, 0.0)]);
+        let c = est(1000.0, &[(1000.0, 1.0)]);
+        let edges = [
+            JoinEdge {
+                a: (0, 0),
+                b: (1, 0),
+            },
+            JoinEdge {
+                a: (1, 0),
+                b: (2, 0),
+            },
+        ];
+        let order = order_joins(&[a, b, c], &edges);
+        assert_eq!(order.steps.last().unwrap().bound, 0.0);
+        assert_eq!(order.cost(), 0.0);
+    }
+
+    /// Untracked (float) join keys fall back to cross-product × row
+    /// bounds without panicking.
+    #[test]
+    fn untracked_columns_fall_back_to_row_bounds() {
+        let a = SourceEstimate {
+            rows: 10.0,
+            cols: vec![None],
+        };
+        let b = SourceEstimate {
+            rows: 20.0,
+            cols: vec![None],
+        };
+        let order = order_joins(
+            &[a, b],
+            &[JoinEdge {
+                a: (0, 0),
+                b: (1, 0),
+            }],
+        );
+        assert_eq!(order.steps[0].bound, 200.0);
+    }
+
+    /// Greedy (n > DP_MAX_SOURCES) and DP agree on an easy chain.
+    #[test]
+    fn greedy_handles_many_sources() {
+        let sources: Vec<SourceEstimate> = (0..14)
+            .map(|i| est(10.0 + i as f64, &[(10.0, 1.0), (10.0, 1.0)]))
+            .collect();
+        let edges: Vec<JoinEdge> = (0..13)
+            .map(|i| JoinEdge {
+                a: (i, 1),
+                b: (i + 1, 0),
+            })
+            .collect();
+        let order = order_joins(&sources, &edges);
+        assert_eq!(order.sources().len(), 14);
+        // All 14 sources appear exactly once.
+        let mut seen = order.sources();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn render_shows_bounds_and_actuals() {
+        let plan = Plan {
+            root: PlanNode::Project {
+                id: 2,
+                items: vec!["A.s".into()],
+                bound: 40.0,
+                input: Box::new(PlanNode::HashJoin {
+                    id: 3,
+                    keys: vec!["A.s = B.v".into()],
+                    bound: 40.0,
+                    left: Box::new(PlanNode::Scan {
+                        id: 0,
+                        label: "A".into(),
+                        input_rows: 100,
+                        pushed: vec!["A.w > 0".into()],
+                        bound: 100.0,
+                    }),
+                    right: Box::new(PlanNode::Scan {
+                        id: 1,
+                        label: "B".into(),
+                        input_rows: 10,
+                        pushed: vec![],
+                        bound: 10.0,
+                    }),
+                }),
+            },
+            node_count: 4,
+        };
+        let actuals = vec![
+            NodeActual {
+                rows: Some(80),
+                note: None,
+            },
+            NodeActual {
+                rows: Some(10),
+                note: None,
+            },
+            NodeActual {
+                rows: Some(33),
+                note: None,
+            },
+            NodeActual {
+                rows: Some(33),
+                note: Some("build=B".into()),
+            },
+        ];
+        let text = plan.render(&actuals);
+        assert!(text.contains("Project [A.s] bound<=40 actual=33"));
+        assert!(text.contains("HashJoin on A.s = B.v bound<=40 actual=33 (build=B)"));
+        assert!(text.contains("Scan A [A.w > 0] rows=100 bound<=100 actual=80"));
+        assert!(text.contains("Scan B rows=10 bound<=10 actual=10"));
+        // Estimates-only rendering works too.
+        assert!(plan.render(&[]).contains("bound<=40"));
+    }
+}

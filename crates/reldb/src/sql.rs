@@ -392,6 +392,10 @@ impl SqlDb {
     /// interpreter: `D` and `H2` via `CREATE TABLE … AS` (Fig. 9a style),
     /// each iteration as `CREATE TABLE`s for the views `V1`/`V2` and the
     /// grouped union of line 4, with `Bn`/`B` swapped by `DROP`/`CREATE`.
+    /// Its multi-way joins (notably the 3-way `A ⋈ B ⋈ H` of line 4) go
+    /// through the cost-bounded planner ([`crate::plan`]); the plan-built
+    /// methods like [`SqlDb::linbp`] construct engine operator plans
+    /// directly and bypass it.
     ///
     /// # Panics
     /// Panics if the embedded SQL fails to execute — that would be a bug in

@@ -1,0 +1,218 @@
+//! Incrementally maintained per-table statistics feeding the query planner.
+//!
+//! Every [`crate::Table`](crate::engine::Table) carries a [`TableStats`]:
+//! the exact row count plus, for each column that has only ever held
+//! integer values, the number of distinct values and the multiplicity of
+//! the most frequent value (the *max degree* of that column viewed as a
+//! join key). The planner in [`crate::plan`] turns these into pessimistic
+//! cardinality bounds — upper bounds that hold for *any* data, never
+//! optimistic guesses — in the style of worst-case output bounds for
+//! joins (AGM / functional-dependency bounds).
+//!
+//! Maintenance is incremental on the append path ([`TableStats::observe_row`]
+//! is called from `Table::push`) and rebuilt from scratch after bulk
+//! mutations (`upsert`, `retain`-style deletes). Columns that ever see a
+//! float value stop being tracked (`Float` join keys are legal in the SQL
+//! layer but rare; the planner falls back to row-count-only bounds there).
+
+use crate::engine::Value;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A tiny Fx-style multiply-rotate hasher for `i64` keys.
+///
+/// The frequency maps sit on the row-append hot path; SipHash (the std
+/// default) costs more than the surrounding work for 8-byte keys. This is
+/// the classic `FxHasher` construction (wrapping multiply by a golden-ratio
+/// derived constant, rotate, xor) specialised to the `write_i64` calls the
+/// stats maps actually make. Not DoS-resistant — fine for statistics.
+#[derive(Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state.rotate_left(5) ^ i).wrapping_mul(FX_SEED);
+    }
+}
+
+type FxFreqMap = HashMap<i64, u32, BuildHasherDefault<FxHasher64>>;
+
+/// Statistics for one column: distinct count and max frequency.
+///
+/// Tracking is *exact* while the column holds only `Value::Int` values.
+/// The first `Value::Float` observed in the column permanently disables
+/// tracking (the planner then knows nothing about the column beyond the
+/// table's row count, which is still a valid upper bound on both distinct
+/// count and max frequency).
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    /// Value → multiplicity. `None` once a float has been observed.
+    freq: Option<FxFreqMap>,
+    /// Multiplicity of the most frequent value seen so far.
+    max_freq: u32,
+}
+
+impl Default for ColumnStats {
+    fn default() -> Self {
+        ColumnStats {
+            freq: Some(FxFreqMap::default()),
+            max_freq: 0,
+        }
+    }
+}
+
+impl ColumnStats {
+    /// Number of distinct values, or `None` if the column is untracked.
+    pub fn distinct(&self) -> Option<usize> {
+        self.freq.as_ref().map(HashMap::len)
+    }
+
+    /// Multiplicity of the most frequent value (max join degree), or
+    /// `None` if the column is untracked.
+    pub fn max_freq(&self) -> Option<usize> {
+        self.freq.as_ref().map(|_| self.max_freq as usize)
+    }
+
+    /// Whether the column still has exact distinct/degree tracking.
+    pub fn is_tracked(&self) -> bool {
+        self.freq.is_some()
+    }
+
+    #[inline]
+    fn observe(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                if let Some(freq) = self.freq.as_mut() {
+                    let slot = freq.entry(*i).or_insert(0);
+                    *slot += 1;
+                    if *slot > self.max_freq {
+                        self.max_freq = *slot;
+                    }
+                }
+            }
+            Value::Float(_) => {
+                self.freq = None;
+                self.max_freq = 0;
+            }
+        }
+    }
+}
+
+/// Exact statistics for a table: row count plus per-column [`ColumnStats`].
+///
+/// Kept in sync by the owning [`crate::engine::Table`]: appends stream
+/// through [`observe_row`](TableStats::observe_row); bulk rewrites rebuild
+/// with [`from_rows`](TableStats::from_rows).
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    rows: usize,
+    cols: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Empty statistics for a table with `ncols` columns.
+    pub fn new(ncols: usize) -> Self {
+        TableStats {
+            rows: 0,
+            cols: (0..ncols).map(|_| ColumnStats::default()).collect(),
+        }
+    }
+
+    /// Statistics computed in one pass over existing rows.
+    pub fn from_rows(ncols: usize, rows: &[Vec<Value>]) -> Self {
+        let mut s = TableStats::new(ncols);
+        for row in rows {
+            s.observe_row(row);
+        }
+        s
+    }
+
+    /// Exact row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Per-column statistics, in column order.
+    pub fn columns(&self) -> &[ColumnStats] {
+        &self.cols
+    }
+
+    /// Statistics for column `i`.
+    pub fn column(&self, i: usize) -> &ColumnStats {
+        &self.cols[i]
+    }
+
+    /// Folds one appended row into the statistics.
+    #[inline]
+    pub fn observe_row(&mut self, row: &[Value]) {
+        self.rows += 1;
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.observe(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_distinct_and_max_freq() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Int(7)],
+            vec![Value::Int(1), Value::Int(8)],
+            vec![Value::Int(2), Value::Int(9)],
+        ];
+        let s = TableStats::from_rows(2, &rows);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.column(0).distinct(), Some(2));
+        assert_eq!(s.column(0).max_freq(), Some(2));
+        assert_eq!(s.column(1).distinct(), Some(3));
+        assert_eq!(s.column(1).max_freq(), Some(1));
+    }
+
+    #[test]
+    fn float_disables_tracking() {
+        let mut s = TableStats::new(1);
+        s.observe_row(&[Value::Int(3)]);
+        assert!(s.column(0).is_tracked());
+        s.observe_row(&[Value::Float(0.5)]);
+        assert!(!s.column(0).is_tracked());
+        assert_eq!(s.column(0).distinct(), None);
+        assert_eq!(s.column(0).max_freq(), None);
+        // Row count keeps working regardless.
+        assert_eq!(s.rows(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = TableStats::new(3);
+        assert_eq!(s.rows(), 0);
+        for c in s.columns() {
+            assert_eq!(c.distinct(), Some(0));
+            assert_eq!(c.max_freq(), Some(0));
+        }
+    }
+}

@@ -492,6 +492,114 @@ fn run_fused_suite(
     records.push(rec);
 }
 
+/// One full-vs-frontier LinBP solve measurement (single-threaded).
+struct FrontierRecord {
+    graph: String,
+    nodes: usize,
+    directed_edges: usize,
+    iterations: usize,
+    rows_active: u64,
+    rows_skipped: u64,
+    skip_ratio: f64,
+    full_secs: f64,
+    frontier_cold_secs: f64,
+    frontier_warm_secs: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Active-frontier execution vs. full recomputation on a long fixed-budget
+/// exact solve (`tol = 0`, every sweep runs). The solve iterates well past
+/// bitwise stationarity, which is exactly the regime change-tracking is
+/// for: once a row's inputs stop changing a single bit, the frontier
+/// proves every later recomputation redundant and skips it — while the
+/// full path re-derives the identical bits sweep after sweep. Beliefs,
+/// iteration counts, and final deltas are asserted bitwise equal.
+#[allow(clippy::too_many_arguments)] // a flat experiment descriptor
+fn run_frontier_suite(
+    records: &mut Vec<FrontierRecord>,
+    label: &str,
+    graph: &Graph,
+    k: usize,
+    h_residual_unscaled: &Mat,
+    eps: f64,
+    budget: usize,
+    reps: usize,
+) {
+    let adj = graph.adjacency();
+    let n = graph.num_nodes();
+    let de = graph.num_directed_edges();
+    let explicit = kronecker_style_beliefs(n, k, (n / 20).max(1), 7, false);
+    let h = h_residual_unscaled.scale(eps);
+    let run = |frontier: bool| {
+        let opts = LinBpOptions {
+            max_iter: budget,
+            tol: 0.0,
+            norm: ToleranceNorm::MaxAbs,
+            damping: 0.0,
+            divergence_guard: 1e12,
+            parallelism: ParallelismConfig::serial().with_frontier(frontier),
+        };
+        linbp(&adj, &explicit, &h, &opts).expect("linbp dimensions are consistent")
+    };
+
+    let full = run(false);
+    let frontier = run(true);
+    let identical = full
+        .beliefs
+        .residual()
+        .as_slice()
+        .iter()
+        .zip(frontier.beliefs.residual().as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+        && full.iterations == frontier.iterations
+        && full.final_delta.to_bits() == frontier.final_delta.to_bits();
+
+    let mut full_secs = f64::INFINITY;
+    let mut frontier_cold_secs = f64::NAN;
+    let mut frontier_warm_secs = f64::INFINITY;
+    for rep in 0..reps {
+        let (_, d) = time_once(|| run(false));
+        full_secs = full_secs.min(d.as_secs_f64());
+        let (_, d2) = time_once(|| run(true));
+        if rep == 0 {
+            frontier_cold_secs = d2.as_secs_f64();
+        } else {
+            frontier_warm_secs = frontier_warm_secs.min(d2.as_secs_f64());
+        }
+    }
+    if !frontier_warm_secs.is_finite() {
+        frontier_warm_secs = frontier_cold_secs;
+    }
+    let total = frontier.rows_active + frontier.rows_skipped;
+    let rec = FrontierRecord {
+        graph: label.to_string(),
+        nodes: n,
+        directed_edges: de,
+        iterations: frontier.iterations,
+        rows_active: frontier.rows_active,
+        rows_skipped: frontier.rows_skipped,
+        skip_ratio: frontier.rows_skipped as f64 / total.max(1) as f64,
+        full_secs,
+        frontier_cold_secs,
+        frontier_warm_secs,
+        speedup: full_secs / frontier_warm_secs,
+        identical,
+    };
+    println!(
+        "{:>14} frontier ({budget} sweeps) full {:>10.4}s  frontier cold {:>10.4}s / warm \
+         {:>10.4}s  skip {:>5.1}%  speedup {:>5.2}x  identical={}",
+        rec.graph,
+        rec.full_secs,
+        rec.frontier_cold_secs,
+        rec.frontier_warm_secs,
+        100.0 * rec.skip_ratio,
+        rec.speedup,
+        rec.identical
+    );
+    records.push(rec);
+}
+
 /// One monolithic-vs-sharded measurement (single-threaded).
 struct ShardedRecord {
     graph: String,
@@ -1402,6 +1510,19 @@ fn bench_pool_overhead(threads_sweep: &[usize], regions: usize) -> (Graph, Vec<P
     (graph, records)
 }
 
+/// Pull `"hardware_threads": N` out of a previously committed baseline JSON
+/// without a JSON parser. The file is produced by this binary, so the key
+/// appears exactly once at the top level; tolerate arbitrary whitespace
+/// around the colon and ignore everything else.
+fn extract_hardware_threads(json: &str) -> Option<usize> {
+    let key = "\"hardware_threads\"";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
@@ -1579,6 +1700,7 @@ fn main() {
     let mut records = Vec::new();
     let mut simd_records = Vec::new();
     let mut fused_records = Vec::new();
+    let mut frontier_records = Vec::new();
     let mut sharded_records = Vec::new();
     let mut out_of_core_records = Vec::new();
     let mut gather_prefetch: Option<(f64, f64, bool)> = None;
@@ -1603,6 +1725,16 @@ fn main() {
         );
         run_simd_suite(&mut simd_records, &label, &graph, 3, reps);
         run_fused_suite(&mut fused_records, &label, &graph, 3, &ho3, 0.0005, reps);
+        run_frontier_suite(
+            &mut frontier_records,
+            &label,
+            &graph,
+            3,
+            &ho3,
+            0.0005,
+            2000,
+            reps,
+        );
         run_sharded_suite(
             &mut sharded_records,
             &label,
@@ -1668,6 +1800,16 @@ fn main() {
             4,
             &ho4,
             0.005,
+            reps,
+        );
+        run_frontier_suite(
+            &mut frontier_records,
+            "dblp_like",
+            &net.graph,
+            4,
+            &ho4,
+            0.005,
+            1000,
             reps,
         );
         run_sharded_suite(
@@ -1743,6 +1885,16 @@ fn main() {
         .map(|r| r.speedup)
         .fold(f64::NAN, f64::max);
     let fused_all_identical = fused_records.iter().all(|r| r.identical);
+    // Frontier acceptance read-outs: the warm full-vs-frontier speedup of
+    // the fixed-budget exact solve on the largest Kronecker graph (the
+    // ≥ 1.4× bar of the active-frontier PR), and the global
+    // frontier-equals-full bitwise flag across every cell.
+    let frontier_speedup_largest = frontier_records
+        .iter()
+        .filter(|r| r.graph == format!("kronecker_m{m}"))
+        .map(|r| r.speedup)
+        .fold(f64::NAN, f64::max);
+    let frontier_all_identical = frontier_records.iter().all(|r| r.identical);
     // Sharded acceptance read-out: the *worst* fused-LinBP relative
     // throughput on the largest Kronecker graph across the shard sweep
     // (the ≥ 0.95× bar — sharding must not tax the serial hot loop), and
@@ -1802,14 +1954,36 @@ fn main() {
         qps_of("clamp") / qps_of("off")
     };
 
+    // Cross-hardware guard: speedup summaries are only meaningful against a
+    // baseline recorded on the same machine class. If the committed baseline
+    // at `--out` was produced with a different hardware-thread count, annotate
+    // the new JSON and warn loudly rather than silently publishing
+    // incomparable numbers.
+    let current_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let baseline_threads = std::fs::read_to_string(&out_path)
+        .ok()
+        .as_deref()
+        .and_then(extract_hardware_threads);
+    let cross_hardware_comparable = match baseline_threads {
+        Some(prev) if prev != current_threads => {
+            eprintln!(
+                "warning: committed baseline {out_path} was recorded with hardware_threads={prev} \
+                 but this machine has {current_threads}; speedup comparisons against it are not \
+                 meaningful (marking cross_hardware_comparable=false)"
+            );
+            false
+        }
+        _ => true,
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"kernels\",\n");
     json.push_str("  \"schema_version\": 1,\n");
     json.push_str("  \"generated_by\": \"perf_baseline\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {current_threads},\n"));
     json.push_str(&format!(
-        "  \"hardware_threads\": {},\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        "  \"cross_hardware_comparable\": {cross_hardware_comparable},\n"
     ));
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str(&format!(
@@ -1831,6 +2005,13 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"fused_linbp_bitwise_identical_to_unfused\": {fused_all_identical},\n"
+    ));
+    json.push_str(&format!(
+        "    \"frontier_speedup_largest_kronecker\": {},\n",
+        json_f64(frontier_speedup_largest)
+    ));
+    json.push_str(&format!(
+        "    \"frontier_bitwise_identical_to_full\": {frontier_all_identical},\n"
     ));
     json.push_str(&format!(
         "    \"sharded_linbp_min_rel_throughput_largest_kronecker\": {},\n",
@@ -1917,6 +2098,38 @@ fn main() {
             json_f64(r.speedup),
             r.identical,
             if i + 1 == fused_records.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    // Active-frontier execution vs. full recomputation on long
+    // fixed-budget exact solves (tol = 0, every sweep runs), with the
+    // frontier-equals-full bitwise check inline. The cold column is the
+    // first frontier run (plan construction included), warm the best of
+    // the remaining reps.
+    json.push_str("  \"frontier\": {\n    \"tol\": 0.0,\n    \"results\": [\n");
+    for (i, r) in frontier_records.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"graph\": \"{}\", \"nodes\": {}, \"directed_edges\": {}, \
+             \"iterations\": {}, \"rows_active\": {}, \"rows_skipped\": {}, \
+             \"skip_ratio\": {}, \"full_secs\": {}, \"frontier_cold_secs\": {}, \
+             \"frontier_warm_secs\": {}, \"speedup\": {}, \"identical_to_full\": {}}}{}\n",
+            r.graph,
+            r.nodes,
+            r.directed_edges,
+            r.iterations,
+            r.rows_active,
+            r.rows_skipped,
+            json_f64(r.skip_ratio),
+            json_f64(r.full_secs),
+            json_f64(r.frontier_cold_secs),
+            json_f64(r.frontier_warm_secs),
+            json_f64(r.speedup),
+            r.identical,
+            if i + 1 == frontier_records.len() {
                 ""
             } else {
                 ","
@@ -2133,6 +2346,8 @@ fn main() {
     println!(
         "summary: spmm speedup @4 threads on ≥100k-edge graph = {}, all results identical = {}, \
          fused speedup (serial, kronecker_m{m}) = {}, fused identical = {}, \
+         frontier speedup (fixed-budget exact solve, kronecker_m{m}) = {}, \
+         frontier_bitwise_identical_to_full={}, \
          sharded linbp min rel throughput (kronecker_m{m}) = {}, sharded identical = {}, \
          paged warm rel throughput (kronecker_m{m}) = {}, paged identical = {}, \
          serving spmm pass reduction q={serving_queries} (kronecker_m{m}) = {}, \
@@ -2142,6 +2357,8 @@ fn main() {
         all_identical,
         json_f64(fused_speedup_largest),
         fused_all_identical,
+        json_f64(frontier_speedup_largest),
+        frontier_all_identical,
         json_f64(sharded_linbp_min_rel),
         sharded_all_identical,
         json_f64(paged_warm_rel_largest),
@@ -2161,6 +2378,22 @@ fn main() {
         fused_all_identical,
         "fused LinBP step diverged bitwise from the unfused reference"
     );
+    assert!(
+        frontier_all_identical,
+        "active-frontier solve diverged bitwise from full recomputation"
+    );
+    // The speedup bar only applies at full benchmark size — CI smoke runs
+    // a tiny `--m` where fixed overheads dominate the timings.
+    if frontier_records
+        .iter()
+        .any(|r| r.graph == format!("kronecker_m{m}") && r.directed_edges >= 100_000)
+    {
+        assert!(
+            frontier_speedup_largest >= 1.4,
+            "frontier speedup on the largest Kronecker graph fell below the 1.4x acceptance \
+             bar: {frontier_speedup_largest}"
+        );
+    }
     assert!(
         sharded_all_identical,
         "sharded kernel produced a result differing from the monolithic reference"
@@ -2189,4 +2422,26 @@ fn main() {
         planner_speedup_min >= 2.0,
         "planner speedup on skewed multiway workloads fell below the 2x acceptance bar: {planner_speedup_min}"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::extract_hardware_threads;
+
+    #[test]
+    fn extracts_hardware_threads_from_baseline_json() {
+        let json = "{\n  \"bench\": \"kernels\",\n  \"hardware_threads\": 16,\n  \"reps\": 3\n}\n";
+        assert_eq!(extract_hardware_threads(json), Some(16));
+        assert_eq!(
+            extract_hardware_threads("{\"hardware_threads\":8}"),
+            Some(8)
+        );
+        assert_eq!(
+            extract_hardware_threads("{\"hardware_threads\"  :  4 ,"),
+            Some(4)
+        );
+        assert_eq!(extract_hardware_threads("{\"reps\": 3}"), None);
+        assert_eq!(extract_hardware_threads("\"hardware_threads\": x"), None);
+        assert_eq!(extract_hardware_threads(""), None);
+    }
 }

@@ -501,6 +501,64 @@ fn selftest(
     )?;
     println!("[selftest] patched cache entry bitwise-matches the library patch path");
 
+    // Frontier phase: the fixture embedded in a wider graph whose extra
+    // nodes are isolated. Their rows freeze bitwise after the first
+    // sweep, so the active-frontier execution (on by default) must skip
+    // them on every later sweep — and the repeated solves below must
+    // leave nonzero skip counters in `Health`, while every answer stays
+    // bitwise equal to the library on the same wide graph.
+    let frontier_id = u64::from(std::process::id()) << 16 | 0xf407;
+    let frontier_nodes = 24usize;
+    let frontier_edges: Vec<WireEdge> = fixture_edges()
+        .into_iter()
+        .map(|(s, t, w)| WireEdge {
+            src: s as u64,
+            dst: t as u64,
+            weight: w,
+        })
+        .collect();
+    client
+        .register_graph(frontier_id, frontier_nodes as u64, true, frontier_edges)
+        .map_err(|e| format!("frontier register: {e}"))?;
+    let wide_adj = {
+        let mut g = Graph::new(frontier_nodes);
+        for (s, t, w) in fixture_edges() {
+            g.add_edge(s, t, w);
+        }
+        g.adjacency()
+    };
+    for shift in [5usize, 6, 7] {
+        let payload = client
+            .solve_linbp(frontier_id, wire_params(true, &h), wire_seeds(shift))
+            .map_err(|e| format!("frontier solve (shift {shift}): {e}"))?;
+        let mut wide_seeds = ExplicitBeliefs::new(frontier_nodes, K);
+        for (node, row) in seed_rows(shift) {
+            wide_seeds
+                .set_residual(node, &row)
+                .expect("seed rows are centered");
+        }
+        let reference = linbp(&wide_adj, &wide_seeds, &h, &opts).map_err(|e| e.to_string())?;
+        assert_bitwise(
+            &format!("frontier[{shift}]"),
+            &payload.beliefs,
+            reference.beliefs.residual().as_slice(),
+        )?;
+    }
+    let health = client
+        .health()
+        .map_err(|e| format!("post-frontier health: {e}"))?;
+    if health.frontier_rows_skipped == 0 {
+        return Err(
+            "frontier: repeated solves on a graph with isolated nodes left zero \
+             skipped rows — is the server running with LSBP_FRONTIER=off?"
+                .into(),
+        );
+    }
+    println!(
+        "[selftest] frontier: bitwise match ({} rows active, {} skipped)",
+        health.frontier_rows_active, health.frontier_rows_skipped
+    );
+
     // Out-of-core phase: when the server runs with `--spill-dir`, every
     // registered graph is served from an on-disk shard store through the
     // budgeted buffer pool. Register a fresh copy of the fixture under a

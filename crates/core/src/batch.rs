@@ -31,7 +31,7 @@ use crate::rwr::{RwrError, RwrOptions, RwrResult};
 use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, Mat, ParallelismConfig, StepOutcome, ToleranceNorm,
 };
-use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator};
+use lsbp_sparse::{CsrMatrix, FrontierState, FusedLinBpStep, PropagationOperator};
 
 /// Runs **LinBP** (Eq. 6, with echo cancellation) on `q` independent
 /// seed-sets in one pass: one stacked SpMM per iteration, per-query
@@ -114,6 +114,17 @@ struct LinBpBatchIteration<'a, A: PropagationOperator + ?Sized> {
     divergence_guard: f64,
     slots: Vec<QuerySlot>,
     deltas: Vec<f64>,
+    /// Active-frontier change tracking; composes with the per-query
+    /// freeze masks (frozen queries already skip — frozen *rows* now do
+    /// too). `None` forces full recomputation. Bitwise identical either
+    /// way.
+    frontier: Option<FrontierState>,
+    /// Reusable not-frozen mask handed to the frontier as the set of
+    /// query blocks that participate in change detection. Exact because
+    /// the update is block-diagonal per query and the frozen set only
+    /// grows: bits recorded under an older (larger) mask are a
+    /// conservative superset.
+    active_mask: Vec<bool>,
 }
 
 impl<A: PropagationOperator + ?Sized> FixedPointOp for LinBpBatchIteration<'_, A> {
@@ -122,20 +133,44 @@ impl<A: PropagationOperator + ?Sized> FixedPointOp for LinBpBatchIteration<'_, A
         // One stacked fused update — exactly the single-query fused step
         // per k-column block, residuals accumulated per query in-pass.
         // (Frozen queries are computed too, like the unfused stacked
-        // update before; their outputs are discarded below.)
-        self.adj.linbp_step_fused_with(
-            &self.b,
-            &FusedLinBpStep {
-                e_hat: self.e_hat,
-                h: self.h,
-                h2: self.h2,
-                degrees: self.degrees,
-                damping: solver.damping,
-            },
-            &mut self.next,
-            &mut self.deltas,
-            &self.cfg,
-        );
+        // update before; their outputs are discarded below. Frozen
+        // columns are pinned by the restore loop below, so both buffers
+        // agree on them every iteration — which is what lets the
+        // frontier's changed-bit compare restrict to active blocks.)
+        let fstep = FusedLinBpStep {
+            e_hat: self.e_hat,
+            h: self.h,
+            h2: self.h2,
+            degrees: self.degrees,
+            damping: solver.damping,
+        };
+        let counters = match self.frontier.as_mut() {
+            Some(state) => {
+                for (m, slot) in self.active_mask.iter_mut().zip(&self.slots) {
+                    *m = !slot.frozen;
+                }
+                let mut fr = state.begin(Some(&self.active_mask));
+                self.adj.linbp_step_fused_frontier_with(
+                    &self.b,
+                    &fstep,
+                    &mut self.next,
+                    &mut self.deltas,
+                    &mut fr,
+                    &self.cfg,
+                );
+                Some((fr.rows_active, fr.rows_skipped))
+            }
+            None => {
+                self.adj.linbp_step_fused_with(
+                    &self.b,
+                    &fstep,
+                    &mut self.next,
+                    &mut self.deltas,
+                    &self.cfg,
+                );
+                None
+            }
+        };
         // The fused pass already produced max-abs deltas; L2 queries
         // replace theirs with the fixed-order column-block read-out
         // (fusing L2 would tie the sum to the row partition).
@@ -184,6 +219,9 @@ impl<A: PropagationOperator + ?Sized> FixedPointOp for LinBpBatchIteration<'_, A
                 any_active = true;
                 remaining = remaining.max(delta);
             }
+        }
+        if let (Some(state), Some((active, skipped))) = (self.frontier.as_mut(), counters) {
+            state.commit(active, skipped);
         }
         if any_active {
             StepOutcome::proceed(remaining)
@@ -262,15 +300,28 @@ fn linbp_batch_run_on<A: PropagationOperator + ?Sized>(
             })
             .collect(),
         deltas: vec![f64::INFINITY; q],
+        frontier: opts
+            .parallelism
+            .frontier()
+            .then(|| FrontierState::new(adj.frontier_plan())),
+        active_mask: vec![true; q],
     };
     // Operator-controlled stopping: the per-query masks inside the step
     // implement tolerance and guard; the outer solver only carries the
     // budget, norm and damping.
-    FixedPointSolver::new(opts.max_iter, 0.0)
+    let outcome = FixedPointSolver::new(opts.max_iter, 0.0)
         .with_norm(opts.norm)
         .with_damping(opts.damping)
         .run(&mut op);
 
+    // Whole-run frontier totals: the counters describe the shared stacked
+    // solve, so every per-query result carries the same pair (consumers
+    // aggregating across queries of one batch take the max, not the sum).
+    let (rows_active, rows_skipped) = op
+        .frontier
+        .as_ref()
+        .map(|s| (s.rows_active, s.rows_skipped))
+        .unwrap_or(((n * outcome.iterations) as u64, 0));
     Ok(op
         .slots
         .iter()
@@ -288,6 +339,8 @@ fn linbp_batch_run_on<A: PropagationOperator + ?Sized>(
                 diverged: slot.diverged,
                 iterations: slot.iterations,
                 final_delta: slot.final_delta,
+                rows_active,
+                rows_skipped,
             }
         })
         .collect())

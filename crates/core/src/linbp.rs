@@ -22,7 +22,7 @@ use lsbp_linalg::{
     FixedPointOp, FixedPointSolver, IterationEvent, Mat, ParallelismConfig, StepOutcome,
     ToleranceNorm,
 };
-use lsbp_sparse::{CsrMatrix, FusedLinBpStep, PropagationOperator};
+use lsbp_sparse::{CsrMatrix, FrontierState, FusedLinBpStep, PropagationOperator};
 
 /// Options for [`linbp`] / [`linbp_star`].
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +84,12 @@ pub struct LinBpResult {
     pub iterations: usize,
     /// Largest absolute belief change in the final round.
     pub final_delta: f64,
+    /// Rows recomputed across all rounds (active-frontier execution;
+    /// equals `n × iterations` with the frontier off).
+    pub rows_active: u64,
+    /// Rows skipped across all rounds because their inputs were bitwise
+    /// unchanged (always 0 with the frontier off).
+    pub rows_skipped: u64,
 }
 
 /// Errors from the LinBP family.
@@ -230,32 +236,60 @@ struct LinBpIteration<'a, A: PropagationOperator + ?Sized> {
     b: Mat,
     next: Mat,
     cfg: ParallelismConfig,
+    /// Active-frontier change tracking (see `lsbp_sparse::frontier`);
+    /// `None` forces full recomputation every round (`with_frontier(false)`
+    /// / `LSBP_FRONTIER=off`). Outputs are bitwise identical either way.
+    frontier: Option<FrontierState>,
 }
 
 impl<A: PropagationOperator + ?Sized> FixedPointOp for LinBpIteration<'_, A> {
     fn step(&mut self, solver: &FixedPointSolver, _iteration: usize) -> StepOutcome {
         let mut fused_delta = [0.0f64];
-        self.adj.linbp_step_fused_with(
-            &self.b,
-            &FusedLinBpStep {
-                e_hat: self.e_hat,
-                h: self.h,
-                h2: self.h2,
-                degrees: self.degrees,
-                damping: solver.damping,
-            },
-            &mut self.next,
-            &mut fused_delta,
-            &self.cfg,
-        );
+        let fstep = FusedLinBpStep {
+            e_hat: self.e_hat,
+            h: self.h,
+            h2: self.h2,
+            degrees: self.degrees,
+            damping: solver.damping,
+        };
+        let counters = match self.frontier.as_mut() {
+            Some(state) => {
+                let mut fr = state.begin(None);
+                self.adj.linbp_step_fused_frontier_with(
+                    &self.b,
+                    &fstep,
+                    &mut self.next,
+                    &mut fused_delta,
+                    &mut fr,
+                    &self.cfg,
+                );
+                Some((fr.rows_active, fr.rows_skipped))
+            }
+            None => {
+                self.adj.linbp_step_fused_with(
+                    &self.b,
+                    &fstep,
+                    &mut self.next,
+                    &mut fused_delta,
+                    &self.cfg,
+                );
+                None
+            }
+        };
         let delta = match solver.norm {
             ToleranceNorm::MaxAbs => fused_delta[0],
             // L2 is deliberately *not* fused: summing per-row-block
             // partials would tie the total to the partition (thread
             // count); the flat fixed-order pass keeps it deterministic.
+            // Frontier-skipped rows hold bit-identical values in both
+            // buffers, so their terms are exactly what a recomputation
+            // would contribute — the pass needs no frontier awareness.
             ToleranceNorm::L2 => self.next.l2_diff(&self.b),
         };
         std::mem::swap(&mut self.b, &mut self.next);
+        if let (Some(state), Some((active, skipped))) = (self.frontier.as_mut(), counters) {
+            state.commit(active, skipped);
+        }
         StepOutcome::proceed(delta)
     }
 
@@ -345,15 +379,26 @@ fn run_observed_on<A: PropagationOperator + ?Sized>(
         b: e_hat.clone(),
         next: Mat::zeros(n, k),
         cfg: opts.parallelism,
+        frontier: opts
+            .parallelism
+            .frontier()
+            .then(|| FrontierState::new(adj.frontier_plan())),
     };
     let outcome = opts.solver().run_observed(&mut op, observer);
 
+    let (rows_active, rows_skipped) = op
+        .frontier
+        .as_ref()
+        .map(|s| (s.rows_active, s.rows_skipped))
+        .unwrap_or(((n * outcome.iterations) as u64, 0));
     Ok(LinBpResult {
         beliefs: BeliefMatrix::from_mat(op.b),
         converged: outcome.converged,
         diverged: outcome.diverged,
         iterations: outcome.iterations,
         final_delta: outcome.final_delta,
+        rows_active,
+        rows_skipped,
     })
 }
 

@@ -40,7 +40,7 @@ pub use fixedpoint::{
 pub use matrix::Mat;
 pub use norms::{frobenius_norm, induced_1_norm, induced_inf_norm, min_submultiplicative_norm};
 pub use parallel::{
-    default_memory_budget, default_num_shards, even_ranges, parse_byte_size,
+    default_frontier, default_memory_budget, default_num_shards, even_ranges, parse_byte_size,
     weight_balanced_ranges, ParallelismConfig, MAX_SHARDS,
 };
 pub use solve::{lu_inverse, lu_solve, LuError};

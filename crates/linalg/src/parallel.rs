@@ -126,6 +126,44 @@ pub fn default_memory_budget() -> usize {
     })
 }
 
+/// Parses an `LSBP_FRONTIER` override. Accepts `on`/`1`/`true` and
+/// `off`/`0`/`false` (case-insensitive); anything else keeps the default
+/// (frontier on — skipping is bitwise-exact, so it is safe everywhere)
+/// plus a warning, same discipline as [`parse_shards_env`].
+pub(crate) fn parse_frontier_env(value: Option<&str>) -> (bool, Option<String>) {
+    let Some(raw) = value else {
+        return (true, None);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "1" | "true" => (true, None),
+        "off" | "0" | "false" => (false, None),
+        _ => (
+            true,
+            Some(format!(
+                "lsbp: ignoring invalid LSBP_FRONTIER={raw:?} (expected on/off); \
+                 frontier execution stays on"
+            )),
+        ),
+    }
+}
+
+/// The process-default active-frontier switch: `LSBP_FRONTIER` if set to
+/// `on`/`off` (default on — frontier skipping is bitwise identical to
+/// full recomputation, so there is no correctness reason to disable it;
+/// `off` is the escape hatch for perf A/B runs). Parsed exactly once per
+/// process like [`default_num_shards`], with the same one-time warning on
+/// a set-but-invalid value.
+pub fn default_frontier() -> bool {
+    static DEFAULT_FRONTIER: OnceLock<bool> = OnceLock::new();
+    *DEFAULT_FRONTIER.get_or_init(|| {
+        let (on, warning) = parse_frontier_env(std::env::var("LSBP_FRONTIER").ok().as_deref());
+        if let Some(message) = warning {
+            eprintln!("{message}");
+        }
+        on
+    })
+}
+
 /// Default minimum per-kernel work (≈ flops or touched entries) before a
 /// kernel goes parallel. The pool spawns scoped OS threads per parallel
 /// region (~tens of µs), so the floor is set where one region's compute
@@ -145,6 +183,9 @@ pub struct ParallelismConfig {
     shards: usize,
     /// Pager byte budget for paged (out-of-core) backends; 0 = unbudgeted.
     memory_budget: usize,
+    /// Active-frontier execution in the fused LinBP path (bitwise-exact
+    /// iteration skipping); `false` forces full recomputation.
+    frontier: bool,
 }
 
 impl ParallelismConfig {
@@ -156,6 +197,7 @@ impl ParallelismConfig {
             min_work: PAR_MIN_WORK,
             shards: 1,
             memory_budget: 0,
+            frontier: true,
         }
     }
 
@@ -171,6 +213,7 @@ impl ParallelismConfig {
             min_work: PAR_MIN_WORK,
             shards: 1,
             memory_budget: 0,
+            frontier: true,
         }
     }
 
@@ -193,6 +236,7 @@ impl ParallelismConfig {
             min_work: PAR_MIN_WORK,
             shards: default_num_shards(),
             memory_budget: default_memory_budget(),
+            frontier: default_frontier(),
         }
     }
 
@@ -254,6 +298,24 @@ impl ParallelismConfig {
     /// [`ParallelismConfig::from_env`] / [`ParallelismConfig::default`].
     pub fn memory_budget(&self) -> Option<usize> {
         (self.memory_budget > 0).then_some(self.memory_budget)
+    }
+
+    /// Enables or disables active-frontier execution of the fused LinBP
+    /// path: per-iteration change tracking that skips rows whose inputs
+    /// are bitwise unchanged. Default **on** (also via `LSBP_FRONTIER`
+    /// for [`ParallelismConfig::from_env`] configs) — skipping is
+    /// bitwise identical to full recomputation at any frontier × shard ×
+    /// thread × budget combination, so `off` exists purely as a perf
+    /// A/B escape hatch.
+    pub fn with_frontier(mut self, on: bool) -> Self {
+        self.frontier = on;
+        self
+    }
+
+    /// Whether active-frontier execution is enabled (see
+    /// [`ParallelismConfig::with_frontier`]).
+    pub fn frontier(&self) -> bool {
+        self.frontier
     }
 
     /// `true` iff this config never spawns threads.
@@ -522,6 +584,42 @@ mod tests {
                 warning.contains("running unbudgeted"),
                 "warning names the fallback"
             );
+        }
+    }
+
+    #[test]
+    fn frontier_knob_defaults_and_toggles() {
+        assert!(ParallelismConfig::serial().frontier());
+        assert!(ParallelismConfig::with_threads(4).frontier());
+        assert!(!ParallelismConfig::serial().with_frontier(false).frontier());
+        assert!(ParallelismConfig::serial()
+            .with_frontier(false)
+            .with_frontier(true)
+            .frontier());
+    }
+
+    #[test]
+    fn parse_frontier_env_rules() {
+        // Unset and usable values parse silently.
+        assert_eq!(parse_frontier_env(None), (true, None));
+        for on in ["on", "1", "true", " ON ", "True"] {
+            assert_eq!(parse_frontier_env(Some(on)), (true, None), "{on:?}");
+        }
+        for off in ["off", "0", "false", " OFF ", "False"] {
+            assert_eq!(parse_frontier_env(Some(off)), (false, None), "{off:?}");
+        }
+        // Set-but-unusable values keep the default (on) AND warn, naming
+        // the variable, the rejected value, and the fallback.
+        for bad in ["yes", "2", "", "disable"] {
+            let (on, warning) = parse_frontier_env(Some(bad));
+            assert!(on, "LSBP_FRONTIER={bad:?} must fall back to on");
+            let warning = warning.expect("invalid value must warn");
+            assert!(
+                warning.contains("LSBP_FRONTIER"),
+                "warning names the variable"
+            );
+            assert!(warning.contains(bad), "warning echoes the rejected value");
+            assert!(warning.contains("stays on"), "warning names the fallback");
         }
     }
 

@@ -41,7 +41,11 @@ use std::io::{self, Read, Write};
 ///   (`pager_hits`/`pager_misses`/`pager_evictions`/`pager_prefetches`),
 ///   and [`HealthInfo`] reports whether the server spills registered
 ///   graphs to disk (`spill_enabled`).
-pub const PROTOCOL_VERSION: u16 = 3;
+/// * **4** — active-frontier revision: [`ServerStats`] and
+///   [`HealthInfo`] grow the frontier row counters
+///   (`frontier_rows_active`/`frontier_rows_skipped`) — additive
+///   trailing fields, appended after the pager counters.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Hard cap on a frame payload (length prefix), checked before any
 /// allocation. Large enough for a multi-million-edge graph registration,
@@ -807,6 +811,12 @@ pub struct ServerStats {
     pub pager_evictions: u64,
     /// Shard blocks loaded ahead of the kernels by the prefetch thread.
     pub pager_prefetches: u64,
+    /// LinBP rows recomputed by served solves (active-frontier
+    /// execution; with the frontier off this is simply rows × rounds).
+    pub frontier_rows_active: u64,
+    /// LinBP rows skipped by served solves because their inputs were
+    /// bitwise unchanged since the previous round.
+    pub frontier_rows_skipped: u64,
 }
 
 impl ServerStats {
@@ -833,6 +843,8 @@ impl ServerStats {
             self.pager_misses,
             self.pager_evictions,
             self.pager_prefetches,
+            self.frontier_rows_active,
+            self.frontier_rows_skipped,
         ] {
             w.u64(v);
         }
@@ -861,6 +873,8 @@ impl ServerStats {
             pager_misses: r.u64()?,
             pager_evictions: r.u64()?,
             pager_prefetches: r.u64()?,
+            frontier_rows_active: r.u64()?,
+            frontier_rows_skipped: r.u64()?,
         })
     }
 }
@@ -890,6 +904,12 @@ pub struct HealthInfo {
     pub pager_evictions: u64,
     /// Buffer-pool prefetch loads since startup.
     pub pager_prefetches: u64,
+    /// LinBP rows recomputed by served solves since startup (see
+    /// [`ServerStats::frontier_rows_active`]).
+    pub frontier_rows_active: u64,
+    /// LinBP rows skipped by served solves since startup (bitwise
+    /// unchanged inputs; see [`ServerStats::frontier_rows_skipped`]).
+    pub frontier_rows_skipped: u64,
 }
 
 impl HealthInfo {
@@ -904,6 +924,8 @@ impl HealthInfo {
         w.u64(self.pager_misses);
         w.u64(self.pager_evictions);
         w.u64(self.pager_prefetches);
+        w.u64(self.frontier_rows_active);
+        w.u64(self.frontier_rows_skipped);
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, WireError> {
@@ -918,6 +940,8 @@ impl HealthInfo {
             pager_misses: r.u64()?,
             pager_evictions: r.u64()?,
             pager_prefetches: r.u64()?,
+            frontier_rows_active: r.u64()?,
+            frontier_rows_skipped: r.u64()?,
         })
     }
 }

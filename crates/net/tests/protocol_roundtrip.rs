@@ -171,10 +171,15 @@ fn arb_stats() -> impl proptest::Strategy<Value = ServerStats> {
         ),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
-        0u64..1 << 40,
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
     )
         .prop_map(
-            |(((a, b, c, d), (e, f, g, h), (i, j, k, l)), (m, n, o, p), (q, r, s, t), u)| {
+            |(
+                ((a, b, c, d), (e, f, g, h), (i, j, k, l)),
+                (m, n, o, p),
+                (q, r, s, t),
+                (u, v, w),
+            )| {
                 ServerStats {
                     graphs: a,
                     cached_entries: b,
@@ -197,6 +202,8 @@ fn arb_stats() -> impl proptest::Strategy<Value = ServerStats> {
                     pager_misses: s,
                     pager_evictions: t,
                     pager_prefetches: u,
+                    frontier_rows_active: v,
+                    frontier_rows_skipped: w,
                 }
             },
         )
@@ -207,12 +214,14 @@ fn arb_health() -> impl proptest::Strategy<Value = HealthInfo> {
         (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 40),
         arb_bool(),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40),
     )
         .prop_map(
             |(
                 (uptime_ms, graphs, queue_depth, cached_entries),
                 spill_enabled,
                 (pager_hits, pager_misses, pager_evictions, pager_prefetches),
+                (frontier_rows_active, frontier_rows_skipped),
             )| HealthInfo {
                 protocol_version: PROTOCOL_VERSION,
                 graphs,
@@ -224,6 +233,8 @@ fn arb_health() -> impl proptest::Strategy<Value = HealthInfo> {
                 pager_misses,
                 pager_evictions,
                 pager_prefetches,
+                frontier_rows_active,
+                frontier_rows_skipped,
             },
         )
 }

@@ -451,12 +451,23 @@ impl Table {
             .iter()
             .map(|r| Self::key_of(r, &upd_idx))
             .collect();
-        self.rows
-            .retain(|r| !updated.contains(&Self::key_of(r, &self_idx)));
+        // Incremental like `push`: the per-column frequency maps are exact
+        // reference counts, so deleted rows are un-observed and inserted
+        // rows observed — cost proportional to the rows touched, not to the
+        // whole table.
+        let stats = &mut self.stats;
+        self.rows.retain(|r| {
+            let keep = !updated.contains(&Self::key_of(r, &self_idx));
+            if !keep {
+                stats.forget_row(r);
+            }
+            keep
+        });
+        stats.refresh_maxima();
+        for r in &updates.rows {
+            self.stats.observe_row(r);
+        }
         self.rows.extend(updates.rows.iter().cloned());
-        // Bulk rewrite: rebuild statistics in one pass (deletions cannot be
-        // folded incrementally without per-value reference counts).
-        self.stats = TableStats::from_rows(self.columns.len(), &self.rows);
     }
 
     /// Distinct values of one integer column.
@@ -662,6 +673,58 @@ mod tests {
         assert_eq!(b.stats().rows(), 3);
         assert_eq!(b.stats().column(0).distinct(), Some(3));
         assert_eq!(b.stats().column(0).max_freq(), Some(1));
+    }
+
+    /// Upsert maintains statistics incrementally; this pins the invariant
+    /// that the incremental state is *equal* to a from-scratch rebuild over
+    /// the post-upsert rows, through a sequence of upserts exercising the
+    /// tricky paths: deleting a value at max multiplicity (max must drop),
+    /// deleting the last float in a column (tracking must resume), and
+    /// inserting floats (tracking must stop).
+    #[test]
+    fn upsert_stats_match_from_scratch_rebuild() {
+        let mut t = Table::new("T", &["k", "v", "w"]);
+        t.push(vec![Value::Int(0), Value::Int(5), Value::Float(0.5)]);
+        t.push(vec![Value::Int(1), Value::Int(5), Value::Int(7)]);
+        t.push(vec![Value::Int(2), Value::Int(5), Value::Int(7)]);
+        t.push(vec![Value::Int(3), Value::Int(6), Value::Int(8)]);
+
+        // Deletes the float row (column w becomes all-int again) and two of
+        // the three rows holding v=5 (the max-frequency value of column v).
+        let mut upd = Table::new("U", &["k", "v", "w"]);
+        upd.push(vec![Value::Int(0), Value::Int(9), Value::Int(1)]);
+        upd.push(vec![Value::Int(1), Value::Int(6), Value::Int(1)]);
+        upd.push(vec![Value::Int(4), Value::Int(6), Value::Int(2)]);
+        t.upsert(&upd, &["k"]);
+        assert_eq!(
+            t.stats(),
+            &TableStats::from_rows(t.columns().len(), t.rows()),
+            "incremental upsert stats diverged from a from-scratch rebuild"
+        );
+        assert!(t.stats().column(2).is_tracked());
+        assert_eq!(t.stats().column(1).max_freq(), Some(3)); // v=6 three times
+        assert_eq!(t.stats().column(2).max_freq(), Some(2)); // w=1 twice
+
+        // Re-introduce a float, replacing every remaining original row.
+        let mut upd2 = Table::new("U2", &["k", "v", "w"]);
+        upd2.push(vec![Value::Int(2), Value::Int(5), Value::Float(1.5)]);
+        upd2.push(vec![Value::Int(3), Value::Int(5), Value::Int(1)]);
+        t.upsert(&upd2, &["k"]);
+        assert_eq!(
+            t.stats(),
+            &TableStats::from_rows(t.columns().len(), t.rows()),
+            "incremental upsert stats diverged after re-introducing a float"
+        );
+        assert!(!t.stats().column(2).is_tracked());
+        assert_eq!(t.stats().rows(), 5);
+
+        // Empty upsert is a no-op for stats as well.
+        let empty = Table::new("E", &["k", "v", "w"]);
+        t.upsert(&empty, &["k"]);
+        assert_eq!(
+            t.stats(),
+            &TableStats::from_rows(t.columns().len(), t.rows())
+        );
     }
 
     #[test]

@@ -9,11 +9,15 @@
 //! optimistic guesses — in the style of worst-case output bounds for
 //! joins (AGM / functional-dependency bounds).
 //!
-//! Maintenance is incremental on the append path ([`TableStats::observe_row`]
-//! is called from `Table::push`) and rebuilt from scratch after bulk
-//! mutations (`upsert`, `retain`-style deletes). Columns that ever see a
-//! float value stop being tracked (`Float` join keys are legal in the SQL
-//! layer but rare; the planner falls back to row-count-only bounds there).
+//! Maintenance is incremental on both the append path
+//! ([`TableStats::observe_row`], called from `Table::push`) and the delete
+//! path ([`TableStats::forget_row`], called from `Table::upsert`): the
+//! per-value frequency maps are exact reference counts, so removed rows
+//! are un-observed rather than triggering an `O(rows)` rebuild. Columns
+//! currently holding at least one float value are untracked (`Float` join
+//! keys are legal in the SQL layer but rare; the planner falls back to
+//! row-count-only bounds there) — tracking resumes exactly once the last
+//! float row is deleted, matching a from-scratch rebuild bit for bit.
 
 use crate::engine::Value;
 use std::collections::HashMap;
@@ -61,61 +65,94 @@ type FxFreqMap = HashMap<i64, u32, BuildHasherDefault<FxHasher64>>;
 
 /// Statistics for one column: distinct count and max frequency.
 ///
-/// Tracking is *exact* while the column holds only `Value::Int` values.
-/// The first `Value::Float` observed in the column permanently disables
-/// tracking (the planner then knows nothing about the column beyond the
-/// table's row count, which is still a valid upper bound on both distinct
-/// count and max frequency).
-#[derive(Clone, Debug)]
+/// Tracking is *exact* while the column currently holds only `Value::Int`
+/// values. While at least one float is present the column reports as
+/// untracked (the planner then knows nothing about it beyond the table's
+/// row count, which is still a valid upper bound on both distinct count
+/// and max frequency), but the integer frequency map keeps being
+/// maintained underneath — so when the last float row is deleted, exact
+/// tracking resumes with the same state a from-scratch rebuild would
+/// produce.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ColumnStats {
-    /// Value → multiplicity. `None` once a float has been observed.
-    freq: Option<FxFreqMap>,
-    /// Multiplicity of the most frequent value seen so far.
+    /// Integer value → multiplicity (an exact reference count).
+    freq: FxFreqMap,
+    /// Number of float values currently present in the column.
+    floats: u64,
+    /// Multiplicity of the most frequent integer value currently present.
     max_freq: u32,
-}
-
-impl Default for ColumnStats {
-    fn default() -> Self {
-        ColumnStats {
-            freq: Some(FxFreqMap::default()),
-            max_freq: 0,
-        }
-    }
+    /// Set when an [`unobserve`](ColumnStats::unobserve) may have lowered
+    /// the maximum; cleared by [`refresh_max`](ColumnStats::refresh_max).
+    max_dirty: bool,
 }
 
 impl ColumnStats {
     /// Number of distinct values, or `None` if the column is untracked.
     pub fn distinct(&self) -> Option<usize> {
-        self.freq.as_ref().map(HashMap::len)
+        self.is_tracked().then_some(self.freq.len())
     }
 
     /// Multiplicity of the most frequent value (max join degree), or
     /// `None` if the column is untracked.
     pub fn max_freq(&self) -> Option<usize> {
-        self.freq.as_ref().map(|_| self.max_freq as usize)
+        debug_assert!(
+            !self.max_dirty,
+            "ColumnStats::max_freq read while dirty — missing refresh after forget_row"
+        );
+        self.is_tracked().then_some(self.max_freq as usize)
     }
 
-    /// Whether the column still has exact distinct/degree tracking.
+    /// Whether the column currently has exact distinct/degree tracking.
     pub fn is_tracked(&self) -> bool {
-        self.freq.is_some()
+        self.floats == 0
     }
 
     #[inline]
     fn observe(&mut self, v: &Value) {
         match v {
             Value::Int(i) => {
-                if let Some(freq) = self.freq.as_mut() {
-                    let slot = freq.entry(*i).or_insert(0);
-                    *slot += 1;
-                    if *slot > self.max_freq {
-                        self.max_freq = *slot;
-                    }
+                let slot = self.freq.entry(*i).or_insert(0);
+                *slot += 1;
+                if *slot > self.max_freq {
+                    self.max_freq = *slot;
+                }
+            }
+            Value::Float(_) => self.floats += 1,
+        }
+    }
+
+    /// Reverses one [`observe`](ColumnStats::observe). May leave the max
+    /// stale (flagged via `max_dirty`); callers must run a
+    /// [`refresh_max`](ColumnStats::refresh_max) before the next read.
+    #[inline]
+    fn unobserve(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                let slot = self
+                    .freq
+                    .get_mut(i)
+                    .expect("unobserve of an integer value that was never observed");
+                *slot -= 1;
+                if *slot + 1 == self.max_freq {
+                    self.max_dirty = true;
+                }
+                if *slot == 0 {
+                    self.freq.remove(i);
                 }
             }
             Value::Float(_) => {
-                self.freq = None;
-                self.max_freq = 0;
+                assert!(self.floats > 0, "unobserve of a float on an all-int column");
+                self.floats -= 1;
             }
+        }
+    }
+
+    /// Recomputes the max multiplicity if deletions may have lowered it.
+    /// One pass over *distinct* values, and only when actually dirty.
+    fn refresh_max(&mut self) {
+        if self.max_dirty {
+            self.max_freq = self.freq.values().copied().max().unwrap_or(0);
+            self.max_dirty = false;
         }
     }
 }
@@ -123,9 +160,12 @@ impl ColumnStats {
 /// Exact statistics for a table: row count plus per-column [`ColumnStats`].
 ///
 /// Kept in sync by the owning [`crate::engine::Table`]: appends stream
-/// through [`observe_row`](TableStats::observe_row); bulk rewrites rebuild
-/// with [`from_rows`](TableStats::from_rows).
-#[derive(Clone, Debug, Default)]
+/// through [`observe_row`](TableStats::observe_row), deletions through
+/// [`forget_row`](TableStats::forget_row) followed by one
+/// [`refresh_maxima`](TableStats::refresh_maxima) per batch. The result is
+/// always equal to a [`from_rows`](TableStats::from_rows) rebuild over the
+/// table's current rows.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TableStats {
     rows: usize,
     cols: Vec<ColumnStats>,
@@ -170,6 +210,29 @@ impl TableStats {
         self.rows += 1;
         for (c, v) in self.cols.iter_mut().zip(row) {
             c.observe(v);
+        }
+    }
+
+    /// Removes one previously observed row from the statistics — the exact
+    /// inverse of [`observe_row`](TableStats::observe_row).
+    ///
+    /// Per-column maxima may be left stale; call
+    /// [`refresh_maxima`](TableStats::refresh_maxima) once after a batch of
+    /// deletions (reads in between are guarded by a debug assertion).
+    #[inline]
+    pub fn forget_row(&mut self, row: &[Value]) {
+        debug_assert!(self.rows > 0, "forget_row on empty statistics");
+        self.rows -= 1;
+        for (c, v) in self.cols.iter_mut().zip(row) {
+            c.unobserve(v);
+        }
+    }
+
+    /// Recomputes any per-column maxima that deletions may have lowered.
+    /// No-op for columns untouched since the last refresh.
+    pub fn refresh_maxima(&mut self) {
+        for c in &mut self.cols {
+            c.refresh_max();
         }
     }
 }

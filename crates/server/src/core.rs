@@ -354,6 +354,12 @@ struct Counters {
     panics_caught: u64,
     degraded_stale: u64,
     degraded_clamped: u64,
+    /// LinBP rows recomputed by served solves (active-frontier
+    /// execution; equals rows × sweeps when the frontier is off).
+    frontier_rows_active: u64,
+    /// LinBP rows skipped by served solves because their inputs were
+    /// bitwise unchanged since the previous sweep.
+    frontier_rows_skipped: u64,
     /// Pager activity of graph entries already replaced by edge deltas
     /// — added at replacement time so the served totals stay monotone
     /// as spilled versions retire.
@@ -482,6 +488,10 @@ impl ServerCore {
             admission.groups.values().map(|g| g.jobs.len() as u64).sum()
         };
         let pager = self.pager_totals();
+        let (frontier_rows_active, frontier_rows_skipped) = {
+            let c = self.shared.counters.lock().unwrap();
+            (c.frontier_rows_active, c.frontier_rows_skipped)
+        };
         HealthInfo {
             protocol_version: lsbp_net::PROTOCOL_VERSION,
             graphs: self.shared.registry.read().unwrap().len() as u64,
@@ -493,6 +503,8 @@ impl ServerCore {
             pager_misses: pager.misses,
             pager_evictions: pager.evictions,
             pager_prefetches: pager.prefetches,
+            frontier_rows_active,
+            frontier_rows_skipped,
         }
     }
 
@@ -571,6 +583,8 @@ impl ServerCore {
             pager_misses: pager.misses,
             pager_evictions: pager.evictions,
             pager_prefetches: pager.prefetches,
+            frontier_rows_active: c.frontier_rows_active,
+            frontier_rows_skipped: c.frontier_rows_skipped,
         }
     }
 
@@ -1356,8 +1370,9 @@ fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
     let graph = Arc::clone(&jobs[0].graph);
     let queries: Vec<ExplicitBeliefs> = jobs.iter().map(|j| j.seeds.clone()).collect();
 
-    // (beliefs, converged, diverged, iterations, final_delta) per query.
-    type Solved = (Mat, bool, bool, u64, f64);
+    // (beliefs, converged, diverged, iterations, final_delta,
+    // frontier_rows_active, frontier_rows_skipped) per query.
+    type Solved = (Mat, bool, bool, u64, f64, u64, u64);
     let panic_on_graph = shared.config.panic_on_graph;
     let batch_graph_id = jobs[0].cache_key.graph_id;
     let kind = &jobs[0].kind;
@@ -1383,6 +1398,8 @@ fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
                                 r.diverged,
                                 r.iterations as u64,
                                 r.final_delta,
+                                r.rows_active,
+                                r.rows_skipped,
                             )
                         })
                         .collect()
@@ -1396,7 +1413,7 @@ fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
                         .map(|r| {
                             let iters = r.iterations as u64;
                             let conv = r.converged;
-                            (r.beliefs.into_mat(), conv, false, iters, f64::NAN)
+                            (r.beliefs.into_mat(), conv, false, iters, f64::NAN, 0, 0)
                         })
                         .collect()
                 })
@@ -1442,11 +1459,17 @@ fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
     // by one the same queries would have cost Σ iterations.
     let passes = results.iter().map(|r| r.3).max().unwrap_or(0);
     let sequential: u64 = results.iter().map(|r| r.3).sum();
+    // A stacked solve records the *same* whole-run frontier totals on every
+    // per-query result, so the batch total is the max, not the sum.
+    let frontier_active = results.iter().map(|r| r.5).max().unwrap_or(0);
+    let frontier_skipped = results.iter().map(|r| r.6).max().unwrap_or(0);
     {
         let mut c = shared.counters.lock().unwrap();
         c.queries_served += q as u64;
         c.spmm_passes += passes;
         c.spmm_passes_sequential_equiv += sequential;
+        c.frontier_rows_active += frontier_active;
+        c.frontier_rows_skipped += frontier_skipped;
         if q >= 2 {
             c.coalesced_batches += 1;
             c.coalesced_queries += q as u64;
@@ -1459,7 +1482,7 @@ fn solve_batch(shared: &Shared, jobs: Vec<SolveJob>) {
     } else {
         ServedVia::Coalesced { batch: q as u32 }
     };
-    for (job, (beliefs, converged, diverged, iterations, final_delta)) in
+    for (job, (beliefs, converged, diverged, iterations, final_delta, _, _)) in
         jobs.into_iter().zip(results)
     {
         let patch = match &job.kind {

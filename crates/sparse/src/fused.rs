@@ -38,6 +38,7 @@
 //! L2 callers run the existing fixed-order `l2_diff` pass after the step.
 
 use crate::csr::{CsrMatrix, SCRATCH_WIDTH};
+use crate::frontier::{FrontierPlan, FrontierStep, FrontierTask, NodeBitset};
 use lsbp_linalg::simd::{axpy4, prefetch_read, GATHER_PREFETCH_DISTANCE};
 use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
 use std::ops::Range;
@@ -180,6 +181,35 @@ impl CsrMatrix {
         self.fused_block_with(b, step, 0, out.as_mut_slice(), deltas, k, cfg);
     }
 
+    /// The frontier-aware variant of [`CsrMatrix::linbp_step_fused_with`]:
+    /// bitwise-identical `out` and `deltas`, but rows whose inputs did not
+    /// change a single bit since the last committed iteration are skipped
+    /// (see [`crate::frontier`]), and each computed row's changed bit is
+    /// recorded into `fr`. The caller owns the iteration protocol:
+    /// [`crate::FrontierState::begin`] before the step,
+    /// [`crate::FrontierState::commit`] after the buffers swap.
+    ///
+    /// # Panics
+    /// Panics on the same dimension mismatches as the full step.
+    pub fn linbp_step_fused_frontier_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        fr: &mut FrontierStep<'_>,
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        let (k, _q) = validate_fused_step(n, self.n_cols(), b, step, out, deltas);
+        deltas.iter_mut().for_each(|d| *d = 0.0);
+        if n == 0 || kt == 0 {
+            return;
+        }
+        self.fused_block_frontier_with(b, step, 0, out.as_mut_slice(), deltas, k, fr, cfg);
+    }
+
     /// The partitioned body of the fused step over *this matrix's* rows,
     /// writing the flat row-major `block` (exactly `n_rows · b.cols()`
     /// slots) and max-accumulating per-query residuals into `deltas`
@@ -222,6 +252,192 @@ impl CsrMatrix {
         // Combine the per-task residual maxima — order-independent, so
         // this equals the serial accumulation bitwise.
         merge_delta_partials(deltas, &partials);
+    }
+
+    /// The frontier-aware variant of [`CsrMatrix::fused_block_with`]:
+    /// identical arithmetic in the identical order, but rows whose inputs
+    /// are bitwise unchanged since the last iteration are skipped — their
+    /// output slots already hold the exact bits a recomputation would
+    /// write (the double-buffer invariant, `debug_assert`ed per skip) and
+    /// their residual terms are exactly `0.0`, so `block` and `deltas`
+    /// come out bitwise identical to the full pass. Whole inactive row
+    /// blocks are rejected by the plan's summary test without touching
+    /// their nnz. Computed rows' changed bits land in `fr` (parallel
+    /// tasks record into task-local bitsets that are OR-merged — bit-OR
+    /// is order-independent, so the merged set equals the serial one).
+    #[allow(clippy::too_many_arguments)] // one slot per fused-step term
+    pub(crate) fn fused_block_frontier_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        base: usize,
+        block: &mut [f64],
+        deltas: &mut [f64],
+        k: usize,
+        fr: &mut FrontierStep<'_>,
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        if n == 0 {
+            return;
+        }
+        let parts = cfg.partitions((self.nnz() + n) * kt);
+        if parts <= 1 {
+            let mut task = FrontierTask {
+                changed: fr.changed,
+                bits: &mut *fr.next_changed,
+                active_cols: fr.active_cols,
+                k,
+                rows_active: 0,
+                rows_skipped: 0,
+            };
+            self.fused_rows_frontier(
+                b,
+                step,
+                0..n,
+                base,
+                block,
+                deltas,
+                k,
+                fr.plan,
+                fr.summary,
+                &mut task,
+            );
+            fr.rows_active += task.rows_active;
+            fr.rows_skipped += task.rows_skipped;
+            return;
+        }
+        let ranges = weight_balanced_ranges(self.row_offsets(), parts);
+        let mut partials: Vec<Vec<f64>> = vec![vec![0.0; deltas.len()]; ranges.len()];
+        // Task-local changed bitsets in the *global* row frame, merged
+        // with the order-independent OR after the scope (the bitset
+        // analogue of `merge_delta_partials`), plus per-task counters.
+        let mut bit_partials: Vec<NodeBitset> = (0..ranges.len())
+            .map(|_| NodeBitset::new(fr.changed.len()))
+            .collect();
+        let mut counters: Vec<(u64, u64)> = vec![(0, 0); ranges.len()];
+        let (plan, summary, changed, active_cols) =
+            (fr.plan, fr.summary, fr.changed, fr.active_cols);
+        let mut rest: &mut [f64] = block;
+        cfg.pool().scope(|s| {
+            for ((range, partial), (bits, counter)) in ranges
+                .into_iter()
+                .zip(partials.iter_mut())
+                .zip(bit_partials.iter_mut().zip(counters.iter_mut()))
+            {
+                let (chunk, tail) = rest.split_at_mut((range.end - range.start) * kt);
+                rest = tail;
+                s.spawn(move || {
+                    let mut task = FrontierTask {
+                        changed,
+                        bits,
+                        active_cols,
+                        k,
+                        rows_active: 0,
+                        rows_skipped: 0,
+                    };
+                    self.fused_rows_frontier(
+                        b, step, range, base, chunk, partial, k, plan, summary, &mut task,
+                    );
+                    *counter = (task.rows_active, task.rows_skipped);
+                });
+            }
+        });
+        merge_delta_partials(deltas, &partials);
+        for bits in &bit_partials {
+            fr.next_changed.or_assign(bits);
+        }
+        for &(active, skipped) in &counters {
+            fr.rows_active += active;
+            fr.rows_skipped += skipped;
+        }
+    }
+
+    /// Walks the task's row range in plan-block-aligned subranges: an
+    /// inactive block (no dependency on any changed block) is skipped
+    /// wholesale — its nnz is never touched — while active blocks run the
+    /// per-row frontier refinement. Consecutive active rows are batched
+    /// into runs and each run goes through the ordinary
+    /// [`CsrMatrix::fused_rows_dispatch`] — the hot kernels carry no
+    /// frontier code at all, so a dense frontier pays one bit test per
+    /// row and the kernels run at full-recomputation speed. `rows`
+    /// indexes this matrix's rows; blocks live in the global frame
+    /// (`base + r`), so shard boundaries mid-block simply yield shorter
+    /// subranges.
+    #[allow(clippy::too_many_arguments)] // one slot per fused-step term
+    fn fused_rows_frontier(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        rows: Range<usize>,
+        base: usize,
+        block: &mut [f64],
+        deltas: &mut [f64],
+        k: usize,
+        plan: &FrontierPlan,
+        summary: &NodeBitset,
+        task: &mut FrontierTask<'_>,
+    ) {
+        let kt = b.cols();
+        let bs = plan.block_rows();
+        let mut r = rows.start;
+        while r < rows.end {
+            let blk = (base + r) / bs;
+            let end = rows.end.min((blk + 1) * bs - base);
+            if plan.block_active(blk, summary) {
+                let mut i = r;
+                while i < end {
+                    if task.row_active(self, i, base + i) {
+                        let run_start = i;
+                        i += 1;
+                        while i < end && task.row_active(self, i, base + i) {
+                            i += 1;
+                        }
+                        let chunk =
+                            &mut block[(run_start - rows.start) * kt..(i - rows.start) * kt];
+                        self.fused_rows_dispatch(b, step, run_start..i, base, chunk, deltas, k);
+                        for rr in run_start..i {
+                            let out_row =
+                                &block[(rr - rows.start) * kt..(rr - rows.start) * kt + kt];
+                            task.record(base + rr, out_row, b.row(base + rr));
+                        }
+                        // Row `i` (if any) already tested inactive: the
+                        // inner loop above stopped on it.
+                        if i < end {
+                            task.rows_skipped += 1;
+                            #[cfg(debug_assertions)]
+                            task.debug_assert_skip_invariant(
+                                base + i,
+                                &block[(i - rows.start) * kt..(i - rows.start) * kt + kt],
+                                b.row(base + i),
+                            );
+                            i += 1;
+                        }
+                    } else {
+                        task.rows_skipped += 1;
+                        #[cfg(debug_assertions)]
+                        task.debug_assert_skip_invariant(
+                            base + i,
+                            &block[(i - rows.start) * kt..(i - rows.start) * kt + kt],
+                            b.row(base + i),
+                        );
+                        i += 1;
+                    }
+                }
+            } else {
+                task.rows_skipped += (end - r) as u64;
+                #[cfg(debug_assertions)]
+                for rr in r..end {
+                    task.debug_assert_skip_invariant(
+                        base + rr,
+                        &block[(rr - rows.start) * kt..(rr - rows.start + 1) * kt],
+                        b.row(base + rr),
+                    );
+                }
+            }
+            r = end;
+        }
     }
 
     /// Routes a row block to the width-specialized kernel for the paper's

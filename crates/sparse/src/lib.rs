@@ -31,6 +31,7 @@
 pub mod coo;
 pub mod csr;
 pub mod edge_op;
+pub mod frontier;
 pub mod fused;
 pub mod operator;
 pub mod paged;
@@ -40,6 +41,7 @@ pub mod sharded;
 pub use coo::CooMatrix;
 pub use csr::{CsrError, CsrMatrix, MAX_DIM};
 pub use edge_op::EdgeMatrixOp;
+pub use frontier::{FrontierPlan, FrontierState, FrontierStep, NodeBitset};
 pub use fused::FusedLinBpStep;
 pub use operator::{PropagationOperator, RowIter};
 pub use paged::{PagedCsr, PagedOptions, PagerStats};

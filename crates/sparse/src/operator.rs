@@ -29,6 +29,7 @@
 //! deployment re-shard a live system without changing a single answer.
 
 use crate::csr::CsrMatrix;
+use crate::frontier::{record_changed_full, FrontierPlan, FrontierStep};
 use crate::fused::FusedLinBpStep;
 use lsbp_linalg::{Mat, ParallelismConfig};
 
@@ -170,6 +171,52 @@ pub trait PropagationOperator: Sync {
         cfg: &ParallelismConfig,
     );
 
+    /// The static block-dependency plan active-frontier execution runs
+    /// against (see [`crate::frontier`]): rows grouped into
+    /// [`FrontierPlan::block_rows_for`]-sized blocks, each recording the
+    /// blocks its rows gather from. Built once per solve in `O(nnz)`.
+    /// The default walks [`PropagationOperator::row_iter`]; backends with
+    /// cheaper bulk row access (paged shards) override it.
+    fn frontier_plan(&self) -> FrontierPlan {
+        let n = self.n_rows();
+        let mut plan = FrontierPlan::empty(n, FrontierPlan::block_rows_for(n));
+        for r in 0..n {
+            let blk = plan.block_of(r);
+            plan.set_dep(blk, blk);
+            for (c, _) in self.row_iter(r) {
+                let dep = plan.block_of(c);
+                plan.set_dep(blk, dep);
+            }
+        }
+        plan
+    }
+
+    /// The frontier-aware fused LinBP step: `out` and `deltas` must be
+    /// **bitwise identical** to [`PropagationOperator::linbp_step_fused_with`]
+    /// on the same inputs, with rows whose inputs are bitwise unchanged
+    /// allowed (not required) to be skipped, skip/active row counts
+    /// accumulated into `fr`, and each computed-or-skipped row's changed
+    /// bit recorded into `fr.next_changed` exactly as
+    /// [`record_changed_full`] would.
+    ///
+    /// The default implementation **is** [`record_changed_full`] over the
+    /// full step — the reference semantics (every row counted active, no
+    /// skipping): backends without a native frontier path stay correct,
+    /// merely unaccelerated.
+    fn linbp_step_fused_frontier_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        fr: &mut FrontierStep<'_>,
+        cfg: &ParallelismConfig,
+    ) {
+        self.linbp_step_fused_with(b, step, out, deltas, cfg);
+        let k = step.h.rows();
+        record_changed_full(fr, b, out, k);
+    }
+
     /// Transpose, materialized as a monolithic [`CsrMatrix`] (the
     /// assembly step a distributed backend would run at import time).
     fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix;
@@ -226,6 +273,27 @@ impl PropagationOperator for CsrMatrix {
         cfg: &ParallelismConfig,
     ) {
         CsrMatrix::linbp_step_fused_with(self, b, step, out, deltas, cfg)
+    }
+
+    fn frontier_plan(&self) -> FrontierPlan {
+        let n = CsrMatrix::n_rows(self);
+        let mut plan = FrontierPlan::empty(n, FrontierPlan::block_rows_for(n));
+        for r in 0..n {
+            plan.add_row(r, CsrMatrix::row_cols(self, r));
+        }
+        plan
+    }
+
+    fn linbp_step_fused_frontier_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        fr: &mut FrontierStep<'_>,
+        cfg: &ParallelismConfig,
+    ) {
+        CsrMatrix::linbp_step_fused_frontier_with(self, b, step, out, deltas, fr, cfg)
     }
 
     fn transpose_with(&self, cfg: &ParallelismConfig) -> CsrMatrix {

@@ -37,6 +37,7 @@
 //! exists as the checked warm-up path.
 
 use crate::csr::CsrMatrix;
+use crate::frontier::{FrontierPlan, FrontierStep};
 use crate::fused::{validate_fused_step, FusedLinBpStep};
 use crate::operator::{PropagationOperator, RowIter};
 use crate::shard_file::{ShardFile, ShardFileError};
@@ -583,6 +584,73 @@ impl PropagationOperator for PagedCsr {
                 &mut flat[rows.start * kt..rows.end * kt],
                 deltas,
                 k,
+                cfg,
+            );
+        }
+    }
+
+    /// Builds the plan with one pin per shard (bulk slice access under
+    /// the pin instead of the default's per-row owned copies). Run this
+    /// once per solve, ideally warm — it walks every shard exactly once
+    /// in row order, like any other full pass.
+    fn frontier_plan(&self) -> FrontierPlan {
+        let n = self.n_rows();
+        let mut plan = FrontierPlan::empty(n, FrontierPlan::block_rows_for(n));
+        for i in 0..self.num_shards() {
+            self.request_prefetch(i + 1);
+            let shard = self.pin(i);
+            let rows = self.shard_rows(i);
+            for local in 0..shard.n_rows() {
+                plan.add_row(rows.start + local, shard.row_cols(local));
+            }
+        }
+        plan
+    }
+
+    /// The frontier-aware fused step — the backend where skipping pays
+    /// twice: an inactive shard is neither prefetched nor pinned, so a
+    /// frozen region of the graph is **never faulted back in** (no I/O,
+    /// no eviction pressure on the live shards — compounding with tight
+    /// pool budgets). Prefetch targets the next *active* shard rather
+    /// than blindly `i + 1`. Bitwise identical to the full step at any
+    /// budget × shard × thread combination.
+    fn linbp_step_fused_frontier_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        fr: &mut FrontierStep<'_>,
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        let (k, _q) = validate_fused_step(n, self.n_cols(), b, step, out, deltas);
+        deltas.iter_mut().for_each(|d| *d = 0.0);
+        if n == 0 || kt == 0 {
+            return;
+        }
+        let (plan, summary) = (fr.plan, fr.summary);
+        let shard_active = |i: usize| !plan.range_inactive(self.shard_rows(i), summary);
+        let flat = out.as_mut_slice();
+        for i in 0..self.num_shards() {
+            let rows = self.shard_rows(i);
+            if !shard_active(i) {
+                fr.rows_skipped += (rows.end - rows.start) as u64;
+                continue;
+            }
+            if let Some(next) = (i + 1..self.num_shards()).find(|&j| shard_active(j)) {
+                self.request_prefetch(next);
+            }
+            let shard = self.pin(i);
+            shard.fused_block_frontier_with(
+                b,
+                step,
+                rows.start,
+                &mut flat[rows.start * kt..rows.end * kt],
+                deltas,
+                k,
+                fr,
                 cfg,
             );
         }

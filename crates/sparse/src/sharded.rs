@@ -25,6 +25,7 @@
 //! `tests/sharded_engine.rs`).
 
 use crate::csr::CsrMatrix;
+use crate::frontier::{FrontierPlan, FrontierStep};
 use crate::fused::{validate_fused_step, FusedLinBpStep};
 use crate::operator::{PropagationOperator, RowIter};
 use lsbp_linalg::{weight_balanced_ranges, Mat, ParallelismConfig};
@@ -255,6 +256,61 @@ impl PropagationOperator for ShardedCsr {
                 &mut flat[rows.start * kt..rows.end * kt],
                 deltas,
                 k,
+                cfg,
+            );
+        }
+    }
+
+    fn frontier_plan(&self) -> FrontierPlan {
+        let n = self.n_rows();
+        let mut plan = FrontierPlan::empty(n, FrontierPlan::block_rows_for(n));
+        for (i, shard) in self.shards.iter().enumerate() {
+            let rows = self.shard_rows(i);
+            for local in 0..shard.n_rows() {
+                // Shard columns are global, so rows fold in unchanged.
+                plan.add_row(rows.start + local, shard.row_cols(local));
+            }
+        }
+        plan
+    }
+
+    /// The frontier-aware fused step: shard-granular skipping first — a
+    /// shard whose overlapping plan blocks are all inactive is passed
+    /// over without touching its arrays at all — then the per-shard
+    /// kernel applies block- and row-granular skipping inside. Bitwise
+    /// identical to [`ShardedCsr::linbp_step_fused_with`] (and hence to
+    /// the monolithic step) at any shard × thread combination.
+    fn linbp_step_fused_frontier_with(
+        &self,
+        b: &Mat,
+        step: &FusedLinBpStep<'_>,
+        out: &mut Mat,
+        deltas: &mut [f64],
+        fr: &mut FrontierStep<'_>,
+        cfg: &ParallelismConfig,
+    ) {
+        let n = self.n_rows();
+        let kt = b.cols();
+        let (k, _q) = validate_fused_step(n, self.n_cols, b, step, out, deltas);
+        deltas.iter_mut().for_each(|d| *d = 0.0);
+        if n == 0 || kt == 0 {
+            return;
+        }
+        let flat = out.as_mut_slice();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let rows = self.shard_rows(i);
+            if fr.plan.range_inactive(rows.clone(), fr.summary) {
+                fr.rows_skipped += (rows.end - rows.start) as u64;
+                continue;
+            }
+            shard.fused_block_frontier_with(
+                b,
+                step,
+                rows.start,
+                &mut flat[rows.start * kt..rows.end * kt],
+                deltas,
+                k,
+                fr,
                 cfg,
             );
         }
